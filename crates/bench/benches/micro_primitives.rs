@@ -1,0 +1,115 @@
+//! Statistical microbenchmarks (Criterion) of the cryptographic
+//! substrate: field/curve/hash/pairing primitives and the VPKE/PoQoEA
+//! kernels. These ground the table-level numbers in primitive costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dragoon_core::poqoea;
+use dragoon_core::task::Answer;
+use dragoon_core::workload::imagenet_workload;
+use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+use dragoon_crypto::g1::G1Projective;
+use dragoon_crypto::g2::G2Affine;
+use dragoon_crypto::pairing::pairing;
+use dragoon_crypto::{keccak256, vpke, Fq, Fr, G1Affine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fq::random(&mut rng);
+    let b = Fq::random(&mut rng);
+    c.bench_function("fq_mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    c.bench_function("fq_inverse", |bench| {
+        bench.iter(|| black_box(a).inverse().unwrap())
+    });
+    let x = Fr::random(&mut rng);
+    let y = Fr::random(&mut rng);
+    c.bench_function("fr_mul", |bench| bench.iter(|| black_box(x) * black_box(y)));
+}
+
+fn bench_group(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = G1Projective::generator();
+    let k = Fr::random(&mut rng);
+    c.bench_function("g1_scalar_mul", |bench| {
+        bench.iter(|| black_box(p) * black_box(k))
+    });
+    let q = G1Affine::random(&mut rng);
+    c.bench_function("g1_add_mixed", |bench| {
+        bench.iter(|| black_box(p).add_affine(&black_box(q)))
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1024];
+    c.bench_function("keccak256_1k", |bench| {
+        bench.iter(|| keccak256(black_box(&data)))
+    });
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut c = c.benchmark_group("pairing");
+    c.sample_size(10);
+    let p = G1Affine::generator();
+    let q = G2Affine::generator();
+    c.bench_function("optimal_ate", |bench| {
+        bench.iter(|| pairing(black_box(&p), black_box(&q)))
+    });
+    c.finish();
+}
+
+fn bench_vpke(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let kp = KeyPair::generate(&mut rng);
+    let range = PlaintextRange::binary();
+    let ct = kp.ek.encrypt(1, &mut rng);
+    let mut prng = rng.clone();
+    c.bench_function("vpke_prove", |bench| {
+        bench.iter(|| vpke::prove(&kp.dk, black_box(&ct), &range, &mut prng))
+    });
+    let (claim, proof) = vpke::prove(&kp.dk, &ct, &range, &mut rng);
+    let stmt = vpke::DecryptionStatement {
+        ek: kp.ek,
+        ct,
+        claim,
+    };
+    c.bench_function("vpke_verify", |bench| {
+        bench.iter(|| vpke::verify(black_box(&stmt), black_box(&proof)))
+    });
+}
+
+fn bench_poqoea(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let kp = KeyPair::generate(&mut rng);
+    let range = PlaintextRange::binary();
+    let workload = imagenet_workload(4_000_000, &mut rng);
+    let mut v = workload.truth.0.clone();
+    for &i in &workload.golden.indexes {
+        v[i] = 1 - v[i];
+    }
+    let cts = Answer(v).encrypt(&kp.ek, &mut rng);
+    let mut prng = rng.clone();
+    c.bench_function("poqoea_prove_6_golds", |bench| {
+        bench.iter(|| {
+            poqoea::prove_quality(&kp.dk, black_box(&cts), &workload.golden, &range, &mut prng)
+        })
+    });
+    let (chi, proof) = poqoea::prove_quality(&kp.dk, &cts, &workload.golden, &range, &mut rng);
+    c.bench_function("poqoea_verify_6_golds", |bench| {
+        bench.iter(|| {
+            poqoea::verify_quality_bool(&kp.ek, black_box(&cts), chi, &proof, &workload.golden)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_field,
+    bench_group,
+    bench_hash,
+    bench_pairing,
+    bench_vpke,
+    bench_poqoea
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # dragoon-bench
+//!
+//! The benchmark harness regenerating every table of the paper's
+//! evaluation (§VI), plus shared helpers for the bench binaries.
+//!
+//! * `benches/table1_proving.rs` — Table I (off-chain proving cost).
+//! * `benches/table2_verification.rs` — Table II (verification cost).
+//! * `benches/table3_gas.rs` — Table III (on-chain handling fees).
+//! * `benches/ablation_decrypt.rs` — BSGS vs. linear-scan decryption.
+//! * `benches/micro_primitives.rs` — statistical microbenchmarks
+//!   (field/curve/hash/pairing) via Criterion.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` averaged over `iters` runs (after one warmup).
+pub fn time_avg<T>(iters: u32, mut f: impl FnMut() -> T) -> Duration {
+    let _ = f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / iters
+}
+
+/// Times `f` once (for expensive operations like SNARK proving).
+pub fn time_once<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed(), out)
+}
+
+/// Formats a duration compactly (µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.1} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.1} s", us as f64 / 1_000_000.0)
+    }
+}

@@ -1,0 +1,533 @@
+//! The simulated blockchain: a round-based (synchronous) chain hosting
+//! one contract state machine, with gas metering and transaction
+//! atomicity.
+//!
+//! Rounds model the paper's clock periods: parties submit messages during
+//! a round; at the round boundary the adversary schedules the pending
+//! set (see [`crate::mempool`]), the scheduled transactions execute
+//! in order against the contract, and a block is produced. Reverted
+//! transactions consume their gas but leave contract and ledger state
+//! untouched (state is check-pointed per transaction, as on Ethereum).
+
+use crate::gas::{CalldataStats, Gas, GasMeter, GasSchedule};
+use crate::mempool::{PendingTx, ReorderPolicy, Scheduled};
+use dragoon_ledger::{Address, Ledger};
+use std::fmt;
+
+/// Messages must report their calldata profile (for intrinsic gas) and a
+/// short label (for receipts and gas reports).
+pub trait ChainMessage: Clone {
+    /// Zero/non-zero byte composition of the ABI-encoded payload.
+    fn calldata(&self) -> CalldataStats;
+    /// A short human-readable label, e.g. `"commit"`.
+    fn label(&self) -> &'static str;
+}
+
+/// A contract hosted on the chain.
+///
+/// Implementations must be [`Clone`]: the chain checkpoints the contract
+/// state before each transaction to provide revert-on-error atomicity.
+pub trait StateMachine: Clone {
+    /// The message type accepted by the contract.
+    type Msg: ChainMessage;
+    /// The event type the contract emits.
+    type Event: Clone;
+    /// The error type for reverted transactions.
+    type Error: fmt::Display;
+
+    /// Handles one delivered transaction.
+    fn on_message(
+        &mut self,
+        env: &mut ExecEnv<'_, Self::Event>,
+        sender: Address,
+        msg: Self::Msg,
+    ) -> Result<(), Self::Error>;
+
+    /// Invoked once at the beginning of every round (clock period) —
+    /// contracts use this for phase deadlines.
+    fn on_clock(&mut self, _env: &mut ExecEnv<'_, Self::Event>, _round: u64) {}
+}
+
+/// The execution environment a contract sees while handling a message.
+pub struct ExecEnv<'a, E> {
+    /// The cryptocurrency ledger `L`.
+    pub ledger: &'a mut Ledger,
+    /// The transaction gas meter.
+    pub gas: &'a mut GasMeter,
+    /// The gas schedule in force.
+    pub schedule: &'a GasSchedule,
+    /// The current round (clock period).
+    pub round: u64,
+    /// The contract's own address (escrow account).
+    pub contract: Address,
+    events: &'a mut Vec<E>,
+}
+
+impl<E: Clone> ExecEnv<'_, E> {
+    /// Emits a contract event, charging LOG gas for `data_len` bytes with
+    /// one topic (the event signature), as Solidity does.
+    pub fn emit(&mut self, event: E, data_len: usize) {
+        let cost = self.schedule.log(1, data_len);
+        self.gas.charge("log", cost);
+        self.events.push(event);
+    }
+
+    /// Emits an event without charging gas (for synthetic bookkeeping
+    /// events that a real contract would not log).
+    pub fn emit_free(&mut self, event: E) {
+        self.events.push(event);
+    }
+}
+
+/// Execution status of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Executed successfully.
+    Ok,
+    /// Reverted with the contract's error message; state rolled back.
+    Reverted(String),
+}
+
+/// A transaction receipt.
+#[derive(Clone, Debug)]
+pub struct Receipt {
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Sender address.
+    pub sender: Address,
+    /// Message label.
+    pub label: &'static str,
+    /// The round in which the transaction executed.
+    pub round: u64,
+    /// Gas consumed (including intrinsic cost; consumed even on revert).
+    pub gas_used: Gas,
+    /// Outcome.
+    pub status: TxStatus,
+    /// The labelled gas breakdown for this transaction.
+    pub gas_breakdown: Vec<(&'static str, Gas)>,
+}
+
+/// A produced block: the receipts of one round.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Round number (block height).
+    pub round: u64,
+    /// Receipts, in execution order.
+    pub receipts: Vec<Receipt>,
+}
+
+/// The simulated chain hosting a single contract instance.
+pub struct Chain<S: StateMachine> {
+    /// The ledger (public, so tests can mint and inspect balances).
+    pub ledger: Ledger,
+    contract: S,
+    contract_addr: Address,
+    schedule: GasSchedule,
+    round: u64,
+    mempool: Vec<PendingTx<S::Msg>>,
+    blocks: Vec<Block>,
+    events: Vec<(u64, S::Event)>,
+    next_seq: u64,
+    deploy_gas: Gas,
+    block_gas_limit: Option<Gas>,
+}
+
+impl<S: StateMachine> Chain<S> {
+    /// Deploys `contract` at a fresh address, charging realistic
+    /// deployment gas for `code_len` bytes of runtime code.
+    pub fn deploy(contract: S, code_len: usize, schedule: GasSchedule) -> Self {
+        let contract_addr = Address::contract_address(&Address::ZERO, 1);
+        let deploy_gas =
+            schedule.tx_base + schedule.create(code_len);
+        Self {
+            ledger: Ledger::new(),
+            contract,
+            contract_addr,
+            schedule,
+            round: 0,
+            mempool: Vec::new(),
+            blocks: Vec::new(),
+            events: Vec::new(),
+            next_seq: 0,
+            deploy_gas,
+            block_gas_limit: None,
+        }
+    }
+
+    /// Caps the gas per block (Ethereum mainnet ran ~10M around the
+    /// paper's measurement window). Transactions that do not fit are
+    /// carried over to the next round, preserving order — which is why
+    /// phase windows must absorb a round of spill-over in heavy tasks.
+    pub fn with_block_gas_limit(mut self, limit: Gas) -> Self {
+        self.block_gas_limit = Some(limit);
+        self
+    }
+
+    /// The contract's address (its escrow account on the ledger).
+    pub fn contract_address(&self) -> Address {
+        self.contract_addr
+    }
+
+    /// The gas charged for deploying the contract.
+    pub fn deploy_gas(&self) -> Gas {
+        self.deploy_gas
+    }
+
+    /// Read-only access to the hosted contract state.
+    pub fn contract(&self) -> &S {
+        &self.contract
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The gas schedule in force.
+    pub fn schedule(&self) -> &GasSchedule {
+        &self.schedule
+    }
+
+    /// Submits a transaction to the mempool; returns its sequence number.
+    pub fn submit(&mut self, sender: Address, msg: S::Msg) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.mempool.push(PendingTx { sender, msg, seq });
+        seq
+    }
+
+    /// Number of transactions waiting in the mempool.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Advances one round: the policy schedules the mempool, scheduled
+    /// transactions execute, a block is produced. Returns the block.
+    pub fn advance_round(&mut self, policy: &mut dyn ReorderPolicy<S::Msg>) -> &Block {
+        self.round += 1;
+        // Clock tick first: phase deadlines fire before this round's
+        // deliveries, matching the paper's "until the beginning of next
+        // clock period" semantics for delayed executions.
+        {
+            let mut meter = GasMeter::new();
+            let mut events = Vec::new();
+            let mut env = ExecEnv {
+                ledger: &mut self.ledger,
+                gas: &mut meter,
+                schedule: &self.schedule,
+                round: self.round,
+                contract: self.contract_addr,
+                events: &mut events,
+            };
+            self.contract.on_clock(&mut env, self.round);
+            for e in events {
+                self.events.push((self.round, e));
+            }
+        }
+
+        let pending = std::mem::take(&mut self.mempool);
+        let Scheduled { deliver, delay } = policy.schedule(self.round, pending);
+        self.mempool = delay;
+
+        let mut receipts = Vec::new();
+        let mut block_gas: Gas = 0;
+        let mut deliver = deliver.into_iter();
+        let mut carried: Vec<PendingTx<S::Msg>> = Vec::new();
+        for tx in deliver.by_ref() {
+            match self.block_gas_limit {
+                None => receipts.push(self.execute_tx(tx)),
+                Some(limit) => {
+                    // Execute speculatively; if the block would exceed
+                    // its gas limit (and is not empty — a single tx
+                    // larger than the limit must still land somewhere),
+                    // roll back and carry the transaction over.
+                    let contract_snapshot = self.contract.clone();
+                    let ledger_snapshot = self.ledger.clone();
+                    let events_len = self.events.len();
+                    let receipt = self.execute_tx(tx.clone());
+                    if block_gas + receipt.gas_used > limit && !receipts.is_empty() {
+                        self.contract = contract_snapshot;
+                        self.ledger = ledger_snapshot;
+                        self.events.truncate(events_len);
+                        carried.push(tx);
+                        break;
+                    }
+                    block_gas += receipt.gas_used;
+                    receipts.push(receipt);
+                }
+            }
+        }
+        // Whatever did not fit in this block carries to the next round,
+        // ahead of newly delayed messages.
+        carried.extend(deliver);
+        if !carried.is_empty() {
+            carried.extend(std::mem::take(&mut self.mempool));
+            self.mempool = carried;
+        }
+        self.blocks.push(Block {
+            round: self.round,
+            receipts,
+        });
+        self.blocks.last().expect("just pushed")
+    }
+
+    /// Convenience: advance with honest FIFO scheduling.
+    pub fn advance_round_fifo(&mut self) -> &Block {
+        self.advance_round(&mut crate::mempool::FifoPolicy)
+    }
+
+    fn execute_tx(&mut self, tx: PendingTx<S::Msg>) -> Receipt {
+        let mut meter = GasMeter::new();
+        meter.charge("intrinsic", self.schedule.intrinsic(&tx.msg.calldata()));
+        let label = tx.msg.label();
+
+        // Checkpoint for atomicity.
+        let contract_snapshot = self.contract.clone();
+        let ledger_snapshot = self.ledger.clone();
+        let mut events = Vec::new();
+
+        let result = {
+            let mut env = ExecEnv {
+                ledger: &mut self.ledger,
+                gas: &mut meter,
+                schedule: &self.schedule,
+                round: self.round,
+                contract: self.contract_addr,
+                events: &mut events,
+            };
+            self.contract.on_message(&mut env, tx.sender, tx.msg)
+        };
+
+        let status = match result {
+            Ok(()) => {
+                for e in events {
+                    self.events.push((self.round, e));
+                }
+                TxStatus::Ok
+            }
+            Err(e) => {
+                // Roll back all state; gas is still consumed.
+                self.contract = contract_snapshot;
+                self.ledger = ledger_snapshot;
+                TxStatus::Reverted(e.to_string())
+            }
+        };
+
+        Receipt {
+            seq: tx.seq,
+            sender: tx.sender,
+            label,
+            round: self.round,
+            gas_used: meter.used(),
+            status,
+            gas_breakdown: meter.breakdown().to_vec(),
+        }
+    }
+
+    /// All produced blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// All events with the round in which they were emitted.
+    pub fn events(&self) -> &[(u64, S::Event)] {
+        &self.events
+    }
+
+    /// All receipts across all blocks, in execution order.
+    pub fn receipts(&self) -> impl Iterator<Item = &Receipt> {
+        self.blocks.iter().flat_map(|b| b.receipts.iter())
+    }
+
+    /// Total gas consumed by all transactions (excluding deployment).
+    pub fn total_gas(&self) -> Gas {
+        self.receipts().map(|r| r.gas_used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mempool::ReversePolicy;
+
+    /// A toy counter contract for exercising the chain plumbing.
+    #[derive(Clone, Default)]
+    struct Counter {
+        value: u64,
+        last_sender: Option<Address>,
+    }
+
+    #[derive(Clone)]
+    enum CounterMsg {
+        Add(u64),
+        Fail,
+    }
+
+    impl ChainMessage for CounterMsg {
+        fn calldata(&self) -> CalldataStats {
+            CalldataStats {
+                zero: 28,
+                nonzero: 8,
+            }
+        }
+        fn label(&self) -> &'static str {
+            match self {
+                CounterMsg::Add(_) => "add",
+                CounterMsg::Fail => "fail",
+            }
+        }
+    }
+
+    impl StateMachine for Counter {
+        type Msg = CounterMsg;
+        type Event = u64;
+        type Error = String;
+
+        fn on_message(
+            &mut self,
+            env: &mut ExecEnv<'_, u64>,
+            sender: Address,
+            msg: CounterMsg,
+        ) -> Result<(), String> {
+            match msg {
+                CounterMsg::Add(n) => {
+                    env.gas.charge("sstore", env.schedule.sstore_update);
+                    self.value += n;
+                    self.last_sender = Some(sender);
+                    env.emit(self.value, 32);
+                    Ok(())
+                }
+                CounterMsg::Fail => {
+                    // Mutate state, then revert — atomicity must undo it.
+                    self.value = 999_999;
+                    Err("deliberate failure".into())
+                }
+            }
+        }
+    }
+
+    fn chain() -> Chain<Counter> {
+        Chain::deploy(Counter::default(), 1000, GasSchedule::istanbul())
+    }
+
+    #[test]
+    fn executes_in_fifo_order() {
+        let mut c = chain();
+        let a1 = Address::from_byte(1);
+        let a2 = Address::from_byte(2);
+        c.submit(a1, CounterMsg::Add(1));
+        c.submit(a2, CounterMsg::Add(2));
+        let block = c.advance_round_fifo();
+        assert_eq!(block.receipts.len(), 2);
+        assert_eq!(c.contract().value, 3);
+        assert_eq!(c.contract().last_sender, Some(a2));
+    }
+
+    #[test]
+    fn reverse_policy_flips_final_sender() {
+        let mut c = chain();
+        c.submit(Address::from_byte(1), CounterMsg::Add(1));
+        c.submit(Address::from_byte(2), CounterMsg::Add(2));
+        c.advance_round(&mut ReversePolicy);
+        assert_eq!(c.contract().last_sender, Some(Address::from_byte(1)));
+    }
+
+    #[test]
+    fn reverted_tx_rolls_back_but_burns_gas() {
+        let mut c = chain();
+        c.submit(Address::from_byte(1), CounterMsg::Add(5));
+        c.submit(Address::from_byte(1), CounterMsg::Fail);
+        c.advance_round_fifo();
+        assert_eq!(c.contract().value, 5, "failed tx must not mutate state");
+        let receipts: Vec<_> = c.receipts().collect();
+        assert_eq!(receipts.len(), 2);
+        assert!(matches!(receipts[1].status, TxStatus::Reverted(_)));
+        assert!(receipts[1].gas_used >= 21_000, "revert still burns gas");
+    }
+
+    #[test]
+    fn gas_includes_intrinsic_and_ops() {
+        let mut c = chain();
+        c.submit(Address::from_byte(1), CounterMsg::Add(1));
+        c.advance_round_fifo();
+        let r = c.receipts().next().unwrap();
+        // intrinsic 21000 + 28*4 + 8*16 = 21240; sstore 5000; log 375+375+256.
+        assert_eq!(r.gas_used, 21_240 + 5_000 + 1_006);
+        assert_eq!(r.label, "add");
+    }
+
+    #[test]
+    fn events_recorded_with_round() {
+        let mut c = chain();
+        c.submit(Address::from_byte(1), CounterMsg::Add(7));
+        c.advance_round_fifo();
+        assert_eq!(c.events(), &[(1, 7)]);
+    }
+
+    #[test]
+    fn mempool_persists_delayed() {
+        let mut c = chain();
+        c.submit(Address::from_byte(1), CounterMsg::Add(1));
+        // Adversary delays everything one round.
+        let mut delay_all = crate::mempool::AdversarialPolicy::new(|_, pending| {
+            Scheduled {
+                deliver: Vec::new(),
+                delay: pending,
+            }
+        });
+        c.advance_round(&mut delay_all);
+        assert_eq!(c.contract().value, 0);
+        assert_eq!(c.mempool_len(), 1);
+        c.advance_round_fifo();
+        assert_eq!(c.contract().value, 1);
+    }
+
+    #[test]
+    fn block_gas_limit_defers_overflow() {
+        let mut c = chain().with_block_gas_limit(50_000);
+        // Each Add costs ~27k; a 50k block fits one (the second would
+        // push the block past its limit and is carried over).
+        for i in 0..4 {
+            c.submit(Address::from_byte(1), CounterMsg::Add(1 << i));
+        }
+        let block = c.advance_round_fifo();
+        assert_eq!(block.receipts.len(), 1, "second tx exceeds the block");
+        assert_eq!(c.contract().value, 0b1);
+        assert_eq!(c.mempool_len(), 3);
+        // The deferred transactions execute in order across later rounds.
+        c.advance_round_fifo();
+        assert_eq!(c.contract().value, 0b11);
+        c.advance_round_fifo();
+        c.advance_round_fifo();
+        assert_eq!(c.contract().value, 0b1111);
+        assert_eq!(c.mempool_len(), 0);
+    }
+
+    #[test]
+    fn oversized_tx_still_lands_alone() {
+        // A transaction larger than the block limit executes alone in
+        // its own block rather than starving forever.
+        let mut c = chain().with_block_gas_limit(10_000);
+        c.submit(Address::from_byte(1), CounterMsg::Add(1));
+        let block = c.advance_round_fifo();
+        assert_eq!(block.receipts.len(), 1);
+        assert_eq!(c.contract().value, 1);
+    }
+
+    #[test]
+    fn no_limit_executes_everything() {
+        let mut c = chain();
+        for _ in 0..10 {
+            c.submit(Address::from_byte(1), CounterMsg::Add(1));
+        }
+        let block = c.advance_round_fifo();
+        assert_eq!(block.receipts.len(), 10);
+    }
+
+    #[test]
+    fn deploy_gas_scales_with_code() {
+        let small = Chain::deploy(Counter::default(), 100, GasSchedule::istanbul());
+        let large = Chain::deploy(Counter::default(), 10_000, GasSchedule::istanbul());
+        assert!(large.deploy_gas() > small.deploy_gas());
+    }
+}

@@ -1,0 +1,305 @@
+//! The EVM gas schedule and a metering accumulator.
+//!
+//! Dragoon's Table III reports on-chain handling *fees*; those are a
+//! deterministic function of the operations the contract performs and the
+//! gas schedule of the chain at measurement time (Ethereum, March 2020 —
+//! the Istanbul fork, i.e. EIP-1108 precompile prices and EIP-2028
+//! calldata prices). The [`GasSchedule`] encodes those constants; the
+//! [`GasMeter`] accrues charges per transaction with a labelled breakdown
+//! so benches can print *where* the gas goes.
+
+use serde::{Deserialize, Serialize};
+
+/// Gas amounts.
+pub type Gas = u64;
+
+/// Byte-composition of a transaction payload, for intrinsic calldata gas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CalldataStats {
+    /// Number of zero bytes.
+    pub zero: usize,
+    /// Number of non-zero bytes.
+    pub nonzero: usize,
+}
+
+impl CalldataStats {
+    /// Counts the zero/non-zero bytes of a payload.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let zero = bytes.iter().filter(|&&b| b == 0).count();
+        Self {
+            zero,
+            nonzero: bytes.len() - zero,
+        }
+    }
+
+    /// Total byte length.
+    pub fn len(&self) -> usize {
+        self.zero + self.nonzero
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &Self) -> Self {
+        Self {
+            zero: self.zero + other.zero,
+            nonzero: self.nonzero + other.nonzero,
+        }
+    }
+}
+
+/// The constants of an EVM gas schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GasSchedule {
+    /// Base cost of any transaction.
+    pub tx_base: Gas,
+    /// Per zero calldata byte.
+    pub calldata_zero: Gas,
+    /// Per non-zero calldata byte.
+    pub calldata_nonzero: Gas,
+    /// SSTORE of a fresh (zero → non-zero) slot.
+    pub sstore_set: Gas,
+    /// SSTORE updating an existing non-zero slot.
+    pub sstore_update: Gas,
+    /// SLOAD.
+    pub sload: Gas,
+    /// Keccak-256 base cost.
+    pub keccak_base: Gas,
+    /// Keccak-256 per 32-byte word.
+    pub keccak_word: Gas,
+    /// LOG base cost.
+    pub log_base: Gas,
+    /// LOG per topic.
+    pub log_topic: Gas,
+    /// LOG per data byte.
+    pub log_data_byte: Gas,
+    /// BN-254 G1 addition precompile (EIP-1108: 150).
+    pub ec_add: Gas,
+    /// BN-254 G1 scalar-multiplication precompile (EIP-1108: 6 000).
+    pub ec_mul: Gas,
+    /// Pairing-check base (EIP-1108: 45 000).
+    pub pairing_base: Gas,
+    /// Pairing-check per point pair (EIP-1108: 34 000).
+    pub pairing_per_pair: Gas,
+    /// Value-transferring CALL surcharge.
+    pub call_value: Gas,
+    /// CREATE base cost (contract deployment).
+    pub create_base: Gas,
+    /// Per byte of deployed contract code.
+    pub code_deposit_byte: Gas,
+}
+
+impl GasSchedule {
+    /// The Istanbul-fork schedule (Ethereum, Dec 2019 – Apr 2021) — the
+    /// rules in force when the paper's ropsten experiment ran
+    /// (March 2020). EIP-1108 repriced the BN-254 precompiles; EIP-2028
+    /// repriced calldata to 16 gas per non-zero byte.
+    pub fn istanbul() -> Self {
+        Self {
+            tx_base: 21_000,
+            calldata_zero: 4,
+            calldata_nonzero: 16,
+            sstore_set: 20_000,
+            sstore_update: 5_000,
+            sload: 800,
+            keccak_base: 30,
+            keccak_word: 6,
+            log_base: 375,
+            log_topic: 375,
+            log_data_byte: 8,
+            ec_add: 150,
+            ec_mul: 6_000,
+            pairing_base: 45_000,
+            pairing_per_pair: 34_000,
+            call_value: 9_000,
+            create_base: 32_000,
+            code_deposit_byte: 200,
+        }
+    }
+
+    /// The pre-Istanbul (Byzantium/Petersburg) schedule, for the ablation
+    /// contrasting how EIP-1108 changed the feasibility of on-chain
+    /// verification (the paper's §I cites "12 pairings already spend
+    /// ~500k gas" under the *new* prices; under the old prices SNARK
+    /// verification was several-fold worse).
+    pub fn byzantium() -> Self {
+        Self {
+            calldata_nonzero: 68,
+            ec_add: 500,
+            ec_mul: 40_000,
+            pairing_base: 100_000,
+            pairing_per_pair: 80_000,
+            sload: 200,
+            ..Self::istanbul()
+        }
+    }
+
+    /// Intrinsic transaction cost: base + calldata.
+    pub fn intrinsic(&self, calldata: &CalldataStats) -> Gas {
+        self.tx_base
+            + self.calldata_zero * calldata.zero as Gas
+            + self.calldata_nonzero * calldata.nonzero as Gas
+    }
+
+    /// Keccak-256 cost for hashing `len` bytes.
+    pub fn keccak(&self, len: usize) -> Gas {
+        self.keccak_base + self.keccak_word * (len.div_ceil(32)) as Gas
+    }
+
+    /// LOG cost with `topics` topics and `data_len` data bytes.
+    pub fn log(&self, topics: usize, data_len: usize) -> Gas {
+        self.log_base + self.log_topic * topics as Gas + self.log_data_byte * data_len as Gas
+    }
+
+    /// Pairing-check precompile cost for `pairs` point pairs.
+    pub fn pairing(&self, pairs: usize) -> Gas {
+        self.pairing_base + self.pairing_per_pair * pairs as Gas
+    }
+
+    /// Contract-creation cost for deploying `code_len` bytes of runtime
+    /// code (plus the constructor's intrinsic costs charged separately).
+    pub fn create(&self, code_len: usize) -> Gas {
+        self.create_base + self.code_deposit_byte * code_len as Gas
+    }
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        Self::istanbul()
+    }
+}
+
+/// A labelled gas accumulator for one transaction.
+#[derive(Clone, Debug, Default)]
+pub struct GasMeter {
+    used: Gas,
+    breakdown: Vec<(&'static str, Gas)>,
+}
+
+impl GasMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `amount` gas under a label.
+    pub fn charge(&mut self, label: &'static str, amount: Gas) {
+        self.used += amount;
+        self.breakdown.push((label, amount));
+    }
+
+    /// Total gas consumed.
+    pub fn used(&self) -> Gas {
+        self.used
+    }
+
+    /// The labelled breakdown, in charge order.
+    pub fn breakdown(&self) -> &[(&'static str, Gas)] {
+        &self.breakdown
+    }
+
+    /// Sums charges whose label matches `label`.
+    pub fn total_for(&self, label: &str) -> Gas {
+        self.breakdown
+            .iter()
+            .filter(|(l, _)| *l == label)
+            .map(|(_, g)| g)
+            .sum()
+    }
+}
+
+/// Converts gas to USD under the paper's exchange rate: 1.5 gwei per gas
+/// and 115 USD per ether (safe-low gas price and market price on
+/// 2020-03-17, §VI).
+pub fn gas_to_usd(gas: Gas) -> f64 {
+    const GWEI_PER_GAS: f64 = 1.5;
+    const USD_PER_ETHER: f64 = 115.0;
+    gas as f64 * GWEI_PER_GAS * 1e-9 * USD_PER_ETHER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calldata_stats() {
+        let s = CalldataStats::from_bytes(&[0, 1, 0, 2, 3]);
+        assert_eq!(s.zero, 2);
+        assert_eq!(s.nonzero, 3);
+        assert_eq!(s.len(), 5);
+        let t = s.plus(&CalldataStats { zero: 1, nonzero: 1 });
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn intrinsic_cost_istanbul() {
+        let g = GasSchedule::istanbul();
+        // 21000 + 2*4 + 3*16 = 21056.
+        assert_eq!(
+            g.intrinsic(&CalldataStats { zero: 2, nonzero: 3 }),
+            21_056
+        );
+        assert_eq!(g.intrinsic(&CalldataStats::default()), 21_000);
+    }
+
+    #[test]
+    fn keccak_rounds_up_words() {
+        let g = GasSchedule::istanbul();
+        assert_eq!(g.keccak(0), 30);
+        assert_eq!(g.keccak(1), 36);
+        assert_eq!(g.keccak(32), 36);
+        assert_eq!(g.keccak(33), 42);
+    }
+
+    #[test]
+    fn eip_1108_precompile_prices() {
+        let g = GasSchedule::istanbul();
+        assert_eq!(g.ec_add, 150);
+        assert_eq!(g.ec_mul, 6_000);
+        // The paper's §I data point: 12 pairings ≈ 500k gas under
+        // EIP-1108: 45000 + 12*34000 = 453 000.
+        assert_eq!(g.pairing(12), 453_000);
+    }
+
+    #[test]
+    fn byzantium_is_pricier() {
+        let old = GasSchedule::byzantium();
+        let new = GasSchedule::istanbul();
+        assert!(old.ec_mul > new.ec_mul);
+        assert!(old.pairing(12) > new.pairing(12));
+        assert!(old.calldata_nonzero > new.calldata_nonzero);
+    }
+
+    #[test]
+    fn meter_accumulates_with_labels() {
+        let mut m = GasMeter::new();
+        m.charge("sstore", 20_000);
+        m.charge("keccak", 36);
+        m.charge("sstore", 5_000);
+        assert_eq!(m.used(), 25_036);
+        assert_eq!(m.total_for("sstore"), 25_000);
+        assert_eq!(m.total_for("keccak"), 36);
+        assert_eq!(m.total_for("nothing"), 0);
+        assert_eq!(m.breakdown().len(), 3);
+    }
+
+    #[test]
+    fn usd_conversion_matches_paper_rate() {
+        // 12 164k gas → ~$2.09 (Table III overall best case).
+        let usd = gas_to_usd(12_164_000);
+        assert!((usd - 2.098).abs() < 0.01, "usd = {usd}");
+        // 180k gas → ~$0.03 (PoQoEA rejection row).
+        let usd = gas_to_usd(180_000);
+        assert!((usd - 0.031).abs() < 0.005, "usd = {usd}");
+    }
+
+    #[test]
+    fn log_cost() {
+        let g = GasSchedule::istanbul();
+        assert_eq!(g.log(0, 0), 375);
+        assert_eq!(g.log(2, 100), 375 + 750 + 800);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dragoon-chain
+//!
+//! A simulated permissionless blockchain substrate with the fidelity the
+//! Dragoon evaluation needs:
+//!
+//! * **Synchronous rounds** — the paper's clock periods; contract phase
+//!   deadlines fire on round boundaries.
+//! * **Adversarial scheduling** ([`mempool`]) — the rushing adversary who
+//!   reorders and delays (≤ one clock period) undelivered messages.
+//! * **Gas metering** ([`gas`]) — the Istanbul-fork Ethereum gas schedule
+//!   (EIP-1108 BN-254 precompile prices, EIP-2028 calldata prices), so
+//!   the contract's on-chain handling fees (Table III) are reproduced
+//!   from first principles rather than asserted.
+//! * **Transaction atomicity** ([`chain`]) — reverted transactions burn
+//!   gas but leave contract + ledger state untouched.
+//!
+//! Substitution note (DESIGN.md §Substitutions): this crate replaces the
+//! Ethereum ropsten testnet used by the paper. The contract executes
+//! natively in-process, but every operation a deployed EVM contract would
+//! pay for (storage writes, precompile calls, event logs, calldata) is
+//! charged through [`gas::GasMeter`].
+
+pub mod chain;
+pub mod gas;
+pub mod mempool;
+
+pub use chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
+pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
+pub use mempool::{
+    AdversarialPolicy, DelayVictimPolicy, FifoPolicy, PendingTx, ReorderPolicy, ReversePolicy,
+    Scheduled,
+};

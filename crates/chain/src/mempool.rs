@@ -1,0 +1,195 @@
+//! The mempool and the adversarial message scheduler.
+//!
+//! The paper's blockchain model (§IV) gives the adversary two powers over
+//! communication: (i) delaying any message sent to the blockchain up to
+//! the next clock period, and (ii) reordering the so-far-undelivered
+//! messages — the classic *rushing adversary*. Both are modelled by a
+//! [`ReorderPolicy`], which each round partitions the pending
+//! transactions into "deliver now (in this order)" and "delay to the next
+//! round".
+//!
+//! The copy-and-paste free-riding attack the commit–reveal structure
+//! defends against is exactly an adversarial policy: observe an honest
+//! submission in the mempool, copy it, and schedule the copy first.
+
+use dragoon_ledger::Address;
+
+/// A transaction waiting in the mempool.
+#[derive(Clone, Debug)]
+pub struct PendingTx<M> {
+    /// The submitting party.
+    pub sender: Address,
+    /// The message payload.
+    pub msg: M,
+    /// Submission sequence number (arrival order).
+    pub seq: u64,
+}
+
+/// The outcome of one round of adversarial scheduling.
+#[derive(Clone, Debug)]
+pub struct Scheduled<M> {
+    /// Transactions delivered this round, in delivery order.
+    pub deliver: Vec<PendingTx<M>>,
+    /// Transactions delayed into the next round (at most one clock period
+    /// of delay, per the synchrony assumption).
+    pub delay: Vec<PendingTx<M>>,
+}
+
+/// A message-delivery scheduler — the adversary's interface to the
+/// network.
+pub trait ReorderPolicy<M> {
+    /// Partitions and orders this round's pending transactions.
+    fn schedule(&mut self, round: u64, pending: Vec<PendingTx<M>>) -> Scheduled<M>;
+}
+
+/// Honest FIFO delivery: everything delivered in arrival order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoPolicy;
+
+impl<M> ReorderPolicy<M> for FifoPolicy {
+    fn schedule(&mut self, _round: u64, pending: Vec<PendingTx<M>>) -> Scheduled<M> {
+        Scheduled {
+            deliver: pending,
+            delay: Vec::new(),
+        }
+    }
+}
+
+/// Reverses arrival order each round — a simple rushing adversary that
+/// always front-runs the honest parties.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReversePolicy;
+
+impl<M> ReorderPolicy<M> for ReversePolicy {
+    fn schedule(&mut self, _round: u64, mut pending: Vec<PendingTx<M>>) -> Scheduled<M> {
+        pending.reverse();
+        Scheduled {
+            deliver: pending,
+            delay: Vec::new(),
+        }
+    }
+}
+
+/// Delays every transaction from a designated victim by one round
+/// (the maximum the synchrony assumption allows), delivering everyone
+/// else first — models targeted message-delay attacks.
+#[derive(Clone, Debug)]
+pub struct DelayVictimPolicy {
+    /// The victim whose messages are maximally delayed.
+    pub victim: Address,
+    delayed_once: Vec<u64>,
+}
+
+impl DelayVictimPolicy {
+    /// Targets `victim`.
+    pub fn new(victim: Address) -> Self {
+        Self {
+            victim,
+            delayed_once: Vec::new(),
+        }
+    }
+}
+
+impl<M> ReorderPolicy<M> for DelayVictimPolicy {
+    fn schedule(&mut self, _round: u64, pending: Vec<PendingTx<M>>) -> Scheduled<M> {
+        let mut deliver = Vec::new();
+        let mut delay = Vec::new();
+        for tx in pending {
+            // Synchrony: a message can be delayed at most one clock
+            // period, so anything already delayed once must go through.
+            if tx.sender == self.victim && !self.delayed_once.contains(&tx.seq) {
+                self.delayed_once.push(tx.seq);
+                delay.push(tx);
+            } else {
+                deliver.push(tx);
+            }
+        }
+        Scheduled { deliver, delay }
+    }
+}
+
+/// A fully programmable adversary: the closure receives the round number
+/// and the pending set and returns the schedule. Used by the
+/// real-vs-ideal security tests to express arbitrary rushing strategies.
+pub struct AdversarialPolicy<M> {
+    #[allow(clippy::type_complexity)]
+    strategy: Box<dyn FnMut(u64, Vec<PendingTx<M>>) -> Scheduled<M>>,
+}
+
+impl<M> AdversarialPolicy<M> {
+    /// Wraps a scheduling strategy.
+    pub fn new(strategy: impl FnMut(u64, Vec<PendingTx<M>>) -> Scheduled<M> + 'static) -> Self {
+        Self {
+            strategy: Box::new(strategy),
+        }
+    }
+}
+
+impl<M> ReorderPolicy<M> for AdversarialPolicy<M> {
+    fn schedule(&mut self, round: u64, pending: Vec<PendingTx<M>>) -> Scheduled<M> {
+        (self.strategy)(round, pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(sender: u8, seq: u64) -> PendingTx<&'static str> {
+        PendingTx {
+            sender: Address::from_byte(sender),
+            msg: "m",
+            seq,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut p = FifoPolicy;
+        let s = p.schedule(0, vec![tx(1, 0), tx(2, 1), tx(3, 2)]);
+        let order: Vec<u64> = s.deliver.iter().map(|t| t.seq).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert!(s.delay.is_empty());
+    }
+
+    #[test]
+    fn reverse_front_runs() {
+        let mut p = ReversePolicy;
+        let s = p.schedule(0, vec![tx(1, 0), tx(2, 1)]);
+        let order: Vec<u64> = s.deliver.iter().map(|t| t.seq).collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn delay_victim_at_most_one_round() {
+        let victim = Address::from_byte(7);
+        let mut p = DelayVictimPolicy::new(victim);
+        let s1 = p.schedule(0, vec![tx(7, 0), tx(1, 1)]);
+        assert_eq!(s1.deliver.len(), 1);
+        assert_eq!(s1.delay.len(), 1);
+        assert_eq!(s1.delay[0].sender, victim);
+        // Re-submitted next round: synchrony forces delivery.
+        let s2 = p.schedule(1, s1.delay);
+        assert_eq!(s2.deliver.len(), 1);
+        assert!(s2.delay.is_empty());
+    }
+
+    #[test]
+    fn programmable_adversary() {
+        let mut p = AdversarialPolicy::new(|_round, mut pending: Vec<PendingTx<&str>>| {
+            // Deliver only even sequence numbers, delay the rest.
+            let delay = pending
+                .iter()
+                .position(|t| t.seq % 2 == 1)
+                .map(|i| pending.split_off(i))
+                .unwrap_or_default();
+            Scheduled {
+                deliver: pending,
+                delay,
+            }
+        });
+        let s = p.schedule(0, vec![tx(1, 0), tx(2, 1), tx(3, 2)]);
+        assert_eq!(s.deliver.len(), 1);
+        assert_eq!(s.delay.len(), 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! # dragoon-contract
+//!
+//! The HIT contract functionality `C_hit` (Fig 4) as a state machine on
+//! the simulated chain, with full EVM-style gas accounting. See
+//! [`contract::HitContract`] for the phase logic and
+//! [`msg::HitMessage`] for the transaction interface.
+
+pub mod contract;
+pub mod msg;
+
+pub use contract::{
+    HitContract, HitError, HitEvent, Phase, PhaseWindows, RejectReason, Settlement,
+    HIT_CONTRACT_CODE_LEN,
+};
+pub use msg::{HitMessage, PublishParams};

@@ -1,0 +1,80 @@
+//! The quality function of §IV:
+//! `Quality(a_j; (G, Gs)) = Σ_{i ∈ G} [a_{i,j} ≡ s_i]`,
+//! i.e. the number of gold-standard questions answered correctly.
+
+use crate::task::{Answer, GoldenStandards};
+
+/// Computes `Quality(answer; (G, Gs))`.
+///
+/// Questions missing from the answer vector (shorter submissions) count
+/// as incorrect — a malformed answer can only lose quality, never gain.
+pub fn quality(answer: &Answer, gs: &GoldenStandards) -> u64 {
+    gs.indexes
+        .iter()
+        .zip(&gs.answers)
+        .filter(|(&i, &s)| answer.0.get(i) == Some(&s))
+        .count() as u64
+}
+
+/// The number of gold standards answered *incorrectly* — the mismatches a
+/// PoQoEA rejection proof must exhibit.
+pub fn mismatches(answer: &Answer, gs: &GoldenStandards) -> u64 {
+    gs.len() as u64 - quality(answer, gs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gs() -> GoldenStandards {
+        GoldenStandards {
+            indexes: vec![0, 2, 4],
+            answers: vec![1, 0, 1],
+        }
+    }
+
+    #[test]
+    fn perfect_answer() {
+        let a = Answer(vec![1, 9, 0, 9, 1]);
+        assert_eq!(quality(&a, &gs()), 3);
+        assert_eq!(mismatches(&a, &gs()), 0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let a = Answer(vec![0, 9, 1, 9, 0]);
+        assert_eq!(quality(&a, &gs()), 0);
+        assert_eq!(mismatches(&a, &gs()), 3);
+    }
+
+    #[test]
+    fn partial() {
+        let a = Answer(vec![1, 9, 1, 9, 1]);
+        assert_eq!(quality(&a, &gs()), 2);
+        assert_eq!(mismatches(&a, &gs()), 1);
+    }
+
+    #[test]
+    fn non_gold_questions_ignored() {
+        let a1 = Answer(vec![1, 0, 0, 0, 1]);
+        let a2 = Answer(vec![1, 1, 0, 1, 1]);
+        assert_eq!(quality(&a1, &gs()), quality(&a2, &gs()));
+    }
+
+    #[test]
+    fn short_answer_counts_missing_as_wrong() {
+        let a = Answer(vec![1, 9, 0]); // missing index 4
+        assert_eq!(quality(&a, &gs()), 2);
+        let empty = Answer(vec![]);
+        assert_eq!(quality(&empty, &gs()), 0);
+    }
+
+    #[test]
+    fn empty_gold_standards() {
+        let gs = GoldenStandards {
+            indexes: vec![],
+            answers: vec![],
+        };
+        assert_eq!(quality(&Answer(vec![1, 2, 3]), &gs), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic workload generation: ImageNet-style annotation tasks and
+//! worker answer models.
+//!
+//! Substitution note (DESIGN.md): the paper drives its evaluation with a
+//! real ImageNet attribute-annotation HIT. The protocol never looks at
+//! the image content — only at answer vectors, ranges and gold standards
+//! — so a synthetic generator with controllable worker accuracy exercises
+//! exactly the same code paths.
+
+use crate::quality::quality;
+use crate::task::{Answer, GoldenStandards, Question, TaskSpec};
+use dragoon_crypto::elgamal::PlaintextRange;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a (non-copying) worker produces answers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AnswerModel {
+    /// Answers every question correctly with probability `accuracy`,
+    /// otherwise uniformly wrong — the classic crowd-worker noise model.
+    Diligent {
+        /// Per-question probability of a correct answer.
+        accuracy: f64,
+    },
+    /// Uniformly random answers in range — a bot reaping rewards without
+    /// effort (the paper's free-riding concern, §I).
+    RandomBot,
+    /// Answers outside the admissible range — triggers the contract's
+    /// `outrange` path.
+    OutOfRange,
+    /// Answers every question with the same fixed option.
+    Constant(u64),
+}
+
+/// Ground truth for a generated task: the correct answer of every
+/// question (the gold standards agree with it on `G`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroundTruth(pub Vec<u64>);
+
+/// A fully generated workload: task, gold standards consistent with a
+/// hidden ground truth.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The public task.
+    pub spec: TaskSpec,
+    /// The requester's secret gold standards.
+    pub golden: GoldenStandards,
+    /// The hidden per-question ground truth.
+    pub truth: GroundTruth,
+}
+
+/// Generates an annotation workload: `n` questions over `range`,
+/// `golds` gold standards whose answers match the hidden ground truth.
+pub fn generate_workload<R: Rng + ?Sized>(
+    n: usize,
+    golds: usize,
+    k: usize,
+    theta: u64,
+    range: PlaintextRange,
+    budget: u128,
+    rng: &mut R,
+) -> Workload {
+    let truth: Vec<u64> = (0..n).map(|_| rng.gen_range(range.lo..=range.hi)).collect();
+    let mut gs = GoldenStandards::random(n, golds, &range, rng);
+    // Gold-standard answers must agree with ground truth (the requester
+    // *knows* these answers).
+    for (pos, &i) in gs.indexes.clone().iter().enumerate() {
+        gs.answers[pos] = truth[i];
+    }
+    let questions = (0..n)
+        .map(|i| Question {
+            prompt: format!("Question #{i}"),
+            options: (range.lo..=range.hi).map(|o| format!("option {o}")).collect(),
+        })
+        .collect();
+    Workload {
+        spec: TaskSpec {
+            n,
+            k,
+            range,
+            theta,
+            budget,
+            questions,
+        },
+        golden: gs,
+        truth: GroundTruth(truth),
+    }
+}
+
+/// The paper's ImageNet workload: 106 binary questions, 6 golds,
+/// 4 workers, Θ = 4.
+pub fn imagenet_workload<R: Rng + ?Sized>(budget: u128, rng: &mut R) -> Workload {
+    generate_workload(106, 6, 4, 4, PlaintextRange::binary(), budget, rng)
+}
+
+/// Draws an answer vector according to a model.
+pub fn draw_answer<R: Rng + ?Sized>(
+    model: &AnswerModel,
+    truth: &GroundTruth,
+    range: &PlaintextRange,
+    rng: &mut R,
+) -> Answer {
+    let n = truth.0.len();
+    let a = match model {
+        AnswerModel::Diligent { accuracy } => truth
+            .0
+            .iter()
+            .map(|&t| {
+                if rng.gen_bool(*accuracy) {
+                    t
+                } else {
+                    // Uniform among wrong options (binary → the flip).
+                    let mut w = rng.gen_range(range.lo..=range.hi);
+                    while w == t && range.len() > 1 {
+                        w = rng.gen_range(range.lo..=range.hi);
+                    }
+                    w
+                }
+            })
+            .collect(),
+        AnswerModel::RandomBot => (0..n)
+            .map(|_| rng.gen_range(range.lo..=range.hi))
+            .collect(),
+        AnswerModel::OutOfRange => vec![range.hi + 1 + rng.gen_range(0..5); n],
+        AnswerModel::Constant(v) => vec![*v; n],
+    };
+    Answer(a)
+}
+
+/// Empirical expected quality of a model against a workload (for test
+/// assertions about incentive alignment).
+pub fn expected_quality(model: &AnswerModel, w: &Workload, samples: usize, seed: u64) -> f64 {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let a = draw_answer(model, &w.truth, &w.spec.range, &mut rng);
+        total += quality(&a, &w.golden);
+    }
+    total as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x401c)
+    }
+
+    #[test]
+    fn workload_shape() {
+        let mut rng = rng();
+        let w = imagenet_workload(4_000_000, &mut rng);
+        assert_eq!(w.spec.n, 106);
+        assert_eq!(w.golden.len(), 6);
+        assert_eq!(w.truth.0.len(), 106);
+        w.spec.validate().unwrap();
+        w.golden.validate(w.spec.n, &w.spec.range).unwrap();
+    }
+
+    #[test]
+    fn golds_agree_with_truth() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        for (&i, &s) in w.golden.indexes.iter().zip(&w.golden.answers) {
+            assert_eq!(s, w.truth.0[i]);
+        }
+    }
+
+    #[test]
+    fn perfect_worker_has_full_quality() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        let a = draw_answer(
+            &AnswerModel::Diligent { accuracy: 1.0 },
+            &w.truth,
+            &w.spec.range,
+            &mut rng,
+        );
+        assert_eq!(quality(&a, &w.golden), 6);
+    }
+
+    #[test]
+    fn zero_accuracy_worker_has_zero_quality() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        let a = draw_answer(
+            &AnswerModel::Diligent { accuracy: 0.0 },
+            &w.truth,
+            &w.spec.range,
+            &mut rng,
+        );
+        assert_eq!(quality(&a, &w.golden), 0);
+    }
+
+    #[test]
+    fn random_bot_quality_is_about_half_for_binary() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        let avg = expected_quality(&AnswerModel::RandomBot, &w, 400, 7);
+        // Binary questions, 6 golds → expectation 3.
+        assert!((avg - 3.0).abs() < 0.5, "avg = {avg}");
+    }
+
+    #[test]
+    fn diligent_beats_bot() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        let good = expected_quality(&AnswerModel::Diligent { accuracy: 0.95 }, &w, 200, 1);
+        let bot = expected_quality(&AnswerModel::RandomBot, &w, 200, 1);
+        assert!(good > bot + 1.0, "good={good} bot={bot}");
+    }
+
+    #[test]
+    fn out_of_range_model_is_out_of_range() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        let a = draw_answer(&AnswerModel::OutOfRange, &w.truth, &w.spec.range, &mut rng);
+        assert!(!a.in_range(&w.spec.range));
+    }
+
+    #[test]
+    fn constant_model() {
+        let mut rng = rng();
+        let w = imagenet_workload(100, &mut rng);
+        let a = draw_answer(&AnswerModel::Constant(1), &w.truth, &w.spec.range, &mut rng);
+        assert!(a.0.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn generate_respects_parameters() {
+        let mut rng = rng();
+        let w = generate_workload(
+            50,
+            10,
+            8,
+            7,
+            PlaintextRange::new(0, 3),
+            800,
+            &mut rng,
+        );
+        assert_eq!(w.spec.n, 50);
+        assert_eq!(w.golden.len(), 10);
+        assert_eq!(w.spec.k, 8);
+        assert_eq!(w.spec.theta, 7);
+        assert_eq!(w.spec.reward_per_worker(), 100);
+        assert!(w.truth.0.iter().all(|&t| t <= 3));
+    }
+}

@@ -1,0 +1,147 @@
+//! Low-level multi-precision limb arithmetic helpers.
+//!
+//! All field arithmetic in this crate is built on 64-bit limbs in
+//! little-endian order. These helpers implement the classic
+//! add-with-carry / subtract-with-borrow / multiply-accumulate primitives
+//! used by the Montgomery-form field implementation in [`crate::field`].
+
+/// Computes `a + b + carry`, returning the result and the new carry.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let ret = (a as u128) + (b as u128) + (carry as u128);
+    (ret as u64, (ret >> 64) as u64)
+}
+
+/// Computes `a - (b + borrow)`, returning the result and the new borrow.
+///
+/// The borrow is encoded as `0` (no borrow) or `u64::MAX` (borrow), so the
+/// caller passes the previous borrow word straight back in.
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let ret = (a as u128).wrapping_sub((b as u128) + ((borrow >> 63) as u128));
+    (ret as u64, (ret >> 64) as u64)
+}
+
+/// Computes `a + (b * c) + carry`, returning the result and the new carry.
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let ret = (a as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (ret as u64, (ret >> 64) as u64)
+}
+
+/// Returns `true` when the 4-limb little-endian integer `a` is strictly
+/// less than `b`.
+#[inline]
+pub const fn lt_4(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    let mut i = 3;
+    loop {
+        if a[i] < b[i] {
+            return true;
+        }
+        if a[i] > b[i] {
+            return false;
+        }
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+    }
+}
+
+/// Subtracts 4-limb `b` from `a`, wrapping; returns (limbs, borrow-out).
+#[inline]
+pub const fn sub_4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let (r0, borrow) = sbb(a[0], b[0], 0);
+    let (r1, borrow) = sbb(a[1], b[1], borrow);
+    let (r2, borrow) = sbb(a[2], b[2], borrow);
+    let (r3, borrow) = sbb(a[3], b[3], borrow);
+    ([r0, r1, r2, r3], borrow)
+}
+
+/// Adds 4-limb `a` and `b`, wrapping; returns (limbs, carry-out).
+#[inline]
+pub const fn add_4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let (r0, carry) = adc(a[0], b[0], 0);
+    let (r1, carry) = adc(a[1], b[1], carry);
+    let (r2, carry) = adc(a[2], b[2], carry);
+    let (r3, carry) = adc(a[3], b[3], carry);
+    ([r0, r1, r2, r3], carry)
+}
+
+/// Number of significant bits in a little-endian limb slice.
+pub fn bit_len(limbs: &[u64]) -> usize {
+    for (i, &l) in limbs.iter().enumerate().rev() {
+        if l != 0 {
+            return 64 * i + (64 - l.leading_zeros() as usize);
+        }
+    }
+    0
+}
+
+/// Reads bit `i` (little-endian) of a limb slice.
+#[inline]
+pub fn bit(limbs: &[u64], i: usize) -> bool {
+    (limbs[i / 64] >> (i % 64)) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        let (r, b) = sbb(0, 1, 0);
+        assert_eq!(r, u64::MAX);
+        assert_eq!(b, u64::MAX);
+        let (r, b) = sbb(5, 1, b);
+        assert_eq!(r, 3);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn mac_full_width() {
+        // (2^64-1)^2 + (2^64-1) + (2^64-1) = 2^128 - 1
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn cmp_and_sub() {
+        let a = [1, 0, 0, 5];
+        let b = [2, 0, 0, 5];
+        assert!(lt_4(&a, &b));
+        assert!(!lt_4(&b, &a));
+        assert!(!lt_4(&a, &a));
+        let (d, borrow) = sub_4(&b, &a);
+        assert_eq!(d, [1, 0, 0, 0]);
+        assert_eq!(borrow, 0);
+        let (_, borrow) = sub_4(&a, &b);
+        assert_eq!(borrow, u64::MAX);
+    }
+
+    #[test]
+    fn bit_len_works() {
+        assert_eq!(bit_len(&[0, 0, 0, 0]), 0);
+        assert_eq!(bit_len(&[1, 0, 0, 0]), 1);
+        assert_eq!(bit_len(&[0, 1, 0, 0]), 65);
+        assert_eq!(bit_len(&[0, 0, 0, 0x8000_0000_0000_0000]), 256);
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let l = [0b1010u64, 1, 0, 0];
+        assert!(!bit(&l, 0));
+        assert!(bit(&l, 1));
+        assert!(!bit(&l, 2));
+        assert!(bit(&l, 3));
+        assert!(bit(&l, 64));
+    }
+}

@@ -1,0 +1,104 @@
+//! The folklore random-oracle commitment of §V-C:
+//! `Commit(msg, key) = H(msg ‖ key)`, `Open` recomputes and compares.
+//!
+//! Computationally hiding (the 256-bit key blinds the preimage in the
+//! random-oracle model) and computationally binding (collision resistance
+//! of Keccak-256). Used twice by the protocol: workers commit to their
+//! encrypted answers (phase 2-a) and the requester commits to the
+//! gold-standard set `G ‖ Gs` at publish time.
+
+use crate::keccak::keccak256_concat;
+use rand::Rng;
+
+/// A 256-bit blinding key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CommitmentKey(pub [u8; 32]);
+
+impl CommitmentKey {
+    /// Samples a fresh uniformly random key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut k = [0u8; 32];
+        rng.fill(&mut k);
+        Self(k)
+    }
+}
+
+/// A commitment digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Commitment(pub [u8; 32]);
+
+impl Commitment {
+    /// `Commit(msg, key) = H(msg ‖ key)`.
+    ///
+    /// The message is length-prefixed to keep the encoding injective even
+    /// though the key has fixed width.
+    pub fn commit(msg: &[u8], key: &CommitmentKey) -> Self {
+        Self(keccak256_concat(&[
+            &(msg.len() as u64).to_le_bytes(),
+            msg,
+            &key.0,
+        ]))
+    }
+
+    /// `Open(comm, msg', key')`: returns whether `(msg', key')` opens this
+    /// commitment.
+    pub fn open(&self, msg: &[u8], key: &CommitmentKey) -> bool {
+        Self::commit(msg, key) == *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xc0_11)
+    }
+
+    #[test]
+    fn commit_open_round_trip() {
+        let mut rng = rng();
+        let key = CommitmentKey::random(&mut rng);
+        let comm = Commitment::commit(b"the answer", &key);
+        assert!(comm.open(b"the answer", &key));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = rng();
+        let key = CommitmentKey::random(&mut rng);
+        let comm = Commitment::commit(b"msg", &key);
+        assert!(!comm.open(b"msg2", &key));
+        assert!(!comm.open(b"", &key));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = rng();
+        let key1 = CommitmentKey::random(&mut rng);
+        let key2 = CommitmentKey::random(&mut rng);
+        assert_ne!(key1, key2);
+        let comm = Commitment::commit(b"msg", &key1);
+        assert!(!comm.open(b"msg", &key2));
+    }
+
+    #[test]
+    fn hiding_distinct_keys_distinct_commitments() {
+        // Same message, different keys → different digests (w.h.p.).
+        let mut rng = rng();
+        let c1 = Commitment::commit(b"m", &CommitmentKey::random(&mut rng));
+        let c2 = Commitment::commit(b"m", &CommitmentKey::random(&mut rng));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn empty_message_supported() {
+        let mut rng = rng();
+        let key = CommitmentKey::random(&mut rng);
+        let comm = Commitment::commit(b"", &key);
+        assert!(comm.open(b"", &key));
+        assert!(!comm.open(b"\x00", &key));
+    }
+}

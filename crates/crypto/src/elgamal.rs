@@ -1,0 +1,357 @@
+//! Exponential ElGamal over G1 with short-range decryption (§V-C).
+//!
+//! * Key generation: `k ← Fr`, `h = g^k`.
+//! * Encryption: `Enc_h(m; ρ) = (g^ρ, g^m · h^ρ)`.
+//! * Decryption: `Dec_k((c1, c2))` computes `M = c2 / c1^k = g^m` and then
+//!   solves the discrete log over the (small) plaintext range; if `m` is
+//!   outside the range, the *group element* `g^m` is returned instead —
+//!   exactly the behaviour the paper's `Deck` specifies, which is what the
+//!   `outrange` path of the contract verifies against.
+//!
+//! Answers in a HIT are options of multiple-choice questions, so the
+//! plaintext range is a small constant (e.g. `{0, 1}` for the ImageNet
+//! binary task); decryption is a handful of group operations. For larger
+//! ranges a baby-step/giant-step solver is provided
+//! ([`discrete_log_bsgs`]), benchmarked against brute force in the
+//! ablation bench.
+
+use crate::field::Fr;
+use crate::g1::{G1Affine, G1Projective};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The public encryption key `h = g^k`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EncryptionKey(pub G1Affine);
+
+/// The secret decryption key `k`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecryptionKey(pub Fr);
+
+/// An encryption/decryption key pair.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPair {
+    /// The public key.
+    pub ek: EncryptionKey,
+    /// The secret key.
+    pub dk: DecryptionKey,
+}
+
+impl KeyPair {
+    /// `KeyGen(1^λ)`: samples `k ← Fr`, sets `h = g^k`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let k = Fr::random(rng);
+        Self::from_secret(k)
+    }
+
+    /// Rebuilds the key pair from an existing secret.
+    pub fn from_secret(k: Fr) -> Self {
+        let h = (G1Projective::generator() * k).to_affine();
+        Self {
+            ek: EncryptionKey(h),
+            dk: DecryptionKey(k),
+        }
+    }
+}
+
+/// An exponential-ElGamal ciphertext `(c1, c2) = (g^ρ, g^m h^ρ)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Ciphertext {
+    /// `c1 = g^ρ`.
+    pub c1: G1Affine,
+    /// `c2 = g^m · h^ρ`.
+    pub c2: G1Affine,
+}
+
+impl Ciphertext {
+    /// Canonical 128-byte encoding (`c1 ‖ c2`, uncompressed points).
+    pub fn to_bytes(&self) -> [u8; 128] {
+        let mut out = [0u8; 128];
+        out[..64].copy_from_slice(&self.c1.to_bytes());
+        out[64..].copy_from_slice(&self.c2.to_bytes());
+        out
+    }
+
+    /// Parses the canonical encoding, validating both points.
+    pub fn from_bytes(bytes: &[u8; 128]) -> Option<Self> {
+        let mut b1 = [0u8; 64];
+        let mut b2 = [0u8; 64];
+        b1.copy_from_slice(&bytes[..64]);
+        b2.copy_from_slice(&bytes[64..]);
+        Some(Self {
+            c1: G1Affine::from_bytes(&b1)?,
+            c2: G1Affine::from_bytes(&b2)?,
+        })
+    }
+
+    /// Homomorphically adds another ciphertext (plaintexts add).
+    pub fn homomorphic_add(&self, rhs: &Self) -> Self {
+        Self {
+            c1: (self.c1.to_projective() + rhs.c1.to_projective()).to_affine(),
+            c2: (self.c2.to_projective() + rhs.c2.to_projective()).to_affine(),
+        }
+    }
+}
+
+/// The inclusive plaintext range of a multiple-choice question
+/// (`range` in the paper — "some options in range ⊂ N ∪ 0").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PlaintextRange {
+    /// Smallest admissible plaintext.
+    pub lo: u64,
+    /// Largest admissible plaintext (inclusive).
+    pub hi: u64,
+}
+
+impl PlaintextRange {
+    /// Constructs a range; panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty plaintext range");
+        Self { lo, hi }
+    }
+
+    /// The binary range `{0, 1}` used by the paper's ImageNet task.
+    pub fn binary() -> Self {
+        Self::new(0, 1)
+    }
+
+    /// Whether `m` lies in the range.
+    pub fn contains(&self, m: u64) -> bool {
+        self.lo <= m && m <= self.hi
+    }
+
+    /// Number of admissible options.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether the range is a single value.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The outcome of short-range decryption.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decrypted {
+    /// The plaintext was inside the declared range.
+    InRange(u64),
+    /// The plaintext was outside the range; the group element `g^m` is
+    /// returned (the paper: "if decryption fails to output m ∈ range,
+    /// then c2/c1^k is returned").
+    OutOfRange(G1Affine),
+}
+
+impl EncryptionKey {
+    /// Encrypts `m` with fresh randomness, returning the ciphertext.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
+        self.encrypt_with(m, Fr::random(rng))
+    }
+
+    /// Encrypts `m` with caller-chosen randomness `ρ` (deterministic;
+    /// exposed for tests and for the simulator).
+    pub fn encrypt_with(&self, m: u64, rho: Fr) -> Ciphertext {
+        let g = G1Projective::generator();
+        let c1 = (g * rho).to_affine();
+        let c2 = (g * Fr::from_u64(m) + self.0 * rho).to_affine();
+        Ciphertext { c1, c2 }
+    }
+}
+
+impl DecryptionKey {
+    /// Computes the "raw" decryption `M = c2 / c1^k = g^m`.
+    pub fn decrypt_raw(&self, ct: &Ciphertext) -> G1Affine {
+        (ct.c2.to_projective() - ct.c1 * self.0).to_affine()
+    }
+
+    /// Full short-range decryption: brute-forces the discrete log over
+    /// `range`, falling back to the raw group element when out of range.
+    pub fn decrypt(&self, ct: &Ciphertext, range: &PlaintextRange) -> Decrypted {
+        let m_point = self.decrypt_raw(ct);
+        match discrete_log_in_range(&m_point, range) {
+            Some(m) => Decrypted::InRange(m),
+            None => Decrypted::OutOfRange(m_point),
+        }
+    }
+
+    /// The matching public key.
+    pub fn public_key(&self) -> EncryptionKey {
+        EncryptionKey((G1Projective::generator() * self.0).to_affine())
+    }
+}
+
+/// Solves `g^m = target` for `m ∈ range` by linear scan (the paper's
+/// "log is to brute-force the short plaintext range").
+pub fn discrete_log_in_range(target: &G1Affine, range: &PlaintextRange) -> Option<u64> {
+    let g = G1Projective::generator();
+    let mut cur = g * Fr::from_u64(range.lo);
+    for m in range.lo..=range.hi {
+        if cur.to_affine() == *target {
+            return Some(m);
+        }
+        cur = cur + G1Affine::generator();
+    }
+    None
+}
+
+/// Baby-step/giant-step discrete log: solves `g^m = target` for
+/// `0 <= m < bound` in `O(√bound)` group operations and memory.
+///
+/// Used by the ablation benchmark to locate the range size at which BSGS
+/// overtakes the linear scan.
+pub fn discrete_log_bsgs(target: &G1Affine, bound: u64) -> Option<u64> {
+    if bound == 0 {
+        return None;
+    }
+    let g = G1Projective::generator();
+    let m = (bound as f64).sqrt().ceil() as u64;
+    // Baby steps: table of g^j for j in [0, m).
+    let mut table: HashMap<[u8; 64], u64> = HashMap::with_capacity(m as usize);
+    let mut cur = G1Projective::identity();
+    for j in 0..m {
+        table.insert(cur.to_affine().to_bytes(), j);
+        cur = cur + G1Affine::generator();
+    }
+    // Giant steps: target * (g^-m)^i.
+    let g_minus_m = (-(g * Fr::from_u64(m))).to_affine();
+    let mut gamma = target.to_projective();
+    for i in 0..=m {
+        if let Some(&j) = table.get(&gamma.to_affine().to_bytes()) {
+            let candidate = i * m + j;
+            if candidate < bound {
+                return Some(candidate);
+            }
+        }
+        gamma = gamma + g_minus_m;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xe16a)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::new(0, 10);
+        for m in 0..=10 {
+            let ct = kp.ek.encrypt(m, &mut rng);
+            assert_eq!(kp.dk.decrypt(&ct, &range), Decrypted::InRange(m));
+        }
+    }
+
+    #[test]
+    fn out_of_range_returns_group_element() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::binary();
+        let ct = kp.ek.encrypt(7, &mut rng);
+        match kp.dk.decrypt(&ct, &range) {
+            Decrypted::OutOfRange(p) => {
+                assert_eq!(
+                    p,
+                    (G1Projective::generator() * Fr::from_u64(7)).to_affine()
+                );
+            }
+            other => panic!("expected out-of-range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut rng = rng();
+        let kp1 = KeyPair::generate(&mut rng);
+        let kp2 = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::binary();
+        let ct = kp1.ek.encrypt(1, &mut rng);
+        // With overwhelming probability the wrong key decrypts out of the
+        // tiny range.
+        assert!(matches!(
+            kp2.dk.decrypt(&ct, &range),
+            Decrypted::OutOfRange(_)
+        ));
+    }
+
+    #[test]
+    fn randomized_ciphertexts_differ() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let ct1 = kp.ek.encrypt(1, &mut rng);
+        let ct2 = kp.ek.encrypt(1, &mut rng);
+        assert_ne!(ct1, ct2, "semantic security requires fresh randomness");
+    }
+
+    #[test]
+    fn deterministic_encrypt_with_fixed_randomness() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let rho = Fr::random(&mut rng);
+        assert_eq!(kp.ek.encrypt_with(3, rho), kp.ek.encrypt_with(3, rho));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::new(0, 100);
+        let ct1 = kp.ek.encrypt(30, &mut rng);
+        let ct2 = kp.ek.encrypt(12, &mut rng);
+        let sum = ct1.homomorphic_add(&ct2);
+        assert_eq!(kp.dk.decrypt(&sum, &range), Decrypted::InRange(42));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let ct = kp.ek.encrypt(1, &mut rng);
+        assert_eq!(Ciphertext::from_bytes(&ct.to_bytes()).unwrap(), ct);
+    }
+
+    #[test]
+    fn bsgs_matches_linear() {
+        for m in [0u64, 1, 2, 17, 99, 100, 1000, 4095] {
+            let target = (G1Projective::generator() * Fr::from_u64(m)).to_affine();
+            assert_eq!(discrete_log_bsgs(&target, 4096), Some(m), "m = {m}");
+            if m <= 100 {
+                assert_eq!(
+                    discrete_log_in_range(&target, &PlaintextRange::new(0, 100)),
+                    Some(m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bsgs_out_of_bound() {
+        let target = (G1Projective::generator() * Fr::from_u64(5000)).to_affine();
+        assert_eq!(discrete_log_bsgs(&target, 4096), None);
+        assert_eq!(
+            discrete_log_in_range(&target, &PlaintextRange::new(0, 100)),
+            None
+        );
+    }
+
+    #[test]
+    fn range_helpers() {
+        let r = PlaintextRange::binary();
+        assert!(r.contains(0) && r.contains(1) && !r.contains(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(PlaintextRange::new(3, 7).len(), 5);
+    }
+
+    #[test]
+    fn key_pair_consistency() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        assert_eq!(kp.dk.public_key(), kp.ek);
+    }
+}

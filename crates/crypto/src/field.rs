@@ -1,0 +1,622 @@
+//! Prime fields for the BN-254 ("BN-128" in the paper) curve family.
+//!
+//! Two fields are defined:
+//!
+//! * [`Fq`] — the base field of the curve (the coordinates of G1 points),
+//!   with modulus `q = 21888242871839275222246405745257275088696311157297823662689037894645226208583`.
+//! * [`Fr`] — the scalar field (the group order of G1/G2), with modulus
+//!   `r = 21888242871839275222246405745257275088548364400416034343698204186575808495617`.
+//!
+//! Elements are stored in Montgomery form (multiplied by `R = 2^256 mod p`)
+//! over four 64-bit little-endian limbs, with textbook schoolbook
+//! multiplication followed by Montgomery reduction. The representation is
+//! always kept canonical (reduced), which makes derived equality/hashing
+//! sound.
+
+use crate::arith::{adc, add_4, bit, bit_len, lt_4, mac, sub_4};
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+
+/// Generates a 4-limb Montgomery-form prime field type.
+macro_rules! montgomery_field {
+    (
+        $(#[$doc:meta])*
+        $name:ident,
+        modulus = $modulus:expr,
+        r = $r:expr,
+        r2 = $r2:expr,
+        inv = $inv:expr,
+        modulus_str = $modulus_str:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub(crate) [u64; 4]);
+
+        impl $name {
+            /// The field modulus as little-endian limbs.
+            pub const MODULUS: [u64; 4] = $modulus;
+            /// `R = 2^256 mod p` — the Montgomery radix, also the
+            /// Montgomery form of `1`.
+            pub const R: [u64; 4] = $r;
+            /// `R^2 mod p`, used to convert into Montgomery form.
+            pub const R2: [u64; 4] = $r2;
+            /// `-p^{-1} mod 2^64`, the Montgomery reduction constant.
+            pub const INV: u64 = $inv;
+            /// The modulus as a decimal string (for documentation/tests).
+            pub const MODULUS_STR: &'static str = $modulus_str;
+
+            /// The additive identity.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self([0, 0, 0, 0])
+            }
+
+            /// The multiplicative identity.
+            #[inline]
+            pub const fn one() -> Self {
+                Self(Self::R)
+            }
+
+            /// Whether this element is zero.
+            #[inline]
+            pub fn is_zero(&self) -> bool {
+                self.0 == [0, 0, 0, 0]
+            }
+
+            /// Constructs an element from a small integer.
+            pub fn from_u64(v: u64) -> Self {
+                Self([v, 0, 0, 0]) * Self(Self::R2)
+            }
+
+            /// Constructs an element from a u128.
+            pub fn from_u128(v: u128) -> Self {
+                Self([v as u64, (v >> 64) as u64, 0, 0]) * Self(Self::R2)
+            }
+
+            /// Constructs an element from plain (non-Montgomery) limbs,
+            /// which must be fully reduced. Returns `None` otherwise.
+            pub fn from_plain_limbs(l: [u64; 4]) -> Option<Self> {
+                if lt_4(&l, &Self::MODULUS) {
+                    Some(Self(l) * Self(Self::R2))
+                } else {
+                    None
+                }
+            }
+
+            /// Converts out of Montgomery form into plain little-endian limbs.
+            pub fn to_plain_limbs(&self) -> [u64; 4] {
+                Self::montgomery_reduce(&[
+                    self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0,
+                ])
+                .0
+            }
+
+            /// Canonical 32-byte little-endian encoding.
+            pub fn to_bytes_le(&self) -> [u8; 32] {
+                let l = self.to_plain_limbs();
+                let mut out = [0u8; 32];
+                for i in 0..4 {
+                    out[8 * i..8 * i + 8].copy_from_slice(&l[i].to_le_bytes());
+                }
+                out
+            }
+
+            /// Parses a canonical 32-byte little-endian encoding.
+            ///
+            /// Returns `None` if the value is not fully reduced.
+            pub fn from_bytes_le(bytes: &[u8; 32]) -> Option<Self> {
+                let mut l = [0u64; 4];
+                for i in 0..4 {
+                    let mut w = [0u8; 8];
+                    w.copy_from_slice(&bytes[8 * i..8 * i + 8]);
+                    l[i] = u64::from_le_bytes(w);
+                }
+                Self::from_plain_limbs(l)
+            }
+
+            /// Interprets 64 little-endian bytes as an integer and reduces
+            /// it modulo `p` (used for hash-to-field).
+            pub fn from_bytes_wide(bytes: &[u8; 64]) -> Self {
+                let mut lo = [0u64; 4];
+                let mut hi = [0u64; 4];
+                for i in 0..4 {
+                    let mut w = [0u8; 8];
+                    w.copy_from_slice(&bytes[8 * i..8 * i + 8]);
+                    lo[i] = u64::from_le_bytes(w);
+                    w.copy_from_slice(&bytes[32 + 8 * i..32 + 8 * i + 8]);
+                    hi[i] = u64::from_le_bytes(w);
+                }
+                // lo + hi * 2^256 = lo * 1 + hi * R  (mod p), each term is
+                // brought into Montgomery form by one extra R factor.
+                Self(lo) * Self(Self::R2) + Self(hi) * Self(Self::R2) * Self(Self::R2)
+            }
+
+            /// Samples a uniformly random field element by rejection.
+            pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                loop {
+                    let mut l = [0u64; 4];
+                    for limb in &mut l {
+                        *limb = rng.gen();
+                    }
+                    // The moduli here are 254-bit, so clear the top two bits
+                    // to make acceptance likely.
+                    l[3] &= u64::MAX >> 2;
+                    if lt_4(&l, &Self::MODULUS) {
+                        return Self(l) * Self(Self::R2);
+                    }
+                }
+            }
+
+            #[inline]
+            fn reduce_once(l: [u64; 4], carry: u64) -> Self {
+                // If the value overflowed 2^256 or is >= p, subtract p once.
+                let (sub, borrow) = sub_4(&l, &Self::MODULUS);
+                if carry != 0 || borrow == 0 {
+                    Self(sub)
+                } else {
+                    Self(l)
+                }
+            }
+
+            /// Montgomery reduction of an 8-limb product; returns limbs and
+            /// performs the final conditional subtraction.
+            fn montgomery_reduce(t: &[u64; 8]) -> Self {
+                let m = Self::MODULUS;
+                let mut t = *t;
+                let mut carry2 = 0u64;
+                for i in 0..4 {
+                    let k = t[i].wrapping_mul(Self::INV);
+                    let (_, mut carry) = mac(t[i], k, m[0], 0);
+                    for j in 1..4 {
+                        let (v, c) = mac(t[i + j], k, m[j], carry);
+                        t[i + j] = v;
+                        carry = c;
+                    }
+                    let (v, c) = adc(t[i + 4], carry2, carry);
+                    t[i + 4] = v;
+                    carry2 = c;
+                }
+                Self::reduce_once([t[4], t[5], t[6], t[7]], carry2)
+            }
+
+            /// Field multiplication (Montgomery).
+            pub fn mul_internal(&self, rhs: &Self) -> Self {
+                let a = &self.0;
+                let b = &rhs.0;
+                let mut t = [0u64; 8];
+                for i in 0..4 {
+                    let mut carry = 0u64;
+                    for j in 0..4 {
+                        let (v, c) = mac(t[i + j], a[i], b[j], carry);
+                        t[i + j] = v;
+                        carry = c;
+                    }
+                    t[i + 4] = carry;
+                }
+                Self::montgomery_reduce(&t)
+            }
+
+            /// Squares this element.
+            #[inline]
+            pub fn square(&self) -> Self {
+                self.mul_internal(self)
+            }
+
+            /// Doubles this element.
+            #[inline]
+            pub fn double(&self) -> Self {
+                *self + *self
+            }
+
+            /// Raises this element to the power given by little-endian limbs.
+            pub fn pow(&self, exp: &[u64]) -> Self {
+                let n = bit_len(exp);
+                if n == 0 {
+                    return Self::one();
+                }
+                let mut acc = *self;
+                for i in (0..n - 1).rev() {
+                    acc = acc.square();
+                    if bit(exp, i) {
+                        acc = acc.mul_internal(self);
+                    }
+                }
+                acc
+            }
+
+            /// Multiplicative inverse; `None` for zero.
+            ///
+            /// Computed as `self^(p-2)` by Fermat's little theorem.
+            pub fn inverse(&self) -> Option<Self> {
+                if self.is_zero() {
+                    return None;
+                }
+                let (p_minus_2, _) = sub_4(&Self::MODULUS, &[2, 0, 0, 0]);
+                Some(self.pow(&p_minus_2))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                let (l, carry) = add_4(&self.0, &rhs.0);
+                Self::reduce_once(l, carry)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                let (l, borrow) = sub_4(&self.0, &rhs.0);
+                if borrow != 0 {
+                    let (l2, _) = add_4(&l, &Self::MODULUS);
+                    Self(l2)
+                } else {
+                    Self(l)
+                }
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self::zero() - self
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                self.mul_internal(&rhs)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+        impl MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self::from_u64(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let l = self.to_plain_limbs();
+                write!(
+                    f,
+                    "0x{:016x}{:016x}{:016x}{:016x}",
+                    l[3], l[2], l[1], l[0]
+                )
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+montgomery_field!(
+    /// The BN-254 base field `F_q` (G1 point coordinates live here).
+    Fq,
+    modulus = [
+        0x3c208c16d87cfd47,
+        0x97816a916871ca8d,
+        0xb85045b68181585d,
+        0x30644e72e131a029
+    ],
+    r = [
+        0xd35d438dc58f0d9d,
+        0x0a78eb28f5c70b3d,
+        0x666ea36f7879462c,
+        0x0e0a77c19a07df2f
+    ],
+    r2 = [
+        0xf32cfc5b538afa89,
+        0xb5e71911d44501fb,
+        0x47ab1eff0a417ff6,
+        0x06d89f71cab8351f
+    ],
+    inv = 0x87d20782e4866389,
+    modulus_str = "21888242871839275222246405745257275088696311157297823662689037894645226208583"
+);
+
+montgomery_field!(
+    /// The BN-254 scalar field `F_r` (the order of G1/G2; exponents,
+    /// plaintexts, blinding factors and SNARK witnesses live here).
+    Fr,
+    modulus = [
+        0x43e1f593f0000001,
+        0x2833e84879b97091,
+        0xb85045b68181585d,
+        0x30644e72e131a029
+    ],
+    r = [
+        0xac96341c4ffffffb,
+        0x36fc76959f60cd29,
+        0x666ea36f7879462e,
+        0x0e0a77c19a07df2f
+    ],
+    r2 = [
+        0x1bb8e645ae216da7,
+        0x53fe3ab1e35c59e3,
+        0x8c49833d53bb8085,
+        0x0216d0b17f4e44a5
+    ],
+    inv = 0xc2e1f593efffffff,
+    modulus_str = "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+);
+
+impl Fq {
+    /// `(q+1)/4`; valid square-root exponent because `q ≡ 3 (mod 4)`.
+    const SQRT_EXP: [u64; 4] = [
+        0x4f082305b61f3f52,
+        0x65e05aa45a1c72a3,
+        0x6e14116da0605617,
+        0x0c19139cb84c680a,
+    ];
+
+    /// Square root, if this element is a quadratic residue.
+    pub fn sqrt(&self) -> Option<Self> {
+        let cand = self.pow(&Self::SQRT_EXP);
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+}
+
+impl Fr {
+    /// The 2-adicity of `r - 1`: `2^28 | r - 1`, enabling radix-2 NTTs of
+    /// size up to `2^28`.
+    pub const TWO_ADICITY: u32 = 28;
+
+    /// A primitive `2^28`-th root of unity (plain limbs): `5^((r-1)/2^28)`.
+    const ROOT_OF_UNITY_PLAIN: [u64; 4] = [
+        0x9bd61b6e725b19f0,
+        0x402d111e41112ed4,
+        0x00e0a7eb8ef62abc,
+        0x2a3c09f0a58a7e85,
+    ];
+
+    /// Returns a primitive `2^k`-th root of unity, for `k <= 28`.
+    pub fn root_of_unity(k: u32) -> Option<Self> {
+        if k > Self::TWO_ADICITY {
+            return None;
+        }
+        let mut w = Self::from_plain_limbs(Self::ROOT_OF_UNITY_PLAIN)
+            .expect("root-of-unity constant is reduced");
+        for _ in 0..(Self::TWO_ADICITY - k) {
+            w = w.square();
+        }
+        Some(w)
+    }
+
+    /// Reduces a 32-byte little-endian integer modulo `r` (not required to
+    /// be canonical) — used by the Fiat–Shamir transform to map hash
+    /// outputs onto challenge scalars.
+    pub fn from_bytes_le_reduced(bytes: &[u8; 32]) -> Self {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Self::from_bytes_wide(&wide)
+    }
+}
+
+/// Serde support: fields serialize as canonical 32-byte LE arrays.
+macro_rules! field_serde {
+    ($name:ident) => {
+        impl serde::Serialize for $name {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                serde::Serialize::serialize(&self.to_bytes_le().to_vec(), s)
+            }
+        }
+        impl<'de> serde::Deserialize<'de> for $name {
+            fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v: Vec<u8> = serde::Deserialize::deserialize(d)?;
+                let arr: [u8; 32] = v
+                    .try_into()
+                    .map_err(|_| serde::de::Error::custom("expected 32 bytes"))?;
+                $name::from_bytes_le(&arr)
+                    .ok_or_else(|| serde::de::Error::custom("non-canonical field element"))
+            }
+        }
+    };
+}
+field_serde!(Fq);
+field_serde!(Fr);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xd24a_6001)
+    }
+
+    #[test]
+    fn one_times_one() {
+        assert_eq!(Fq::one() * Fq::one(), Fq::one());
+        assert_eq!(Fr::one() * Fr::one(), Fr::one());
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Fq::from_u64(7);
+        let b = Fq::from_u64(6);
+        assert_eq!(a * b, Fq::from_u64(42));
+        assert_eq!(a + b, Fq::from_u64(13));
+        assert_eq!(a - b, Fq::from_u64(1));
+        assert_eq!(b - a, -Fq::from_u64(1));
+        assert_eq!(a.square(), Fq::from_u64(49));
+        assert_eq!(a.double(), Fq::from_u64(14));
+    }
+
+    #[test]
+    fn add_wraps_modulus() {
+        // (p-1) + 2 == 1
+        let p_minus_1 = -Fq::one();
+        assert_eq!(p_minus_1 + Fq::from_u64(2), Fq::one());
+        let r_minus_1 = -Fr::one();
+        assert_eq!(r_minus_1 + Fr::from_u64(2), Fr::one());
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let a = Fq::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fq::one());
+            let b = Fr::random(&mut rng);
+            if b.is_zero() {
+                continue;
+            }
+            assert_eq!(b * b.inverse().unwrap(), Fr::one());
+        }
+        assert!(Fq::zero().inverse().is_none());
+        assert!(Fr::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fq::from_u64(3);
+        let mut acc = Fq::one();
+        for _ in 0..17 {
+            acc *= a;
+        }
+        assert_eq!(a.pow(&[17]), acc);
+        assert_eq!(a.pow(&[0]), Fq::one());
+        assert_eq!(a.pow(&[1]), a);
+    }
+
+    #[test]
+    fn fermat_exponent() {
+        // a^(p-1) == 1
+        let mut rng = rng();
+        let a = Fq::random(&mut rng);
+        let (p_minus_1, _) = crate::arith::sub_4(&Fq::MODULUS, &[1, 0, 0, 0]);
+        assert_eq!(a.pow(&p_minus_1), Fq::one());
+        let b = Fr::random(&mut rng);
+        let (r_minus_1, _) = crate::arith::sub_4(&Fr::MODULUS, &[1, 0, 0, 0]);
+        assert_eq!(b.pow(&r_minus_1), Fr::one());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = Fq::random(&mut rng);
+            assert_eq!(Fq::from_bytes_le(&a.to_bytes_le()).unwrap(), a);
+            let b = Fr::random(&mut rng);
+            assert_eq!(Fr::from_bytes_le(&b.to_bytes_le()).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn non_canonical_bytes_rejected() {
+        let mut bytes = [0xffu8; 32];
+        assert!(Fq::from_bytes_le(&bytes).is_none());
+        bytes = [0u8; 32];
+        bytes[0] = 1;
+        assert_eq!(Fq::from_bytes_le(&bytes).unwrap(), Fq::one());
+    }
+
+    #[test]
+    fn from_bytes_wide_reduces() {
+        // 2^256 mod p equals R (as an integer), so from_bytes_wide of
+        // [0;32] ++ [1, 0...] must equal the field element with plain
+        // limbs R.
+        let mut wide = [0u8; 64];
+        wide[32] = 1;
+        let got = Fq::from_bytes_wide(&wide);
+        let expect = Fq::from_plain_limbs(Fq::R).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fq_sqrt() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let a = Fq::random(&mut rng);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == -a);
+        }
+        // A quadratic non-residue must fail. -1 is a QNR mod q because
+        // q ≡ 3 (mod 4).
+        assert!((-Fq::one()).sqrt().is_none());
+    }
+
+    #[test]
+    fn fr_root_of_unity() {
+        let w = Fr::root_of_unity(3).unwrap();
+        // w^8 == 1 and w^4 != 1.
+        assert_eq!(w.pow(&[8]), Fr::one());
+        assert_ne!(w.pow(&[4]), Fr::one());
+        assert_eq!(Fr::root_of_unity(0).unwrap(), Fr::one());
+        assert!(Fr::root_of_unity(29).is_none());
+    }
+
+    #[test]
+    fn distributivity_randomized() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let a = Fq::random(&mut rng);
+            let b = Fq::random(&mut rng);
+            let c = Fq::random(&mut rng);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!((a + b) * c, a * c + b * c);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a - b) + b, a);
+        }
+    }
+
+    #[test]
+    fn from_u128_consistent() {
+        let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        let lo = Fq::from_u64(v as u64);
+        let hi = Fq::from_u64((v >> 64) as u64);
+        let two64 = Fq::from_u64(u64::MAX) + Fq::one();
+        assert_eq!(Fq::from_u128(v), hi * two64 + lo);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = rng();
+        let a = Fr::random(&mut rng);
+        // Serialize through a simple serde format: use serde's test by
+        // round-tripping through serde_json-like in-memory — we avoid
+        // external crates, so just check the byte codec directly via the
+        // Serialize impl contract (to_bytes_le is the wire format).
+        assert_eq!(Fr::from_bytes_le(&a.to_bytes_le()), Some(a));
+    }
+}

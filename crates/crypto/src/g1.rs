@@ -1,0 +1,639 @@
+//! The G1 group of BN-254: `E(F_q): y^2 = x^3 + 3`, prime order `r`.
+//!
+//! This is the cyclic group `G = <g>` over which the paper instantiates
+//! all of its public-key primitives ("we choose the cyclic group G by
+//! using the G1 subgroup of BN-128", §VI). Points are manipulated in
+//! Jacobian projective coordinates internally and exposed in affine form.
+
+use crate::arith::{bit, bit_len};
+use crate::field::{Fq, Fr};
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+use rand::Rng;
+
+/// A G1 point in affine coordinates. The identity is encoded by the
+/// `infinity` flag (coordinates are then ignored, conventionally zero).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct G1Affine {
+    /// The x-coordinate.
+    pub x: Fq,
+    /// The y-coordinate.
+    pub y: Fq,
+    /// Whether this is the point at infinity (group identity).
+    pub infinity: bool,
+}
+
+/// A G1 point in Jacobian coordinates `(X, Y, Z)` representing the affine
+/// point `(X/Z^2, Y/Z^3)`; `Z = 0` encodes the identity.
+#[derive(Clone, Copy)]
+pub struct G1Projective {
+    x: Fq,
+    y: Fq,
+    z: Fq,
+}
+
+/// The curve coefficient `b = 3`.
+pub fn curve_b() -> Fq {
+    Fq::from_u64(3)
+}
+
+impl G1Affine {
+    /// The group identity (point at infinity).
+    pub fn identity() -> Self {
+        Self {
+            x: Fq::zero(),
+            y: Fq::zero(),
+            infinity: true,
+        }
+    }
+
+    /// The standard generator `(1, 2)`.
+    pub fn generator() -> Self {
+        Self {
+            x: Fq::one(),
+            y: Fq::from_u64(2),
+            infinity: false,
+        }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Checks the curve equation `y^2 = x^3 + 3`.
+    ///
+    /// Because the curve has prime order, every point on the curve is in
+    /// the right subgroup; no cofactor check is needed.
+    pub fn is_on_curve(&self) -> bool {
+        self.infinity || self.y.square() == self.x.square() * self.x + curve_b()
+    }
+
+    /// Constructs a point from affine coordinates, validating the curve
+    /// equation.
+    pub fn from_xy(x: Fq, y: Fq) -> Option<Self> {
+        let p = Self {
+            x,
+            y,
+            infinity: false,
+        };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Uncompressed 64-byte encoding: `x ‖ y` (little-endian field bytes).
+    /// The identity encodes as all zeros (not a valid x for this curve, so
+    /// unambiguous).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        if !self.infinity {
+            out[..32].copy_from_slice(&self.x.to_bytes_le());
+            out[32..].copy_from_slice(&self.y.to_bytes_le());
+        }
+        out
+    }
+
+    /// Parses the 64-byte encoding, validating the curve equation.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Self> {
+        if bytes.iter().all(|&b| b == 0) {
+            return Some(Self::identity());
+        }
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[..32]);
+        yb.copy_from_slice(&bytes[32..]);
+        let x = Fq::from_bytes_le(&xb)?;
+        let y = Fq::from_bytes_le(&yb)?;
+        Self::from_xy(x, y)
+    }
+
+    /// Compressed 32-byte encoding: the x-coordinate with the parity of
+    /// `y` packed into the (always-free) top bit of the 254-bit field
+    /// element, and the infinity flag in the next bit.
+    ///
+    /// Halves the calldata of every on-chain point relative to the
+    /// 64-byte form — the "what-if" analysed in the gas ablation. The
+    /// paper's deployment uses uncompressed points (the EVM precompiles
+    /// consume affine coordinates directly, and decompression costs an
+    /// on-chain square root).
+    pub fn to_bytes_compressed(&self) -> [u8; 32] {
+        if self.infinity {
+            let mut out = [0u8; 32];
+            out[31] = 0x40;
+            return out;
+        }
+        let mut out = self.x.to_bytes_le();
+        let y_odd = self.y.to_bytes_le()[0] & 1 == 1;
+        if y_odd {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Parses the compressed encoding, recomputing `y` via a square
+    /// root of `x^3 + 3` and the stored parity bit.
+    pub fn from_bytes_compressed(bytes: &[u8; 32]) -> Option<Self> {
+        let mut b = *bytes;
+        let y_odd = b[31] & 0x80 != 0;
+        let infinity = b[31] & 0x40 != 0;
+        b[31] &= 0x3f;
+        if infinity {
+            return b.iter().all(|&v| v & 0x3f == v && (v == 0 || v == 0x40))
+                .then_some(Self::identity());
+        }
+        let x = Fq::from_bytes_le(&b)?;
+        let y2 = x.square() * x + curve_b();
+        let y = y2.sqrt()?;
+        let y = if (y.to_bytes_le()[0] & 1 == 1) == y_odd {
+            y
+        } else {
+            -y
+        };
+        Self::from_xy(x, y)
+    }
+
+    /// Samples a uniformly random group element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (G1Projective::generator() * Fr::random(rng)).to_affine()
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_projective(&self) -> G1Projective {
+        if self.infinity {
+            G1Projective::identity()
+        } else {
+            G1Projective {
+                x: self.x,
+                y: self.y,
+                z: Fq::one(),
+            }
+        }
+    }
+}
+
+impl G1Projective {
+    /// The group identity.
+    pub fn identity() -> Self {
+        Self {
+            x: Fq::one(),
+            y: Fq::one(),
+            z: Fq::zero(),
+        }
+    }
+
+    /// The standard generator.
+    pub fn generator() -> Self {
+        G1Affine::generator().to_projective()
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> G1Affine {
+        if self.is_identity() {
+            return G1Affine::identity();
+        }
+        let zinv = self.z.inverse().expect("nonzero z");
+        let zinv2 = zinv.square();
+        G1Affine {
+            x: self.x * zinv2,
+            y: self.y * zinv2 * zinv,
+            infinity: false,
+        }
+    }
+
+    /// Point doubling (Jacobian, `a = 0` formulas).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        // dbl-2009-l: A = X^2, B = Y^2, C = B^2,
+        // D = 2((X+B)^2 - A - C), E = 3A, F = E^2,
+        // X3 = F - 2D, Y3 = E(D - X3) - 8C, Z3 = 2YZ.
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let y3 = e * (d - x3) - c.double().double().double();
+        let z3 = (self.y * self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point.
+    pub fn add_affine(&self, rhs: &G1Affine) -> Self {
+        if rhs.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return rhs.to_projective();
+        }
+        // madd-2007-bl.
+        let z1z1 = self.z.square();
+        let u2 = rhs.x * z1z1;
+        let s2 = rhs.y * z1z1 * self.z;
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let r = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_identity() {
+            return *rhs;
+        }
+        if rhs.is_identity() {
+            return *self;
+        }
+        // add-2007-bl.
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * z2z2 * rhs.z;
+        let s2 = rhs.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication by a field element (double-and-add, MSB
+    /// first).
+    pub fn mul_scalar(&self, k: &Fr) -> Self {
+        let limbs = k.to_plain_limbs();
+        let n = bit_len(&limbs);
+        let mut acc = Self::identity();
+        for i in (0..n).rev() {
+            acc = acc.double();
+            if bit(&limbs, i) {
+                acc = Self::add(&acc, self);
+            }
+        }
+        acc
+    }
+}
+
+impl Default for G1Projective {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Default for G1Affine {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl PartialEq for G1Projective {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1^2, Y1/Z1^3) == (X2/Z2^2, Y2/Z2^3) cross-multiplied.
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+impl Eq for G1Projective {}
+
+impl Neg for G1Projective {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.is_identity() {
+            self
+        } else {
+            Self {
+                x: self.x,
+                y: -self.y,
+                z: self.z,
+            }
+        }
+    }
+}
+
+impl Neg for G1Affine {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.infinity {
+            self
+        } else {
+            Self {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
+        }
+    }
+}
+
+impl Add for G1Projective {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        G1Projective::add(&self, &rhs)
+    }
+}
+
+impl Add<G1Affine> for G1Projective {
+    type Output = Self;
+    fn add(self, rhs: G1Affine) -> Self {
+        self.add_affine(&rhs)
+    }
+}
+
+impl AddAssign for G1Projective {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for G1Projective {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for G1Projective {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<Fr> for G1Projective {
+    type Output = Self;
+    fn mul(self, k: Fr) -> Self {
+        self.mul_scalar(&k)
+    }
+}
+
+impl Mul<Fr> for G1Affine {
+    type Output = G1Projective;
+    fn mul(self, k: Fr) -> G1Projective {
+        self.to_projective().mul_scalar(&k)
+    }
+}
+
+impl Sum for G1Projective {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::identity(), |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for G1Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "G1(inf)")
+        } else {
+            write!(f, "G1({:?}, {:?})", self.x, self.y)
+        }
+    }
+}
+
+impl fmt::Debug for G1Projective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.to_affine(), f)
+    }
+}
+
+/// Multi-scalar multiplication: `Σ scalars[i] · bases[i]`.
+///
+/// Deliberately the straightforward per-point double-and-add; the SNARK
+/// baseline's proving cost (Table I) is dominated by these MSMs, mirroring
+/// the libsnark prover the paper measured against.
+pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(bases.len(), scalars.len(), "msm length mismatch");
+    let mut acc = G1Projective::identity();
+    for (b, s) in bases.iter().zip(scalars) {
+        if s.is_zero() || b.infinity {
+            continue;
+        }
+        acc += b.to_projective().mul_scalar(s);
+    }
+    acc
+}
+
+/// Serde support for affine points (64-byte uncompressed encoding).
+impl serde::Serialize for G1Affine {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(&self.to_bytes().to_vec(), s)
+    }
+}
+impl<'de> serde::Deserialize<'de> for G1Affine {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<u8> = serde::Deserialize::deserialize(d)?;
+        let arr: [u8; 64] = v
+            .try_into()
+            .map_err(|_| serde::de::Error::custom("expected 64 bytes"))?;
+        G1Affine::from_bytes(&arr).ok_or_else(|| serde::de::Error::custom("invalid G1 point"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xbeef_cafe)
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(G1Affine::generator().is_on_curve());
+        assert!(G1Affine::identity().is_on_curve());
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = G1Projective::generator();
+        assert_eq!(g.double(), g + g);
+        let g4 = g.double().double();
+        assert_eq!(g4, g + g + g + g);
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = G1Projective::generator();
+        let id = G1Projective::identity();
+        assert_eq!(g + id, g);
+        assert_eq!(id + g, g);
+        assert_eq!(g - g, id);
+        assert_eq!(id.double(), id);
+        assert!(id.to_affine().is_identity());
+    }
+
+    #[test]
+    fn mixed_addition_consistent() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let p = G1Affine::random(&mut rng);
+            let q = G1Affine::random(&mut rng);
+            let full = p.to_projective() + q.to_projective();
+            let mixed = p.to_projective().add_affine(&q);
+            assert_eq!(full, mixed);
+        }
+        // Mixed addition degenerate cases.
+        let p = G1Affine::random(&mut rng);
+        assert_eq!(
+            p.to_projective().add_affine(&p),
+            p.to_projective().double()
+        );
+        assert_eq!(
+            p.to_projective().add_affine(&(-p)),
+            G1Projective::identity()
+        );
+    }
+
+    #[test]
+    fn scalar_mul_small() {
+        let g = G1Projective::generator();
+        assert_eq!(g * Fr::from_u64(0), G1Projective::identity());
+        assert_eq!(g * Fr::from_u64(1), g);
+        assert_eq!(g * Fr::from_u64(2), g.double());
+        assert_eq!(g * Fr::from_u64(5), g + g + g + g + g);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut rng = rng();
+        let g = G1Projective::generator();
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(g * a + g * b, g * (a + b));
+        assert_eq!((g * a) * b, g * (a * b));
+    }
+
+    #[test]
+    fn order_annihilates() {
+        // r * P == identity for the generator: r ≡ 0 in Fr, so use (r-1)
+        // then add once.
+        let g = G1Projective::generator();
+        let r_minus_1 = -Fr::one();
+        assert_eq!(g * r_minus_1 + g, G1Projective::identity());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = rng();
+        for _ in 0..5 {
+            let p = G1Affine::random(&mut rng);
+            assert_eq!(G1Affine::from_bytes(&p.to_bytes()).unwrap(), p);
+        }
+        let id = G1Affine::identity();
+        assert_eq!(G1Affine::from_bytes(&id.to_bytes()).unwrap(), id);
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        let mut rng = rng();
+        for _ in 0..10 {
+            let p = G1Affine::random(&mut rng);
+            let c = p.to_bytes_compressed();
+            assert_eq!(G1Affine::from_bytes_compressed(&c), Some(p));
+        }
+        // The generator and its negation compress differently.
+        let g = G1Affine::generator();
+        assert_ne!(g.to_bytes_compressed(), (-g).to_bytes_compressed());
+        assert_eq!(
+            G1Affine::from_bytes_compressed(&(-g).to_bytes_compressed()),
+            Some(-g)
+        );
+    }
+
+    #[test]
+    fn compressed_identity() {
+        let id = G1Affine::identity();
+        let c = id.to_bytes_compressed();
+        assert_eq!(G1Affine::from_bytes_compressed(&c), Some(id));
+    }
+
+    #[test]
+    fn compressed_invalid_x_rejected() {
+        // x with no curve point: x = 0 gives y^2 = 3 which is a QNR for
+        // this curve? Try x = 0 — if it decodes, it must satisfy the
+        // curve equation; either way garbage top bits are rejected.
+        let mut bytes = [0xffu8; 32];
+        bytes[31] = 0x3f; // valid-ish mask but x >= p
+        assert_eq!(G1Affine::from_bytes_compressed(&bytes), None);
+    }
+
+    #[test]
+    fn invalid_point_rejected() {
+        // (1, 3) is not on the curve.
+        assert!(G1Affine::from_xy(Fq::one(), Fq::from_u64(3)).is_none());
+        let mut bytes = [0u8; 64];
+        bytes[0] = 1;
+        bytes[32] = 3;
+        assert!(G1Affine::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn msm_matches_naive() {
+        let mut rng = rng();
+        let bases: Vec<G1Affine> = (0..8).map(|_| G1Affine::random(&mut rng)).collect();
+        let scalars: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let expect: G1Projective = bases
+            .iter()
+            .zip(&scalars)
+            .map(|(b, s)| b.to_projective() * *s)
+            .sum();
+        assert_eq!(msm(&bases, &scalars), expect);
+    }
+
+    #[test]
+    fn negation() {
+        let mut rng = rng();
+        let p = G1Affine::random(&mut rng).to_projective();
+        assert_eq!(p + (-p), G1Projective::identity());
+        assert_eq!(-(-p), p);
+    }
+}

@@ -1,0 +1,401 @@
+//! The G2 group of BN-254: points on the sextic twist
+//! `E'(F_q^2): y^2 = x^3 + 3/ξ` with `ξ = 9 + i`, prime order `r`.
+//!
+//! Only the generic zk-proof (Groth16) baseline needs G2; the Dragoon
+//! protocol itself lives in G1.
+
+use crate::arith::{bit, bit_len};
+use crate::field::{Fq, Fr};
+use crate::tower::Fq2;
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+use rand::Rng;
+
+/// A G2 point in affine coordinates over `Fq2`.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct G2Affine {
+    /// The x-coordinate.
+    pub x: Fq2,
+    /// The y-coordinate.
+    pub y: Fq2,
+    /// Whether this is the point at infinity.
+    pub infinity: bool,
+}
+
+/// A G2 point in Jacobian coordinates.
+#[derive(Clone, Copy)]
+pub struct G2Projective {
+    x: Fq2,
+    y: Fq2,
+    z: Fq2,
+}
+
+/// The twist coefficient `b' = 3/ξ = 3/(9+i)`.
+pub fn twist_b() -> Fq2 {
+    // Precomputed: 3 * (9+i)^{-1} mod q (see DESIGN.md constants note).
+    let c0 = Fq::from_plain_limbs([
+        0x3267e6dc24a138e5,
+        0xb5b4c5e559dbefa3,
+        0x81be18991be06ac3,
+        0x2b149d40ceb8aaae,
+    ])
+    .expect("twist constant c0 reduced");
+    let c1 = Fq::from_plain_limbs([
+        0xe4a2bd0685c315d2,
+        0xa74fa084e52d1852,
+        0xcd2cafadeed8fdf4,
+        0x009713b03af0fed4,
+    ])
+    .expect("twist constant c1 reduced");
+    Fq2::new(c0, c1)
+}
+
+impl G2Affine {
+    /// The group identity.
+    pub fn identity() -> Self {
+        Self {
+            x: Fq2::zero(),
+            y: Fq2::zero(),
+            infinity: true,
+        }
+    }
+
+    /// The standard alt_bn128 G2 generator.
+    pub fn generator() -> Self {
+        let x = Fq2::new(
+            Fq::from_plain_limbs([
+                0x46debd5cd992f6ed,
+                0x674322d4f75edadd,
+                0x426a00665e5c4479,
+                0x1800deef121f1e76,
+            ])
+            .expect("generator constant"),
+            Fq::from_plain_limbs([
+                0x97e485b7aef312c2,
+                0xf1aa493335a9e712,
+                0x7260bfb731fb5d25,
+                0x198e9393920d483a,
+            ])
+            .expect("generator constant"),
+        );
+        let y = Fq2::new(
+            Fq::from_plain_limbs([
+                0x4ce6cc0166fa7daa,
+                0xe3d1e7690c43d37b,
+                0x4aab71808dcb408f,
+                0x12c85ea5db8c6deb,
+            ])
+            .expect("generator constant"),
+            Fq::from_plain_limbs([
+                0x55acdadcd122975b,
+                0xbc4b313370b38ef3,
+                0xec9e99ad690c3395,
+                0x090689d0585ff075,
+            ])
+            .expect("generator constant"),
+        );
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Checks the twist equation `y^2 = x^3 + 3/ξ`.
+    ///
+    /// Note this verifies curve membership only; the twist has extra
+    /// cofactor torsion, so untrusted points would additionally need a
+    /// subgroup check ([`G2Affine::is_torsion_free`]).
+    pub fn is_on_curve(&self) -> bool {
+        self.infinity || self.y.square() == self.x.square() * self.x + twist_b()
+    }
+
+    /// Full subgroup membership check: multiplies by the group order.
+    pub fn is_torsion_free(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        // r·P == O  ⟺  (r-1)·P == -P.
+        let r_minus_1 = -Fr::one();
+        (self.to_projective().mul_scalar(&r_minus_1)).to_affine() == -*self
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_projective(&self) -> G2Projective {
+        if self.infinity {
+            G2Projective::identity()
+        } else {
+            G2Projective {
+                x: self.x,
+                y: self.y,
+                z: Fq2::one(),
+            }
+        }
+    }
+
+    /// Samples a random G2 element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (G2Projective::generator() * Fr::random(rng)).to_affine()
+    }
+}
+
+impl G2Projective {
+    /// The group identity.
+    pub fn identity() -> Self {
+        Self {
+            x: Fq2::one(),
+            y: Fq2::one(),
+            z: Fq2::zero(),
+        }
+    }
+
+    /// The standard generator.
+    pub fn generator() -> Self {
+        G2Affine::generator().to_projective()
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine form.
+    pub fn to_affine(&self) -> G2Affine {
+        if self.is_identity() {
+            return G2Affine::identity();
+        }
+        let zinv = self.z.inverse().expect("nonzero z");
+        let zinv2 = zinv.square();
+        G2Affine {
+            x: self.x * zinv2,
+            y: self.y * zinv2 * zinv,
+            infinity: false,
+        }
+    }
+
+    /// Point doubling (same `a = 0` Jacobian formulas as G1, over Fq2).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let y3 = e * (d - x3) - c.double().double().double();
+        let z3 = (self.y * self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_identity() {
+            return *rhs;
+        }
+        if rhs.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * z2z2 * rhs.z;
+        let s2 = rhs.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication.
+    pub fn mul_scalar(&self, k: &Fr) -> Self {
+        let limbs = k.to_plain_limbs();
+        let n = bit_len(&limbs);
+        let mut acc = Self::identity();
+        for i in (0..n).rev() {
+            acc = acc.double();
+            if bit(&limbs, i) {
+                acc = Self::add(&acc, self);
+            }
+        }
+        acc
+    }
+}
+
+impl PartialEq for G2Projective {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+impl Eq for G2Projective {}
+
+impl Neg for G2Affine {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.infinity {
+            self
+        } else {
+            Self {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
+        }
+    }
+}
+
+impl Neg for G2Projective {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.is_identity() {
+            self
+        } else {
+            Self {
+                x: self.x,
+                y: -self.y,
+                z: self.z,
+            }
+        }
+    }
+}
+
+impl Add for G2Projective {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        G2Projective::add(&self, &rhs)
+    }
+}
+impl AddAssign for G2Projective {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for G2Projective {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+impl Mul<Fr> for G2Projective {
+    type Output = Self;
+    fn mul(self, k: Fr) -> Self {
+        self.mul_scalar(&k)
+    }
+}
+impl Mul<Fr> for G2Affine {
+    type Output = G2Projective;
+    fn mul(self, k: Fr) -> G2Projective {
+        self.to_projective().mul_scalar(&k)
+    }
+}
+
+impl fmt::Debug for G2Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "G2(inf)")
+        } else {
+            write!(f, "G2({:?}, {:?})", self.x, self.y)
+        }
+    }
+}
+
+impl fmt::Debug for G2Projective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.to_affine(), f)
+    }
+}
+
+/// Multi-scalar multiplication over G2.
+pub fn msm_g2(bases: &[G2Affine], scalars: &[Fr]) -> G2Projective {
+    assert_eq!(bases.len(), scalars.len(), "msm length mismatch");
+    let mut acc = G2Projective::identity();
+    for (b, s) in bases.iter().zip(scalars) {
+        if s.is_zero() || b.infinity {
+            continue;
+        }
+        acc += b.to_projective().mul_scalar(s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x6222)
+    }
+
+    #[test]
+    fn generator_on_curve_and_in_subgroup() {
+        let g = G2Affine::generator();
+        assert!(g.is_on_curve());
+        assert!(g.is_torsion_free());
+    }
+
+    #[test]
+    fn group_laws() {
+        let g = G2Projective::generator();
+        let id = G2Projective::identity();
+        assert_eq!(g + id, g);
+        assert_eq!(g.double(), g + g);
+        assert_eq!(g - g, id);
+        let mut rng = rng();
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(g * a + g * b, g * (a + b));
+    }
+
+    #[test]
+    fn order_annihilates() {
+        let g = G2Projective::generator();
+        let r_minus_1 = -Fr::one();
+        assert_eq!(g * r_minus_1 + g, G2Projective::identity());
+    }
+
+    #[test]
+    fn affine_round_trip() {
+        let mut rng = rng();
+        let p = G2Affine::random(&mut rng);
+        assert!(p.is_on_curve());
+        assert_eq!(p.to_projective().to_affine(), p);
+    }
+}

@@ -1,0 +1,324 @@
+//! The optimal ate pairing `e : G1 × G2 → F_q^12` on BN-254.
+//!
+//! Implementation strategy: the G2 input is embedded into the full
+//! extension field `E(F_q^12)` via the sextic-twist untwisting map
+//! `ψ(x', y') = (x'·w^2, y'·w^3)`, and a textbook affine Miller loop runs
+//! entirely over `F_q^12` coordinates. This sacrifices the usual
+//! projective/line-coefficient micro-optimizations for straight-line
+//! auditability; the resulting ~10 ms pairing is exactly the performance
+//! class the paper reports for on-chain SNARK verification (Table II), so
+//! the baseline comparison is faithful.
+//!
+//! Pairing identity used by the Miller loop (BN optimal ate):
+//! `e(P, Q) = f_{6u+2, Q}(P) · l_{[6u+2]Q, πQ}(P) · l_{[6u+2]Q+πQ, -π²Q}(P)`
+//! raised to `(q^12 - 1)/r`.
+
+use crate::field::Fq;
+#[cfg(test)]
+use crate::field::Fr;
+use crate::g1::G1Affine;
+use crate::g2::G2Affine;
+use crate::tower::{Fq12, Fq2, Fq6};
+
+/// `6u + 2` for the BN parameter `u = 4965661367192848881` — the ate
+/// pairing loop count (65 bits).
+const ATE_LOOP: [u64; 2] = [0x9d797039be763ba8, 0x1];
+
+/// The "hard part" exponent `(q^4 - q^2 + 1)/r` of the final
+/// exponentiation, as little-endian limbs (761 bits).
+const HARD_EXP: [u64; 12] = [
+    0xe81bb482ccdf42b1,
+    0x5abf5cc4f49c36d4,
+    0xf1154e7e1da014fd,
+    0xdcc7b44c87cdbacf,
+    0xaaa441e3954bcf8a,
+    0x6b887d56d5095f23,
+    0x79581e16f3fd90c6,
+    0x3b1b1355d189227d,
+    0x4e529a5861876f6b,
+    0x6c0eb522d5b12278,
+    0x331ec15183177faf,
+    0x01baaa710b0759ad,
+];
+
+/// A point on `E(F_q^12)` in affine coordinates (identity flagged).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Ext12Point {
+    x: Fq12,
+    y: Fq12,
+    infinity: bool,
+}
+
+impl Ext12Point {
+    fn identity() -> Self {
+        Self {
+            x: Fq12::zero(),
+            y: Fq12::zero(),
+            infinity: true,
+        }
+    }
+
+    fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+
+    /// Coordinate-wise `q`-power Frobenius (the endomorphism `π`).
+    fn frobenius(&self) -> Self {
+        if self.infinity {
+            return *self;
+        }
+        Self {
+            x: self.x.pow(&Fq::MODULUS),
+            y: self.y.pow(&Fq::MODULUS),
+            infinity: false,
+        }
+    }
+}
+
+/// Embeds a G1 point into `E(F_q^12)` (trivial inclusion).
+fn embed_g1(p: &G1Affine) -> Ext12Point {
+    if p.infinity {
+        return Ext12Point::identity();
+    }
+    let lift = |c: Fq| Fq12::new(Fq6::new(Fq2::from_base(c), Fq2::zero(), Fq2::zero()), Fq6::zero());
+    Ext12Point {
+        x: lift(p.x),
+        y: lift(p.y),
+        infinity: false,
+    }
+}
+
+/// Untwists a G2 point into `E(F_q^12)`: `(x', y') ↦ (x'·w^2, y'·w^3)`.
+///
+/// With the tower `w^2 = v`, `x'·w^2` has `Fq6` coefficient `(0, x', 0)`
+/// and `y'·w^3 = (y'·v)·w` has w-coefficient `(0, y', 0)`.
+fn untwist_g2(q: &G2Affine) -> Ext12Point {
+    if q.infinity {
+        return Ext12Point::identity();
+    }
+    Ext12Point {
+        x: Fq12::new(Fq6::new(Fq2::zero(), q.x, Fq2::zero()), Fq6::zero()),
+        y: Fq12::new(Fq6::zero(), Fq6::new(Fq2::zero(), q.y, Fq2::zero())),
+        infinity: false,
+    }
+}
+
+/// Chord-or-tangent line through `r` and `s`, evaluated at `p`, and the
+/// resulting sum `r + s`. Returns `(line_value, r + s)`.
+fn line_and_add(r: &Ext12Point, s: &Ext12Point, p: &Ext12Point) -> (Fq12, Ext12Point) {
+    debug_assert!(!p.infinity);
+    if r.infinity {
+        return (Fq12::one(), *s);
+    }
+    if s.infinity {
+        return (Fq12::one(), *r);
+    }
+    if r.x == s.x
+        && r.y == s.y.conj_neg_check() {
+            // Vertical line: l(P) = x_P - x_R; sum is the identity.
+            return (p.x - r.x, Ext12Point::identity());
+        }
+    let lambda = if r.x == s.x {
+        // Tangent: λ = 3x^2 / 2y.
+        let three_x2 = r.x.square() * Fq12::from_small(3);
+        let two_y = r.y + r.y;
+        three_x2 * two_y.inverse().expect("2y != 0 for non-2-torsion")
+    } else {
+        (s.y - r.y) * (s.x - r.x).inverse().expect("distinct x")
+    };
+    let x3 = lambda.square() - r.x - s.x;
+    let y3 = lambda * (r.x - x3) - r.y;
+    let line = p.y - r.y - lambda * (p.x - r.x);
+    (
+        line,
+        Ext12Point {
+            x: x3,
+            y: y3,
+            infinity: false,
+        },
+    )
+}
+
+/// Helper trait-free extensions for `Fq12` used by the Miller loop.
+trait Fq12Ext {
+    fn from_small(v: u64) -> Fq12;
+    fn conj_neg_check(&self) -> Fq12;
+}
+impl Fq12Ext for Fq12 {
+    fn from_small(v: u64) -> Fq12 {
+        Fq12::new(
+            Fq6::new(Fq2::from_base(Fq::from_u64(v)), Fq2::zero(), Fq2::zero()),
+            Fq6::zero(),
+        )
+    }
+    /// Returns the negation (used to detect `s == -r` by `r.y == -s.y`).
+    fn conj_neg_check(&self) -> Fq12 {
+        -*self
+    }
+}
+
+/// The Miller function `f_{ATE_LOOP, Q}(P)` with the two extra
+/// Frobenius line evaluations of the BN optimal ate pairing.
+fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    if p.infinity || q.infinity {
+        return Fq12::one();
+    }
+    let pe = embed_g1(p);
+    let qe = untwist_g2(q);
+    let mut f = Fq12::one();
+    let mut r = qe;
+    let n = crate::arith::bit_len(&ATE_LOOP);
+    for i in (0..n - 1).rev() {
+        // f <- f^2 * l_{R,R}(P); R <- 2R.
+        let (line, r2) = line_and_add(&r, &r, &pe);
+        f = f.square() * line;
+        r = r2;
+        if crate::arith::bit(&ATE_LOOP, i) {
+            let (line, ra) = line_and_add(&r, &qe, &pe);
+            f *= line;
+            r = ra;
+        }
+    }
+    // The two final addition steps with π(Q) and -π²(Q).
+    let q1 = qe.frobenius();
+    let q2 = q1.frobenius().neg();
+    let (line, r1) = line_and_add(&r, &q1, &pe);
+    f *= line;
+    let (line, _r2) = line_and_add(&r1, &q2, &pe);
+    f *= line;
+    f
+}
+
+/// The final exponentiation `f^((q^12 - 1)/r)`, split as
+/// `(q^6 - 1) · (q^2 + 1) · (q^4 - q^2 + 1)/r`.
+fn final_exponentiation(f: &Fq12) -> Fq12 {
+    // Easy part 1: f^(q^6 - 1) = conj(f) * f^-1.
+    let f1 = f.conjugate() * f.inverse().expect("nonzero Miller value");
+    // Easy part 2: f1^(q^2 + 1) = f1^(q^2) * f1 — exponentiate by q twice.
+    let f1_q = f1.pow(&Fq::MODULUS);
+    let f1_q2 = f1_q.pow(&Fq::MODULUS);
+    let f2 = f1_q2 * f1;
+    // Hard part.
+    f2.pow(&HARD_EXP)
+}
+
+/// The optimal ate pairing `e(P, Q)`.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    final_exponentiation(&miller_loop(p, q))
+}
+
+/// Product of pairings `Π e(P_i, Q_i)` with a single shared final
+/// exponentiation — the operation at the heart of Groth16 verification.
+pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Fq12 {
+    let mut f = Fq12::one();
+    for (p, q) in pairs {
+        f *= miller_loop(p, q);
+    }
+    final_exponentiation(&f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g1::G1Projective;
+    use crate::g2::G2Projective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9a19)
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+        assert!(!e.is_one());
+        assert!(!e.is_zero());
+        // e has order r: e^r == 1 — check via e^(r-1) * e == 1.
+        let r_minus_1 = (-Fr::one()).to_plain_limbs();
+        assert!((e.pow(&r_minus_1) * e).is_one());
+    }
+
+    #[test]
+    fn identity_inputs() {
+        assert!(pairing(&G1Affine::identity(), &G2Affine::generator()).is_one());
+        assert!(pairing(&G1Affine::generator(), &G2Affine::identity()).is_one());
+    }
+
+    #[test]
+    fn bilinear_in_g1() {
+        let mut rng = rng();
+        let a = Fr::random(&mut rng);
+        let g1 = G1Projective::generator();
+        let g2 = G2Affine::generator();
+        let lhs = pairing(&(g1 * a).to_affine(), &g2);
+        let rhs = pairing(&g1.to_affine(), &g2).pow(&a.to_plain_limbs());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_in_g2() {
+        let mut rng = rng();
+        let b = Fr::random(&mut rng);
+        let g1 = G1Affine::generator();
+        let g2 = G2Projective::generator();
+        let lhs = pairing(&g1, &(g2 * b).to_affine());
+        let rhs = pairing(&g1, &g2.to_affine()).pow(&b.to_plain_limbs());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn swap_scalars() {
+        // e(aP, bQ) == e(bP, aQ).
+        let mut rng = rng();
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let lhs = pairing(&(g1 * a).to_affine(), &(g2 * b).to_affine());
+        let rhs = pairing(&(g1 * b).to_affine(), &(g2 * a).to_affine());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn additive_in_g1() {
+        let mut rng = rng();
+        let p1 = crate::g1::G1Affine::random(&mut rng);
+        let p2 = crate::g1::G1Affine::random(&mut rng);
+        let q = G2Affine::generator();
+        let sum = (p1.to_projective() + p2.to_projective()).to_affine();
+        assert_eq!(
+            pairing(&sum, &q),
+            pairing(&p1, &q) * pairing(&p2, &q)
+        );
+    }
+
+    #[test]
+    fn multi_pairing_matches_product() {
+        let mut rng = rng();
+        let p1 = crate::g1::G1Affine::random(&mut rng);
+        let p2 = crate::g1::G1Affine::random(&mut rng);
+        let q1 = G2Affine::random(&mut rng);
+        let q2 = G2Affine::random(&mut rng);
+        let prod = pairing(&p1, &q1) * pairing(&p2, &q2);
+        assert_eq!(multi_pairing(&[(p1, q1), (p2, q2)]), prod);
+    }
+
+    #[test]
+    fn pairing_check_style() {
+        // e(aG1, G2) * e(-G1, aG2) == 1 — the Groth16-style product check.
+        let mut rng = rng();
+        let a = Fr::random(&mut rng);
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let res = multi_pairing(&[
+            ((g1 * a).to_affine(), G2Affine::generator()),
+            ((-g1).to_affine(), (g2 * a).to_affine()),
+        ]);
+        assert!(res.is_one());
+    }
+}

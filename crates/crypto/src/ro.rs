@@ -1,0 +1,136 @@
+//! Random-oracle utilities: a byte-oriented Fiat–Shamir transcript over
+//! Keccak-256, plus hash-to-scalar.
+//!
+//! The paper models `H` as a global programmable random oracle (§III) and
+//! uses it both for commitments and for the Fiat–Shamir challenges of the
+//! VPKE proofs (`C = H(A ‖ B ‖ g ‖ h ‖ c1 ‖ c2 ‖ g^m)`, §V-C). The
+//! [`Transcript`] type makes such concatenations explicit and
+//! domain-separated.
+
+use crate::field::Fr;
+use crate::g1::G1Affine;
+use crate::keccak::Keccak256;
+
+/// A running Fiat–Shamir transcript. Each absorbed item is
+/// length-prefixed so concatenations are injective, and the whole
+/// transcript is domain-separated by a label.
+#[derive(Clone)]
+pub struct Transcript {
+    hasher: Keccak256,
+}
+
+impl Transcript {
+    /// Creates a transcript under a domain-separation label.
+    pub fn new(label: &[u8]) -> Self {
+        let mut hasher = Keccak256::new();
+        hasher.update(&(label.len() as u64).to_le_bytes());
+        hasher.update(label);
+        Self { hasher }
+    }
+
+    /// Absorbs raw bytes (length-prefixed).
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.hasher.update(&(bytes.len() as u64).to_le_bytes());
+        self.hasher.update(bytes);
+        self
+    }
+
+    /// Absorbs a G1 point (uncompressed encoding).
+    pub fn absorb_point(&mut self, p: &G1Affine) -> &mut Self {
+        self.absorb_bytes(&p.to_bytes())
+    }
+
+    /// Absorbs a scalar.
+    pub fn absorb_scalar(&mut self, s: &Fr) -> &mut Self {
+        self.absorb_bytes(&s.to_bytes_le())
+    }
+
+    /// Absorbs a u64.
+    pub fn absorb_u64(&mut self, v: u64) -> &mut Self {
+        self.absorb_bytes(&v.to_le_bytes())
+    }
+
+    /// Squeezes the challenge scalar, consuming the transcript.
+    pub fn challenge_scalar(self) -> Fr {
+        let digest = self.hasher.finalize();
+        Fr::from_bytes_le_reduced(&digest)
+    }
+
+    /// Squeezes a 32-byte digest, consuming the transcript.
+    pub fn challenge_bytes(self) -> [u8; 32] {
+        self.hasher.finalize()
+    }
+}
+
+/// Hashes arbitrary bytes to a scalar (one-shot).
+pub fn hash_to_scalar(label: &[u8], data: &[u8]) -> Fr {
+    let mut t = Transcript::new(label);
+    t.absorb_bytes(data);
+    t.challenge_scalar()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut t1 = Transcript::new(b"test");
+        t1.absorb_bytes(b"hello");
+        let mut t2 = Transcript::new(b"test");
+        t2.absorb_bytes(b"hello");
+        assert_eq!(t1.challenge_scalar(), t2.challenge_scalar());
+    }
+
+    #[test]
+    fn label_separates_domains() {
+        let mut t1 = Transcript::new(b"domain-a");
+        t1.absorb_bytes(b"x");
+        let mut t2 = Transcript::new(b"domain-b");
+        t2.absorb_bytes(b"x");
+        assert_ne!(t1.challenge_scalar(), t2.challenge_scalar());
+    }
+
+    #[test]
+    fn length_prefix_is_injective() {
+        // ("ab", "c") must differ from ("a", "bc").
+        let mut t1 = Transcript::new(b"t");
+        t1.absorb_bytes(b"ab").absorb_bytes(b"c");
+        let mut t2 = Transcript::new(b"t");
+        t2.absorb_bytes(b"a").absorb_bytes(b"bc");
+        assert_ne!(t1.challenge_bytes(), t2.challenge_bytes());
+    }
+
+    #[test]
+    fn absorb_order_matters() {
+        let mut t1 = Transcript::new(b"t");
+        t1.absorb_u64(1).absorb_u64(2);
+        let mut t2 = Transcript::new(b"t");
+        t2.absorb_u64(2).absorb_u64(1);
+        assert_ne!(t1.challenge_scalar(), t2.challenge_scalar());
+    }
+
+    #[test]
+    fn points_and_scalars_absorb() {
+        let mut t = Transcript::new(b"t");
+        t.absorb_point(&G1Affine::generator())
+            .absorb_scalar(&Fr::from_u64(42));
+        // Must be non-trivially different from the empty transcript.
+        assert_ne!(
+            t.challenge_scalar(),
+            Transcript::new(b"t").challenge_scalar()
+        );
+    }
+
+    #[test]
+    fn hash_to_scalar_deterministic() {
+        assert_eq!(
+            hash_to_scalar(b"l", b"data"),
+            hash_to_scalar(b"l", b"data")
+        );
+        assert_ne!(
+            hash_to_scalar(b"l", b"data"),
+            hash_to_scalar(b"l", b"datb")
+        );
+    }
+}

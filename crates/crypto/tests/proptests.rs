@@ -1,0 +1,155 @@
+//! Property-based tests of the cryptographic substrate: field axioms,
+//! group laws, encoding round trips, and scheme-level properties under
+//! randomized inputs.
+
+use dragoon_crypto::elgamal::{
+    discrete_log_bsgs, Decrypted, KeyPair, PlaintextRange,
+};
+use dragoon_crypto::g1::{G1Affine, G1Projective};
+use dragoon_crypto::keccak::keccak256;
+use dragoon_crypto::vpke::{self, PlaintextClaim};
+use dragoon_crypto::{Fq, Fr};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fr(seed: u64) -> Fr {
+    Fr::random(&mut StdRng::seed_from_u64(seed))
+}
+
+fn fq(seed: u64) -> Fq {
+    Fq::random(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ---------------- Field axioms over random elements ----------------
+
+    #[test]
+    fn fq_ring_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (fq(a), fq(b), fq(c));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!(x * (y * z), (x * y) * z);
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+        prop_assert_eq!(x + (-x), Fq::zero());
+        prop_assert_eq!(x * Fq::one(), x);
+        prop_assert_eq!(x * Fq::zero(), Fq::zero());
+    }
+
+    #[test]
+    fn fq_inversion_and_sqrt(a in any::<u64>()) {
+        let x = fq(a);
+        if !x.is_zero() {
+            let inv = x.inverse().unwrap();
+            prop_assert_eq!(x * inv, Fq::one());
+            prop_assert_eq!(inv.inverse().unwrap(), x);
+        }
+        let sq = x.square();
+        let root = sq.sqrt().expect("squares have roots");
+        prop_assert!(root == x || root == -x);
+    }
+
+    #[test]
+    fn fr_bytes_round_trip(a in any::<u64>()) {
+        let x = fr(a);
+        prop_assert_eq!(Fr::from_bytes_le(&x.to_bytes_le()), Some(x));
+        // Wide reduction agrees on already-reduced values.
+        prop_assert_eq!(Fr::from_bytes_le_reduced(&x.to_bytes_le()), x);
+    }
+
+    #[test]
+    fn fq_pow_homomorphism(a in any::<u64>(), e1 in 0u64..50, e2 in 0u64..50) {
+        let x = fq(a);
+        prop_assert_eq!(x.pow(&[e1]) * x.pow(&[e2]), x.pow(&[e1 + e2]));
+        prop_assert_eq!(x.pow(&[e1]).pow(&[e2]), x.pow(&[e1 * e2]));
+    }
+
+    // ---------------- Group laws ----------------
+
+    #[test]
+    fn g1_group_laws(a in any::<u64>(), b in any::<u64>()) {
+        let (ka, kb) = (fr(a), fr(b));
+        let g = G1Projective::generator();
+        let p = g * ka;
+        let q = g * kb;
+        prop_assert_eq!(p + q, q + p);
+        prop_assert_eq!(p - p, G1Projective::identity());
+        prop_assert_eq!(g * ka + g * kb, g * (ka + kb));
+        prop_assert_eq!((g * ka) * kb, g * (ka * kb));
+        // Affine round trip preserves the point.
+        prop_assert_eq!(p.to_affine().to_projective(), p);
+        prop_assert!(p.to_affine().is_on_curve());
+    }
+
+    #[test]
+    fn g1_serialization_round_trip(a in any::<u64>()) {
+        let p = (G1Projective::generator() * fr(a)).to_affine();
+        prop_assert_eq!(G1Affine::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    // ---------------- Keccak ----------------
+
+    #[test]
+    fn keccak_deterministic_and_sensitive(data in any::<Vec<u8>>()) {
+        let d1 = keccak256(&data);
+        prop_assert_eq!(d1, keccak256(&data));
+        let mut flipped = data.clone();
+        if let Some(b) = flipped.first_mut() {
+            *b ^= 1;
+            prop_assert_ne!(d1, keccak256(&flipped));
+        }
+    }
+
+    // ---------------- ElGamal ----------------
+
+    #[test]
+    fn elgamal_homomorphism(m1 in 0u64..50, m2 in 0u64..50, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::new(0, 100);
+        let ct1 = kp.ek.encrypt(m1, &mut rng);
+        let ct2 = kp.ek.encrypt(m2, &mut rng);
+        let sum = ct1.homomorphic_add(&ct2);
+        prop_assert_eq!(kp.dk.decrypt(&sum, &range), Decrypted::InRange(m1 + m2));
+    }
+
+    #[test]
+    fn bsgs_solves_random_dlogs(m in 0u64..10_000) {
+        let target = (G1Projective::generator() * Fr::from_u64(m)).to_affine();
+        prop_assert_eq!(discrete_log_bsgs(&target, 10_000), Some(m));
+    }
+
+    // ---------------- VPKE ----------------
+
+    #[test]
+    fn vpke_out_of_range_claims_verify(m in 100u64..200, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::new(0, 10);
+        let ct = kp.ek.encrypt(m, &mut rng);
+        let (claim, proof) = vpke::prove(&kp.dk, &ct, &range, &mut rng);
+        prop_assert!(matches!(claim, PlaintextClaim::OutOfRange(_)));
+        let stmt = vpke::DecryptionStatement { ek: kp.ek, ct, claim };
+        prop_assert!(vpke::verify(&stmt, &proof));
+    }
+
+    #[test]
+    fn vpke_batch_of_random_sizes(n in 1usize..8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let range = PlaintextRange::new(0, 3);
+        let mut items = Vec::new();
+        for m in 0..n as u64 {
+            let ct = kp.ek.encrypt(m % 4, &mut rng);
+            let (claim, proof) = vpke::prove(&kp.dk, &ct, &range, &mut rng);
+            items.push((vpke::DecryptionStatement { ek: kp.ek, ct, claim }, proof));
+        }
+        prop_assert!(vpke::batch_verify(&items, &mut rng));
+        // Corrupt the last item.
+        let last = items.len() - 1;
+        items[last].1.z = items[last].1.z + Fr::one();
+        prop_assert!(!vpke::batch_verify(&items, &mut rng));
+    }
+}

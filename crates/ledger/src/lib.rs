@@ -1,0 +1,335 @@
+//! # dragoon-ledger
+//!
+//! The cryptocurrency ledger functionality `L` of §III: a transparent
+//! global bookkeeping ledger that smart-contract functionalities call as a
+//! subroutine for conditional payments.
+//!
+//! `L` stores a balance for every party and handles exactly the two
+//! oracle queries the paper specifies:
+//!
+//! * **FreezeCoins** — `(freeze, P_i, b)` from a contract `F`: if
+//!   `b_i ≥ b`, move `b` from `P_i` into `F`'s escrow and announce
+//!   `(frozen, F, P_i, b)` to every entity; otherwise reply
+//!   `(nofund, P_i, b)`.
+//! * **PayCoins** — `(pay, P_i, b)` from a contract `F`: if `b_F ≥ b`,
+//!   move `b` from the escrow to `P_i` and announce `(paid, F, P_i, b)`.
+//!
+//! Balances are denominated in an abstract integer unit ("wei" in the
+//! Ethereum instantiation). All transitions are recorded as
+//! [`LedgerEvent`]s — the transparency the paper's blockchain model
+//! assumes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub mod address;
+pub use address::Address;
+
+/// An amount of coins (abstract smallest unit).
+pub type Amount = u128;
+
+/// Errors returned by ledger operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LedgerError {
+    /// The payer's balance is insufficient (`nofund` in the paper).
+    InsufficientFunds {
+        /// The account that lacked funds.
+        account: Address,
+        /// The requested amount.
+        requested: Amount,
+        /// The available balance.
+        available: Amount,
+    },
+    /// An overflow would occur (astronomically large balances).
+    Overflow,
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::InsufficientFunds {
+                account,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient funds in {account}: requested {requested}, available {available}"
+            ),
+            LedgerError::Overflow => write!(f, "balance overflow"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// A transparent record of a ledger transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LedgerEvent {
+    /// Coins were minted to an account (test/genesis provisioning).
+    Minted {
+        /// Receiving account.
+        account: Address,
+        /// Amount minted.
+        amount: Amount,
+    },
+    /// `(frozen, F, P_i, b)`: a contract froze a party's coins.
+    Frozen {
+        /// The contract functionality that requested the freeze.
+        contract: Address,
+        /// The party whose coins were frozen.
+        party: Address,
+        /// Amount frozen.
+        amount: Amount,
+    },
+    /// `(nofund, P_i, b)`: a freeze failed for lack of funds.
+    NoFund {
+        /// The party that lacked funds.
+        party: Address,
+        /// The requested amount.
+        amount: Amount,
+    },
+    /// `(paid, F, P_i, b)`: a contract paid a party from escrow.
+    Paid {
+        /// The paying contract.
+        contract: Address,
+        /// The receiving party.
+        party: Address,
+        /// Amount paid.
+        amount: Amount,
+    },
+    /// A plain transfer between two parties.
+    Transferred {
+        /// Sender.
+        from: Address,
+        /// Receiver.
+        to: Address,
+        /// Amount.
+        amount: Amount,
+    },
+}
+
+/// The ledger functionality `L`.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    balances: HashMap<Address, Amount>,
+    events: Vec<LedgerEvent>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provisions `amount` new coins to `account` (genesis/testing).
+    pub fn mint(&mut self, account: Address, amount: Amount) {
+        *self.balances.entry(account).or_insert(0) += amount;
+        self.events.push(LedgerEvent::Minted { account, amount });
+    }
+
+    /// The balance of `account` (zero if never seen).
+    pub fn balance(&self, account: &Address) -> Amount {
+        self.balances.get(account).copied().unwrap_or(0)
+    }
+
+    /// **FreezeCoins**: contract `contract` freezes `amount` from `party`.
+    ///
+    /// On success the coins move into the contract's escrow balance and a
+    /// [`LedgerEvent::Frozen`] is recorded; on failure a
+    /// [`LedgerEvent::NoFund`] is recorded and an error returned.
+    pub fn freeze(
+        &mut self,
+        contract: Address,
+        party: Address,
+        amount: Amount,
+    ) -> Result<(), LedgerError> {
+        let available = self.balance(&party);
+        if available < amount {
+            self.events.push(LedgerEvent::NoFund { party, amount });
+            return Err(LedgerError::InsufficientFunds {
+                account: party,
+                requested: amount,
+                available,
+            });
+        }
+        *self.balances.get_mut(&party).expect("checked above") -= amount;
+        *self.balances.entry(contract).or_insert(0) += amount;
+        self.events.push(LedgerEvent::Frozen {
+            contract,
+            party,
+            amount,
+        });
+        Ok(())
+    }
+
+    /// **PayCoins**: contract `contract` pays `amount` to `party` out of
+    /// its escrow.
+    pub fn pay(
+        &mut self,
+        contract: Address,
+        party: Address,
+        amount: Amount,
+    ) -> Result<(), LedgerError> {
+        let escrow = self.balance(&contract);
+        if escrow < amount {
+            return Err(LedgerError::InsufficientFunds {
+                account: contract,
+                requested: amount,
+                available: escrow,
+            });
+        }
+        *self.balances.get_mut(&contract).expect("checked above") -= amount;
+        *self.balances.entry(party).or_insert(0) += amount;
+        self.events.push(LedgerEvent::Paid {
+            contract,
+            party,
+            amount,
+        });
+        Ok(())
+    }
+
+    /// A plain party-to-party transfer.
+    pub fn transfer(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: Amount,
+    ) -> Result<(), LedgerError> {
+        let available = self.balance(&from);
+        if available < amount {
+            return Err(LedgerError::InsufficientFunds {
+                account: from,
+                requested: amount,
+                available,
+            });
+        }
+        *self.balances.get_mut(&from).expect("checked above") -= amount;
+        *self.balances.entry(to).or_insert(0) += amount;
+        self.events.push(LedgerEvent::Transferred { from, to, amount });
+        Ok(())
+    }
+
+    /// The transparent event log (every transition, in order).
+    pub fn events(&self) -> &[LedgerEvent] {
+        &self.events
+    }
+
+    /// Total coins in circulation (conservation-law invariant).
+    pub fn total_supply(&self) -> Amount {
+        self.balances.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::from_byte(n)
+    }
+
+    #[test]
+    fn mint_and_balance() {
+        let mut l = Ledger::new();
+        assert_eq!(l.balance(&addr(1)), 0);
+        l.mint(addr(1), 100);
+        assert_eq!(l.balance(&addr(1)), 100);
+        l.mint(addr(1), 50);
+        assert_eq!(l.balance(&addr(1)), 150);
+    }
+
+    #[test]
+    fn freeze_moves_to_escrow() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        l.freeze(addr(9), addr(1), 60).unwrap();
+        assert_eq!(l.balance(&addr(1)), 40);
+        assert_eq!(l.balance(&addr(9)), 60);
+        assert!(matches!(
+            l.events().last(),
+            Some(LedgerEvent::Frozen { amount: 60, .. })
+        ));
+    }
+
+    #[test]
+    fn freeze_insufficient_is_nofund() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 10);
+        let err = l.freeze(addr(9), addr(1), 60).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::InsufficientFunds {
+                account: addr(1),
+                requested: 60,
+                available: 10
+            }
+        );
+        // Balance unchanged, NoFund event recorded.
+        assert_eq!(l.balance(&addr(1)), 10);
+        assert!(matches!(
+            l.events().last(),
+            Some(LedgerEvent::NoFund { amount: 60, .. })
+        ));
+    }
+
+    #[test]
+    fn pay_from_escrow() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        l.freeze(addr(9), addr(1), 100).unwrap();
+        l.pay(addr(9), addr(2), 25).unwrap();
+        assert_eq!(l.balance(&addr(2)), 25);
+        assert_eq!(l.balance(&addr(9)), 75);
+    }
+
+    #[test]
+    fn pay_exceeding_escrow_fails() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        l.freeze(addr(9), addr(1), 50).unwrap();
+        assert!(l.pay(addr(9), addr(2), 60).is_err());
+        assert_eq!(l.balance(&addr(2)), 0);
+        assert_eq!(l.balance(&addr(9)), 50);
+    }
+
+    #[test]
+    fn transfer_between_parties() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        l.transfer(addr(1), addr(2), 30).unwrap();
+        assert_eq!(l.balance(&addr(1)), 70);
+        assert_eq!(l.balance(&addr(2)), 30);
+        assert!(l.transfer(addr(2), addr(1), 31).is_err());
+    }
+
+    #[test]
+    fn supply_is_conserved() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 500);
+        l.mint(addr(2), 300);
+        let supply = l.total_supply();
+        l.freeze(addr(9), addr(1), 200).unwrap();
+        l.pay(addr(9), addr(3), 150).unwrap();
+        l.transfer(addr(2), addr(1), 100).unwrap();
+        assert_eq!(l.total_supply(), supply);
+    }
+
+    #[test]
+    fn event_order_is_chronological() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 10);
+        l.freeze(addr(9), addr(1), 5).unwrap();
+        l.pay(addr(9), addr(1), 5).unwrap();
+        let kinds: Vec<_> = l
+            .events()
+            .iter()
+            .map(|e| match e {
+                LedgerEvent::Minted { .. } => "mint",
+                LedgerEvent::Frozen { .. } => "freeze",
+                LedgerEvent::Paid { .. } => "pay",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["mint", "freeze", "pay"]);
+    }
+}

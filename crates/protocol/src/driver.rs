@@ -1,0 +1,439 @@
+//! The end-to-end protocol driver: runs Π_hit over the simulated chain
+//! and produces a structured report (settlements, payments, per-phase gas
+//! — the raw material of Table III).
+
+use crate::requester::{Requester, Verdict};
+use crate::storage::ContentStore;
+use crate::worker::{Worker, WorkerBehavior};
+use dragoon_chain::{Chain, Gas, GasSchedule, ReorderPolicy, TxStatus};
+use dragoon_contract::{HitContract, HitMessage, PhaseWindows, Settlement};
+use dragoon_core::task::Answer;
+use dragoon_core::workload::Workload;
+use dragoon_crypto::commitment::Commitment;
+use dragoon_ledger::Address;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Configuration of a protocol run.
+pub struct RunConfig {
+    /// The workload (task + gold standards + hidden truth).
+    pub workload: Workload,
+    /// One behaviour per worker; the first `K` that the contract accepts
+    /// fill the task (extra entries model attackers racing for slots).
+    pub behaviors: Vec<WorkerBehavior>,
+    /// The gas schedule in force.
+    pub schedule: GasSchedule,
+    /// Optional per-block gas cap (Ethereum mainnet ran ~10M in the
+    /// paper's measurement window); `None` = unbounded blocks.
+    pub block_gas_limit: Option<dragoon_chain::Gas>,
+}
+
+impl RunConfig {
+    /// Convenience constructor with unbounded blocks.
+    pub fn new(workload: Workload, behaviors: Vec<WorkerBehavior>, schedule: GasSchedule) -> Self {
+        Self {
+            workload,
+            behaviors,
+            schedule,
+            block_gas_limit: None,
+        }
+    }
+}
+
+/// Gas usage per protocol operation (the rows of Table III).
+#[derive(Clone, Debug, Default)]
+pub struct GasByPhase {
+    /// The requester's publish transaction (includes task-contract
+    /// deployment).
+    pub publish: Gas,
+    /// Each worker's commit transaction.
+    pub commits: Vec<Gas>,
+    /// Each worker's reveal transaction.
+    pub reveals: Vec<Gas>,
+    /// The golden opening transaction.
+    pub golden: Gas,
+    /// Each rejection transaction (PoQoEA `evaluate` or `outrange`).
+    pub rejects: Vec<Gas>,
+    /// The settlement transaction.
+    pub finalize: Gas,
+}
+
+impl GasByPhase {
+    /// A worker's "submit answers" cost: commit + reveal (the Table III
+    /// per-worker row).
+    pub fn submit_per_worker(&self) -> Vec<Gas> {
+        self.commits
+            .iter()
+            .zip(&self.reveals)
+            .map(|(c, r)| c + r)
+            .collect()
+    }
+
+    /// Total gas across all protocol transactions.
+    pub fn total(&self) -> Gas {
+        self.publish
+            + self.commits.iter().sum::<Gas>()
+            + self.reveals.iter().sum::<Gas>()
+            + self.golden
+            + self.rejects.iter().sum::<Gas>()
+            + self.finalize
+    }
+}
+
+/// The outcome of a protocol run.
+pub struct RunReport {
+    /// Per-phase gas usage.
+    pub gas: GasByPhase,
+    /// Final settlement of every committed worker.
+    pub settlements: BTreeMap<Address, Settlement>,
+    /// Final ledger balance of every party.
+    pub balances: BTreeMap<Address, u128>,
+    /// The answers the requester successfully collected (the utility of
+    /// the whole exercise).
+    pub collected: Vec<(Address, Answer)>,
+    /// The chain, for deeper inspection.
+    pub chain: Chain<HitContract>,
+    /// The requester's address.
+    pub requester: Address,
+    /// The worker addresses, in behaviour order.
+    pub workers: Vec<Address>,
+}
+
+/// Runs the full protocol with honest FIFO scheduling.
+pub fn run<R: Rng + ?Sized>(config: RunConfig, rng: &mut R) -> RunReport {
+    run_with_policy(config, &mut dragoon_chain::FifoPolicy, rng)
+}
+
+/// Runs the full protocol under an arbitrary (possibly adversarial)
+/// message-scheduling policy.
+pub fn run_with_policy<R: Rng + ?Sized>(
+    config: RunConfig,
+    policy: &mut dyn ReorderPolicy<HitMessage>,
+    rng: &mut R,
+) -> RunReport {
+    let RunConfig {
+        workload,
+        behaviors,
+        schedule,
+        block_gas_limit,
+    } = config;
+    let requester_addr = Address::from_seed(0xd1a6_0000);
+    let worker_addrs: Vec<Address> = (0..behaviors.len() as u64)
+        .map(|i| Address::from_seed(0x3031_0000 + i))
+        .collect();
+
+    let mut store = ContentStore::new();
+    let requester = Requester::new(requester_addr, &workload, &mut store, rng);
+    let mut chain: Chain<HitContract> =
+        Chain::deploy(HitContract::new(PhaseWindows::default()), 0, schedule);
+    if let Some(limit) = block_gas_limit {
+        chain = chain.with_block_gas_limit(limit);
+    }
+    chain.ledger.mint(requester_addr, workload.spec.budget);
+
+    // Phase 1: publish.
+    chain.submit(requester_addr, requester.publish_msg());
+    chain.advance_round(policy);
+
+    // Phase 2-a: commits. Copy-paste attackers observe the honest
+    // commitments in the mempool before submitting.
+    let mut workers: Vec<Worker> = worker_addrs
+        .iter()
+        .zip(behaviors)
+        .map(|(addr, b)| Worker::new(*addr, b))
+        .collect();
+    let mut observed: Vec<Commitment> = Vec::new();
+    // Honest-ish workers first (they populate the mempool the attacker
+    // watches), then the copiers.
+    let ek = requester.public_key();
+    let mut copier_indices = Vec::new();
+    for (i, w) in workers.iter_mut().enumerate() {
+        if matches!(w.behavior, WorkerBehavior::CopyPaste) {
+            copier_indices.push(i);
+            continue;
+        }
+        if let Some(msg) = w.commit_msg(&workload, &ek, &observed, rng) {
+            if let HitMessage::Commit { commitment } = &msg {
+                observed.push(*commitment);
+            }
+            chain.submit(w.addr, msg);
+        }
+    }
+    for i in copier_indices {
+        let w = &mut workers[i];
+        if let Some(msg) = w.commit_msg(&workload, &ek, &observed, rng) {
+            chain.submit(w.addr, msg);
+        }
+    }
+    chain.advance_round(policy);
+
+    // From here the driver is event-driven: each party watches the
+    // contract's phase and reacts, tolerating adversarial delays (the
+    // phase windows absorb the one-clock-period maximum). A generous
+    // round bound guarantees termination even under pathological
+    // policies.
+    let mut reveals_sent: Vec<Address> = Vec::new();
+    let mut golden_sent = false;
+    let mut verdicts_sent = false;
+    let mut verdict_targets: Vec<Address> = Vec::new();
+    let mut finalize_sent = false;
+    let mut collected = Vec::new();
+    let max_round = chain.round() + 48;
+    while !chain.contract().is_settled() && chain.round() < max_round {
+        match chain.contract().phase() {
+            dragoon_contract::Phase::Reveal => {
+                // Phase 2-b: accepted workers open their commitments.
+                let accepted = chain.contract().committed_workers().to_vec();
+                for w in &workers {
+                    if accepted.contains(&w.addr) && !reveals_sent.contains(&w.addr) {
+                        reveals_sent.push(w.addr);
+                        if let Some(msg) = w.reveal_msg(rng) {
+                            chain.submit(w.addr, msg);
+                        }
+                    }
+                }
+            }
+            dragoon_contract::Phase::Evaluate => {
+                // The requester sequences its phase-3 transactions:
+                // golden first, rejections once the golden opening has
+                // confirmed, settlement once the rejections have
+                // confirmed — a rushing adversary can reorder messages
+                // *within* a round, so dependent messages must not share
+                // one.
+                if !golden_sent {
+                    golden_sent = true;
+                    chain.submit(requester_addr, requester.golden_msg());
+                } else if !verdicts_sent && chain.contract().golden().is_some() {
+                    // Golden confirmed: read every revealed submission
+                    // (from event logs), decrypt, challenge the bad ones.
+                    verdicts_sent = true;
+                    let mut msgs = Vec::new();
+                    for addr in chain.contract().committed_workers().to_vec() {
+                        if let Some(cts) = chain.contract().revealed(&addr) {
+                            match requester.evaluate(addr, cts, rng) {
+                                Verdict::Accept { answer, .. } => collected.push((addr, answer)),
+                                Verdict::RejectOutOfRange { msg } => {
+                                    verdict_targets.push(addr);
+                                    msgs.push(msg);
+                                }
+                                Verdict::RejectLowQuality { msg, .. } => {
+                                    verdict_targets.push(addr);
+                                    msgs.push(msg);
+                                }
+                            }
+                        }
+                    }
+                    for msg in msgs {
+                        chain.submit(requester_addr, msg);
+                    }
+                } else if !finalize_sent
+                    && verdicts_sent
+                    && verdict_targets
+                        .iter()
+                        .all(|w| chain.contract().settlement(w).is_some())
+                    && chain
+                        .contract()
+                        .evaluate_deadline()
+                        .is_some_and(|d| chain.round() >= d)
+                {
+                    // Deadline passed and all rejections confirmed:
+                    // settle explicitly (the clock-driven settlement is
+                    // the gas-free backstop if this gets delayed).
+                    finalize_sent = true;
+                    chain.submit(requester_addr, HitMessage::Finalize);
+                }
+            }
+            _ => {}
+        }
+        chain.advance_round(policy);
+    }
+    assert!(chain.contract().is_settled(), "protocol must terminate");
+
+    // Collect the report.
+    let mut gas = GasByPhase::default();
+    for r in chain.receipts() {
+        if r.status != TxStatus::Ok {
+            continue;
+        }
+        match r.label {
+            "publish" => gas.publish = r.gas_used,
+            "commit" => gas.commits.push(r.gas_used),
+            "reveal" => gas.reveals.push(r.gas_used),
+            "golden" => gas.golden = r.gas_used,
+            "outrange" | "evaluate" => gas.rejects.push(r.gas_used),
+            "finalize" => gas.finalize = r.gas_used,
+            _ => {}
+        }
+    }
+    let mut settlements = BTreeMap::new();
+    for addr in chain.contract().committed_workers().to_vec() {
+        if let Some(s) = chain.contract().settlement(&addr) {
+            settlements.insert(addr, s.clone());
+        }
+    }
+    let mut balances = BTreeMap::new();
+    balances.insert(requester_addr, chain.ledger.balance(&requester_addr));
+    for addr in &worker_addrs {
+        balances.insert(*addr, chain.ledger.balance(addr));
+    }
+    RunReport {
+        gas,
+        settlements,
+        balances,
+        collected,
+        chain,
+        requester: requester_addr,
+        workers: worker_addrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragoon_contract::RejectReason;
+    use dragoon_core::workload::{imagenet_workload, AnswerModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const BUDGET: u128 = 4_000_000;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xd21e)
+    }
+
+    fn honest(n: usize, accuracy: f64) -> Vec<WorkerBehavior> {
+        vec![WorkerBehavior::Honest(AnswerModel::Diligent { accuracy }); n]
+    }
+
+    #[test]
+    fn four_honest_workers_all_paid() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        let report = run(
+            RunConfig::new(workload, honest(4, 1.0), GasSchedule::istanbul()),
+            &mut rng,
+        );
+        assert_eq!(report.collected.len(), 4);
+        for w in &report.workers {
+            assert_eq!(report.balances[w], BUDGET / 4);
+            assert_eq!(report.settlements[w], Settlement::Paid);
+        }
+        assert_eq!(report.balances[&report.requester], 0);
+    }
+
+    #[test]
+    fn low_quality_worker_rejected_and_share_refunded() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        let mut behaviors = honest(3, 1.0);
+        behaviors.push(WorkerBehavior::Honest(AnswerModel::Diligent {
+            accuracy: 0.0,
+        }));
+        let report = run(
+            RunConfig::new(workload, behaviors, GasSchedule::istanbul()),
+            &mut rng,
+        );
+        let bad = report.workers[3];
+        assert_eq!(report.balances[&bad], 0);
+        assert!(matches!(
+            report.settlements[&bad],
+            Settlement::Rejected(RejectReason::LowQuality { .. })
+        ));
+        assert_eq!(report.balances[&report.requester], BUDGET / 4);
+        assert_eq!(report.gas.rejects.len(), 1);
+        // Three good answers collected.
+        assert_eq!(report.collected.len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_worker_rejected() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        let mut behaviors = honest(3, 1.0);
+        behaviors.push(WorkerBehavior::Honest(AnswerModel::OutOfRange));
+        let report = run(
+            RunConfig::new(workload, behaviors, GasSchedule::istanbul()),
+            &mut rng,
+        );
+        let bad = report.workers[3];
+        assert_eq!(report.balances[&bad], 0);
+        assert!(matches!(
+            report.settlements[&bad],
+            Settlement::Rejected(RejectReason::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_paste_attacker_locked_out() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        // 4 honest fill the task; a 5th copier races them.
+        let mut behaviors = honest(4, 1.0);
+        behaviors.push(WorkerBehavior::CopyPaste);
+        let report = run(
+            RunConfig::new(workload, behaviors, GasSchedule::istanbul()),
+            &mut rng,
+        );
+        let copier = report.workers[4];
+        assert_eq!(report.balances[&copier], 0);
+        assert!(!report.settlements.contains_key(&copier));
+        // The honest four were all paid.
+        for w in &report.workers[..4] {
+            assert_eq!(report.balances[w], BUDGET / 4);
+        }
+    }
+
+    #[test]
+    fn non_revealer_unpaid_share_refunded() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        let mut behaviors = honest(3, 1.0);
+        behaviors.push(WorkerBehavior::CommitNoReveal);
+        let report = run(
+            RunConfig::new(workload, behaviors, GasSchedule::istanbul()),
+            &mut rng,
+        );
+        let silent = report.workers[3];
+        assert_eq!(report.balances[&silent], 0);
+        assert_eq!(
+            report.settlements[&silent],
+            Settlement::Rejected(RejectReason::NoReveal)
+        );
+        assert_eq!(report.balances[&report.requester], BUDGET / 4);
+    }
+
+    #[test]
+    fn gas_report_has_all_rows() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        let report = run(
+            RunConfig::new(workload, honest(4, 1.0), GasSchedule::istanbul()),
+            &mut rng,
+        );
+        assert!(report.gas.publish > 1_000_000);
+        assert_eq!(report.gas.commits.len(), 4);
+        assert_eq!(report.gas.reveals.len(), 4);
+        assert!(report.gas.golden > 21_000);
+        assert!(report.gas.finalize > 21_000);
+        assert_eq!(report.gas.submit_per_worker().len(), 4);
+        let total = report.gas.total();
+        assert!(
+            (8_000_000..20_000_000).contains(&total),
+            "total gas = {total}"
+        );
+    }
+
+    #[test]
+    fn collected_answers_match_ground_truth_for_perfect_workers() {
+        let mut rng = rng();
+        let workload = imagenet_workload(BUDGET, &mut rng);
+        let truth = workload.truth.clone();
+        let report = run(
+            RunConfig::new(workload, honest(4, 1.0), GasSchedule::istanbul()),
+            &mut rng,
+        );
+        for (_, answer) in &report.collected {
+            assert_eq!(answer.0, truth.0);
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! The ideal functionality `F_hit` of decentralized HITs (Fig 2).
+//!
+//! `F_hit` is the *trusted* specification the real protocol must emulate:
+//! it receives plaintext answers directly, computes quality itself, and
+//! drives the ledger for conditional payments. The real-vs-ideal
+//! integration tests (`tests/real_vs_ideal.rs`) run Π_hit and `F_hit` on
+//! identical inputs and compare the joint outcomes — the executable
+//! counterpart of the paper's Theorem 1 simulation argument.
+//!
+//! The leakage log records exactly what Fig 2 leaks to the adversary
+//! `S`: message types, lengths, and — once evaluation happens — the gold
+//! standards. Confidentiality tests assert nothing else escapes.
+
+use dragoon_core::quality::quality;
+use dragoon_core::task::{Answer, GoldenStandards};
+use dragoon_crypto::elgamal::PlaintextRange;
+use dragoon_ledger::{Address, Amount, Ledger, LedgerError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The phase of the ideal functionality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdealPhase {
+    /// Awaiting the publish input.
+    Publish,
+    /// Phase 2: collecting answers until `K` arrive.
+    Collect,
+    /// Phase 3: evaluating answers.
+    Evaluate,
+    /// Finished.
+    Done,
+}
+
+/// What `F_hit` leaks to the simulator/adversary (Fig 2, blue/brown
+/// annotations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Leakage {
+    /// `(publishing, R, N, B, K, range, Θ, |G|, |Gs|)`.
+    Publishing {
+        /// The requester.
+        requester: Address,
+        /// Number of questions.
+        n: usize,
+        /// The budget.
+        budget: Amount,
+        /// Worker quota.
+        k: usize,
+        /// Number of gold standards (only the size leaks!).
+        golds: usize,
+    },
+    /// `(answering, W_j, |a_j|)` — only the length of the answer leaks.
+    Answering {
+        /// The answering worker.
+        worker: Address,
+        /// The answer length.
+        len: usize,
+    },
+    /// `(evaluated, W_j, G, Gs)` — evaluation publishes the golds.
+    Evaluated {
+        /// The evaluated worker.
+        worker: Address,
+    },
+    /// `(outranged, W_j, a_{i,j})`.
+    OutRanged {
+        /// The worker.
+        worker: Address,
+        /// The out-of-range value.
+        value: u64,
+    },
+}
+
+/// Errors of the ideal functionality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IdealError {
+    /// Input arrived in the wrong phase.
+    WrongPhase,
+    /// The requester lacks the budget (`nofund`).
+    NoFund,
+    /// A worker tried to answer twice (`if (W_j, ·) ∈ answers, do
+    /// nothing`).
+    DuplicateAnswer,
+    /// Evaluation referenced an unknown worker.
+    UnknownWorker,
+    /// Only the requester can evaluate.
+    NotRequester,
+}
+
+impl fmt::Display for IdealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdealError::WrongPhase => write!(f, "wrong phase"),
+            IdealError::NoFund => write!(f, "insufficient funds"),
+            IdealError::DuplicateAnswer => write!(f, "worker already answered"),
+            IdealError::UnknownWorker => write!(f, "unknown worker"),
+            IdealError::NotRequester => write!(f, "not the requester"),
+        }
+    }
+}
+
+impl std::error::Error for IdealError {}
+
+/// The ideal functionality `F_hit`, in the `L`-hybrid model.
+pub struct IdealHit {
+    /// The ledger functionality `L` it calls as a subroutine.
+    pub ledger: Ledger,
+    phase: IdealPhase,
+    /// The functionality's own escrow address.
+    addr: Address,
+    requester: Option<Address>,
+    n: usize,
+    budget: Amount,
+    k: usize,
+    range: PlaintextRange,
+    theta: u64,
+    golden: Option<GoldenStandards>,
+    answers: Vec<(Address, Option<Answer>)>,
+    settled: BTreeMap<Address, bool>, // worker -> paid?
+    leakage: Vec<Leakage>,
+}
+
+impl IdealHit {
+    /// Creates the functionality over a ledger.
+    pub fn new(ledger: Ledger) -> Self {
+        Self {
+            ledger,
+            phase: IdealPhase::Publish,
+            addr: Address::from_seed(0xf417),
+            requester: None,
+            n: 0,
+            budget: 0,
+            k: 0,
+            range: PlaintextRange::binary(),
+            theta: 0,
+            golden: None,
+            answers: Vec::new(),
+            settled: BTreeMap::new(),
+            leakage: Vec::new(),
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> IdealPhase {
+        self.phase
+    }
+
+    /// The leakage log (what the adversary saw).
+    pub fn leakage(&self) -> &[Leakage] {
+        &self.leakage
+    }
+
+    /// Phase 1: `(publish, N, B, K, range, Θ, G, Gs)` from `R`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish(
+        &mut self,
+        requester: Address,
+        n: usize,
+        budget: Amount,
+        k: usize,
+        range: PlaintextRange,
+        theta: u64,
+        golden: GoldenStandards,
+    ) -> Result<(), IdealError> {
+        if self.phase != IdealPhase::Publish {
+            return Err(IdealError::WrongPhase);
+        }
+        self.leakage.push(Leakage::Publishing {
+            requester,
+            n,
+            budget,
+            k,
+            golds: golden.len(),
+        });
+        match self.ledger.freeze(self.addr, requester, budget) {
+            Ok(()) => {}
+            Err(LedgerError::InsufficientFunds { .. }) => return Err(IdealError::NoFund),
+            Err(_) => return Err(IdealError::NoFund),
+        }
+        self.requester = Some(requester);
+        self.n = n;
+        self.budget = budget;
+        self.k = k;
+        self.range = range;
+        self.theta = theta;
+        self.golden = Some(golden);
+        self.phase = IdealPhase::Collect;
+        Ok(())
+    }
+
+    /// Phase 2: `(answer, a_j)` from `W_j`. `None` models `⊥` (a worker
+    /// the adversary silenced).
+    pub fn submit_answer(
+        &mut self,
+        worker: Address,
+        answer: Option<Answer>,
+    ) -> Result<(), IdealError> {
+        if self.phase != IdealPhase::Collect {
+            return Err(IdealError::WrongPhase);
+        }
+        if self.answers.iter().any(|(w, _)| *w == worker) {
+            // Fig 2: "if (Wj, ·) ∈ answers, do nothing".
+            return Err(IdealError::DuplicateAnswer);
+        }
+        self.leakage.push(Leakage::Answering {
+            worker,
+            len: answer.as_ref().map(|a| a.len()).unwrap_or(0),
+        });
+        self.answers.push((worker, answer));
+        if self.answers.len() == self.k {
+            self.phase = IdealPhase::Evaluate;
+        }
+        Ok(())
+    }
+
+    /// The answers the requester receives (Fig 2 sends `answers` to `R`).
+    pub fn answers(&self) -> &[(Address, Option<Answer>)] {
+        &self.answers
+    }
+
+    /// Phase 3: `(evaluate, W_j)` from `R` — the functionality computes
+    /// the quality itself and pays iff `Quality ≥ Θ`.
+    pub fn evaluate(&mut self, sender: Address, worker: Address) -> Result<(), IdealError> {
+        self.check_evaluate(sender, &worker)?;
+        let answer = self
+            .answers
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .and_then(|(_, a)| a.clone());
+        let golden = self.golden.as_ref().expect("published");
+        let q = answer.as_ref().map(|a| quality(a, golden)).unwrap_or(0);
+        self.leakage.push(Leakage::Evaluated { worker });
+        if q >= self.theta {
+            self.pay(worker);
+        }
+        self.settled.insert(worker, q >= self.theta);
+        Ok(())
+    }
+
+    /// Phase 3: `(outrange, W_j, i)` from `R`.
+    pub fn outrange(
+        &mut self,
+        sender: Address,
+        worker: Address,
+        index: usize,
+    ) -> Result<(), IdealError> {
+        self.check_evaluate(sender, &worker)?;
+        let answer = self
+            .answers
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .and_then(|(_, a)| a.clone());
+        let value = answer.as_ref().and_then(|a| a.0.get(index)).copied();
+        match value {
+            Some(v) if !self.range.contains(v) => {
+                // Genuinely out of range: leak it, no payment.
+                self.leakage.push(Leakage::OutRanged { worker, value: v });
+                self.settled.insert(worker, false);
+            }
+            _ => {
+                // The accusation is false: pay the worker.
+                self.pay(worker);
+                self.settled.insert(worker, true);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_evaluate(&self, sender: Address, worker: &Address) -> Result<(), IdealError> {
+        if self.phase != IdealPhase::Evaluate {
+            return Err(IdealError::WrongPhase);
+        }
+        if Some(sender) != self.requester {
+            return Err(IdealError::NotRequester);
+        }
+        if !self.answers.iter().any(|(w, _)| w == worker) {
+            return Err(IdealError::UnknownWorker);
+        }
+        if self.settled.contains_key(worker) {
+            return Err(IdealError::DuplicateAnswer);
+        }
+        Ok(())
+    }
+
+    /// End of phase 3 (the clock period expires): any worker the
+    /// requester did not message gets paid by default if their answer is
+    /// not `⊥`; leftovers return to the requester.
+    pub fn finalize(&mut self) {
+        if self.phase != IdealPhase::Evaluate {
+            // A task that never filled up refunds on finalize too.
+            if self.phase == IdealPhase::Collect {
+                let requester = self.requester.expect("published");
+                let leftover = self.ledger.balance(&self.addr);
+                if leftover > 0 {
+                    self.ledger
+                        .pay(self.addr, requester, leftover)
+                        .expect("own balance");
+                }
+                self.phase = IdealPhase::Done;
+            }
+            return;
+        }
+        for (worker, answer) in self.answers.clone() {
+            if self.settled.contains_key(&worker) {
+                continue;
+            }
+            if answer.is_some() {
+                self.pay(worker);
+                self.settled.insert(worker, true);
+            } else {
+                self.settled.insert(worker, false);
+            }
+        }
+        let requester = self.requester.expect("published");
+        let leftover = self.ledger.balance(&self.addr);
+        if leftover > 0 {
+            self.ledger
+                .pay(self.addr, requester, leftover)
+                .expect("own balance");
+        }
+        self.phase = IdealPhase::Done;
+    }
+
+    fn pay(&mut self, worker: Address) {
+        let reward = self.budget / self.k as Amount;
+        self.ledger
+            .pay(self.addr, worker, reward)
+            .expect("escrow holds budget");
+    }
+
+    /// Whether `worker` ended up paid.
+    pub fn was_paid(&self, worker: &Address) -> Option<bool> {
+        self.settled.get(worker).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden() -> GoldenStandards {
+        GoldenStandards {
+            indexes: vec![0, 2],
+            answers: vec![1, 0],
+        }
+    }
+
+    fn setup() -> (IdealHit, Address, Vec<Address>) {
+        let mut ledger = Ledger::new();
+        let requester = Address::from_byte(1);
+        ledger.mint(requester, 1_000);
+        let workers: Vec<Address> = (10..14).map(Address::from_byte).collect();
+        let mut f = IdealHit::new(ledger);
+        f.publish(
+            requester,
+            4,
+            1_000,
+            4,
+            PlaintextRange::binary(),
+            2,
+            golden(),
+        )
+        .unwrap();
+        (f, requester, workers)
+    }
+
+    #[test]
+    fn publish_freezes_budget() {
+        let (f, requester, _) = setup();
+        assert_eq!(f.ledger.balance(&requester), 0);
+        assert_eq!(f.phase(), IdealPhase::Collect);
+        assert!(matches!(f.leakage()[0], Leakage::Publishing { .. }));
+    }
+
+    #[test]
+    fn publish_without_funds_fails() {
+        let ledger = Ledger::new();
+        let mut f = IdealHit::new(ledger);
+        let err = f
+            .publish(
+                Address::from_byte(1),
+                4,
+                1_000,
+                4,
+                PlaintextRange::binary(),
+                2,
+                golden(),
+            )
+            .unwrap_err();
+        assert_eq!(err, IdealError::NoFund);
+    }
+
+    #[test]
+    fn collects_exactly_k_answers() {
+        let (mut f, _, workers) = setup();
+        let good = Answer(vec![1, 0, 0, 0]);
+        for w in &workers {
+            f.submit_answer(*w, Some(good.clone())).unwrap();
+        }
+        assert_eq!(f.phase(), IdealPhase::Evaluate);
+        assert_eq!(f.answers().len(), 4);
+        // A fifth answer is out of phase.
+        assert_eq!(
+            f.submit_answer(Address::from_byte(99), Some(good)),
+            Err(IdealError::WrongPhase)
+        );
+    }
+
+    #[test]
+    fn duplicate_answers_ignored() {
+        let (mut f, _, workers) = setup();
+        let a = Answer(vec![1, 0, 0, 0]);
+        f.submit_answer(workers[0], Some(a.clone())).unwrap();
+        assert_eq!(
+            f.submit_answer(workers[0], Some(a)),
+            Err(IdealError::DuplicateAnswer)
+        );
+    }
+
+    #[test]
+    fn default_payment_on_silence() {
+        let (mut f, requester, workers) = setup();
+        let good = Answer(vec![1, 0, 0, 0]);
+        for w in &workers {
+            f.submit_answer(*w, Some(good.clone())).unwrap();
+        }
+        f.finalize();
+        for w in &workers {
+            assert_eq!(f.ledger.balance(w), 250);
+            assert_eq!(f.was_paid(w), Some(true));
+        }
+        assert_eq!(f.ledger.balance(&requester), 0);
+    }
+
+    #[test]
+    fn evaluate_pays_only_qualified() {
+        let (mut f, requester, workers) = setup();
+        let good = Answer(vec![1, 0, 0, 0]); // quality 2 ≥ Θ=2
+        let bad = Answer(vec![0, 0, 1, 0]); // quality 0
+        f.submit_answer(workers[0], Some(good.clone())).unwrap();
+        f.submit_answer(workers[1], Some(bad)).unwrap();
+        f.submit_answer(workers[2], Some(good.clone())).unwrap();
+        f.submit_answer(workers[3], Some(good)).unwrap();
+        // The trusted functionality computes quality itself — the
+        // requester cannot lie about it.
+        f.evaluate(requester, workers[0]).unwrap();
+        f.evaluate(requester, workers[1]).unwrap();
+        f.finalize();
+        assert_eq!(f.ledger.balance(&workers[0]), 250);
+        assert_eq!(f.ledger.balance(&workers[1]), 0);
+        assert_eq!(f.ledger.balance(&workers[2]), 250);
+        assert_eq!(f.ledger.balance(&workers[3]), 250);
+        // The bad worker's share returned to the requester.
+        assert_eq!(f.ledger.balance(&requester), 250);
+    }
+
+    #[test]
+    fn outrange_checks_the_actual_value() {
+        let (mut f, requester, workers) = setup();
+        let outr = Answer(vec![9, 0, 0, 0]);
+        let good = Answer(vec![1, 0, 0, 0]);
+        f.submit_answer(workers[0], Some(outr)).unwrap();
+        f.submit_answer(workers[1], Some(good.clone())).unwrap();
+        f.submit_answer(workers[2], Some(good.clone())).unwrap();
+        f.submit_answer(workers[3], Some(good)).unwrap();
+        f.outrange(requester, workers[0], 0).unwrap();
+        // A false accusation pays the worker.
+        f.outrange(requester, workers[1], 0).unwrap();
+        f.finalize();
+        assert_eq!(f.ledger.balance(&workers[0]), 0);
+        assert_eq!(f.ledger.balance(&workers[1]), 250);
+        assert!(f
+            .leakage()
+            .iter()
+            .any(|l| matches!(l, Leakage::OutRanged { value: 9, .. })));
+    }
+
+    #[test]
+    fn bottom_answers_unpaid() {
+        let (mut f, requester, workers) = setup();
+        let good = Answer(vec![1, 0, 0, 0]);
+        f.submit_answer(workers[0], None).unwrap(); // ⊥
+        for w in &workers[1..] {
+            f.submit_answer(*w, Some(good.clone())).unwrap();
+        }
+        f.finalize();
+        assert_eq!(f.ledger.balance(&workers[0]), 0);
+        assert_eq!(f.ledger.balance(&requester), 250);
+    }
+
+    #[test]
+    fn only_requester_evaluates() {
+        let (mut f, _, workers) = setup();
+        let good = Answer(vec![1, 0, 0, 0]);
+        for w in &workers {
+            f.submit_answer(*w, Some(good.clone())).unwrap();
+        }
+        assert_eq!(
+            f.evaluate(workers[0], workers[1]),
+            Err(IdealError::NotRequester)
+        );
+    }
+
+    #[test]
+    fn leakage_hides_answer_content() {
+        // The only thing leaked during collection is the answer LENGTH.
+        let (mut f, _, workers) = setup();
+        let a = Answer(vec![1, 1, 1, 1]);
+        f.submit_answer(workers[0], Some(a)).unwrap();
+        match &f.leakage()[1] {
+            Leakage::Answering { len, .. } => assert_eq!(*len, 4),
+            other => panic!("unexpected leakage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unfilled_task_refunds_on_finalize() {
+        let (mut f, requester, workers) = setup();
+        f.submit_answer(workers[0], Some(Answer(vec![1, 0, 0, 0])))
+            .unwrap();
+        // Only 1 of 4 answers arrived; the task never fills.
+        f.finalize();
+        assert_eq!(f.phase(), IdealPhase::Done);
+        assert_eq!(f.ledger.balance(&requester), 1_000);
+    }
+}

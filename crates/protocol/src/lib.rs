@@ -1,0 +1,30 @@
+//! # dragoon-protocol
+//!
+//! The decentralized HIT protocol Π_hit (Fig 5) and its security
+//! harness:
+//!
+//! * [`requester`] / [`worker`] — the off-chain clients, including
+//!   adversarial worker behaviours (copy-paste free-riders, silent
+//!   committers, malformed reveals).
+//! * [`driver`] — end-to-end protocol runs over the simulated chain,
+//!   producing per-phase gas reports (Table III's raw material).
+//! * [`ideal`] — the ideal functionality `F_hit` (Fig 2), the trusted
+//!   specification used by the real-vs-ideal comparison tests.
+//! * [`storage`] — content-addressed off-chain storage (the Swarm
+//!   stand-in for task question sets).
+//! * [`strawman`] — the transparent (no-privacy) design the paper's
+//!   introduction shows is broken; used to demonstrate the free-riding
+//!   attack Dragoon prevents.
+
+pub mod driver;
+pub mod ideal;
+pub mod requester;
+pub mod storage;
+pub mod strawman;
+pub mod worker;
+
+pub use driver::{run, run_with_policy, GasByPhase, RunConfig, RunReport};
+pub use ideal::{IdealHit, IdealPhase, Leakage};
+pub use requester::{Requester, Verdict};
+pub use storage::ContentStore;
+pub use worker::{Worker, WorkerBehavior};

@@ -1,0 +1,278 @@
+//! The requester client of Π_hit (Fig 5): key management, task
+//! publication, answer evaluation and proof generation.
+
+use crate::storage::{encode_questions, ContentStore, Digest};
+use dragoon_contract::{HitMessage, PublishParams};
+use dragoon_core::poqoea;
+use dragoon_core::task::{Answer, EncryptedAnswer, GoldenStandards, TaskSpec};
+use dragoon_core::workload::Workload;
+use dragoon_crypto::commitment::{Commitment, CommitmentKey};
+use dragoon_crypto::elgamal::{Decrypted, KeyPair, PlaintextRange};
+use dragoon_crypto::vpke;
+use dragoon_ledger::Address;
+use rand::Rng;
+
+/// What the requester decided about one worker's submission.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Quality ≥ Θ — accept (silence; the contract pays by default).
+    Accept {
+        /// The computed quality.
+        quality: u64,
+        /// The decrypted answer vector (the crowdsourced data!).
+        answer: Answer,
+    },
+    /// Some item is out of range — reject with a VPKE proof.
+    RejectOutOfRange {
+        /// The message to submit.
+        msg: HitMessage,
+    },
+    /// Quality < Θ — reject with a PoQoEA proof.
+    RejectLowQuality {
+        /// The proven quality.
+        quality: u64,
+        /// The message to submit.
+        msg: HitMessage,
+    },
+}
+
+/// The requester client.
+///
+/// One key pair serves all tasks — the paper highlights that all protocol
+/// scripts are simulatable without the secret key, so key reuse leaks
+/// nothing (§VI "Off-chain costs").
+pub struct Requester {
+    /// The requester's on-chain identity.
+    pub addr: Address,
+    keypair: KeyPair,
+    task: TaskSpec,
+    golden: GoldenStandards,
+    gs_key: CommitmentKey,
+    task_digest: Digest,
+}
+
+impl Requester {
+    /// Creates a requester for a workload, uploading the question set to
+    /// off-chain storage.
+    pub fn new<R: Rng + ?Sized>(
+        addr: Address,
+        workload: &Workload,
+        store: &mut ContentStore,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_keypair(addr, KeyPair::generate(rng), workload, store, rng)
+    }
+
+    /// Creates a requester reusing an existing key pair (one key pair
+    /// across all tasks).
+    pub fn with_keypair<R: Rng + ?Sized>(
+        addr: Address,
+        keypair: KeyPair,
+        workload: &Workload,
+        store: &mut ContentStore,
+        rng: &mut R,
+    ) -> Self {
+        let task_digest = store.put(encode_questions(&workload.spec.questions));
+        Self {
+            addr,
+            keypair,
+            task: workload.spec.clone(),
+            golden: workload.golden.clone(),
+            gs_key: CommitmentKey::random(rng),
+            task_digest,
+        }
+    }
+
+    /// The requester's public encryption key.
+    pub fn public_key(&self) -> dragoon_crypto::elgamal::EncryptionKey {
+        self.keypair.ek
+    }
+
+    /// The task this requester runs.
+    pub fn task(&self) -> &TaskSpec {
+        &self.task
+    }
+
+    /// Phase 1: the publish message (freezes `B` in the contract).
+    pub fn publish_msg(&self) -> HitMessage {
+        HitMessage::Publish(PublishParams {
+            n: self.task.n,
+            budget: self.task.budget,
+            k: self.task.k,
+            range: self.task.range,
+            theta: self.task.theta,
+            ek: self.keypair.ek,
+            comm_gs: Commitment::commit(&self.golden.encode(), &self.gs_key),
+            task_digest: self.task_digest,
+        })
+    }
+
+    /// Phase 3: the golden opening message.
+    pub fn golden_msg(&self) -> HitMessage {
+        HitMessage::Golden {
+            golden: self.golden.clone(),
+            key: self.gs_key,
+        }
+    }
+
+    /// Decrypts a revealed submission and decides accept / reject,
+    /// producing the proof message when rejecting (Fig 5, phase 3).
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        worker: Address,
+        cts: &EncryptedAnswer,
+        rng: &mut R,
+    ) -> Verdict {
+        let range = self.task.range;
+        // Decrypt every item; find the first out-of-range one.
+        let mut plain = Vec::with_capacity(cts.len());
+        for (i, ct) in cts.0.iter().enumerate() {
+            match self.keypair.dk.decrypt(ct, &range) {
+                Decrypted::InRange(m) => plain.push(m),
+                Decrypted::OutOfRange(_) => {
+                    let (claim, proof) = vpke::prove(&self.keypair.dk, ct, &range, rng);
+                    return Verdict::RejectOutOfRange {
+                        msg: HitMessage::OutRange {
+                            worker,
+                            index: i,
+                            claim,
+                            proof,
+                        },
+                    };
+                }
+            }
+        }
+        let answer = Answer(plain);
+        let q = dragoon_core::quality(&answer, &self.golden);
+        if q >= self.task.theta {
+            Verdict::Accept { quality: q, answer }
+        } else {
+            let (chi, proof) =
+                poqoea::prove_quality(&self.keypair.dk, cts, &self.golden, &range, rng);
+            debug_assert_eq!(chi, q);
+            Verdict::RejectLowQuality {
+                quality: chi,
+                msg: HitMessage::Evaluate {
+                    worker,
+                    chi,
+                    proof,
+                },
+            }
+        }
+    }
+
+    /// The decryption key (exposed for benches of the proving cost; a
+    /// real deployment would keep this private).
+    pub fn keypair(&self) -> &KeyPair {
+        &self.keypair
+    }
+
+    /// The golden standards (the requester's secret parameters).
+    pub fn golden(&self) -> &GoldenStandards {
+        &self.golden
+    }
+
+    /// The range of the task's questions.
+    pub fn range(&self) -> PlaintextRange {
+        self.task.range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragoon_core::workload::{draw_answer, imagenet_workload, AnswerModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, Workload, ContentStore, Requester) {
+        let mut rng = StdRng::seed_from_u64(0x5e71);
+        let w = imagenet_workload(4_000, &mut rng);
+        let mut store = ContentStore::new();
+        let r = Requester::new(Address::from_byte(1), &w, &mut store, &mut rng);
+        (rng, w, store, r)
+    }
+
+    #[test]
+    fn publish_message_carries_task_params() {
+        let (_, w, store, r) = setup();
+        let HitMessage::Publish(p) = r.publish_msg() else {
+            panic!("expected publish");
+        };
+        assert_eq!(p.n, w.spec.n);
+        assert_eq!(p.k, w.spec.k);
+        assert_eq!(p.theta, w.spec.theta);
+        // The digest resolves to the question set in the store.
+        assert!(store.get(&p.task_digest).is_some());
+    }
+
+    #[test]
+    fn golden_opens_publish_commitment() {
+        let (_, _, _, r) = setup();
+        let HitMessage::Publish(p) = r.publish_msg() else {
+            panic!()
+        };
+        let HitMessage::Golden { golden, key } = r.golden_msg() else {
+            panic!()
+        };
+        assert!(p.comm_gs.open(&golden.encode(), &key));
+    }
+
+    #[test]
+    fn accepts_good_answers() {
+        let (mut rng, w, _, r) = setup();
+        let a = draw_answer(
+            &AnswerModel::Diligent { accuracy: 1.0 },
+            &w.truth,
+            &w.spec.range,
+            &mut rng,
+        );
+        let cts = a.encrypt(&r.public_key(), &mut rng);
+        match r.evaluate(Address::from_byte(9), &cts, &mut rng) {
+            Verdict::Accept { quality, answer } => {
+                assert_eq!(quality, 6);
+                assert_eq!(answer, a, "requester recovers the submitted data");
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_low_quality_with_proof() {
+        let (mut rng, w, _, r) = setup();
+        let a = draw_answer(
+            &AnswerModel::Diligent { accuracy: 0.0 },
+            &w.truth,
+            &w.spec.range,
+            &mut rng,
+        );
+        let cts = a.encrypt(&r.public_key(), &mut rng);
+        match r.evaluate(Address::from_byte(9), &cts, &mut rng) {
+            Verdict::RejectLowQuality { quality, msg } => {
+                assert_eq!(quality, 0);
+                let HitMessage::Evaluate { chi, proof, .. } = msg else {
+                    panic!()
+                };
+                assert_eq!(chi, 0);
+                assert_eq!(proof.len(), 6);
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_with_vpke() {
+        let (mut rng, w, _, r) = setup();
+        let a = draw_answer(&AnswerModel::OutOfRange, &w.truth, &w.spec.range, &mut rng);
+        let cts = a.encrypt(&r.public_key(), &mut rng);
+        match r.evaluate(Address::from_byte(9), &cts, &mut rng) {
+            Verdict::RejectOutOfRange { msg } => {
+                let HitMessage::OutRange { index, .. } = msg else {
+                    panic!()
+                };
+                assert_eq!(index, 0);
+            }
+            other => panic!("expected outrange, got {other:?}"),
+        }
+    }
+}

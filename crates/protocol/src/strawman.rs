@@ -1,0 +1,218 @@
+//! The **transparent strawman**: decentralized HITs *without* privacy —
+//! the design the paper's introduction argues is broken.
+//!
+//! "Due to the transparency of blockchain, once some answers are
+//! submitted, any malicious worker can simply copy and re-submit them to
+//! earn rewards without making any real efforts […] the straightforwardly
+//! decentralized crowdsourcing could lose all basic utilities" (§I).
+//!
+//! This module implements that straightforward design — plaintext answers
+//! straight onto the chain, quality checked openly — so tests and
+//! examples can *demonstrate* the free-riding attack succeeding here and
+//! failing against Dragoon, plus the "tragedy of the commons" payoff
+//! analysis for rational workers.
+
+use dragoon_core::quality::quality;
+use dragoon_core::task::Answer;
+use dragoon_core::workload::{draw_answer, AnswerModel, Workload};
+use dragoon_ledger::Address;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A worker strategy in the transparent protocol.
+#[derive(Clone, Debug)]
+pub enum TransparentStrategy {
+    /// Does real work (with some accuracy) and submits early.
+    Work(AnswerModel),
+    /// Waits, copies the first plaintext answer it sees in the mempool,
+    /// mutates one position to dodge naive duplicate checks, resubmits.
+    CopyMutate,
+    /// Waits to copy; if nothing appears, submits nothing.
+    FreeRideOrAbstain,
+}
+
+/// Outcome of a transparent run.
+#[derive(Clone, Debug)]
+pub struct TransparentOutcome {
+    /// Who got paid `B/K`.
+    pub paid: BTreeMap<Address, bool>,
+    /// Per-worker effort spent (1.0 = answered all questions honestly,
+    /// ~0 = copied).
+    pub effort: BTreeMap<Address, f64>,
+    /// The answers the requester collected, with their *independent
+    /// information content*: copied answers contribute nothing new.
+    pub independent_answers: usize,
+}
+
+/// Runs the transparent (no-privacy) protocol: answers land in plaintext
+/// and are publicly visible the moment they are submitted, so copiers
+/// act after observing workers. The requester pays every answer whose
+/// quality clears `Θ` — it has no way to distinguish copies.
+pub fn run_transparent<R: Rng + ?Sized>(
+    workload: &Workload,
+    strategies: &[TransparentStrategy],
+    rng: &mut R,
+) -> TransparentOutcome {
+    let addrs: Vec<Address> = (0..strategies.len() as u64)
+        .map(|i| Address::from_seed(0x57a0_0000 + i))
+        .collect();
+    // Round 1: the workers who do real work submit (visible to all!).
+    let mut board: Vec<(Address, Answer)> = Vec::new();
+    let mut effort = BTreeMap::new();
+    for (addr, strat) in addrs.iter().zip(strategies) {
+        if let TransparentStrategy::Work(model) = strat {
+            let a = draw_answer(model, &workload.truth, &workload.spec.range, rng);
+            board.push((*addr, a));
+            effort.insert(*addr, 1.0);
+        }
+    }
+    // Round 2: copiers read the public board.
+    let honest_board = board.clone();
+    for (addr, strat) in addrs.iter().zip(strategies) {
+        match strat {
+            TransparentStrategy::CopyMutate | TransparentStrategy::FreeRideOrAbstain => {
+                if let Some((_, victim)) = honest_board.first() {
+                    let mut copy = victim.clone();
+                    if matches!(strat, TransparentStrategy::CopyMutate) && !copy.0.is_empty() {
+                        // Mutate one (probably non-gold) position.
+                        let i = rng.gen_range(0..copy.0.len());
+                        copy.0[i] = workload.spec.range.lo
+                            + (copy.0[i] + 1 - workload.spec.range.lo)
+                                % workload.spec.range.len();
+                    }
+                    board.push((*addr, copy));
+                    effort.insert(*addr, 0.0);
+                } else {
+                    effort.insert(*addr, 0.0);
+                }
+            }
+            TransparentStrategy::Work(_) => {}
+        }
+    }
+    // The requester pays everything that clears Θ — copies included,
+    // because plaintext copies of good answers are good answers.
+    let k = workload.spec.k;
+    let mut paid = BTreeMap::new();
+    for (addr, answer) in board.iter().take(k) {
+        let q = quality(answer, &workload.golden);
+        paid.insert(*addr, q >= workload.spec.theta);
+    }
+    for addr in &addrs {
+        paid.entry(*addr).or_insert(false);
+    }
+    // Independent information: only the originals carry new signal.
+    let independent_answers = board
+        .iter()
+        .take(k)
+        .filter(|(a, _)| effort.get(a).copied().unwrap_or(0.0) > 0.0)
+        .count();
+    TransparentOutcome {
+        paid,
+        effort,
+        independent_answers,
+    }
+}
+
+/// Expected-payoff comparison for a rational worker deciding between
+/// working (cost `effort_cost`, quality ≈ accuracy) and copying
+/// (cost ≈ 0) — under the transparent protocol vs. under Dragoon.
+///
+/// Returns `(work_payoff, copy_payoff)` per protocol; a protocol is
+/// incentive-sound for effort when `work > copy`.
+#[derive(Clone, Copy, Debug)]
+pub struct PayoffMatrix {
+    /// Payoff of honest work in the transparent protocol.
+    pub transparent_work: f64,
+    /// Payoff of copying in the transparent protocol.
+    pub transparent_copy: f64,
+    /// Payoff of honest work under Dragoon.
+    pub dragoon_work: f64,
+    /// Payoff of copying under Dragoon.
+    pub dragoon_copy: f64,
+}
+
+/// Computes the payoff matrix: reward × P(paid) − effort cost.
+///
+/// Under the transparent protocol the copier inherits the victim's
+/// P(quality ≥ Θ); under Dragoon ciphertext copies are rejected as
+/// duplicate commitments (and mutating a ciphertext breaks decryption),
+/// so the copier's payoff is zero.
+pub fn payoff_matrix(
+    reward: f64,
+    effort_cost: f64,
+    p_qualify_honest: f64,
+) -> PayoffMatrix {
+    PayoffMatrix {
+        transparent_work: reward * p_qualify_honest - effort_cost,
+        transparent_copy: reward * p_qualify_honest, // free ride
+        dragoon_work: reward * p_qualify_honest - effort_cost,
+        dragoon_copy: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragoon_core::workload::imagenet_workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x57aa)
+    }
+
+    #[test]
+    fn copier_gets_paid_in_transparent_protocol() {
+        let mut rng = rng();
+        let w = imagenet_workload(4_000_000, &mut rng);
+        let outcome = run_transparent(
+            &w,
+            &[
+                TransparentStrategy::Work(AnswerModel::Diligent { accuracy: 1.0 }),
+                TransparentStrategy::Work(AnswerModel::Diligent { accuracy: 1.0 }),
+                TransparentStrategy::CopyMutate,
+                TransparentStrategy::CopyMutate,
+            ],
+            &mut rng,
+        );
+        // Both copiers ride the honest answers to payment.
+        let copier1 = Address::from_seed(0x57a0_0002);
+        let copier2 = Address::from_seed(0x57a0_0003);
+        assert!(outcome.paid[&copier1], "free-riding succeeds without privacy");
+        assert!(outcome.paid[&copier2]);
+        assert_eq!(outcome.effort[&copier1], 0.0);
+        // The requester paid for 4 answers but got only 2 independent ones.
+        assert_eq!(outcome.independent_answers, 2);
+    }
+
+    #[test]
+    fn no_honest_workers_means_no_utility() {
+        // The tragedy of the commons: if everyone waits to copy, nothing
+        // is ever produced.
+        let mut rng = rng();
+        let w = imagenet_workload(4_000_000, &mut rng);
+        let outcome = run_transparent(
+            &w,
+            &[
+                TransparentStrategy::FreeRideOrAbstain,
+                TransparentStrategy::FreeRideOrAbstain,
+                TransparentStrategy::FreeRideOrAbstain,
+                TransparentStrategy::FreeRideOrAbstain,
+            ],
+            &mut rng,
+        );
+        assert_eq!(outcome.independent_answers, 0);
+        assert!(outcome.paid.values().all(|p| !p));
+    }
+
+    #[test]
+    fn copying_dominates_in_transparent_not_in_dragoon() {
+        let m = payoff_matrix(100.0, 20.0, 0.95);
+        // Transparent: copying strictly dominates working — the paper's
+        // "rational workers might wait to copy" collapse.
+        assert!(m.transparent_copy > m.transparent_work);
+        // Dragoon: working strictly dominates copying.
+        assert!(m.dragoon_work > m.dragoon_copy);
+        assert!(m.dragoon_work > 0.0, "working remains profitable");
+    }
+}

@@ -1,0 +1,221 @@
+//! The worker client of Π_hit (Fig 5) and adversarial worker behaviours.
+
+use dragoon_contract::HitMessage;
+use dragoon_core::task::Answer;
+use dragoon_core::workload::{draw_answer, AnswerModel, Workload};
+use dragoon_crypto::commitment::{Commitment, CommitmentKey};
+use dragoon_crypto::elgamal::EncryptionKey;
+use dragoon_ledger::Address;
+use rand::Rng;
+
+/// How a worker behaves during the protocol run.
+#[derive(Clone, Debug)]
+pub enum WorkerBehavior {
+    /// Follows the protocol, producing answers from a model.
+    Honest(AnswerModel),
+    /// Follows the protocol, submitting exactly this answer vector
+    /// (used by the real-vs-ideal tests to fix both worlds' inputs).
+    Fixed(Answer),
+    /// Tries to free-ride by replaying the first commitment it observes
+    /// in the mempool (the copy-and-paste attack the commit–reveal
+    /// structure plus duplicate-rejection defeats).
+    CopyPaste,
+    /// Commits but never reveals — recorded as `⊥`, unpaid.
+    CommitNoReveal,
+    /// Reveals ciphertexts that do not open the commitment (malformed
+    /// reveal; rejected on-chain, so equivalent to `⊥`).
+    BadReveal,
+}
+
+/// The worker client: holds the answer, blinding key and ciphertexts
+/// between the commit and reveal phases.
+pub struct Worker {
+    /// The worker's on-chain identity.
+    pub addr: Address,
+    /// The behaviour this worker follows.
+    pub behavior: WorkerBehavior,
+    answer: Option<Answer>,
+    ciphertexts: Option<dragoon_core::task::EncryptedAnswer>,
+    key: Option<CommitmentKey>,
+    commitment: Option<Commitment>,
+}
+
+impl Worker {
+    /// Creates a worker with an address and behaviour.
+    pub fn new(addr: Address, behavior: WorkerBehavior) -> Self {
+        Self {
+            addr,
+            behavior,
+            answer: None,
+            ciphertexts: None,
+            key: None,
+            commitment: None,
+        }
+    }
+
+    /// Phase 2-a: produce the commit message.
+    ///
+    /// `observed` is the set of commitments already visible in the
+    /// mempool/chain — the copy-paste attacker replays one of them.
+    pub fn commit_msg<R: Rng + ?Sized>(
+        &mut self,
+        workload: &Workload,
+        ek: &EncryptionKey,
+        observed: &[Commitment],
+        rng: &mut R,
+    ) -> Option<HitMessage> {
+        match &self.behavior {
+            WorkerBehavior::CopyPaste => {
+                // Replay an observed commitment verbatim.
+                let copied = *observed.first()?;
+                self.commitment = Some(copied);
+                Some(HitMessage::Commit { commitment: copied })
+            }
+            WorkerBehavior::Honest(_)
+            | WorkerBehavior::Fixed(_)
+            | WorkerBehavior::CommitNoReveal
+            | WorkerBehavior::BadReveal => {
+                let answer = match &self.behavior {
+                    WorkerBehavior::Honest(m) => {
+                        draw_answer(m, &workload.truth, &workload.spec.range, rng)
+                    }
+                    WorkerBehavior::Fixed(a) => a.clone(),
+                    // Non-revealers still commit to something plausible.
+                    _ => draw_answer(
+                        &AnswerModel::RandomBot,
+                        &workload.truth,
+                        &workload.spec.range,
+                        rng,
+                    ),
+                };
+                let cts = answer.encrypt(ek, rng);
+                let key = CommitmentKey::random(rng);
+                let comm = Commitment::commit(&cts.encode(), &key);
+                self.answer = Some(answer);
+                self.ciphertexts = Some(cts);
+                self.key = Some(key);
+                self.commitment = Some(comm);
+                Some(HitMessage::Commit { commitment: comm })
+            }
+        }
+    }
+
+    /// Phase 2-b: produce the reveal message (if this behaviour reveals).
+    pub fn reveal_msg<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<HitMessage> {
+        match &self.behavior {
+            WorkerBehavior::CommitNoReveal | WorkerBehavior::CopyPaste => None,
+            WorkerBehavior::BadReveal => {
+                // Open with a wrong key.
+                Some(HitMessage::Reveal {
+                    ciphertexts: self.ciphertexts.clone()?,
+                    key: CommitmentKey::random(rng),
+                })
+            }
+            WorkerBehavior::Honest(_) | WorkerBehavior::Fixed(_) => Some(HitMessage::Reveal {
+                ciphertexts: self.ciphertexts.clone()?,
+                key: self.key?,
+            }),
+        }
+    }
+
+    /// The plaintext answer this worker produced (None for copiers).
+    pub fn answer(&self) -> Option<&Answer> {
+        self.answer.as_ref()
+    }
+
+    /// The commitment this worker submitted.
+    pub fn commitment(&self) -> Option<&Commitment> {
+        self.commitment.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragoon_core::workload::imagenet_workload;
+    use dragoon_crypto::elgamal::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, Workload, KeyPair) {
+        let mut rng = StdRng::seed_from_u64(0x30b1);
+        let w = imagenet_workload(4_000, &mut rng);
+        let kp = KeyPair::generate(&mut rng);
+        (rng, w, kp)
+    }
+
+    #[test]
+    fn honest_worker_commits_and_reveals() {
+        let (mut rng, w, kp) = setup();
+        let mut worker = Worker::new(
+            Address::from_byte(1),
+            WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.9 }),
+        );
+        let commit = worker.commit_msg(&w, &kp.ek, &[], &mut rng).unwrap();
+        let HitMessage::Commit { commitment } = commit else {
+            panic!()
+        };
+        let reveal = worker.reveal_msg(&mut rng).unwrap();
+        let HitMessage::Reveal { ciphertexts, key } = reveal else {
+            panic!()
+        };
+        assert!(commitment.open(&ciphertexts.encode(), &key));
+        assert_eq!(worker.answer().unwrap().len(), 106);
+    }
+
+    #[test]
+    fn copy_paste_replays_observed_commitment() {
+        let (mut rng, w, kp) = setup();
+        let mut honest = Worker::new(
+            Address::from_byte(1),
+            WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 1.0 }),
+        );
+        let HitMessage::Commit { commitment } =
+            honest.commit_msg(&w, &kp.ek, &[], &mut rng).unwrap()
+        else {
+            panic!()
+        };
+        let mut copier = Worker::new(Address::from_byte(2), WorkerBehavior::CopyPaste);
+        let HitMessage::Commit {
+            commitment: copied,
+        } = copier
+            .commit_msg(&w, &kp.ek, &[commitment], &mut rng)
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(copied, commitment, "the attack is an exact replay");
+        assert!(copier.reveal_msg(&mut rng).is_none());
+    }
+
+    #[test]
+    fn copy_paste_with_nothing_to_copy_aborts() {
+        let (mut rng, w, kp) = setup();
+        let mut copier = Worker::new(Address::from_byte(2), WorkerBehavior::CopyPaste);
+        assert!(copier.commit_msg(&w, &kp.ek, &[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn no_reveal_behaviour() {
+        let (mut rng, w, kp) = setup();
+        let mut worker = Worker::new(Address::from_byte(3), WorkerBehavior::CommitNoReveal);
+        assert!(worker.commit_msg(&w, &kp.ek, &[], &mut rng).is_some());
+        assert!(worker.reveal_msg(&mut rng).is_none());
+    }
+
+    #[test]
+    fn bad_reveal_does_not_open() {
+        let (mut rng, w, kp) = setup();
+        let mut worker = Worker::new(Address::from_byte(4), WorkerBehavior::BadReveal);
+        let HitMessage::Commit { commitment } =
+            worker.commit_msg(&w, &kp.ek, &[], &mut rng).unwrap()
+        else {
+            panic!()
+        };
+        let HitMessage::Reveal { ciphertexts, key } = worker.reveal_msg(&mut rng).unwrap()
+        else {
+            panic!()
+        };
+        assert!(!commitment.open(&ciphertexts.encode(), &key));
+    }
+}

@@ -1,0 +1,326 @@
+//! The baseline statements, compiled to R1CS: generic-ZKP analogues of
+//! VPKE and PoQoEA (what Tables I & II call "Generic ZKP").
+//!
+//! * [`vpke_circuit`] — verifiable decryption of ONE ElGamal ciphertext
+//!   over the embedded curve: prove knowledge of the secret key `k` with
+//!   `k·G = PK` and `c2 − k·c1 = M` for public `(c1, c2, PK, M)`.
+//! * [`poqoea_circuit`] — the quality statement over `|G|` gold-standard
+//!   ciphertexts: one shared key consistency check plus, per gold
+//!   standard, a decryption and (for claimed mismatches) a
+//!   point-inequality against the gold answer.
+//!
+//! Constraint counts land in the tens of thousands — the same regime as
+//! the paper's RSA-OAEP-based libsnark circuits — which is what drives
+//! the multi-second proving times of Table I.
+
+use crate::gadgets::{
+    alloc_bits, alloc_public_point, enforce_points_differ, enforce_points_equal, point_add,
+    scalar_mul, PointVar,
+};
+use crate::jubjub::{JubCiphertext, JubPoint};
+use crate::r1cs::ConstraintSystem;
+use dragoon_crypto::Fr;
+
+/// Bits of the secret key decomposed in-circuit.
+pub const KEY_BITS: usize = 251;
+
+/// Public instance of the baseline VPKE statement.
+#[derive(Clone, Copy, Debug)]
+pub struct VpkeInstance {
+    /// The ciphertext.
+    pub ct: JubCiphertext,
+    /// The public key `PK = k·G`.
+    pub pk: JubPoint,
+    /// The claimed message point `M = m·G`.
+    pub m_point: JubPoint,
+}
+
+impl VpkeInstance {
+    /// Flattens to the public-input vector (in allocation order).
+    pub fn public_inputs(&self) -> Vec<Fr> {
+        vec![
+            self.ct.c1.x,
+            self.ct.c1.y,
+            self.ct.c2.x,
+            self.ct.c2.y,
+            self.pk.x,
+            self.pk.y,
+            self.m_point.x,
+            self.m_point.y,
+        ]
+    }
+}
+
+/// Builds the VPKE circuit with the witness `k` (secret key).
+///
+/// Statement: `∃k: k·G = PK ∧ k·c1 + M = c2`.
+pub fn vpke_circuit(instance: &VpkeInstance, k: &Fr) -> ConstraintSystem {
+    vpke_circuit_with_bits(instance, k, KEY_BITS)
+}
+
+/// [`vpke_circuit`] with an explicit key width — smaller widths give
+/// proportionally smaller circuits (used by fast integration tests; the
+/// key must fit the width).
+pub fn vpke_circuit_with_bits(
+    instance: &VpkeInstance,
+    k: &Fr,
+    key_bits: usize,
+) -> ConstraintSystem {
+    let mut cs = ConstraintSystem::new();
+    // Public wires, in the order `public_inputs` flattens them.
+    let c1 = alloc_public_point(&mut cs, &instance.ct.c1);
+    let c2 = alloc_public_point(&mut cs, &instance.ct.c2);
+    let pk = alloc_public_point(&mut cs, &instance.pk);
+    let m = alloc_public_point(&mut cs, &instance.m_point);
+
+    // Witness: bits of k.
+    let bits = alloc_bits(&mut cs, k, key_bits);
+
+    // k·G = PK (fixed base — the generator is still a wire pair here;
+    // a production circuit would use windowed fixed-base tables, which
+    // changes constants, not orders of magnitude).
+    let g = JubPoint::generator();
+    let g_var = PointVar {
+        x: cs.alloc_public(g.x),
+        y: cs.alloc_public(g.y),
+    };
+    let kg = scalar_mul(&mut cs, &bits, g_var);
+    enforce_points_equal(&mut cs, kg, pk);
+
+    // k·c1 + M = c2.
+    let kc1 = scalar_mul(&mut cs, &bits, c1);
+    let sum = point_add(&mut cs, kc1, m);
+    enforce_points_equal(&mut cs, sum, c2);
+    cs
+}
+
+/// The public inputs of [`vpke_circuit`] including the generator wires.
+pub fn vpke_public_inputs(instance: &VpkeInstance) -> Vec<Fr> {
+    let mut v = instance.public_inputs();
+    let g = JubPoint::generator();
+    v.push(g.x);
+    v.push(g.y);
+    v
+}
+
+/// Public instance of the baseline PoQoEA statement: the gold-standard
+/// ciphertexts, the claimed decryptions, and which of them are
+/// mismatches.
+#[derive(Clone, Debug)]
+pub struct PoqoeaInstance {
+    /// The public key.
+    pub pk: JubPoint,
+    /// Gold-standard ciphertexts `c_i`.
+    pub cts: Vec<JubCiphertext>,
+    /// Claimed message points `M_i` (the decryptions, revealed — the
+    /// "already-leaked" gold positions).
+    pub m_points: Vec<JubPoint>,
+    /// Gold answers as points `g^{s_i}`.
+    pub gold_points: Vec<JubPoint>,
+    /// Which positions are claimed mismatches (quality = #matches).
+    pub mismatch: Vec<bool>,
+}
+
+/// Builds the PoQoEA circuit: one key, `|G|` decryptions, inequality at
+/// every claimed mismatch and equality elsewhere.
+pub fn poqoea_circuit(instance: &PoqoeaInstance, k: &Fr) -> ConstraintSystem {
+    assert_eq!(instance.cts.len(), instance.m_points.len());
+    assert_eq!(instance.cts.len(), instance.gold_points.len());
+    assert_eq!(instance.cts.len(), instance.mismatch.len());
+    let mut cs = ConstraintSystem::new();
+
+    let pk = alloc_public_point(&mut cs, &instance.pk);
+    let g = JubPoint::generator();
+    let g_var = PointVar {
+        x: cs.alloc_public(g.x),
+        y: cs.alloc_public(g.y),
+    };
+    let mut ct_vars = Vec::new();
+    let mut m_vars = Vec::new();
+    let mut gold_vars = Vec::new();
+    for ((ct, m), gold) in instance
+        .cts
+        .iter()
+        .zip(&instance.m_points)
+        .zip(&instance.gold_points)
+    {
+        let c1 = alloc_public_point(&mut cs, &ct.c1);
+        let c2 = alloc_public_point(&mut cs, &ct.c2);
+        let m = alloc_public_point(&mut cs, m);
+        let gp = alloc_public_point(&mut cs, gold);
+        ct_vars.push((c1, c2));
+        m_vars.push(m);
+        gold_vars.push(gp);
+    }
+
+    // Shared key bits + key consistency.
+    let bits = alloc_bits(&mut cs, k, KEY_BITS);
+    let kg = scalar_mul(&mut cs, &bits, g_var);
+    enforce_points_equal(&mut cs, kg, pk);
+
+    // Per gold standard: decryption correctness + match/mismatch shape.
+    for (i, ((c1, c2), m)) in ct_vars.iter().zip(&m_vars).enumerate() {
+        let kc1 = scalar_mul(&mut cs, &bits, *c1);
+        let sum = point_add(&mut cs, kc1, *m);
+        enforce_points_equal(&mut cs, sum, *c2);
+        if instance.mismatch[i] {
+            enforce_points_differ(&mut cs, *m, gold_vars[i]);
+        } else {
+            enforce_points_equal(&mut cs, *m, gold_vars[i]);
+        }
+    }
+    cs
+}
+
+/// The public-input vector of [`poqoea_circuit`], in allocation order.
+pub fn poqoea_public_inputs(instance: &PoqoeaInstance) -> Vec<Fr> {
+    let mut v = vec![instance.pk.x, instance.pk.y];
+    let g = JubPoint::generator();
+    v.push(g.x);
+    v.push(g.y);
+    for ((ct, m), gold) in instance
+        .cts
+        .iter()
+        .zip(&instance.m_points)
+        .zip(&instance.gold_points)
+    {
+        v.extend_from_slice(&[
+            ct.c1.x, ct.c1.y, ct.c2.x, ct.c2.y, m.x, m.y, gold.x, gold.y,
+        ]);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jubjub::{jub_decrypt_point, jub_encrypt, JubKeyPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xc12c)
+    }
+
+    #[test]
+    fn vpke_circuit_satisfied_by_honest_witness() {
+        let mut rng = rng();
+        let kp = JubKeyPair::generate(&mut rng);
+        let ct = jub_encrypt(&kp.pk, 1, &mut rng);
+        let m_point = jub_decrypt_point(&kp.sk, &ct);
+        let instance = VpkeInstance {
+            ct,
+            pk: kp.pk,
+            m_point,
+        };
+        let cs = vpke_circuit(&instance, &kp.sk);
+        cs.is_satisfied().unwrap();
+        // The circuit is in the tens-of-thousands-of-constraints regime.
+        assert!(
+            cs.num_constraints() > 5_000,
+            "constraints = {}",
+            cs.num_constraints()
+        );
+    }
+
+    #[test]
+    fn vpke_circuit_rejects_wrong_message() {
+        let mut rng = rng();
+        let kp = JubKeyPair::generate(&mut rng);
+        let ct = jub_encrypt(&kp.pk, 1, &mut rng);
+        // Claim decryption to 0·G instead.
+        let instance = VpkeInstance {
+            ct,
+            pk: kp.pk,
+            m_point: JubPoint::identity(),
+        };
+        let cs = vpke_circuit(&instance, &kp.sk);
+        assert!(cs.is_satisfied().is_err());
+    }
+
+    #[test]
+    fn vpke_circuit_rejects_wrong_key() {
+        let mut rng = rng();
+        let kp = JubKeyPair::generate(&mut rng);
+        let other = JubKeyPair::generate(&mut rng);
+        let ct = jub_encrypt(&kp.pk, 1, &mut rng);
+        let m_point = jub_decrypt_point(&kp.sk, &ct);
+        let instance = VpkeInstance {
+            ct,
+            pk: kp.pk,
+            m_point,
+        };
+        let cs = vpke_circuit(&instance, &other.sk);
+        assert!(cs.is_satisfied().is_err());
+    }
+
+    #[test]
+    fn poqoea_circuit_full_flow() {
+        let mut rng = rng();
+        let kp = JubKeyPair::generate(&mut rng);
+        let golds = [1u64, 0, 1];
+        let answers = [1u64, 1, 0]; // match, mismatch, mismatch
+        let g = JubPoint::generator();
+        let mut cts = Vec::new();
+        let mut m_points = Vec::new();
+        let mut gold_points = Vec::new();
+        let mut mismatch = Vec::new();
+        for (s, a) in golds.iter().zip(&answers) {
+            let ct = jub_encrypt(&kp.pk, *a, &mut rng);
+            cts.push(ct);
+            m_points.push(jub_decrypt_point(&kp.sk, &ct));
+            gold_points.push(g.mul_scalar(&Fr::from_u64(*s)));
+            mismatch.push(a != s);
+        }
+        let instance = PoqoeaInstance {
+            pk: kp.pk,
+            cts,
+            m_points,
+            gold_points,
+            mismatch,
+        };
+        let cs = poqoea_circuit(&instance, &kp.sk);
+        cs.is_satisfied().unwrap();
+        // Roughly |G|+1 scalar multiplications worth of constraints.
+        assert!(
+            cs.num_constraints() > 15_000,
+            "constraints = {}",
+            cs.num_constraints()
+        );
+        assert_eq!(
+            poqoea_public_inputs(&instance).len(),
+            2 + 2 + 3 * 8
+        );
+    }
+
+    #[test]
+    fn poqoea_circuit_rejects_false_mismatch_claim() {
+        let mut rng = rng();
+        let kp = JubKeyPair::generate(&mut rng);
+        let g = JubPoint::generator();
+        // The answer matches the gold standard, but we claim a mismatch.
+        let ct = jub_encrypt(&kp.pk, 1, &mut rng);
+        let instance = PoqoeaInstance {
+            pk: kp.pk,
+            cts: vec![ct],
+            m_points: vec![jub_decrypt_point(&kp.sk, &ct)],
+            gold_points: vec![g.mul_scalar(&Fr::one())],
+            mismatch: vec![true], // lie
+        };
+        let cs = poqoea_circuit(&instance, &kp.sk);
+        assert!(cs.is_satisfied().is_err());
+    }
+
+    #[test]
+    fn public_input_vectors_have_expected_lengths() {
+        let mut rng = rng();
+        let kp = JubKeyPair::generate(&mut rng);
+        let ct = jub_encrypt(&kp.pk, 0, &mut rng);
+        let inst = VpkeInstance {
+            ct,
+            pk: kp.pk,
+            m_point: JubPoint::identity(),
+        };
+        assert_eq!(vpke_public_inputs(&inst).len(), 10);
+    }
+}

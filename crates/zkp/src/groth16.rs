@@ -1,0 +1,463 @@
+//! Groth16 over BN-254 — the generic zk-SNARK baseline of Tables I & II.
+//!
+//! This is the real pipeline: R1CS → QAP (via NTT over the scalar
+//! field) → pairing-based setup / prove / verify, built entirely on the
+//! curve and pairing in `dragoon-crypto`. The paper's point is precisely
+//! that this machinery — even with its famously succinct proofs — costs
+//! orders of magnitude more to *prove* than Dragoon's special-purpose
+//! construction; keeping the baseline genuine keeps the comparison
+//! honest.
+
+use crate::ntt::Domain;
+use crate::r1cs::ConstraintSystem;
+use dragoon_crypto::g1::{msm, G1Affine, G1Projective};
+use dragoon_crypto::g2::{G2Affine, G2Projective};
+use dragoon_crypto::pairing::{multi_pairing, pairing};
+use dragoon_crypto::Fr;
+use rand::Rng;
+
+/// The Groth16 verifying key.
+#[derive(Clone, Debug)]
+pub struct VerifyingKey {
+    /// `[α]₁`.
+    pub alpha_g1: G1Affine,
+    /// `[β]₂`.
+    pub beta_g2: G2Affine,
+    /// `[γ]₂`.
+    pub gamma_g2: G2Affine,
+    /// `[δ]₂`.
+    pub delta_g2: G2Affine,
+    /// `[(β·A_i(τ) + α·B_i(τ) + C_i(τ))/γ]₁` for the one-wire and every
+    /// public input.
+    pub ic: Vec<G1Affine>,
+}
+
+/// The Groth16 proving key (includes the verifying key).
+#[derive(Clone, Debug)]
+pub struct ProvingKey {
+    /// The verifying key.
+    pub vk: VerifyingKey,
+    /// `[α]₁` (same as vk, kept for locality).
+    pub alpha_g1: G1Affine,
+    /// `[β]₁`.
+    pub beta_g1: G1Affine,
+    /// `[δ]₁`.
+    pub delta_g1: G1Affine,
+    /// `[A_i(τ)]₁` for every variable.
+    pub a_query: Vec<G1Affine>,
+    /// `[B_i(τ)]₁` for every variable.
+    pub b_g1_query: Vec<G1Affine>,
+    /// `[B_i(τ)]₂` for every variable.
+    pub b_g2_query: Vec<G2Affine>,
+    /// `[(β·A_i(τ) + α·B_i(τ) + C_i(τ))/δ]₁` for every auxiliary
+    /// variable.
+    pub l_query: Vec<G1Affine>,
+    /// `[τ^i·Z(τ)/δ]₁` for `i ∈ [0, n-1)`.
+    pub h_query: Vec<G1Affine>,
+    /// The evaluation-domain size.
+    pub domain_size: usize,
+}
+
+impl ProvingKey {
+    /// Approximate in-memory size of the key in bytes — the dominant
+    /// term of the prover's peak memory (Table I's memory column).
+    pub fn size_bytes(&self) -> usize {
+        let g1 = 64usize;
+        let g2 = 128usize;
+        (self.a_query.len() + self.b_g1_query.len() + self.l_query.len() + self.h_query.len() + 3)
+            * g1
+            + (self.b_g2_query.len() + 3) * g2
+            + self.vk.ic.len() * g1
+    }
+}
+
+/// A Groth16 proof: 2 G1 points + 1 G2 point (the famous ~128 bytes
+/// compressed; 256 uncompressed here).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Proof {
+    /// `[A]₁`.
+    pub a: G1Affine,
+    /// `[B]₂`.
+    pub b: G2Affine,
+    /// `[C]₁`.
+    pub c: G1Affine,
+}
+
+/// Errors from the Groth16 pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnarkError {
+    /// The witness does not satisfy the constraint system.
+    Unsatisfied(usize),
+    /// The circuit is too large for the NTT domain.
+    CircuitTooLarge,
+    /// Public-input count differs from the key.
+    PublicInputMismatch {
+        /// Expected (from the key).
+        expected: usize,
+        /// Provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SnarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnarkError::Unsatisfied(i) => write!(f, "constraint {i} unsatisfied"),
+            SnarkError::CircuitTooLarge => write!(f, "circuit exceeds 2^28 constraints"),
+            SnarkError::PublicInputMismatch { expected, got } => {
+                write!(f, "expected {expected} public inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnarkError {}
+
+/// Evaluates, for every variable, the QAP polynomials `A_i(τ)`, `B_i(τ)`,
+/// `C_i(τ)` given the Lagrange values `L_j(τ)`.
+fn qap_evaluations(
+    cs: &ConstraintSystem,
+    lagrange: &[Fr],
+) -> (Vec<Fr>, Vec<Fr>, Vec<Fr>) {
+    let m = cs.num_variables();
+    let mut a = vec![Fr::zero(); m];
+    let mut b = vec![Fr::zero(); m];
+    let mut c = vec![Fr::zero(); m];
+    for (j, con) in cs.constraints.iter().enumerate() {
+        let l = lagrange[j];
+        for (v, coeff) in &con.a.0 {
+            a[cs.dense_index(*v)] += *coeff * l;
+        }
+        for (v, coeff) in &con.b.0 {
+            b[cs.dense_index(*v)] += *coeff * l;
+        }
+        for (v, coeff) in &con.c.0 {
+            c[cs.dense_index(*v)] += *coeff * l;
+        }
+    }
+    (a, b, c)
+}
+
+/// The trusted setup: samples toxic waste and produces the key pair.
+///
+/// Only the *shape* of `cs` matters (constraints and variable counts);
+/// assignments are ignored.
+pub fn setup<R: Rng + ?Sized>(cs: &ConstraintSystem, rng: &mut R) -> Result<ProvingKey, SnarkError> {
+    let domain = Domain::new(cs.num_constraints().max(2)).ok_or(SnarkError::CircuitTooLarge)?;
+    let (tau, alpha, beta, gamma, delta) = loop {
+        let tau = Fr::random(rng);
+        // τ must avoid the domain (Lagrange denominators) — negligible
+        // probability, but cheap to enforce.
+        if domain.vanishing_at(&tau).is_zero() {
+            continue;
+        }
+        break (
+            tau,
+            Fr::random(rng),
+            Fr::random(rng),
+            Fr::random(rng),
+            Fr::random(rng),
+        );
+    };
+    let gamma_inv = gamma.inverse().expect("nonzero");
+    let delta_inv = delta.inverse().expect("nonzero");
+
+    let lagrange = domain.lagrange_at(&tau);
+    let (a_tau, b_tau, c_tau) = qap_evaluations(cs, &lagrange);
+
+    let g1 = G1Projective::generator();
+    let g2 = G2Projective::generator();
+    let m = cs.num_variables();
+    let l = cs.num_public(); // dense public indices are 0..=l
+
+    let a_query: Vec<G1Affine> = a_tau.iter().map(|v| (g1 * *v).to_affine()).collect();
+    let b_g1_query: Vec<G1Affine> = b_tau.iter().map(|v| (g1 * *v).to_affine()).collect();
+    let b_g2_query: Vec<G2Affine> = b_tau.iter().map(|v| (g2 * *v).to_affine()).collect();
+
+    let mut ic = Vec::with_capacity(l + 1);
+    for i in 0..=l {
+        let v = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * gamma_inv;
+        ic.push((g1 * v).to_affine());
+    }
+    let mut l_query = Vec::with_capacity(m - l - 1);
+    for i in (l + 1)..m {
+        let v = (beta * a_tau[i] + alpha * b_tau[i] + c_tau[i]) * delta_inv;
+        l_query.push((g1 * v).to_affine());
+    }
+
+    // [τ^i · Z(τ) / δ]₁.
+    let z_tau = domain.vanishing_at(&tau);
+    let mut h_query = Vec::with_capacity(domain.n - 1);
+    let mut tau_pow = Fr::one();
+    for _ in 0..domain.n - 1 {
+        h_query.push((g1 * (tau_pow * z_tau * delta_inv)).to_affine());
+        tau_pow *= tau;
+    }
+
+    let vk = VerifyingKey {
+        alpha_g1: (g1 * alpha).to_affine(),
+        beta_g2: (g2 * beta).to_affine(),
+        gamma_g2: (g2 * gamma).to_affine(),
+        delta_g2: (g2 * delta).to_affine(),
+        ic,
+    };
+    Ok(ProvingKey {
+        alpha_g1: vk.alpha_g1,
+        beta_g1: (g1 * beta).to_affine(),
+        delta_g1: (g1 * delta).to_affine(),
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        l_query,
+        h_query,
+        domain_size: domain.n,
+        vk,
+    })
+}
+
+/// Computes the coefficients of `h(x) = (A(x)·B(x) − C(x)) / Z(x)` from
+/// the witness, via coset NTTs.
+fn compute_h(cs: &ConstraintSystem, domain: &Domain) -> Vec<Fr> {
+    let w = cs.full_assignment();
+    let mut az = vec![Fr::zero(); domain.n];
+    let mut bz = vec![Fr::zero(); domain.n];
+    let mut cz = vec![Fr::zero(); domain.n];
+    for (j, con) in cs.constraints.iter().enumerate() {
+        az[j] = con
+            .a
+            .0
+            .iter()
+            .fold(Fr::zero(), |acc, (v, c)| acc + w[cs.dense_index(*v)] * *c);
+        bz[j] = con
+            .b
+            .0
+            .iter()
+            .fold(Fr::zero(), |acc, (v, c)| acc + w[cs.dense_index(*v)] * *c);
+        cz[j] = con
+            .c
+            .0
+            .iter()
+            .fold(Fr::zero(), |acc, (v, c)| acc + w[cs.dense_index(*v)] * *c);
+    }
+    // Interpolate, move to the coset, multiply pointwise, divide by the
+    // (constant) vanishing value, and come back.
+    domain.intt(&mut az);
+    domain.intt(&mut bz);
+    domain.intt(&mut cz);
+    domain.coset_ntt(&mut az);
+    domain.coset_ntt(&mut bz);
+    domain.coset_ntt(&mut cz);
+    let z_inv = domain
+        .vanishing_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    let mut h: Vec<Fr> = az
+        .iter()
+        .zip(&bz)
+        .zip(&cz)
+        .map(|((a, b), c)| (*a * *b - *c) * z_inv)
+        .collect();
+    domain.coset_intt(&mut h);
+    h.truncate(domain.n - 1);
+    h
+}
+
+/// Produces a proof for a satisfied constraint system.
+pub fn prove<R: Rng + ?Sized>(
+    pk: &ProvingKey,
+    cs: &ConstraintSystem,
+    rng: &mut R,
+) -> Result<Proof, SnarkError> {
+    cs.is_satisfied()
+        .map_err(|e| SnarkError::Unsatisfied(e.index))?;
+    let domain = Domain::new(cs.num_constraints().max(2)).ok_or(SnarkError::CircuitTooLarge)?;
+    assert_eq!(domain.n, pk.domain_size, "key/circuit domain mismatch");
+    let w = cs.full_assignment();
+    let r = Fr::random(rng);
+    let s = Fr::random(rng);
+
+    // A = α + Σ w_i·A_i(τ) + r·δ.
+    let a_acc = msm(&pk.a_query, &w);
+    let a = (a_acc + pk.alpha_g1.to_projective() + pk.delta_g1 * r).to_affine();
+
+    // B (G2) = β + Σ w_i·B_i(τ) + s·δ ; B1 is the G1 copy.
+    let b_acc_g2 = dragoon_crypto::g2::msm_g2(&pk.b_g2_query, &w);
+    let b = (b_acc_g2 + pk.vk.beta_g2.to_projective() + pk.vk.delta_g2 * s).to_affine();
+    let b_acc_g1 = msm(&pk.b_g1_query, &w);
+    let b1 = (b_acc_g1 + pk.beta_g1.to_projective() + pk.delta_g1 * s).to_affine();
+
+    // C = Σ_aux w_i·L_i + Σ h_i·H_i + s·A + r·B1 − r·s·δ.
+    let aux = &w[1 + cs.num_public()..];
+    let l_acc = msm(&pk.l_query, aux);
+    let h = compute_h(cs, &domain);
+    let h_acc = msm(&pk.h_query[..h.len()], &h);
+    let c = (l_acc + h_acc + a * s + b1 * r - pk.delta_g1 * (r * s)).to_affine();
+
+    Ok(Proof { a, b, c })
+}
+
+/// Verifies a proof against public inputs (excluding the implicit
+/// one-wire).
+pub fn verify(vk: &VerifyingKey, proof: &Proof, public_inputs: &[Fr]) -> Result<bool, SnarkError> {
+    if public_inputs.len() + 1 != vk.ic.len() {
+        return Err(SnarkError::PublicInputMismatch {
+            expected: vk.ic.len() - 1,
+            got: public_inputs.len(),
+        });
+    }
+    let mut acc = vk.ic[0].to_projective();
+    for (x, icp) in public_inputs.iter().zip(&vk.ic[1..]) {
+        acc += *icp * *x;
+    }
+    let ic_sum = acc.to_affine();
+    // e(−A, B) · e(α, β) · e(IC, γ) · e(C, δ) == 1.
+    let neg_a = -proof.a;
+    let res = multi_pairing(&[
+        (neg_a, proof.b),
+        (vk.alpha_g1, vk.beta_g2),
+        (ic_sum, vk.gamma_g2),
+        (proof.c, vk.delta_g2),
+    ]);
+    Ok(res.is_one())
+}
+
+/// Single-pairing reference verifier (slower; used in tests to
+/// cross-check the product form).
+pub fn verify_reference(vk: &VerifyingKey, proof: &Proof, public_inputs: &[Fr]) -> bool {
+    let mut acc = vk.ic[0].to_projective();
+    for (x, icp) in public_inputs.iter().zip(&vk.ic[1..]) {
+        acc += *icp * *x;
+    }
+    let lhs = pairing(&proof.a, &proof.b);
+    let rhs = pairing(&vk.alpha_g1, &vk.beta_g2)
+        * pairing(&acc.to_affine(), &vk.gamma_g2)
+        * pairing(&proof.c, &vk.delta_g2);
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r1cs::{LinearCombination as LC, Variable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x62f7)
+    }
+
+    /// x·y = out (public out), plus a cubing chain to get a few more
+    /// constraints: t = x·x, u = t·x (x³ public).
+    fn demo_circuit(x: u64, y: u64) -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new();
+        let xf = Fr::from_u64(x);
+        let yf = Fr::from_u64(y);
+        let out = cs.alloc_public(xf * yf);
+        let cube = cs.alloc_public(xf * xf * xf);
+        let xv = cs.alloc_aux(xf);
+        let yv = cs.alloc_aux(yf);
+        let t = cs.alloc_aux(xf * xf);
+        cs.enforce(LC::from_var(xv), LC::from_var(yv), LC::from_var(out));
+        cs.enforce(LC::from_var(xv), LC::from_var(xv), LC::from_var(t));
+        cs.enforce(LC::from_var(t), LC::from_var(xv), LC::from_var(cube));
+        cs
+    }
+
+    #[test]
+    fn prove_and_verify() {
+        let mut rng = rng();
+        let cs = demo_circuit(5, 7);
+        let pk = setup(&cs, &mut rng).unwrap();
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        let publics = vec![Fr::from_u64(35), Fr::from_u64(125)];
+        assert!(verify(&pk.vk, &proof, &publics).unwrap());
+        assert!(verify_reference(&pk.vk, &proof, &publics));
+    }
+
+    #[test]
+    fn wrong_public_input_rejected() {
+        let mut rng = rng();
+        let cs = demo_circuit(5, 7);
+        let pk = setup(&cs, &mut rng).unwrap();
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        assert!(!verify(&pk.vk, &proof, &[Fr::from_u64(36), Fr::from_u64(125)]).unwrap());
+        assert!(!verify(&pk.vk, &proof, &[Fr::from_u64(35), Fr::from_u64(126)]).unwrap());
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut rng = rng();
+        let cs = demo_circuit(5, 7);
+        let pk = setup(&cs, &mut rng).unwrap();
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        let publics = vec![Fr::from_u64(35), Fr::from_u64(125)];
+        let mut bad = proof;
+        bad.a = G1Affine::generator();
+        assert!(!verify(&pk.vk, &bad, &publics).unwrap());
+        let mut bad = proof;
+        bad.c = G1Affine::generator();
+        assert!(!verify(&pk.vk, &bad, &publics).unwrap());
+    }
+
+    #[test]
+    fn public_input_count_checked() {
+        let mut rng = rng();
+        let cs = demo_circuit(5, 7);
+        let pk = setup(&cs, &mut rng).unwrap();
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        assert!(matches!(
+            verify(&pk.vk, &proof, &[Fr::from_u64(35)]),
+            Err(SnarkError::PublicInputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unsatisfied_witness_refuses_to_prove() {
+        let mut rng = rng();
+        let mut cs = demo_circuit(5, 7);
+        // Corrupt the witness.
+        cs.aux[0] = Fr::from_u64(6);
+        let pk = setup(&cs, &mut rng).unwrap();
+        assert!(matches!(
+            prove(&pk, &cs, &mut rng),
+            Err(SnarkError::Unsatisfied(_))
+        ));
+    }
+
+    #[test]
+    fn proofs_are_randomized() {
+        let mut rng = rng();
+        let cs = demo_circuit(5, 7);
+        let pk = setup(&cs, &mut rng).unwrap();
+        let p1 = prove(&pk, &cs, &mut rng).unwrap();
+        let p2 = prove(&pk, &cs, &mut rng).unwrap();
+        assert_ne!(p1, p2, "zero-knowledge requires fresh randomness");
+        let publics = vec![Fr::from_u64(35), Fr::from_u64(125)];
+        assert!(verify(&pk.vk, &p1, &publics).unwrap());
+        assert!(verify(&pk.vk, &p2, &publics).unwrap());
+    }
+
+    #[test]
+    fn different_witnesses_same_statement() {
+        // 35 = 5·7 = 35·1: both witnesses prove the same instance (for
+        // the first constraint; fix cube accordingly by using x=35,y=1).
+        let mut rng = rng();
+        let cs1 = demo_circuit(5, 7);
+        let pk = setup(&cs1, &mut rng).unwrap();
+        let proof = prove(&pk, &cs1, &mut rng).unwrap();
+        assert!(verify(
+            &pk.vk,
+            &proof,
+            &[Fr::from_u64(35), Fr::from_u64(125)]
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn key_size_estimate_positive() {
+        let mut rng = rng();
+        let cs = demo_circuit(2, 3);
+        let pk = setup(&cs, &mut rng).unwrap();
+        assert!(pk.size_bytes() > 1_000);
+    }
+}

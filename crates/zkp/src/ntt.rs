@@ -1,0 +1,296 @@
+//! Radix-2 number-theoretic transforms over the BN-254 scalar field.
+//!
+//! `r - 1` is divisible by `2^28`, so multiplicative subgroups of any
+//! power-of-two size up to `2^28` exist. The Groth16 prover uses NTTs to
+//! evaluate the QAP polynomials on a coset and divide out the vanishing
+//! polynomial.
+
+use dragoon_crypto::Fr;
+
+/// An evaluation domain: the `n`-th roots of unity for `n = 2^k`.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// Domain size (a power of two).
+    pub n: usize,
+    log_n: u32,
+    omega: Fr,
+    omega_inv: Fr,
+    n_inv: Fr,
+    /// The coset generator used for coset NTTs (the field's smallest
+    /// multiplicative generator, 5).
+    pub coset_gen: Fr,
+    coset_gen_inv: Fr,
+}
+
+impl Domain {
+    /// Creates a domain of size `>= min_size` (rounded up to a power of
+    /// two). Returns `None` when the size exceeds `2^28`.
+    pub fn new(min_size: usize) -> Option<Self> {
+        let n = min_size.next_power_of_two().max(2);
+        let log_n = n.trailing_zeros();
+        let omega = Fr::root_of_unity(log_n)?;
+        let omega_inv = omega.inverse().expect("root of unity is nonzero");
+        let n_inv = Fr::from_u64(n as u64).inverse().expect("n < r");
+        let coset_gen = Fr::from_u64(5);
+        let coset_gen_inv = coset_gen.inverse().expect("nonzero");
+        Some(Self {
+            n,
+            log_n,
+            omega,
+            omega_inv,
+            n_inv,
+            coset_gen,
+            coset_gen_inv,
+        })
+    }
+
+    /// The primitive `n`-th root of unity generating this domain.
+    pub fn omega(&self) -> Fr {
+        self.omega
+    }
+
+    /// The domain elements `ω^0, ω^1, …, ω^{n-1}`.
+    pub fn elements(&self) -> Vec<Fr> {
+        let mut out = Vec::with_capacity(self.n);
+        let mut cur = Fr::one();
+        for _ in 0..self.n {
+            out.push(cur);
+            cur *= self.omega;
+        }
+        out
+    }
+
+    /// In-place forward NTT: coefficients → evaluations on the domain.
+    pub fn ntt(&self, values: &mut [Fr]) {
+        assert_eq!(values.len(), self.n, "size mismatch");
+        ntt_in_place(values, self.omega, self.log_n);
+    }
+
+    /// In-place inverse NTT: evaluations → coefficients.
+    pub fn intt(&self, values: &mut [Fr]) {
+        assert_eq!(values.len(), self.n, "size mismatch");
+        ntt_in_place(values, self.omega_inv, self.log_n);
+        for v in values.iter_mut() {
+            *v *= self.n_inv;
+        }
+    }
+
+    /// Coset NTT: evaluates the polynomial (given by coefficients) on the
+    /// coset `g·H` where `g` is the coset generator.
+    pub fn coset_ntt(&self, coeffs: &mut [Fr]) {
+        let mut scale = Fr::one();
+        for c in coeffs.iter_mut() {
+            *c *= scale;
+            scale *= self.coset_gen;
+        }
+        self.ntt(coeffs);
+    }
+
+    /// Inverse coset NTT: evaluations on `g·H` → coefficients.
+    pub fn coset_intt(&self, evals: &mut [Fr]) {
+        self.intt(evals);
+        let mut scale = Fr::one();
+        for c in evals.iter_mut() {
+            *c *= scale;
+            scale *= self.coset_gen_inv;
+        }
+    }
+
+    /// `Z(g·ω^i) = g^n − 1` — the vanishing polynomial `x^n − 1` is
+    /// constant on the coset; returns that constant.
+    pub fn vanishing_on_coset(&self) -> Fr {
+        self.coset_gen.pow(&[self.n as u64]) - Fr::one()
+    }
+
+    /// Evaluates `Z(x) = x^n − 1` at an arbitrary point.
+    pub fn vanishing_at(&self, x: &Fr) -> Fr {
+        x.pow(&[self.n as u64]) - Fr::one()
+    }
+
+    /// Evaluates all Lagrange basis polynomials `L_j(x)` at a point
+    /// outside the domain: `L_j(x) = Z(x)·ω^j / (n·(x − ω^j))`.
+    pub fn lagrange_at(&self, x: &Fr) -> Vec<Fr> {
+        let z = self.vanishing_at(x);
+        let mut out = Vec::with_capacity(self.n);
+        let mut omega_j = Fr::one();
+        for _ in 0..self.n {
+            let denom = (*x - omega_j) * Fr::from_u64(self.n as u64);
+            let denom_inv = denom
+                .inverse()
+                .expect("x must lie outside the domain");
+            out.push(z * omega_j * denom_inv);
+            omega_j *= self.omega;
+        }
+        out
+    }
+}
+
+/// Iterative in-place Cooley–Tukey NTT.
+fn ntt_in_place(values: &mut [Fr], omega: Fr, log_n: u32) {
+    let n = values.len();
+    // Bit-reversal permutation.
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - log_n);
+        let j = j as usize;
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let w_len = omega.pow(&[(n / len) as u64]);
+        for start in (0..n).step_by(len) {
+            let mut w = Fr::one();
+            for i in 0..len / 2 {
+                let even = values[start + i];
+                let odd = values[start + i + len / 2] * w;
+                values[start + i] = even + odd;
+                values[start + i + len / 2] = even - odd;
+                w *= w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Evaluates a polynomial (coefficient form) at a point (Horner).
+pub fn eval_poly(coeffs: &[Fr], x: &Fr) -> Fr {
+    let mut acc = Fr::zero();
+    for c in coeffs.iter().rev() {
+        acc = acc * *x + *c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x7717)
+    }
+
+    #[test]
+    fn ntt_round_trip() {
+        let mut rng = rng();
+        let d = Domain::new(16).unwrap();
+        let original: Vec<Fr> = (0..16).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = original.clone();
+        d.ntt(&mut v);
+        d.intt(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn ntt_matches_naive_evaluation() {
+        let mut rng = rng();
+        let d = Domain::new(8).unwrap();
+        let coeffs: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = coeffs.clone();
+        d.ntt(&mut v);
+        for (i, x) in d.elements().iter().enumerate() {
+            assert_eq!(v[i], eval_poly(&coeffs, x), "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn coset_ntt_round_trip() {
+        let mut rng = rng();
+        let d = Domain::new(32).unwrap();
+        let original: Vec<Fr> = (0..32).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = original.clone();
+        d.coset_ntt(&mut v);
+        d.coset_intt(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn coset_evaluations_differ_from_domain() {
+        let mut rng = rng();
+        let d = Domain::new(8).unwrap();
+        let coeffs: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let mut plain = coeffs.clone();
+        let mut coset = coeffs.clone();
+        d.ntt(&mut plain);
+        d.coset_ntt(&mut coset);
+        assert_ne!(plain, coset);
+        // Coset evaluation at index 0 is p(g).
+        assert_eq!(coset[0], eval_poly(&coeffs, &d.coset_gen));
+    }
+
+    #[test]
+    fn vanishing_constant_on_coset() {
+        let d = Domain::new(16).unwrap();
+        let z = d.vanishing_on_coset();
+        assert!(!z.is_zero());
+        // Check against direct evaluation at two coset points.
+        let g = d.coset_gen;
+        let w = d.omega();
+        assert_eq!(d.vanishing_at(&g), z);
+        assert_eq!(d.vanishing_at(&(g * w)), z);
+        // And Z vanishes on the domain itself.
+        assert!(d.vanishing_at(&w).is_zero());
+        assert!(d.vanishing_at(&Fr::one()).is_zero());
+    }
+
+    #[test]
+    fn lagrange_basis_interpolates() {
+        let mut rng = rng();
+        let d = Domain::new(8).unwrap();
+        let evals: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let x = Fr::random(&mut rng);
+        // p(x) = Σ evals[j]·L_j(x) must equal the interpolated poly at x.
+        let lag = d.lagrange_at(&x);
+        let via_lagrange: Fr = evals
+            .iter()
+            .zip(&lag)
+            .fold(Fr::zero(), |acc, (e, l)| acc + *e * *l);
+        let mut coeffs = evals.clone();
+        d.intt(&mut coeffs);
+        assert_eq!(via_lagrange, eval_poly(&coeffs, &x));
+    }
+
+    #[test]
+    fn domain_size_rounds_up() {
+        assert_eq!(Domain::new(5).unwrap().n, 8);
+        assert_eq!(Domain::new(8).unwrap().n, 8);
+        assert_eq!(Domain::new(9).unwrap().n, 16);
+        assert_eq!(Domain::new(1).unwrap().n, 2);
+    }
+
+    #[test]
+    fn polynomial_product_via_coset() {
+        // Multiply two degree-3 polynomials via size-8 NTT and compare
+        // against schoolbook.
+        let mut rng = rng();
+        let a: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let b: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let d = Domain::new(8).unwrap();
+        let mut ae = a.clone();
+        ae.resize(8, Fr::zero());
+        let mut be = b.clone();
+        be.resize(8, Fr::zero());
+        d.ntt(&mut ae);
+        d.ntt(&mut be);
+        let mut ce: Vec<Fr> = ae.iter().zip(&be).map(|(x, y)| *x * *y).collect();
+        d.intt(&mut ce);
+        // Schoolbook.
+        let mut expect = vec![Fr::zero(); 8];
+        for (i, x) in a.iter().enumerate() {
+            for (j, y) in b.iter().enumerate() {
+                expect[i + j] += *x * *y;
+            }
+        }
+        assert_eq!(ce, expect);
+    }
+
+    #[test]
+    fn eval_poly_basics() {
+        // p(x) = 1 + 2x + 3x^2 at x=2 → 1+4+12 = 17.
+        let coeffs = vec![Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)];
+        assert_eq!(eval_poly(&coeffs, &Fr::from_u64(2)), Fr::from_u64(17));
+        assert_eq!(eval_poly(&[], &Fr::from_u64(2)), Fr::zero());
+    }
+}

@@ -1,0 +1,271 @@
+//! Rank-1 constraint systems: the intermediate representation the
+//! generic zk-proof baseline compiles statements into.
+//!
+//! A constraint is `⟨A, w⟩ · ⟨B, w⟩ = ⟨C, w⟩` over the witness vector
+//! `w = (1, public inputs…, auxiliary…)`. This mirrors the libsnark/
+//! bellman architecture the paper's baseline measurements used.
+
+use dragoon_crypto::Fr;
+use std::fmt;
+
+/// A variable index into the witness vector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Variable {
+    /// The constant-one wire (index 0).
+    One,
+    /// A public-input wire.
+    Public(usize),
+    /// An auxiliary (private witness) wire.
+    Aux(usize),
+}
+
+/// A sparse linear combination `Σ coeff · var`.
+#[derive(Clone, Debug, Default)]
+pub struct LinearCombination(pub Vec<(Variable, Fr)>);
+
+impl LinearCombination {
+    /// The empty (zero) combination.
+    pub fn zero() -> Self {
+        Self(Vec::new())
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn from_var(v: Variable) -> Self {
+        Self(vec![(v, Fr::one())])
+    }
+
+    /// A constant.
+    pub fn constant(c: Fr) -> Self {
+        Self(vec![(Variable::One, c)])
+    }
+
+    /// Adds `coeff · var` to this combination.
+    pub fn add_term(mut self, v: Variable, coeff: Fr) -> Self {
+        self.0.push((v, coeff));
+        self
+    }
+
+    /// Combination addition.
+    pub fn add_lc(mut self, other: &LinearCombination) -> Self {
+        self.0.extend(other.0.iter().cloned());
+        self
+    }
+
+    /// Scales every coefficient.
+    pub fn scale(mut self, k: Fr) -> Self {
+        for (_, c) in &mut self.0 {
+            *c *= k;
+        }
+        self
+    }
+
+    /// Evaluates against a full witness assignment.
+    pub fn evaluate(&self, cs: &ConstraintSystem) -> Fr {
+        self.0.iter().fold(Fr::zero(), |acc, (v, c)| {
+            acc + cs.value_of(*v) * *c
+        })
+    }
+}
+
+/// One R1CS constraint `A·B = C`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// The `A` combination.
+    pub a: LinearCombination,
+    /// The `B` combination.
+    pub b: LinearCombination,
+    /// The `C` combination.
+    pub c: LinearCombination,
+}
+
+/// Error from witness generation / constraint checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsatisfiedConstraint {
+    /// Index of the first violated constraint.
+    pub index: usize,
+}
+
+impl fmt::Display for UnsatisfiedConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint {} is not satisfied", self.index)
+    }
+}
+
+impl std::error::Error for UnsatisfiedConstraint {}
+
+/// A constraint system under construction, carrying the (optional)
+/// witness assignment alongside the constraints — the "prover mode" of
+/// bellman-style builders.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSystem {
+    /// All constraints.
+    pub constraints: Vec<Constraint>,
+    /// Public-input assignments (instance).
+    pub public_inputs: Vec<Fr>,
+    /// Auxiliary (witness) assignments.
+    pub aux: Vec<Fr>,
+}
+
+impl ConstraintSystem {
+    /// An empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a public input with a value.
+    pub fn alloc_public(&mut self, value: Fr) -> Variable {
+        self.public_inputs.push(value);
+        Variable::Public(self.public_inputs.len() - 1)
+    }
+
+    /// Allocates an auxiliary witness variable with a value.
+    pub fn alloc_aux(&mut self, value: Fr) -> Variable {
+        self.aux.push(value);
+        Variable::Aux(self.aux.len() - 1)
+    }
+
+    /// The assigned value of a variable.
+    pub fn value_of(&self, v: Variable) -> Fr {
+        match v {
+            Variable::One => Fr::one(),
+            Variable::Public(i) => self.public_inputs[i],
+            Variable::Aux(i) => self.aux[i],
+        }
+    }
+
+    /// Adds the constraint `a · b = c`.
+    pub fn enforce(
+        &mut self,
+        a: LinearCombination,
+        b: LinearCombination,
+        c: LinearCombination,
+    ) {
+        self.constraints.push(Constraint { a, b, c });
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Total number of variables (1 + public + aux).
+    pub fn num_variables(&self) -> usize {
+        1 + self.public_inputs.len() + self.aux.len()
+    }
+
+    /// Number of public inputs.
+    pub fn num_public(&self) -> usize {
+        self.public_inputs.len()
+    }
+
+    /// The dense index of a variable in the flattened witness vector
+    /// `(1, publics…, aux…)`.
+    pub fn dense_index(&self, v: Variable) -> usize {
+        match v {
+            Variable::One => 0,
+            Variable::Public(i) => 1 + i,
+            Variable::Aux(i) => 1 + self.public_inputs.len() + i,
+        }
+    }
+
+    /// The full witness vector `(1, publics…, aux…)`.
+    pub fn full_assignment(&self) -> Vec<Fr> {
+        let mut w = Vec::with_capacity(self.num_variables());
+        w.push(Fr::one());
+        w.extend_from_slice(&self.public_inputs);
+        w.extend_from_slice(&self.aux);
+        w
+    }
+
+    /// Checks every constraint against the assignment.
+    pub fn is_satisfied(&self) -> Result<(), UnsatisfiedConstraint> {
+        for (i, con) in self.constraints.iter().enumerate() {
+            let a = con.a.evaluate(self);
+            let b = con.b.evaluate(self);
+            let c = con.c.evaluate(self);
+            if a * b != c {
+                return Err(UnsatisfiedConstraint { index: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_multiplication_gate() {
+        // Prove knowledge of x, y with x*y = 35 (public).
+        let mut cs = ConstraintSystem::new();
+        let out = cs.alloc_public(Fr::from_u64(35));
+        let x = cs.alloc_aux(Fr::from_u64(5));
+        let y = cs.alloc_aux(Fr::from_u64(7));
+        cs.enforce(
+            LinearCombination::from_var(x),
+            LinearCombination::from_var(y),
+            LinearCombination::from_var(out),
+        );
+        cs.is_satisfied().unwrap();
+    }
+
+    #[test]
+    fn unsatisfied_detected() {
+        let mut cs = ConstraintSystem::new();
+        let out = cs.alloc_public(Fr::from_u64(36));
+        let x = cs.alloc_aux(Fr::from_u64(5));
+        let y = cs.alloc_aux(Fr::from_u64(7));
+        cs.enforce(
+            LinearCombination::from_var(x),
+            LinearCombination::from_var(y),
+            LinearCombination::from_var(out),
+        );
+        assert_eq!(cs.is_satisfied(), Err(UnsatisfiedConstraint { index: 0 }));
+    }
+
+    #[test]
+    fn linear_combination_arithmetic() {
+        let mut cs = ConstraintSystem::new();
+        let x = cs.alloc_aux(Fr::from_u64(3));
+        let y = cs.alloc_aux(Fr::from_u64(4));
+        // (2x + 3y + 1) evaluated = 6 + 12 + 1 = 19.
+        let lc = LinearCombination::zero()
+            .add_term(x, Fr::from_u64(2))
+            .add_term(y, Fr::from_u64(3))
+            .add_term(Variable::One, Fr::one());
+        assert_eq!(lc.evaluate(&cs), Fr::from_u64(19));
+        // Scale by 2 → 38.
+        assert_eq!(lc.clone().scale(Fr::from_u64(2)).evaluate(&cs), Fr::from_u64(38));
+        // Add lc to itself → 38.
+        assert_eq!(lc.clone().add_lc(&lc).evaluate(&cs), Fr::from_u64(38));
+    }
+
+    #[test]
+    fn dense_indices_are_contiguous() {
+        let mut cs = ConstraintSystem::new();
+        let p0 = cs.alloc_public(Fr::one());
+        let p1 = cs.alloc_public(Fr::one());
+        let a0 = cs.alloc_aux(Fr::one());
+        assert_eq!(cs.dense_index(Variable::One), 0);
+        assert_eq!(cs.dense_index(p0), 1);
+        assert_eq!(cs.dense_index(p1), 2);
+        assert_eq!(cs.dense_index(a0), 3);
+        assert_eq!(cs.num_variables(), 4);
+        assert_eq!(cs.full_assignment().len(), 4);
+    }
+
+    #[test]
+    fn linear_constraints_via_one_wire() {
+        // Enforce x + y = 10 as (x + y) * 1 = 10.
+        let mut cs = ConstraintSystem::new();
+        let x = cs.alloc_aux(Fr::from_u64(6));
+        let y = cs.alloc_aux(Fr::from_u64(4));
+        cs.enforce(
+            LinearCombination::from_var(x).add_term(y, Fr::one()),
+            LinearCombination::from_var(Variable::One),
+            LinearCombination::constant(Fr::from_u64(10)),
+        );
+        cs.is_satisfied().unwrap();
+    }
+}

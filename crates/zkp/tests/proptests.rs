@@ -1,0 +1,136 @@
+//! Property-based tests of the SNARK substrate: NTT algebra, R1CS
+//! gadget correctness over random inputs, and Baby Jubjub group laws.
+
+use dragoon_crypto::Fr;
+use dragoon_zkp::gadgets::{
+    alloc_bits, alloc_point, point_add, point_select, scalar_mul,
+};
+use dragoon_zkp::jubjub::{scalar_bits, JubKeyPair, JubPoint};
+use dragoon_zkp::ntt::{eval_poly, Domain};
+use dragoon_zkp::r1cs::ConstraintSystem;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fr(seed: u64) -> Fr {
+    Fr::random(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ntt_round_trip_random_sizes(log_n in 1u32..8, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let d = Domain::new(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = original.clone();
+        d.ntt(&mut v);
+        d.intt(&mut v);
+        prop_assert_eq!(v, original.clone());
+        let mut v = original.clone();
+        d.coset_ntt(&mut v);
+        d.coset_intt(&mut v);
+        prop_assert_eq!(v, original);
+    }
+
+    #[test]
+    fn lagrange_interpolation_agrees(seed in any::<u64>(), x_seed in any::<u64>()) {
+        let d = Domain::new(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let evals: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let x = fr(x_seed);
+        // Skip the negligible chance x is in the domain.
+        if d.vanishing_at(&x).is_zero() {
+            return Ok(());
+        }
+        let lag = d.lagrange_at(&x);
+        let via_lag: Fr = evals.iter().zip(&lag).fold(Fr::zero(), |a, (e, l)| a + *e * *l);
+        let mut coeffs = evals.clone();
+        d.intt(&mut coeffs);
+        prop_assert_eq!(via_lag, eval_poly(&coeffs, &x));
+    }
+
+    #[test]
+    fn jubjub_group_laws(a in any::<u64>(), b in any::<u64>()) {
+        let g = JubPoint::generator();
+        // NOTE: Baby Jubjub's subgroup order l differs from the Fr
+        // modulus r, so g^(a+b mod r) != g^a · g^b when a+b wraps mod r.
+        // u64 scalars never wrap, making the homomorphism exact.
+        let (ka, kb) = (Fr::from_u64(a), Fr::from_u64(b));
+        let p = g.mul_scalar(&ka);
+        let q = g.mul_scalar(&kb);
+        prop_assert!(p.is_on_curve());
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert_eq!(p.add(&p.neg()), JubPoint::identity());
+        prop_assert_eq!(
+            g.mul_scalar(&ka).add(&g.mul_scalar(&kb)),
+            g.mul_scalar(&Fr::from_u128(a as u128 + b as u128))
+        );
+    }
+
+    #[test]
+    fn addition_gadget_random_points(a in any::<u64>(), b in any::<u64>()) {
+        let g = JubPoint::generator();
+        let p = g.mul_scalar(&fr(a));
+        let q = g.mul_scalar(&fr(b));
+        let native = p.add(&q);
+        let mut cs = ConstraintSystem::new();
+        let pv = alloc_point(&mut cs, &p);
+        let qv = alloc_point(&mut cs, &q);
+        let sum = point_add(&mut cs, pv, qv);
+        prop_assert!(cs.is_satisfied().is_ok());
+        prop_assert_eq!(cs.value_of(sum.x), native.x);
+        prop_assert_eq!(cs.value_of(sum.y), native.y);
+    }
+
+    #[test]
+    fn scalar_mul_gadget_small_scalars(k in 0u64..1024, base_seed in any::<u64>()) {
+        let base = JubPoint::generator().mul_scalar(&fr(base_seed));
+        let native = base.mul_scalar(&Fr::from_u64(k));
+        let mut cs = ConstraintSystem::new();
+        let bits = alloc_bits(&mut cs, &Fr::from_u64(k), 10);
+        let bv = alloc_point(&mut cs, &base);
+        let out = scalar_mul(&mut cs, &bits, bv);
+        prop_assert!(cs.is_satisfied().is_ok());
+        prop_assert_eq!(cs.value_of(out.x), native.x);
+        prop_assert_eq!(cs.value_of(out.y), native.y);
+    }
+
+    #[test]
+    fn select_gadget_both_branches(bit in any::<bool>(), a in any::<u64>(), b in any::<u64>()) {
+        let g = JubPoint::generator();
+        let p = g.mul_scalar(&fr(a));
+        let q = g.mul_scalar(&fr(b));
+        let mut cs = ConstraintSystem::new();
+        let bvar = cs.alloc_aux(if bit { Fr::one() } else { Fr::zero() });
+        let pv = alloc_point(&mut cs, &p);
+        let qv = alloc_point(&mut cs, &q);
+        let out = point_select(&mut cs, bvar, pv, qv);
+        prop_assert!(cs.is_satisfied().is_ok());
+        let expect = if bit { p } else { q };
+        prop_assert_eq!(cs.value_of(out.x), expect.x);
+        prop_assert_eq!(cs.value_of(out.y), expect.y);
+    }
+
+    #[test]
+    fn scalar_bits_reconstruct(seed in any::<u64>()) {
+        let k = fr(seed);
+        let bits = scalar_bits(&k);
+        let mut acc = Fr::zero();
+        for &b in bits.iter().rev() {
+            acc = acc + acc + if b { Fr::one() } else { Fr::zero() };
+        }
+        prop_assert_eq!(acc, k);
+    }
+
+    #[test]
+    fn jub_elgamal_round_trip(m in 0u64..32, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = JubKeyPair::generate(&mut rng);
+        let ct = dragoon_zkp::jubjub::jub_encrypt(&kp.pk, m, &mut rng);
+        let point = dragoon_zkp::jubjub::jub_decrypt_point(&kp.sk, &ct);
+        prop_assert_eq!(point, JubPoint::generator().mul_scalar(&Fr::from_u64(m)));
+    }
+}

@@ -1,0 +1,75 @@
+//! Prints a detailed per-transaction gas breakdown of a full ImageNet
+//! run — the drill-down behind Table III, showing *where* every unit of
+//! gas goes (calldata, storage, precompiles, logs).
+//!
+//! ```sh
+//! cargo run --release --example gas_report
+//! ```
+
+use dragoon_chain::{gas_to_usd, GasSchedule, TxStatus};
+use dragoon_core::workload::{imagenet_workload, AnswerModel};
+use dragoon_protocol::{driver, WorkerBehavior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1108);
+    // Worst case (reject all) exercises every code path.
+    let report = driver::run(
+        driver::RunConfig {
+            workload: imagenet_workload(4_000_000, &mut rng),
+            behaviors: vec![
+                WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.0 });
+                4
+            ],
+            schedule: GasSchedule::istanbul(),
+            block_gas_limit: None,
+        },
+        &mut rng,
+    );
+
+    println!("== Per-transaction gas breakdown (ImageNet task, worst case) ==\n");
+    println!(
+        "{:<10} {:<9} {:>10}   breakdown",
+        "tx", "status", "gas"
+    );
+    let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in report.chain.receipts() {
+        let status = match &r.status {
+            TxStatus::Ok => "ok",
+            TxStatus::Reverted(_) => "reverted",
+        };
+        let mut by_label: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (label, g) in &r.gas_breakdown {
+            *by_label.entry(label).or_default() += g;
+            *totals.entry(label).or_default() += g;
+        }
+        let parts: Vec<String> = by_label
+            .iter()
+            .map(|(l, g)| format!("{l}={}k", g / 1_000))
+            .collect();
+        println!(
+            "{:<10} {:<9} {:>10}   {}",
+            r.label,
+            status,
+            r.gas_used,
+            parts.join(" ")
+        );
+    }
+    println!("\n== Where the gas goes (whole protocol) ==");
+    let grand: u64 = totals.values().sum();
+    for (label, g) in &totals {
+        println!(
+            "{:<12} {:>10} gas  ({:>4.1}%)",
+            label,
+            g,
+            100.0 * *g as f64 / grand as f64
+        );
+    }
+    println!(
+        "\nTOTAL: {} gas  =  ${:.2} at 1.5 gwei / $115 per ETH",
+        grand,
+        gas_to_usd(grand)
+    );
+}
