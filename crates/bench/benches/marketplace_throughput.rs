@@ -1,0 +1,105 @@
+//! **Marketplace throughput** — HITs settled per 1 000 blocks under the
+//! engine, and the batched-vs-individual VPKE verification speedup that
+//! pays for the batched settlement path. Emits one JSON object per
+//! measurement on stdout (lines prefixed `JSON:`) for the perf
+//! trajectory.
+//!
+//! ```sh
+//! cargo bench -p dragoon-bench --bench marketplace_throughput
+//! DRAGOON_SEED=7 cargo bench -p dragoon-bench --bench marketplace_throughput
+//! ```
+
+use dragoon_bench::{fmt_duration, time_once};
+use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+use dragoon_crypto::vpke;
+use dragoon_sim::{run_market, seed_from_env_or, MarketConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn market_throughput(seed: u64) {
+    println!("== marketplace throughput ==");
+    for (label, settlement) in [
+        ("per_proof", dragoon_contract::SettlementMode::PerProof),
+        ("batched", dragoon_contract::SettlementMode::Batched),
+    ] {
+        let config = MarketConfig {
+            hits: 200,
+            spawn_per_block: 10,
+            workers: 80,
+            worker_capacity: 5,
+            settlement,
+            seed,
+            max_blocks: 900,
+            ..MarketConfig::default()
+        };
+        let (wall, report) = time_once(|| run_market(config.clone()));
+        let per_1k = report.hits_settled as f64 * 1_000.0 / report.blocks as f64;
+        println!(
+            "{label:<10} {} HITs settled in {} blocks ({per_1k:.0} per 1k blocks), \
+             gas {:.0}k/block, wall {}",
+            report.hits_settled,
+            report.blocks,
+            report.gas_per_block_mean / 1_000.0,
+            fmt_duration(wall),
+        );
+        println!(
+            "JSON: {{\"bench\":\"market_throughput\",\"mode\":\"{label}\",\
+             \"hits_settled\":{},\"blocks\":{},\"hits_per_1k_blocks\":{per_1k:.1},\
+             \"wall_ms\":{},\"report\":{}}}",
+            report.hits_settled,
+            report.blocks,
+            wall.as_millis(),
+            report.to_json(),
+        );
+    }
+}
+
+fn batch_speedup(seed: u64) {
+    println!("\n== batched vs individual VPKE verification ==");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
+    let kp = KeyPair::generate(&mut rng);
+    let range = PlaintextRange::binary();
+    for n in [8usize, 32, 128, 512] {
+        let items: Vec<_> = (0..n)
+            .map(|i| {
+                let ct = kp.ek.encrypt((i % 2) as u64, &mut rng);
+                let (claim, proof) = vpke::prove(&kp.dk, &ct, &range, &mut rng);
+                (
+                    vpke::DecryptionStatement {
+                        ek: kp.ek,
+                        ct,
+                        claim,
+                    },
+                    proof,
+                )
+            })
+            .collect();
+        let (individual, ok_each) = time_once(|| {
+            items
+                .iter()
+                .map(|(s, p)| vpke::verify(s, p))
+                .collect::<Vec<_>>()
+        });
+        let (batched, ok_batch) = time_once(|| vpke::batch_verify_each(&items));
+        assert_eq!(ok_each, ok_batch, "verdicts must agree");
+        let speedup = individual.as_secs_f64() / batched.as_secs_f64();
+        println!(
+            "n = {n:<4} individual {:<10} batched {:<10} speedup {speedup:.2}x",
+            fmt_duration(individual),
+            fmt_duration(batched),
+        );
+        println!(
+            "JSON: {{\"bench\":\"vpke_batch_speedup\",\"n\":{n},\
+             \"individual_us\":{},\"batched_us\":{},\"speedup\":{speedup:.3}}}",
+            individual.as_micros(),
+            batched.as_micros(),
+        );
+    }
+}
+
+fn main() {
+    let seed = seed_from_env_or(0xd1a6_0002);
+    println!("seed: {seed:#x}\n");
+    market_throughput(seed);
+    batch_speedup(seed);
+}

@@ -75,12 +75,7 @@ fn main() {
     let mut m_points = Vec::new();
     let mut gold_points = Vec::new();
     let mut mismatch = Vec::new();
-    for (&_, &s) in workload
-        .golden
-        .indexes
-        .iter()
-        .zip(&workload.golden.answers)
-    {
+    for (&_, &s) in workload.golden.indexes.iter().zip(&workload.golden.answers) {
         let wrong = 1 - s;
         let ct = jub_encrypt(&jkp.pk, wrong, &mut rng);
         m_points.push(jub_decrypt_point(&jkp.sk, &ct));
@@ -101,7 +96,10 @@ fn main() {
     let gen_poq_mem = pk_poq.size_bytes() + cs_poq.num_variables() * 32 * 8;
 
     // ---------------- The table ----------------
-    println!("{:<22} {:>12} {:>14}   (paper: time / memory)", "Statement to Prove", "Time", "Working set");
+    println!(
+        "{:<22} {:>12} {:>14}   (paper: time / memory)",
+        "Statement to Prove", "Time", "Working set"
+    );
     println!(
         "{:<22} {:>12} {:>14}   (3 ms / 53 MB)",
         "Ours  VPKE",

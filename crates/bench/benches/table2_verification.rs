@@ -20,16 +20,14 @@
 //! connecting Table II to Table III's "verify PoQoEA to reject" row.
 
 use dragoon_bench::{fmt_duration, time_avg};
+use dragoon_chain::GasSchedule;
 use dragoon_core::poqoea;
 use dragoon_core::task::Answer;
 use dragoon_core::workload::imagenet_workload;
 use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
 use dragoon_crypto::vpke;
-use dragoon_chain::GasSchedule;
 use dragoon_zkp::jubjub::{jub_decrypt_point, jub_encrypt, JubKeyPair, JubPoint};
-use dragoon_zkp::{
-    circuits, groth16, poqoea_circuit, vpke_circuit, PoqoeaInstance, VpkeInstance,
-};
+use dragoon_zkp::{circuits, groth16, poqoea_circuit, vpke_circuit, PoqoeaInstance, VpkeInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,7 +114,10 @@ fn main() {
     assert!(groth16::verify(&pk_poq.vk, &gproof_poq, &publics_poq).unwrap());
 
     // ---------------- The table ----------------
-    println!("{:<22} {:>14}   (paper)", "Statement to Verify", "Verifying Time");
+    println!(
+        "{:<22} {:>14}   (paper)",
+        "Statement to Verify", "Verifying Time"
+    );
     println!(
         "{:<22} {:>14}   (1 ms)",
         "Ours  VPKE",

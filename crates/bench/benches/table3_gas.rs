@@ -80,9 +80,17 @@ fn main() {
     let avg_submit = submit.iter().sum::<u64>() / submit.len() as u64;
     let avg_reject = worst.gas.rejects.iter().sum::<u64>() / worst.gas.rejects.len() as u64;
 
-    row("Publish task (by requester)", best.gas.publish, "~1293k / $0.22");
+    row(
+        "Publish task (by requester)",
+        best.gas.publish,
+        "~1293k / $0.22",
+    );
     row("Submit answers (by worker)", avg_submit, "~2830k / $0.48");
-    row("Verify PoQoEA to reject an answer", avg_reject, "~180k / $0.03");
+    row(
+        "Verify PoQoEA to reject an answer",
+        avg_reject,
+        "~180k / $0.03",
+    );
     row(
         "Overall (best-case: reject no submission)",
         best.gas.total(),
@@ -122,7 +130,7 @@ fn main() {
                 workload: w,
                 behaviors: behaviors(4, 0),
                 schedule: GasSchedule::istanbul(),
-            block_gas_limit: None,
+                block_gas_limit: None,
             },
             &mut rng,
         );
@@ -139,8 +147,7 @@ fn main() {
     let uncompressed_bytes = 106 * 2 * 64;
     let compressed_bytes = 106 * 2 * 32;
     let unc = sched.calldata_nonzero * uncompressed_bytes as u64;
-    let cmp = sched.calldata_nonzero * compressed_bytes as u64
-        + 106 * 2 * 40; // ~40 gas/point EVM decompression overhead (sqrt via modexp is far more; this is the optimistic bound)
+    let cmp = sched.calldata_nonzero * compressed_bytes as u64 + 106 * 2 * 40; // ~40 gas/point EVM decompression overhead (sqrt via modexp is far more; this is the optimistic bound)
     println!(
         "  reveal calldata, uncompressed: {:>7} gas   compressed: {:>7} gas   (saves {}k of a ~2.6M tx — why the paper keeps points uncompressed)",
         unc,
@@ -159,7 +166,7 @@ fn main() {
                 workload: imagenet_workload(4_000_000, &mut rng),
                 behaviors: behaviors(0, 4),
                 schedule: sched,
-            block_gas_limit: None,
+                block_gas_limit: None,
             },
             &mut rng,
         );

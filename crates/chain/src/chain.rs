@@ -77,6 +77,37 @@ impl<E: Clone> ExecEnv<'_, E> {
     pub fn emit_free(&mut self, event: E) {
         self.events.push(event);
     }
+
+    /// Runs `f` in a child environment scoped to a different contract
+    /// address and event type — the internal-call mechanism a registry
+    /// contract uses to route a transaction into one of many hosted
+    /// instances (each with its own escrow account on the ledger).
+    ///
+    /// Gas, ledger and round state are shared with the parent; events
+    /// the child emits are mapped through `adapt` back into the parent's
+    /// event type. Transaction atomicity is unaffected: the chain
+    /// checkpoints around the whole outer transaction.
+    pub fn scoped<E2: Clone, T>(
+        &mut self,
+        contract: Address,
+        f: impl FnOnce(&mut ExecEnv<'_, E2>) -> T,
+        adapt: impl FnMut(E2) -> E,
+    ) -> T {
+        let mut child_events: Vec<E2> = Vec::new();
+        let out = {
+            let mut child = ExecEnv {
+                ledger: &mut *self.ledger,
+                gas: &mut *self.gas,
+                schedule: self.schedule,
+                round: self.round,
+                contract,
+                events: &mut child_events,
+            };
+            f(&mut child)
+        };
+        self.events.extend(child_events.into_iter().map(adapt));
+        out
+    }
 }
 
 /// Execution status of a transaction.
@@ -137,8 +168,7 @@ impl<S: StateMachine> Chain<S> {
     /// deployment gas for `code_len` bytes of runtime code.
     pub fn deploy(contract: S, code_len: usize, schedule: GasSchedule) -> Self {
         let contract_addr = Address::contract_address(&Address::ZERO, 1);
-        let deploy_gas =
-            schedule.tx_base + schedule.create(code_len);
+        let deploy_gas = schedule.tx_base + schedule.create(code_len);
         Self {
             ledger: Ledger::new(),
             contract,
@@ -240,14 +270,21 @@ impl<S: StateMachine> Chain<S> {
                     // Execute speculatively; if the block would exceed
                     // its gas limit (and is not empty — a single tx
                     // larger than the limit must still land somewhere),
-                    // roll back and carry the transaction over.
+                    // roll back and carry the transaction over. The
+                    // speculative snapshot doubles as the transaction's
+                    // revert checkpoint, so each tx is cloned once.
                     let contract_snapshot = self.contract.clone();
                     let ledger_snapshot = self.ledger.clone();
                     let events_len = self.events.len();
-                    let receipt = self.execute_tx(tx.clone());
+                    let (receipt, checkpoint) =
+                        self.execute_tx_consuming(tx.clone(), contract_snapshot, ledger_snapshot);
                     if block_gas + receipt.gas_used > limit && !receipts.is_empty() {
-                        self.contract = contract_snapshot;
-                        self.ledger = ledger_snapshot;
+                        if let Some((contract, ledger)) = checkpoint {
+                            self.contract = contract;
+                            self.ledger = ledger;
+                        }
+                        // checkpoint == None means the tx reverted, so
+                        // state already equals the snapshot.
                         self.events.truncate(events_len);
                         carried.push(tx);
                         break;
@@ -277,13 +314,28 @@ impl<S: StateMachine> Chain<S> {
     }
 
     fn execute_tx(&mut self, tx: PendingTx<S::Msg>) -> Receipt {
-        let mut meter = GasMeter::new();
-        meter.charge("intrinsic", self.schedule.intrinsic(&tx.msg.calldata()));
-        let label = tx.msg.label();
-
         // Checkpoint for atomicity.
         let contract_snapshot = self.contract.clone();
         let ledger_snapshot = self.ledger.clone();
+        self.execute_tx_consuming(tx, contract_snapshot, ledger_snapshot)
+            .0
+    }
+
+    /// Executes one transaction, consuming the caller's checkpoint:
+    /// on revert the snapshots move back into the chain (no clone); on
+    /// success they are returned so the gas-capped block path can reuse
+    /// them for block-overflow rollback. Either way each transaction
+    /// pays exactly one state clone.
+    #[allow(clippy::type_complexity)]
+    fn execute_tx_consuming(
+        &mut self,
+        tx: PendingTx<S::Msg>,
+        contract_snapshot: S,
+        ledger_snapshot: Ledger,
+    ) -> (Receipt, Option<(S, Ledger)>) {
+        let mut meter = GasMeter::new();
+        meter.charge("intrinsic", self.schedule.intrinsic(&tx.msg.calldata()));
+        let label = tx.msg.label();
         let mut events = Vec::new();
 
         let result = {
@@ -298,30 +350,33 @@ impl<S: StateMachine> Chain<S> {
             self.contract.on_message(&mut env, tx.sender, tx.msg)
         };
 
-        let status = match result {
+        let (status, checkpoint) = match result {
             Ok(()) => {
                 for e in events {
                     self.events.push((self.round, e));
                 }
-                TxStatus::Ok
+                (TxStatus::Ok, Some((contract_snapshot, ledger_snapshot)))
             }
             Err(e) => {
                 // Roll back all state; gas is still consumed.
                 self.contract = contract_snapshot;
                 self.ledger = ledger_snapshot;
-                TxStatus::Reverted(e.to_string())
+                (TxStatus::Reverted(e.to_string()), None)
             }
         };
 
-        Receipt {
-            seq: tx.seq,
-            sender: tx.sender,
-            label,
-            round: self.round,
-            gas_used: meter.used(),
-            status,
-            gas_breakdown: meter.breakdown().to_vec(),
-        }
+        (
+            Receipt {
+                seq: tx.seq,
+                sender: tx.sender,
+                label,
+                round: self.round,
+                gas_used: meter.used(),
+                status,
+                gas_breakdown: meter.breakdown().to_vec(),
+            },
+            checkpoint,
+        )
     }
 
     /// All produced blocks.
@@ -469,11 +524,9 @@ mod tests {
         let mut c = chain();
         c.submit(Address::from_byte(1), CounterMsg::Add(1));
         // Adversary delays everything one round.
-        let mut delay_all = crate::mempool::AdversarialPolicy::new(|_, pending| {
-            Scheduled {
-                deliver: Vec::new(),
-                delay: pending,
-            }
+        let mut delay_all = crate::mempool::AdversarialPolicy::new(|_, pending| Scheduled {
+            deliver: Vec::new(),
+            delay: pending,
         });
         c.advance_round(&mut delay_all);
         assert_eq!(c.contract().value, 0);

@@ -230,7 +230,10 @@ mod tests {
         assert_eq!(s.zero, 2);
         assert_eq!(s.nonzero, 3);
         assert_eq!(s.len(), 5);
-        let t = s.plus(&CalldataStats { zero: 1, nonzero: 1 });
+        let t = s.plus(&CalldataStats {
+            zero: 1,
+            nonzero: 1,
+        });
         assert_eq!(t.len(), 7);
     }
 
@@ -239,7 +242,10 @@ mod tests {
         let g = GasSchedule::istanbul();
         // 21000 + 2*4 + 3*16 = 21056.
         assert_eq!(
-            g.intrinsic(&CalldataStats { zero: 2, nonzero: 3 }),
+            g.intrinsic(&CalldataStats {
+                zero: 2,
+                nonzero: 3
+            }),
             21_056
         );
         assert_eq!(g.intrinsic(&CalldataStats::default()), 21_000);

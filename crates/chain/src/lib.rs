@@ -27,6 +27,6 @@ pub mod mempool;
 pub use chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
 pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
 pub use mempool::{
-    AdversarialPolicy, DelayVictimPolicy, FifoPolicy, PendingTx, ReorderPolicy, ReversePolicy,
-    Scheduled,
+    AdversarialPolicy, DelayVictimPolicy, FifoPolicy, FrontRunPolicy, PendingTx, ReorderPolicy,
+    ReversePolicy, Scheduled,
 };

@@ -108,6 +108,36 @@ impl<M> ReorderPolicy<M> for DelayVictimPolicy {
     }
 }
 
+/// A rushing front-runner: delivers a designated attacker's transactions
+/// first each round, ahead of everyone else's (otherwise preserving
+/// arrival order) — the miner-extractable-ordering adversary racing
+/// honest workers for the last commitment slot of a filling task.
+#[derive(Clone, Debug)]
+pub struct FrontRunPolicy {
+    /// The address whose transactions jump the queue.
+    pub attacker: Address,
+}
+
+impl FrontRunPolicy {
+    /// Front-runs on behalf of `attacker`.
+    pub fn new(attacker: Address) -> Self {
+        Self { attacker }
+    }
+}
+
+impl<M> ReorderPolicy<M> for FrontRunPolicy {
+    fn schedule(&mut self, _round: u64, pending: Vec<PendingTx<M>>) -> Scheduled<M> {
+        let (mut first, rest): (Vec<_>, Vec<_>) = pending
+            .into_iter()
+            .partition(|tx| tx.sender == self.attacker);
+        first.extend(rest);
+        Scheduled {
+            deliver: first,
+            delay: Vec::new(),
+        }
+    }
+}
+
 /// A fully programmable adversary: the closure receives the round number
 /// and the pending set and returns the schedule. Used by the
 /// real-vs-ideal security tests to express arbitrary rushing strategies.

@@ -1,0 +1,49 @@
+//! Collection strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sizes a [`vec`] strategy: an exact length or a length range.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn draw_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn draw_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn draw_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn draw_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy producing vectors whose elements come from `element` and
+/// whose length comes from `size`.
+pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.draw_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,30 @@
+//! Sampling strategies over fixed collections.
+
+use crate::collection::IntoSizeRange;
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A strategy drawing an order-preserving random subsequence of `values`
+/// whose length is drawn from `size` (clamped to the available length).
+pub fn subsequence<T: Clone, Z: IntoSizeRange>(values: Vec<T>, size: Z) -> Subsequence<T, Z> {
+    Subsequence { values, size }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T, Z> {
+    values: Vec<T>,
+    size: Z,
+}
+
+impl<T: Clone, Z: IntoSizeRange> Strategy for Subsequence<T, Z> {
+    type Value = Vec<T>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.draw_len(rng).min(self.values.len());
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.shuffle(rng);
+        let mut picked: Vec<usize> = idx.into_iter().take(len).collect();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}

@@ -295,6 +295,53 @@ struct WorkerRecord {
     /// Digests of each ciphertext item (what actual storage holds).
     item_digests: Vec<[u8; 32]>,
     settlement: Option<Settlement>,
+    /// A deferred rejection is queued for this worker (batched mode).
+    pending: bool,
+}
+
+/// Why a queued rejection will fire if its proofs verify.
+#[derive(Clone, Debug)]
+enum PendingKind {
+    /// An `outrange` challenge at this question index.
+    OutRange { index: usize },
+    /// A PoQoEA rejection with this claimed quality.
+    LowQuality { chi: u64 },
+}
+
+/// A structurally valid rejection whose VPKE proofs await the end-of-block
+/// batch verification.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingVerdict {
+    worker: Address,
+    kind: PendingKind,
+    pub(crate) items: Vec<(DecryptionStatement, DecryptionProof)>,
+}
+
+/// Counters for the batched settlement path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of batch dispatches (one per block with pending verdicts).
+    pub batches: u64,
+    /// Total VPKE items verified through batches.
+    pub items: u64,
+    /// Largest single batch.
+    pub largest: u64,
+}
+
+impl BatchStats {
+    /// Component-wise accumulation (for registry-wide aggregation).
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.batches += other.batches;
+        self.items += other.items;
+        self.largest = self.largest.max(other.largest);
+    }
+
+    /// Records one dispatched batch of `items` proofs.
+    pub fn record(&mut self, items: u64) {
+        self.batches += 1;
+        self.items += items;
+        self.largest = self.largest.max(items);
+    }
 }
 
 /// The HIT contract `C_hit`.
@@ -314,6 +361,12 @@ pub struct HitContract {
     reveal_deadline: Option<u64>,
     evaluate_deadline: Option<u64>,
     settled: bool,
+    /// Batched-settlement mode: rejection proofs are queued per block and
+    /// dispatched through `vpke::batch_verify_each` instead of verified
+    /// inline (see [`HitContract::with_deferred_verification`]).
+    defer_verification: bool,
+    pending_verdicts: Vec<PendingVerdict>,
+    batch_stats: BatchStats,
 }
 
 impl Default for HitContract {
@@ -338,7 +391,29 @@ impl HitContract {
             reveal_deadline: None,
             evaluate_deadline: None,
             settled: false,
+            defer_verification: false,
+            pending_verdicts: Vec::new(),
+            batch_stats: BatchStats::default(),
         }
+    }
+
+    /// Switches the contract to **batched settlement**: `evaluate` /
+    /// `outrange` transactions run every structural check inline but
+    /// queue their VPKE proofs; at the next clock tick (block boundary)
+    /// all queued proofs are dispatched through one
+    /// [`vpke::batch_verify_each`] call and the verdicts applied. The
+    /// accept/reject outcome per worker is identical to inline
+    /// verification — only *when* within the phase window the verdict
+    /// lands (same block vs. next block boundary) and the verification
+    /// cost profile change.
+    pub fn with_deferred_verification(mut self) -> Self {
+        self.defer_verification = true;
+        self
+    }
+
+    /// Counters for the batched settlement path (zero in inline mode).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch_stats
     }
 
     /// The current phase.
@@ -374,6 +449,11 @@ impl HitContract {
     /// Workers in commit order.
     pub fn committed_workers(&self) -> &[Address] {
         &self.commit_order
+    }
+
+    /// The commit deadline round, when a commit timeout is configured.
+    pub fn commit_deadline(&self) -> Option<u64> {
+        self.commit_deadline
     }
 
     /// The reveal deadline round, once the commit phase has closed.
@@ -479,11 +559,18 @@ impl HitContract {
                 revealed: None,
                 item_digests: Vec::new(),
                 settlement: None,
+                pending: false,
             },
         );
         self.commit_order.push(sender);
         let count = self.commit_order.len();
-        env.emit(HitEvent::CommitAccepted { worker: sender, count }, 64);
+        env.emit(
+            HitEvent::CommitAccepted {
+                worker: sender,
+                count,
+            },
+            64,
+        );
         if count == k {
             self.phase = Phase::Reveal;
             self.reveal_deadline = Some(env.round + self.windows.reveal);
@@ -505,10 +592,7 @@ impl HitContract {
             });
         }
         let n = self.params_ref().n;
-        let record = self
-            .workers
-            .get(&sender)
-            .ok_or(HitError::UnknownWorker)?;
+        let record = self.workers.get(&sender).ok_or(HitError::UnknownWorker)?;
         if record.revealed.is_some() {
             return Err(HitError::AlreadyRevealed);
         }
@@ -520,7 +604,8 @@ impl HitContract {
         }
         // Verify the opening: hash the full encoding.
         let encoded = ciphertexts.encode();
-        env.gas.charge("keccak", env.schedule.keccak(encoded.len() + 32));
+        env.gas
+            .charge("keccak", env.schedule.keccak(encoded.len() + 32));
         if !record.commitment.open(&encoded, &key) {
             return Err(HitError::BadOpening);
         }
@@ -533,8 +618,7 @@ impl HitContract {
             let d = keccak256(&ct.to_bytes());
             digests.push(d);
         }
-        env.gas
-            .charge("sstore", n as u64 * env.schedule.sstore_set);
+        env.gas.charge("sstore", n as u64 * env.schedule.sstore_set);
         env.gas
             .charge("keccak", n as u64 * env.schedule.keccak(128));
         env.gas.charge("overhead", n as u64 * env.schedule.sload);
@@ -608,11 +692,8 @@ impl HitContract {
         if Some(sender) != self.requester {
             return Err(HitError::NotRequester);
         }
-        let record = self
-            .workers
-            .get(&worker)
-            .ok_or(HitError::UnknownWorker)?;
-        if record.settlement.is_some() {
+        let record = self.workers.get(&worker).ok_or(HitError::UnknownWorker)?;
+        if record.settlement.is_some() || record.pending {
             return Err(HitError::AlreadySettled);
         }
         let Some(cts) = record.revealed.as_ref() else {
@@ -629,37 +710,53 @@ impl HitContract {
         let ek = p.ek;
 
         // Fig 4: pay the worker if the claim is in range or the proof is
-        // invalid; otherwise record the rejection.
+        // invalid; otherwise record the rejection. Gas in batched mode
+        // matches per-proof except the 9 000-gas value-transfer
+        // surcharge when an invalid proof backfires into a payment: that
+        // outcome is only known at the block boundary and its dispatch
+        // is not metered per-transaction (a documented simplification of
+        // the deferred path).
         Self::charge_vpke_verify(env);
-        let stmt = DecryptionStatement {
-            ek,
-            ct: *ct,
-            claim,
-        };
-        let proof_valid = vpke::verify(&stmt, &proof);
+        let stmt = DecryptionStatement { ek, ct: *ct, claim };
         // The contract additionally checks the claim is genuinely out of
         // range: the claimed point must differ from g^m for every
         // m ∈ range (|range| is a small constant — one EC mul each).
         let claimed_in_range = match claim {
             PlaintextClaim::InRange(m) => range.contains(m),
             PlaintextClaim::OutOfRange(pt) => {
-                env.gas
-                    .charge("ec_mul", range.len() * env.schedule.ec_mul);
-                (range.lo..=range.hi).any(|m| {
-                    (G1Projective::generator() * Fr::from_u64(m)).to_affine() == pt
-                })
+                env.gas.charge("ec_mul", range.len() * env.schedule.ec_mul);
+                (range.lo..=range.hi)
+                    .any(|m| (G1Projective::generator() * Fr::from_u64(m)).to_affine() == pt)
             }
         };
         env.gas.charge("sstore", env.schedule.sstore_update);
         let record = self.workers.get_mut(&worker).expect("checked above");
-        if !proof_valid || claimed_in_range {
-            // The challenge backfires: the worker is paid immediately.
+        if self.defer_verification && !claimed_in_range {
+            record.pending = true;
+            // Pre-charge the verdict event's log gas (both outcomes emit
+            // a 64-byte event, so the cost is outcome-independent); the
+            // event itself is emitted free at resolution.
+            env.gas.charge("log", env.schedule.log(1, 64));
+            self.pending_verdicts.push(PendingVerdict {
+                worker,
+                kind: PendingKind::OutRange { index },
+                items: vec![(stmt, proof)],
+            });
+        } else if claimed_in_range || !vpke::verify(&stmt, &proof) {
+            // The challenge backfires — in-range claim or invalid proof:
+            // the worker is paid immediately.
             env.ledger
                 .pay(env.contract, worker, reward)
                 .expect("escrow holds the budget");
             env.gas.charge("pay", env.schedule.call_value);
             record.settlement = Some(Settlement::Paid);
-            env.emit(HitEvent::Paid { worker, amount: reward }, 64);
+            env.emit(
+                HitEvent::Paid {
+                    worker,
+                    amount: reward,
+                },
+                64,
+            );
         } else {
             record.settlement = Some(Settlement::Rejected(RejectReason::OutOfRange { index }));
             env.emit(HitEvent::OutRanged { worker, index }, 64);
@@ -686,11 +783,8 @@ impl HitContract {
         let Some(golden) = self.golden.clone() else {
             return Err(HitError::GoldenNotOpened);
         };
-        let record = self
-            .workers
-            .get(&worker)
-            .ok_or(HitError::UnknownWorker)?;
-        if record.settlement.is_some() {
+        let record = self.workers.get(&worker).ok_or(HitError::UnknownWorker)?;
+        if record.settlement.is_some() || record.pending {
             return Err(HitError::AlreadySettled);
         }
         let Some(cts) = record.revealed.clone() else {
@@ -703,6 +797,8 @@ impl HitContract {
 
         // Gas: per mismatch item, one VPKE verification plus the
         // gold-point comparison (one EC mul) and bookkeeping SLOADs.
+        // Batched mode charges the same, minus the value-transfer
+        // surcharge of a backfired payment (see handle_outrange).
         for _ in &proof.items {
             Self::charge_vpke_verify(env);
             env.gas.charge("ec_mul", env.schedule.ec_mul);
@@ -710,16 +806,44 @@ impl HitContract {
         }
         env.gas.charge("sstore", env.schedule.sstore_update);
 
-        // Fig 4: pay if χ ≥ Θ or the proof fails to verify.
-        let verdict = poqoea::verify_quality(&ek, &cts, chi, &proof, &golden);
+        // Fig 4: pay if χ ≥ Θ or the proof fails to verify. The
+        // structural half of verification always runs inline; the VPKE
+        // half runs inline or is queued for the block-boundary batch.
+        let structural = poqoea::split_quality_proof(&ek, &cts, chi, &proof, &golden);
+        let pay_now = match &structural {
+            _ if chi >= theta => true,
+            Err(_) => true,
+            Ok(items) if self.defer_verification => {
+                let record = self.workers.get_mut(&worker).expect("checked above");
+                record.pending = true;
+                // Pre-charge the verdict event's log gas (outcome-
+                // independent: both outcomes emit a 64-byte event).
+                env.gas.charge("log", env.schedule.log(1, 64));
+                self.pending_verdicts.push(PendingVerdict {
+                    worker,
+                    kind: PendingKind::LowQuality { chi },
+                    items: items.clone(),
+                });
+                return Ok(());
+            }
+            Ok(items) => !items
+                .iter()
+                .all(|(stmt, dproof)| vpke::verify(stmt, dproof)),
+        };
         let record = self.workers.get_mut(&worker).expect("checked above");
-        if chi >= theta || verdict.is_err() {
+        if pay_now {
             env.ledger
                 .pay(env.contract, worker, reward)
                 .expect("escrow holds the budget");
             env.gas.charge("pay", env.schedule.call_value);
             record.settlement = Some(Settlement::Paid);
-            env.emit(HitEvent::Paid { worker, amount: reward }, 64);
+            env.emit(
+                HitEvent::Paid {
+                    worker,
+                    amount: reward,
+                },
+                64,
+            );
         } else {
             record.settlement = Some(Settlement::Rejected(RejectReason::LowQuality { chi }));
             env.emit(HitEvent::Evaluated { worker, chi }, 64);
@@ -727,10 +851,7 @@ impl HitContract {
         Ok(())
     }
 
-    fn handle_finalize(
-        &mut self,
-        env: &mut ExecEnv<'_, HitEvent>,
-    ) -> Result<(), HitError> {
+    fn handle_finalize(&mut self, env: &mut ExecEnv<'_, HitEvent>) -> Result<(), HitError> {
         if self.phase != Phase::Evaluate {
             return Err(HitError::WrongPhase {
                 current: self.phase,
@@ -779,9 +900,97 @@ impl HitContract {
         env.emit_free(HitEvent::Cancelled { refunded });
     }
 
+    /// Dispatches every queued rejection through one batched VPKE
+    /// verification and applies the verdicts (batched-settlement mode).
+    ///
+    /// Called at each block boundary (clock tick) and defensively before
+    /// any settlement, so a verdict can never be skipped by an
+    /// early `Finalize`. A verdict whose proofs all verify lands as the
+    /// rejection it claimed; any invalid proof pays the worker, exactly
+    /// as inline verification would have.
+    pub fn resolve_pending(&mut self, env: &mut ExecEnv<'_, HitEvent>) {
+        if self.pending_verdicts.is_empty() {
+            return;
+        }
+        let pending = self.take_pending();
+        let all_items: Vec<(DecryptionStatement, DecryptionProof)> = pending
+            .iter()
+            .flat_map(|v| v.items.iter().copied())
+            .collect();
+        let results = vpke::batch_verify_each(&all_items);
+        if !all_items.is_empty() {
+            self.batch_stats.record(all_items.len() as u64);
+        }
+        self.apply_verdicts(env, pending, &results);
+    }
+
+    /// Drains the queued verdicts — the registry uses this to pool every
+    /// instance's queue into one block-wide batch verification.
+    pub(crate) fn take_pending(&mut self) -> Vec<PendingVerdict> {
+        std::mem::take(&mut self.pending_verdicts)
+    }
+
+    /// Applies drained verdicts given the verification result of each of
+    /// their items (`results` aligned with the verdicts' items,
+    /// flattened in order).
+    pub(crate) fn apply_verdicts(
+        &mut self,
+        env: &mut ExecEnv<'_, HitEvent>,
+        pending: Vec<PendingVerdict>,
+        results: &[bool],
+    ) {
+        let p = self.params_ref();
+        let reward = p.budget / p.k as u128;
+        let mut offset = 0;
+        for verdict in pending {
+            let n = verdict.items.len();
+            let all_valid = results[offset..offset + n].iter().all(|&ok| ok);
+            offset += n;
+            let record = self
+                .workers
+                .get_mut(&verdict.worker)
+                .expect("pending verdict for committed worker");
+            record.pending = false;
+            if record.settlement.is_some() {
+                continue;
+            }
+            if all_valid {
+                let (settlement, event) = match verdict.kind {
+                    PendingKind::OutRange { index } => (
+                        Settlement::Rejected(RejectReason::OutOfRange { index }),
+                        HitEvent::OutRanged {
+                            worker: verdict.worker,
+                            index,
+                        },
+                    ),
+                    PendingKind::LowQuality { chi } => (
+                        Settlement::Rejected(RejectReason::LowQuality { chi }),
+                        HitEvent::Evaluated {
+                            worker: verdict.worker,
+                            chi,
+                        },
+                    ),
+                };
+                record.settlement = Some(settlement);
+                env.emit_free(event);
+            } else {
+                env.ledger
+                    .pay(env.contract, verdict.worker, reward)
+                    .expect("escrow holds the budget");
+                record.settlement = Some(Settlement::Paid);
+                env.emit_free(HitEvent::Paid {
+                    worker: verdict.worker,
+                    amount: reward,
+                });
+            }
+        }
+    }
+
     /// Settlement: pay every revealed, unsettled worker; mark
     /// non-revealers; refund leftover escrow to the requester.
     fn settle(&mut self, env: &mut ExecEnv<'_, HitEvent>, charge_gas: bool) {
+        // Queued verdicts must land before default payments.
+        self.resolve_pending(env);
         let p = self.params_ref();
         let reward = p.budget / p.k as u128;
         let requester = self.requester.expect("published");
@@ -808,8 +1017,7 @@ impl HitContract {
                     amount: reward,
                 });
             } else {
-                record.settlement =
-                    Some(Settlement::Rejected(RejectReason::NoReveal));
+                record.settlement = Some(Settlement::Rejected(RejectReason::NoReveal));
             }
         }
         // Refund whatever remains in escrow (unfilled slots, rejected
@@ -857,17 +1065,18 @@ impl StateMachine for HitContract {
                 claim,
                 proof,
             } => self.handle_outrange(env, sender, worker, index, claim, proof),
-            HitMessage::Evaluate {
-                worker,
-                chi,
-                proof,
-            } => self.handle_evaluate(env, sender, worker, chi, proof),
+            HitMessage::Evaluate { worker, chi, proof } => {
+                self.handle_evaluate(env, sender, worker, chi, proof)
+            }
             HitMessage::Finalize => self.handle_finalize(env),
             HitMessage::Cancel => self.handle_cancel(env),
         }
     }
 
     fn on_clock(&mut self, env: &mut ExecEnv<'_, HitEvent>, round: u64) {
+        // Block boundary: dispatch the batched settlement queue before
+        // any deadline fires, so verdicts land ahead of default payouts.
+        self.resolve_pending(env);
         // Commit window expired without K commitments: auto-cancel one
         // grace round after the deadline (the explicit Cancel tx gets
         // the first chance, mirroring Finalize).
@@ -921,9 +1130,9 @@ mod tests {
     use super::*;
     use dragoon_chain::{Chain, GasSchedule, TxStatus};
     use dragoon_core::task::Answer;
-    use dragoon_crypto::elgamal::PlaintextRange;
     use dragoon_crypto::commitment::CommitmentKey;
     use dragoon_crypto::elgamal::KeyPair;
+    use dragoon_crypto::elgamal::PlaintextRange;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1053,10 +1262,7 @@ mod tests {
         assert!(s.chain.contract().is_settled());
         for w in &s.workers {
             assert_eq!(s.chain.ledger.balance(w), BUDGET / 4);
-            assert_eq!(
-                s.chain.contract().settlement(w),
-                Some(&Settlement::Paid)
-            );
+            assert_eq!(s.chain.contract().settlement(w), Some(&Settlement::Paid));
         }
         assert_eq!(s.chain.ledger.balance(&s.chain.contract_address()), 0);
     }
@@ -1411,8 +1617,7 @@ mod tests {
     fn publish_without_funds_reverts() {
         let mut s = setup();
         let poor = Address::from_byte(0x99);
-        s.chain
-            .submit(poor, HitMessage::Publish(s.params.clone()));
+        s.chain.submit(poor, HitMessage::Publish(s.params.clone()));
         s.chain.advance_round_fifo();
         let last = s.chain.receipts().last().unwrap();
         assert!(matches!(last.status, TxStatus::Reverted(_)));

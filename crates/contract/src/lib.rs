@@ -4,12 +4,21 @@
 //! the simulated chain, with full EVM-style gas accounting. See
 //! [`contract::HitContract`] for the phase logic and
 //! [`msg::HitMessage`] for the transaction interface.
+//!
+//! For marketplace-scale operation, [`registry::HitRegistry`] hosts many
+//! concurrent instances behind one contract address, with per-instance
+//! escrow isolation and optional block-batched settlement verification.
 
 pub mod contract;
 pub mod msg;
+pub mod registry;
 
 pub use contract::{
-    HitContract, HitError, HitEvent, Phase, PhaseWindows, RejectReason, Settlement,
+    BatchStats, HitContract, HitError, HitEvent, Phase, PhaseWindows, RejectReason, Settlement,
     HIT_CONTRACT_CODE_LEN,
 };
 pub use msg::{HitMessage, PublishParams};
+pub use registry::{
+    HitId, HitRegistry, RegistryError, RegistryEvent, RegistryMessage, SettlementMode,
+    REGISTRY_CODE_LEN,
+};

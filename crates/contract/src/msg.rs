@@ -137,11 +137,7 @@ impl HitMessage {
                 encode_claim(&mut out, claim);
                 encode_proof(&mut out, proof);
             }
-            HitMessage::Evaluate {
-                worker,
-                chi,
-                proof,
-            } => {
+            HitMessage::Evaluate { worker, chi, proof } => {
                 out.push(0x06);
                 out.extend_from_slice(&worker.0);
                 out.extend_from_slice(&chi.to_be_bytes());

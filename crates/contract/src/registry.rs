@@ -1,0 +1,733 @@
+//! The HIT registry: one on-chain contract hosting **many** concurrent
+//! HIT instances over a single chain, mempool and ledger.
+//!
+//! The seed reproduced Fig 4 one task per chain; a marketplace serves
+//! hundreds of tasks racing through shared blocks. [`HitRegistry`] is the
+//! factory-plus-router contract that makes that possible:
+//!
+//! * **Multi-instance addressing** — every created HIT gets a [`HitId`]
+//!   and its own derived contract address
+//!   (`Address::contract_address(registry, id)`), so each instance's
+//!   escrow is isolated on the shared ledger while all instances share
+//!   one mempool and one block gas budget.
+//! * **Routing** — [`RegistryMessage::Hit`] wraps any [`HitMessage`] with
+//!   its target id; the registry re-scopes the execution environment to
+//!   the instance's address ([`dragoon_chain::ExecEnv::scoped`]) and
+//!   delegates.
+//! * **Batched settlement** — in [`SettlementMode::Batched`] every
+//!   instance runs with deferred verification; at each block boundary
+//!   the registry drives every instance's queued rejection proofs
+//!   through `dragoon_crypto::vpke::batch_verify_each`.
+
+use crate::contract::{BatchStats, HitContract, HitError, HitEvent, PendingVerdict};
+use crate::msg::{HitMessage, PublishParams};
+use crate::PhaseWindows;
+use dragoon_chain::{CalldataStats, ChainMessage, ExecEnv, StateMachine};
+use dragoon_crypto::vpke;
+use dragoon_ledger::Address;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a HIT instance within a registry.
+pub type HitId = u64;
+
+/// Runtime bytecode size of the registry contract (factory + router +
+/// the full Fig 4 instance logic), used for deployment gas.
+pub const REGISTRY_CODE_LEN: usize = 9_800;
+
+/// How rejection proofs are cryptographically verified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SettlementMode {
+    /// Every `evaluate` / `outrange` proof verifies inline in its own
+    /// transaction (the paper's per-proof path).
+    PerProof,
+    /// Proofs are queued per block and dispatched through one batched
+    /// verification at the block boundary.
+    Batched,
+}
+
+/// Transactions accepted by the registry.
+#[derive(Clone, Debug)]
+pub enum RegistryMessage {
+    /// Creates a new HIT instance *and* publishes it in the same
+    /// transaction (the factory pattern a marketplace dApp uses): the
+    /// sender becomes the requester and the budget is frozen into the
+    /// new instance's escrow.
+    Create {
+        /// Phase windows for the new instance.
+        windows: PhaseWindows,
+        /// The publish parameters (Fig 4 phase 1).
+        params: PublishParams,
+    },
+    /// A message routed to instance `id`.
+    Hit {
+        /// The target instance.
+        id: HitId,
+        /// The wrapped message.
+        msg: HitMessage,
+    },
+}
+
+/// Events emitted by the registry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegistryEvent {
+    /// A HIT instance was created.
+    Created {
+        /// Its registry id.
+        id: HitId,
+        /// Its derived contract address (escrow account).
+        addr: Address,
+        /// The requester who created and funded it.
+        requester: Address,
+    },
+    /// An instance-level event.
+    Hit {
+        /// The emitting instance.
+        id: HitId,
+        /// The wrapped event.
+        event: HitEvent,
+    },
+}
+
+/// Errors that revert a registry transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegistryError {
+    /// The referenced instance does not exist.
+    UnknownHit(HitId),
+    /// The routed instance reverted.
+    Hit(HitId, HitError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownHit(id) => write!(f, "unknown hit #{id}"),
+            RegistryError::Hit(id, e) => write!(f, "hit #{id}: {e}"),
+        }
+    }
+}
+
+impl ChainMessage for RegistryMessage {
+    fn calldata(&self) -> CalldataStats {
+        match self {
+            // Create carries the full publish payload plus the windows.
+            RegistryMessage::Create { params, .. } => HitMessage::Publish(params.clone())
+                .calldata()
+                .plus(&CalldataStats {
+                    zero: 12,
+                    nonzero: 12,
+                }),
+            // Routed messages carry an 8-byte id on top of the payload.
+            RegistryMessage::Hit { msg, .. } => msg.calldata().plus(&CalldataStats {
+                zero: 6,
+                nonzero: 2,
+            }),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            RegistryMessage::Create { .. } => "publish",
+            RegistryMessage::Hit { msg, .. } => msg.label(),
+        }
+    }
+}
+
+/// One hosted instance.
+#[derive(Clone, Debug)]
+struct HitInstance {
+    addr: Address,
+    hit: HitContract,
+}
+
+/// The marketplace registry contract.
+#[derive(Clone, Debug)]
+pub struct HitRegistry {
+    mode: SettlementMode,
+    hits: BTreeMap<HitId, HitInstance>,
+    /// Unsettled instance ids — block ticks are O(live), not O(ever
+    /// created); swept lazily at each clock tick.
+    live: BTreeSet<HitId>,
+    next_id: HitId,
+    /// Cross-instance (per-block) batch counters.
+    batch_stats: BatchStats,
+}
+
+impl Default for HitRegistry {
+    fn default() -> Self {
+        Self::new(SettlementMode::PerProof)
+    }
+}
+
+impl HitRegistry {
+    /// An empty registry with the given settlement mode.
+    pub fn new(mode: SettlementMode) -> Self {
+        Self {
+            mode,
+            hits: BTreeMap::new(),
+            live: BTreeSet::new(),
+            next_id: 0,
+            batch_stats: BatchStats::default(),
+        }
+    }
+
+    /// The settlement mode in force.
+    pub fn mode(&self) -> SettlementMode {
+        self.mode
+    }
+
+    /// Number of instances ever created.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether no instance exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Read-only access to an instance's contract state.
+    pub fn hit(&self, id: HitId) -> Option<&HitContract> {
+        self.hits.get(&id).map(|i| &i.hit)
+    }
+
+    /// An instance's derived contract address (its escrow account).
+    pub fn hit_address(&self, id: HitId) -> Option<Address> {
+        self.hits.get(&id).map(|i| i.addr)
+    }
+
+    /// Iterates `(id, contract)` over all instances in id order.
+    pub fn hits(&self) -> impl Iterator<Item = (HitId, &HitContract)> {
+        self.hits.iter().map(|(id, i)| (*id, &i.hit))
+    }
+
+    /// Ids of instances that have not settled yet.
+    pub fn live_hits(&self) -> Vec<HitId> {
+        self.hits
+            .iter()
+            .filter(|(_, i)| !i.hit.is_settled())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of settled (closed or cancelled) instances.
+    pub fn settled_count(&self) -> usize {
+        self.hits.values().filter(|i| i.hit.is_settled()).count()
+    }
+
+    /// Batched-settlement counters: the registry's own per-block
+    /// cross-instance batches, plus anything an instance dispatched on
+    /// its own (only possible via an explicit `Finalize` racing its own
+    /// verdicts within one block).
+    pub fn batch_stats(&self) -> BatchStats {
+        let mut total = self.batch_stats;
+        for inst in self.hits.values() {
+            total.absorb(&inst.hit.batch_stats());
+        }
+        total
+    }
+}
+
+impl StateMachine for HitRegistry {
+    type Msg = RegistryMessage;
+    type Event = RegistryEvent;
+    type Error = RegistryError;
+
+    fn on_message(
+        &mut self,
+        env: &mut ExecEnv<'_, RegistryEvent>,
+        sender: Address,
+        msg: RegistryMessage,
+    ) -> Result<(), RegistryError> {
+        match msg {
+            RegistryMessage::Create { windows, params } => {
+                let id = self.next_id;
+                let addr = Address::contract_address(&env.contract, id + 1);
+                let mut hit = HitContract::new(windows);
+                if self.mode == SettlementMode::Batched {
+                    hit = hit.with_deferred_verification();
+                }
+                // Registry bookkeeping: id counter + address mapping.
+                env.gas.charge("sstore", 2 * env.schedule.sstore_set);
+                env.scoped(
+                    addr,
+                    |child| hit.on_message(child, sender, HitMessage::Publish(params)),
+                    |event| RegistryEvent::Hit { id, event },
+                )
+                .map_err(|e| RegistryError::Hit(id, e))?;
+                env.emit(
+                    RegistryEvent::Created {
+                        id,
+                        addr,
+                        requester: sender,
+                    },
+                    64,
+                );
+                self.next_id += 1;
+                self.hits.insert(id, HitInstance { addr, hit });
+                self.live.insert(id);
+                Ok(())
+            }
+            RegistryMessage::Hit { id, msg } => {
+                let inst = self
+                    .hits
+                    .get_mut(&id)
+                    .ok_or(RegistryError::UnknownHit(id))?;
+                // Routing lookup.
+                env.gas.charge("sload", env.schedule.sload);
+                let hit = &mut inst.hit;
+                let addr = inst.addr;
+                env.scoped(
+                    addr,
+                    |child| hit.on_message(child, sender, msg),
+                    |event| RegistryEvent::Hit { id, event },
+                )
+                .map_err(|e| RegistryError::Hit(id, e))
+            }
+        }
+    }
+
+    fn on_clock(&mut self, env: &mut ExecEnv<'_, RegistryEvent>, round: u64) {
+        // Block boundary, phase 1: drain every instance's queued
+        // rejection proofs into ONE cross-instance batch — this is where
+        // batching pays, since any single task contributes only a
+        // handful of proofs while a busy block accumulates dozens.
+        let mut drained: Vec<(HitId, Vec<PendingVerdict>)> = Vec::new();
+        let mut all_items = Vec::new();
+        let live: Vec<HitId> = self.live.iter().copied().collect();
+        for &id in &live {
+            let inst = self.hits.get_mut(&id).expect("live instance exists");
+            if inst.hit.is_settled() {
+                continue;
+            }
+            let pending = inst.hit.take_pending();
+            if !pending.is_empty() {
+                all_items.extend(pending.iter().flat_map(|v| v.items.iter().copied()));
+                drained.push((id, pending));
+            }
+        }
+        // Guard on drained verdicts, not items: a verdict whose proof
+        // has zero VPKE items (all mismatches publicly visible) is
+        // vacuously valid and must still be applied.
+        if !drained.is_empty() {
+            let results = vpke::batch_verify_each(&all_items);
+            if !all_items.is_empty() {
+                self.batch_stats.record(all_items.len() as u64);
+            }
+            let mut offset = 0;
+            for (id, pending) in drained {
+                let n: usize = pending.iter().map(|v| v.items.len()).sum();
+                let slice = &results[offset..offset + n];
+                offset += n;
+                let inst = self.hits.get_mut(&id).expect("drained from this map");
+                let hit = &mut inst.hit;
+                env.scoped(
+                    inst.addr,
+                    |child| hit.apply_verdicts(child, pending, slice),
+                    |event| RegistryEvent::Hit { id, event },
+                );
+            }
+        }
+        // Phase 2: tick every live instance's phase deadlines (their own
+        // resolve_pending is a no-op now that the queues are drained).
+        for &id in &live {
+            let inst = self.hits.get_mut(&id).expect("live instance exists");
+            if inst.hit.is_settled() {
+                continue;
+            }
+            let hit = &mut inst.hit;
+            env.scoped(
+                inst.addr,
+                |child| hit.on_clock(child, round),
+                |event| RegistryEvent::Hit { id, event },
+            );
+        }
+        // Sweep: instances settled this block (by deadline, Finalize or
+        // Cancel) leave the live set.
+        self.live.retain(|id| !self.hits[id].hit.is_settled());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{Phase, Settlement};
+    use dragoon_chain::{Chain, GasSchedule, TxStatus};
+    use dragoon_core::poqoea;
+    use dragoon_core::task::{Answer, GoldenStandards};
+    use dragoon_crypto::commitment::{Commitment, CommitmentKey};
+    use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const BUDGET: u128 = 3_000;
+
+    struct Market {
+        rng: StdRng,
+        chain: Chain<HitRegistry>,
+        kp: KeyPair,
+        requester: Address,
+        golden: GoldenStandards,
+        gs_key: CommitmentKey,
+    }
+
+    fn market(mode: SettlementMode) -> Market {
+        let mut rng = StdRng::seed_from_u64(0x5e61);
+        let kp = KeyPair::generate(&mut rng);
+        let requester = Address::from_byte(0xd0);
+        let golden = GoldenStandards {
+            indexes: vec![0, 2, 4],
+            answers: vec![1, 0, 1],
+        };
+        let gs_key = CommitmentKey::random(&mut rng);
+        let mut chain = Chain::deploy(
+            HitRegistry::new(mode),
+            REGISTRY_CODE_LEN,
+            GasSchedule::istanbul(),
+        );
+        chain.ledger.mint(requester, BUDGET * 10);
+        Market {
+            rng,
+            chain,
+            kp,
+            requester,
+            golden,
+            gs_key,
+        }
+    }
+
+    fn params(m: &Market) -> PublishParams {
+        PublishParams {
+            n: 6,
+            budget: BUDGET,
+            k: 3,
+            range: PlaintextRange::binary(),
+            theta: 3,
+            ek: m.kp.ek,
+            comm_gs: Commitment::commit(&m.golden.encode(), &m.gs_key),
+            task_digest: [9u8; 32],
+        }
+    }
+
+    fn windows() -> PhaseWindows {
+        PhaseWindows {
+            commit_timeout: Some(4),
+            reveal: 2,
+            evaluate: 3,
+        }
+    }
+
+    /// Publishes `count` HITs and returns their ids.
+    fn create_hits(m: &mut Market, count: usize) -> Vec<HitId> {
+        for _ in 0..count {
+            m.chain.submit(
+                m.requester,
+                RegistryMessage::Create {
+                    windows: windows(),
+                    params: params(m),
+                },
+            );
+        }
+        m.chain.advance_round_fifo();
+        let ids: Vec<HitId> = m.chain.contract().hits().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), count);
+        ids
+    }
+
+    #[test]
+    fn instances_get_distinct_addresses_and_escrows() {
+        let mut m = market(SettlementMode::PerProof);
+        let ids = create_hits(&mut m, 3);
+        let addrs: Vec<Address> = ids
+            .iter()
+            .map(|&id| m.chain.contract().hit_address(id).unwrap())
+            .collect();
+        for (i, a) in addrs.iter().enumerate() {
+            for b in &addrs[i + 1..] {
+                assert_ne!(a, b);
+            }
+            // Each instance escrow holds its own budget.
+            assert_eq!(m.chain.ledger.balance(a), BUDGET);
+        }
+        // And the registry's own address holds nothing.
+        assert_eq!(m.chain.ledger.balance(&m.chain.contract_address()), 0);
+    }
+
+    #[test]
+    fn create_without_funds_reverts_and_allocates_nothing() {
+        let mut m = market(SettlementMode::PerProof);
+        let poor = Address::from_byte(0x99);
+        m.chain.submit(
+            poor,
+            RegistryMessage::Create {
+                windows: windows(),
+                params: params(&m),
+            },
+        );
+        m.chain.advance_round_fifo();
+        let last = m.chain.receipts().last().unwrap();
+        assert!(matches!(last.status, TxStatus::Reverted(_)));
+        assert!(m.chain.contract().is_empty());
+    }
+
+    #[test]
+    fn messages_route_to_the_addressed_instance_only() {
+        let mut m = market(SettlementMode::PerProof);
+        let ids = create_hits(&mut m, 2);
+        let w = Address::from_byte(1);
+        let key = CommitmentKey::random(&mut m.rng);
+        let comm = Commitment::commit(b"c", &key);
+        m.chain.submit(
+            w,
+            RegistryMessage::Hit {
+                id: ids[0],
+                msg: HitMessage::Commit { commitment: comm },
+            },
+        );
+        m.chain.advance_round_fifo();
+        let r = m.chain.contract();
+        assert_eq!(r.hit(ids[0]).unwrap().committed_workers().len(), 1);
+        assert_eq!(r.hit(ids[1]).unwrap().committed_workers().len(), 0);
+    }
+
+    #[test]
+    fn unknown_hit_reverts() {
+        let mut m = market(SettlementMode::PerProof);
+        create_hits(&mut m, 1);
+        m.chain.submit(
+            Address::from_byte(1),
+            RegistryMessage::Hit {
+                id: 77,
+                msg: HitMessage::Finalize,
+            },
+        );
+        m.chain.advance_round_fifo();
+        let last = m.chain.receipts().last().unwrap();
+        assert!(matches!(last.status, TxStatus::Reverted(_)));
+    }
+
+    /// Runs one instance end to end (3 workers, worker 0 low-quality)
+    /// and returns the final settlements.
+    fn run_instance(m: &mut Market, id: HitId) -> Vec<Settlement> {
+        let workers: Vec<Address> = (1..=3).map(Address::from_byte).collect();
+        let good = Answer(vec![1, 0, 0, 0, 1, 0]);
+        let bad = Answer(vec![0, 0, 1, 0, 0, 0]);
+        let answers = [bad, good.clone(), good];
+        let mut cts = Vec::new();
+        let mut keys = Vec::new();
+        for (w, a) in workers.iter().zip(&answers) {
+            let enc = a.encrypt(&m.kp.ek, &mut m.rng);
+            let key = CommitmentKey::random(&mut m.rng);
+            let comm = Commitment::commit(&enc.encode(), &key);
+            m.chain.submit(
+                *w,
+                RegistryMessage::Hit {
+                    id,
+                    msg: HitMessage::Commit { commitment: comm },
+                },
+            );
+            cts.push(enc);
+            keys.push(key);
+        }
+        m.chain.advance_round_fifo();
+        for ((w, enc), key) in workers.iter().zip(&cts).zip(&keys) {
+            m.chain.submit(
+                *w,
+                RegistryMessage::Hit {
+                    id,
+                    msg: HitMessage::Reveal {
+                        ciphertexts: enc.clone(),
+                        key: *key,
+                    },
+                },
+            );
+        }
+        m.chain.advance_round_fifo();
+        // Close the reveal window.
+        m.chain.advance_round_fifo();
+        m.chain.advance_round_fifo();
+        assert_eq!(m.chain.contract().hit(id).unwrap().phase(), Phase::Evaluate);
+        m.chain.submit(
+            m.requester,
+            RegistryMessage::Hit {
+                id,
+                msg: HitMessage::Golden {
+                    golden: m.golden.clone(),
+                    key: m.gs_key,
+                },
+            },
+        );
+        m.chain.advance_round_fifo();
+        // Reject worker 0 with PoQoEA.
+        let (chi, proof) = poqoea::prove_quality(
+            &m.kp.dk,
+            &cts[0],
+            &m.golden,
+            &PlaintextRange::binary(),
+            &mut m.rng,
+        );
+        assert!(chi < 3);
+        m.chain.submit(
+            m.requester,
+            RegistryMessage::Hit {
+                id,
+                msg: HitMessage::Evaluate {
+                    worker: workers[0],
+                    chi,
+                    proof,
+                },
+            },
+        );
+        for _ in 0..6 {
+            m.chain.advance_round_fifo();
+        }
+        assert!(m.chain.contract().hit(id).unwrap().is_settled());
+        workers
+            .iter()
+            .map(|w| {
+                m.chain
+                    .contract()
+                    .hit(id)
+                    .unwrap()
+                    .settlement(w)
+                    .unwrap()
+                    .clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_settlement_matches_per_proof_verdicts() {
+        let mut per_proof = market(SettlementMode::PerProof);
+        let ids = create_hits(&mut per_proof, 1);
+        let inline = run_instance(&mut per_proof, ids[0]);
+        assert_eq!(
+            per_proof.chain.contract().batch_stats(),
+            BatchStats::default()
+        );
+
+        let mut batched = market(SettlementMode::Batched);
+        let ids = create_hits(&mut batched, 1);
+        let deferred = run_instance(&mut batched, ids[0]);
+        let stats = batched.chain.contract().batch_stats();
+        assert!(stats.batches >= 1, "batched mode must batch");
+        assert!(stats.items >= 1);
+
+        assert_eq!(inline, deferred, "verdicts must be mode-independent");
+        assert!(matches!(inline[0], Settlement::Rejected(_)));
+        assert_eq!(inline[1], Settlement::Paid);
+        assert_eq!(inline[2], Settlement::Paid);
+    }
+
+    /// A rejection whose PoQoEA proof carries zero VPKE items (θ above
+    /// the gold count, claimed χ between them) is vacuously valid and
+    /// must land identically in both settlement modes — the batched path
+    /// must not drop it just because there is nothing to verify.
+    fn run_empty_proof_rejection(mode: SettlementMode) -> Settlement {
+        let mut m = market(mode);
+        // θ = 5 > |G| = 3: any χ in [3, 5) yields Ok(no items) + reject.
+        m.chain.submit(
+            m.requester,
+            RegistryMessage::Create {
+                windows: windows(),
+                params: PublishParams {
+                    theta: 5,
+                    ..params(&m)
+                },
+            },
+        );
+        m.chain.advance_round_fifo();
+        let id = 0;
+        let workers: Vec<Address> = (1..=3).map(Address::from_byte).collect();
+        let good = Answer(vec![1, 0, 0, 0, 1, 0]);
+        let mut cts = Vec::new();
+        let mut keys = Vec::new();
+        for w in &workers {
+            let enc = good.encrypt(&m.kp.ek, &mut m.rng);
+            let key = CommitmentKey::random(&mut m.rng);
+            let comm = Commitment::commit(&enc.encode(), &key);
+            m.chain.submit(
+                *w,
+                RegistryMessage::Hit {
+                    id,
+                    msg: HitMessage::Commit { commitment: comm },
+                },
+            );
+            cts.push(enc);
+            keys.push(key);
+        }
+        m.chain.advance_round_fifo();
+        for ((w, enc), key) in workers.iter().zip(&cts).zip(&keys) {
+            m.chain.submit(
+                *w,
+                RegistryMessage::Hit {
+                    id,
+                    msg: HitMessage::Reveal {
+                        ciphertexts: enc.clone(),
+                        key: *key,
+                    },
+                },
+            );
+        }
+        for _ in 0..3 {
+            m.chain.advance_round_fifo();
+        }
+        assert_eq!(m.chain.contract().hit(id).unwrap().phase(), Phase::Evaluate);
+        m.chain.submit(
+            m.requester,
+            RegistryMessage::Hit {
+                id,
+                msg: HitMessage::Golden {
+                    golden: m.golden.clone(),
+                    key: m.gs_key,
+                },
+            },
+        );
+        m.chain.advance_round_fifo();
+        // χ = 3 = |G| with an empty proof: structurally valid, below Θ.
+        m.chain.submit(
+            m.requester,
+            RegistryMessage::Hit {
+                id,
+                msg: HitMessage::Evaluate {
+                    worker: workers[0],
+                    chi: 3,
+                    proof: dragoon_core::poqoea::QualityProof::default(),
+                },
+            },
+        );
+        for _ in 0..6 {
+            m.chain.advance_round_fifo();
+        }
+        let hit = m.chain.contract().hit(id).unwrap();
+        assert!(hit.is_settled());
+        hit.settlement(&workers[0]).unwrap().clone()
+    }
+
+    #[test]
+    fn empty_proof_rejection_lands_in_both_modes() {
+        let inline = run_empty_proof_rejection(SettlementMode::PerProof);
+        let batched = run_empty_proof_rejection(SettlementMode::Batched);
+        assert_eq!(inline, batched, "zero-item verdicts must not be dropped");
+        assert!(matches!(inline, Settlement::Rejected(_)));
+    }
+
+    #[test]
+    fn concurrent_instances_settle_independently() {
+        let mut m = market(SettlementMode::Batched);
+        let ids = create_hits(&mut m, 2);
+        // Run the first instance to completion; the second stays open in
+        // its commit phase until its timeout cancels it.
+        let s = run_instance(&mut m, ids[0]);
+        assert_eq!(s.len(), 3);
+        assert!(m.chain.contract().hit(ids[1]).unwrap().is_settled());
+        // The unfilled instance refunded its budget (cancel path).
+        let requester_balance = m.chain.ledger.balance(&m.requester);
+        // Started with 10×BUDGET, spent 2 budgets, got back: the unfilled
+        // one in full plus the rejected share of the filled one.
+        assert_eq!(
+            requester_balance,
+            BUDGET * 10 - 2 * BUDGET + BUDGET + BUDGET / 3
+        );
+    }
+}

@@ -22,7 +22,8 @@ pub mod task;
 pub mod workload;
 
 pub use poqoea::{
-    prove_quality, verify_quality, verify_quality_bool, MismatchItem, QualityError, QualityProof,
+    prove_quality, split_quality_proof, verify_quality, verify_quality_bool, MismatchItem,
+    QualityError, QualityProof,
 };
 pub use quality::{mismatches, quality};
 pub use task::{Answer, EncryptedAnswer, GoldenStandards, Question, TaskSpec};

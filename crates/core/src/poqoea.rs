@@ -22,9 +22,7 @@
 
 use crate::task::{EncryptedAnswer, GoldenStandards};
 use dragoon_crypto::elgamal::{DecryptionKey, EncryptionKey, PlaintextRange};
-use dragoon_crypto::vpke::{
-    self, DecryptionProof, DecryptionStatement, PlaintextClaim,
-};
+use dragoon_crypto::vpke::{self, DecryptionProof, DecryptionStatement, PlaintextClaim};
 use dragoon_crypto::{Fr, G1Projective};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -162,20 +160,23 @@ pub fn prove_quality<R: Rng + ?Sized>(
     (chi, QualityProof { items })
 }
 
-/// `VerifyQuality_h(c_j, χ, π, G, Gs)`: Fig 3, right, with the
-/// well-formedness hardening the set-notation of the paper implies
-/// (distinct indices drawn from `G`; a claim equal to the gold answer is
-/// not a mismatch — including out-of-range claims whose group element
-/// equals `g^{s_i}`).
-pub fn verify_quality(
+/// The structural half of `VerifyQuality`: every check *except* the
+/// per-item VPKE verifications, which are returned as statements for the
+/// caller to verify — individually ([`verify_quality`] does exactly
+/// that) or batched across many proofs through
+/// [`vpke::batch_verify_each`] (the marketplace's settlement path).
+///
+/// The full verdict is: structural checks pass **and** every returned
+/// `(statement, proof)` pair verifies.
+pub fn split_quality_proof(
     ek: &EncryptionKey,
     cts: &EncryptedAnswer,
     claimed_chi: u64,
     proof: &QualityProof,
     gs: &GoldenStandards,
-) -> Result<(), QualityError> {
+) -> Result<Vec<(DecryptionStatement, DecryptionProof)>, QualityError> {
     let mut seen = HashSet::new();
-    let mut chi = claimed_chi;
+    let mut items = Vec::with_capacity(proof.items.len());
     for item in &proof.items {
         let i = item.index;
         let Some(s) = gs.answer_for(i) else {
@@ -194,15 +195,14 @@ pub fn verify_quality(
         if item.claim.to_point() == gold_point {
             return Err(QualityError::ClaimMatchesGold(i));
         }
-        let stmt = DecryptionStatement {
-            ek: *ek,
-            ct: *ct,
-            claim: item.claim,
-        };
-        if !vpke::verify(&stmt, &item.proof) {
-            return Err(QualityError::BadDecryptionProof(i));
-        }
-        chi += 1;
+        items.push((
+            DecryptionStatement {
+                ek: *ek,
+                ct: *ct,
+                claim: item.claim,
+            },
+            item.proof,
+        ));
     }
     // Missing ciphertexts are publicly visible mismatches.
     let missing = gs
@@ -210,17 +210,39 @@ pub fn verify_quality(
         .iter()
         .filter(|&&i| cts.0.get(i).is_none())
         .count() as u64;
-    chi += missing;
+    let proven = proof.items.len() as u64 + missing;
     let golds = gs.len() as u64;
-    if chi >= golds {
-        Ok(())
-    } else {
-        Err(QualityError::InsufficientMismatches {
+    // Saturating: an adversarial claimed χ near u64::MAX must revert the
+    // transaction, not overflow-panic the (shared, multi-HIT) chain.
+    if claimed_chi.saturating_add(proven) < golds {
+        return Err(QualityError::InsufficientMismatches {
             claimed: claimed_chi,
-            proven: chi - claimed_chi,
+            proven,
             golds,
-        })
+        });
     }
+    Ok(items)
+}
+
+/// `VerifyQuality_h(c_j, χ, π, G, Gs)`: Fig 3, right, with the
+/// well-formedness hardening the set-notation of the paper implies
+/// (distinct indices drawn from `G`; a claim equal to the gold answer is
+/// not a mismatch — including out-of-range claims whose group element
+/// equals `g^{s_i}`).
+pub fn verify_quality(
+    ek: &EncryptionKey,
+    cts: &EncryptedAnswer,
+    claimed_chi: u64,
+    proof: &QualityProof,
+    gs: &GoldenStandards,
+) -> Result<(), QualityError> {
+    let items = split_quality_proof(ek, cts, claimed_chi, proof, gs)?;
+    for (item, (stmt, dproof)) in proof.items.iter().zip(&items) {
+        if !vpke::verify(stmt, dproof) {
+            return Err(QualityError::BadDecryptionProof(item.index));
+        }
+    }
+    Ok(())
 }
 
 /// Convenience wrapper mirroring the paper's boolean `VerifyQuality`.
@@ -258,13 +280,7 @@ pub fn simulate_quality_proof<R: Rng + ?Sized>(
     let n_mismatch = (golds - chi) as usize;
     let mut items = Vec::new();
     let mut challenges = Vec::new();
-    for (&i, &s) in gs
-        .indexes
-        .iter()
-        .zip(&gs.answers)
-        .rev()
-        .take(n_mismatch)
-    {
+    for (&i, &s) in gs.indexes.iter().zip(&gs.answers).rev().take(n_mismatch) {
         let ct = cts.0.get(i)?;
         // Guess any in-range answer other than the gold standard.
         let guess = (range.lo..=range.hi).find(|&m| m != s)?;
@@ -489,6 +505,55 @@ mod tests {
         assert_eq!(chi, 2);
         // Verifier counts 2 missing golds toward the bound.
         verify_quality(&f.kp.ek, &cts, chi, &proof, &f.gs).unwrap();
+    }
+
+    #[test]
+    fn split_plus_batch_matches_inline_verification() {
+        // The deferred settlement path (structural split + batched VPKE)
+        // must agree with verify_quality on every quality level.
+        let mut f = fixture();
+        for correct in 0..=4usize {
+            let answer = answer_with_quality(&f.gs, 10, correct);
+            let cts = answer.encrypt(&f.kp.ek, &mut f.rng);
+            let (chi, proof) = prove_quality(&f.kp.dk, &cts, &f.gs, &f.range, &mut f.rng);
+            let items = split_quality_proof(&f.kp.ek, &cts, chi, &proof, &f.gs).unwrap();
+            assert_eq!(items.len(), proof.len());
+            assert!(vpke::batch_verify_each(&items).iter().all(|&ok| ok));
+            assert!(verify_quality(&f.kp.ek, &cts, chi, &proof, &f.gs).is_ok());
+        }
+        // And on a forged proof the surviving VPKE item must fail both
+        // paths identically.
+        let answer = answer_with_quality(&f.gs, 10, 4);
+        let cts = answer.encrypt(&f.kp.ek, &mut f.rng);
+        let s = f.gs.answers[0];
+        let claim = PlaintextClaim::InRange(1 - s);
+        let dproof = vpke::prove_claim(&f.kp.dk, &cts.0[f.gs.indexes[0]], &claim, &mut f.rng);
+        let forged = QualityProof {
+            items: vec![MismatchItem {
+                index: f.gs.indexes[0],
+                claim,
+                proof: dproof,
+            }],
+        };
+        let items = split_quality_proof(&f.kp.ek, &cts, 3, &forged, &f.gs).unwrap();
+        assert_eq!(vpke::batch_verify_each(&items), vec![false]);
+        assert!(matches!(
+            verify_quality(&f.kp.ek, &cts, 3, &forged, &f.gs),
+            Err(QualityError::BadDecryptionProof(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_claimed_chi_does_not_overflow() {
+        // χ = u64::MAX must verify (χ is an upper bound, overstating is
+        // allowed) without panicking — a panic here would crash the
+        // whole shared chain instead of settling the transaction.
+        let mut f = fixture();
+        let answer = answer_with_quality(&f.gs, 10, 2);
+        let cts = answer.encrypt(&f.kp.ek, &mut f.rng);
+        let (_, proof) = prove_quality(&f.kp.dk, &cts, &f.gs, &f.range, &mut f.rng);
+        verify_quality(&f.kp.ek, &cts, u64::MAX, &proof, &f.gs).unwrap();
+        assert!(split_quality_proof(&f.kp.ek, &cts, u64::MAX, &proof, &f.gs).is_ok());
     }
 
     #[test]

@@ -69,12 +69,23 @@ impl TaskSpec {
     /// The paper's concrete ImageNet task policy (§VI): 106 binary
     /// questions, 6 gold standards, 4 workers; a submission is rejected
     /// if it fails ≥ 3 gold standards (i.e. `Θ = 4`).
+    ///
+    /// Gold standards are drawn from a fixed documented seed so every
+    /// run of every binary is reproducible; use
+    /// [`TaskSpec::imagenet_with_rng`] to inject a caller-controlled
+    /// seed (e.g. from `DRAGOON_SEED`).
     pub fn imagenet(budget: u128) -> (Self, GoldenStandards) {
-        Self::imagenet_with_rng(budget, &mut rand::thread_rng())
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        Self::imagenet_with_rng(budget, &mut StdRng::seed_from_u64(0xd1a6_0055))
     }
 
-    /// Deterministic variant of [`TaskSpec::imagenet`] for tests/benches.
-    pub fn imagenet_with_rng<R: Rng + ?Sized>(budget: u128, rng: &mut R) -> (Self, GoldenStandards) {
+    /// Variant of [`TaskSpec::imagenet`] drawing gold standards from the
+    /// caller's RNG.
+    pub fn imagenet_with_rng<R: Rng + ?Sized>(
+        budget: u128,
+        rng: &mut R,
+    ) -> (Self, GoldenStandards) {
         let n = 106;
         let questions = (0..n)
             .map(|i| Question {

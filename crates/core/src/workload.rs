@@ -70,7 +70,9 @@ pub fn generate_workload<R: Rng + ?Sized>(
     let questions = (0..n)
         .map(|i| Question {
             prompt: format!("Question #{i}"),
-            options: (range.lo..=range.hi).map(|o| format!("option {o}")).collect(),
+            options: (range.lo..=range.hi)
+                .map(|o| format!("option {o}"))
+                .collect(),
         })
         .collect();
     Workload {
@@ -118,10 +120,8 @@ pub fn draw_answer<R: Rng + ?Sized>(
                 }
             })
             .collect(),
-        AnswerModel::RandomBot => (0..n)
-            .map(|_| rng.gen_range(range.lo..=range.hi))
-            .collect(),
-        AnswerModel::OutOfRange => vec![range.hi + 1 + rng.gen_range(0..5); n],
+        AnswerModel::RandomBot => (0..n).map(|_| rng.gen_range(range.lo..=range.hi)).collect(),
+        AnswerModel::OutOfRange => vec![range.hi + 1 + rng.gen_range(0u64..5); n],
         AnswerModel::Constant(v) => vec![*v; n],
     };
     Answer(a)
@@ -233,15 +233,7 @@ mod tests {
     #[test]
     fn generate_respects_parameters() {
         let mut rng = rng();
-        let w = generate_workload(
-            50,
-            10,
-            8,
-            7,
-            PlaintextRange::new(0, 3),
-            800,
-            &mut rng,
-        );
+        let w = generate_workload(50, 10, 8, 7, PlaintextRange::new(0, 3), 800, &mut rng);
         assert_eq!(w.spec.n, 50);
         assert_eq!(w.golden.len(), 10);
         assert_eq!(w.spec.k, 8);

@@ -256,10 +256,7 @@ mod tests {
         let ct = kp.ek.encrypt(7, &mut rng);
         match kp.dk.decrypt(&ct, &range) {
             Decrypted::OutOfRange(p) => {
-                assert_eq!(
-                    p,
-                    (G1Projective::generator() * Fr::from_u64(7)).to_affine()
-                );
+                assert_eq!(p, (G1Projective::generator() * Fr::from_u64(7)).to_affine());
             }
             other => panic!("expected out-of-range, got {other:?}"),
         }

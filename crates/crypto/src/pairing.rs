@@ -84,7 +84,12 @@ fn embed_g1(p: &G1Affine) -> Ext12Point {
     if p.infinity {
         return Ext12Point::identity();
     }
-    let lift = |c: Fq| Fq12::new(Fq6::new(Fq2::from_base(c), Fq2::zero(), Fq2::zero()), Fq6::zero());
+    let lift = |c: Fq| {
+        Fq12::new(
+            Fq6::new(Fq2::from_base(c), Fq2::zero(), Fq2::zero()),
+            Fq6::zero(),
+        )
+    };
     Ext12Point {
         x: lift(p.x),
         y: lift(p.y),
@@ -117,11 +122,10 @@ fn line_and_add(r: &Ext12Point, s: &Ext12Point, p: &Ext12Point) -> (Fq12, Ext12P
     if s.infinity {
         return (Fq12::one(), *r);
     }
-    if r.x == s.x
-        && r.y == s.y.conj_neg_check() {
-            // Vertical line: l(P) = x_P - x_R; sum is the identity.
-            return (p.x - r.x, Ext12Point::identity());
-        }
+    if r.x == s.x && r.y == s.y.conj_neg_check() {
+        // Vertical line: l(P) = x_P - x_R; sum is the identity.
+        return (p.x - r.x, Ext12Point::identity());
+    }
     let lambda = if r.x == s.x {
         // Tangent: λ = 3x^2 / 2y.
         let three_x2 = r.x.square() * Fq12::from_small(3);
@@ -291,10 +295,7 @@ mod tests {
         let p2 = crate::g1::G1Affine::random(&mut rng);
         let q = G2Affine::generator();
         let sum = (p1.to_projective() + p2.to_projective()).to_affine();
-        assert_eq!(
-            pairing(&sum, &q),
-            pairing(&p1, &q) * pairing(&p2, &q)
-        );
+        assert_eq!(pairing(&sum, &q), pairing(&p1, &q) * pairing(&p2, &q));
     }
 
     #[test]

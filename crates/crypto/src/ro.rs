@@ -124,13 +124,7 @@ mod tests {
 
     #[test]
     fn hash_to_scalar_deterministic() {
-        assert_eq!(
-            hash_to_scalar(b"l", b"data"),
-            hash_to_scalar(b"l", b"data")
-        );
-        assert_ne!(
-            hash_to_scalar(b"l", b"data"),
-            hash_to_scalar(b"l", b"datb")
-        );
+        assert_eq!(hash_to_scalar(b"l", b"data"), hash_to_scalar(b"l", b"data"));
+        assert_ne!(hash_to_scalar(b"l", b"data"), hash_to_scalar(b"l", b"datb"));
     }
 }

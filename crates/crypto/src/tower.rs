@@ -58,10 +58,7 @@ impl Fq2 {
     pub fn square(&self) -> Self {
         // (a + bi)^2 = (a+b)(a-b) + 2ab i.
         let ab = self.c0 * self.c1;
-        Self::new(
-            (self.c0 + self.c1) * (self.c0 - self.c1),
-            ab + ab,
-        )
+        Self::new((self.c0 + self.c1) * (self.c0 - self.c1), ab + ab)
     }
 
     /// Doubling.
@@ -117,10 +114,7 @@ impl Mul for Fq2 {
         // Karatsuba: (a+bi)(c+di) = ac - bd + ((a+b)(c+d) - ac - bd) i.
         let ac = self.c0 * r.c0;
         let bd = self.c1 * r.c1;
-        Self::new(
-            ac - bd,
-            (self.c0 + self.c1) * (r.c0 + r.c1) - ac - bd,
-        )
+        Self::new(ac - bd, (self.c0 + self.c1) * (r.c0 + r.c1) - ac - bd)
     }
 }
 impl AddAssign for Fq2 {
@@ -313,10 +307,7 @@ impl Fq12 {
     pub fn square(&self) -> Self {
         // (a + bw)^2 = a^2 + b^2 v + 2ab w.
         let ab = self.c0 * self.c1;
-        Self::new(
-            self.c0.square() + self.c1.square().mul_by_v(),
-            ab + ab,
-        )
+        Self::new(self.c0.square() + self.c1.square().mul_by_v(), ab + ab)
     }
 
     /// The conjugate `a - bw`, which equals `f^(q^6)` — the "unitary
@@ -470,16 +461,10 @@ mod tests {
     #[test]
     fn fq12_w_squared_is_v() {
         let w = Fq12::new(Fq6::zero(), Fq6::one());
-        let v12 = Fq12::new(
-            Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()),
-            Fq6::zero(),
-        );
+        let v12 = Fq12::new(Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()), Fq6::zero());
         assert_eq!(w * w, v12);
         // w^6 = v^3 = xi.
-        let xi12 = Fq12::new(
-            Fq6::new(Fq2::xi(), Fq2::zero(), Fq2::zero()),
-            Fq6::zero(),
-        );
+        let xi12 = Fq12::new(Fq6::new(Fq2::xi(), Fq2::zero(), Fq2::zero()), Fq6::zero());
         assert_eq!(w.pow(&[6]), xi12);
     }
 

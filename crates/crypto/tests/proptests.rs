@@ -2,9 +2,7 @@
 //! group laws, encoding round trips, and scheme-level properties under
 //! randomized inputs.
 
-use dragoon_crypto::elgamal::{
-    discrete_log_bsgs, Decrypted, KeyPair, PlaintextRange,
-};
+use dragoon_crypto::elgamal::{discrete_log_bsgs, Decrypted, KeyPair, PlaintextRange};
 use dragoon_crypto::g1::{G1Affine, G1Projective};
 use dragoon_crypto::keccak::keccak256;
 use dragoon_crypto::vpke::{self, PlaintextClaim};
@@ -149,7 +147,7 @@ proptest! {
         prop_assert!(vpke::batch_verify(&items, &mut rng));
         // Corrupt the last item.
         let last = items.len() - 1;
-        items[last].1.z = items[last].1.z + Fr::one();
+        items[last].1.z += Fr::one();
         prop_assert!(!vpke::batch_verify(&items, &mut rng));
     }
 }

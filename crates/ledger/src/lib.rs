@@ -205,7 +205,8 @@ impl Ledger {
         }
         *self.balances.get_mut(&from).expect("checked above") -= amount;
         *self.balances.entry(to).or_insert(0) += amount;
-        self.events.push(LedgerEvent::Transferred { from, to, amount });
+        self.events
+            .push(LedgerEvent::Transferred { from, to, amount });
         Ok(())
     }
 

@@ -152,11 +152,7 @@ impl Requester {
             debug_assert_eq!(chi, q);
             Verdict::RejectLowQuality {
                 quality: chi,
-                msg: HitMessage::Evaluate {
-                    worker,
-                    chi,
-                    proof,
-                },
+                msg: HitMessage::Evaluate { worker, chi, proof },
             }
         }
     }

@@ -77,8 +77,7 @@ pub fn run_transparent<R: Rng + ?Sized>(
                         // Mutate one (probably non-gold) position.
                         let i = rng.gen_range(0..copy.0.len());
                         copy.0[i] = workload.spec.range.lo
-                            + (copy.0[i] + 1 - workload.spec.range.lo)
-                                % workload.spec.range.len();
+                            + (copy.0[i] + 1 - workload.spec.range.lo) % workload.spec.range.len();
                     }
                     board.push((*addr, copy));
                     effort.insert(*addr, 0.0);
@@ -137,11 +136,7 @@ pub struct PayoffMatrix {
 /// P(quality ≥ Θ); under Dragoon ciphertext copies are rejected as
 /// duplicate commitments (and mutating a ciphertext breaks decryption),
 /// so the copier's payoff is zero.
-pub fn payoff_matrix(
-    reward: f64,
-    effort_cost: f64,
-    p_qualify_honest: f64,
-) -> PayoffMatrix {
+pub fn payoff_matrix(reward: f64, effort_cost: f64, p_qualify_honest: f64) -> PayoffMatrix {
     PayoffMatrix {
         transparent_work: reward * p_qualify_honest - effort_cost,
         transparent_copy: reward * p_qualify_honest, // free ride
@@ -178,7 +173,10 @@ mod tests {
         // Both copiers ride the honest answers to payment.
         let copier1 = Address::from_seed(0x57a0_0002);
         let copier2 = Address::from_seed(0x57a0_0003);
-        assert!(outcome.paid[&copier1], "free-riding succeeds without privacy");
+        assert!(
+            outcome.paid[&copier1],
+            "free-riding succeeds without privacy"
+        );
         assert!(outcome.paid[&copier2]);
         assert_eq!(outcome.effort[&copier1], 0.0);
         // The requester paid for 4 answers but got only 2 independent ones.

@@ -176,9 +176,7 @@ mod tests {
             panic!()
         };
         let mut copier = Worker::new(Address::from_byte(2), WorkerBehavior::CopyPaste);
-        let HitMessage::Commit {
-            commitment: copied,
-        } = copier
+        let HitMessage::Commit { commitment: copied } = copier
             .commit_msg(&w, &kp.ek, &[commitment], &mut rng)
             .unwrap()
         else {
@@ -212,8 +210,7 @@ mod tests {
         else {
             panic!()
         };
-        let HitMessage::Reveal { ciphertexts, key } = worker.reveal_msg(&mut rng).unwrap()
-        else {
+        let HitMessage::Reveal { ciphertexts, key } = worker.reveal_msg(&mut rng).unwrap() else {
             panic!()
         };
         assert!(!commitment.open(&ciphertexts.encode(), &key));

@@ -1,0 +1,76 @@
+//! The marketplace's agent pools: requesters (one per HIT, reusing the
+//! protocol-layer [`Requester`] client) and a shared worker pool whose
+//! members participate in many HITs concurrently through per-task
+//! [`Worker`] sessions.
+
+use dragoon_contract::HitId;
+use dragoon_core::workload::Workload;
+use dragoon_ledger::Address;
+use dragoon_protocol::{Requester, Worker, WorkerBehavior};
+use std::collections::BTreeMap;
+
+/// A requester agent: owns one HIT from publication to settlement.
+pub struct RequesterAgent {
+    /// On-chain identity.
+    pub addr: Address,
+    /// The protocol client (keys, proofs, evaluation).
+    pub client: Requester,
+    /// The workload this agent crowdsources.
+    pub workload: Workload,
+    /// Block in which the instance was created.
+    pub published_block: Option<u64>,
+    /// Phase-3 sequencing state (mirrors the single-task driver).
+    pub golden_sent: bool,
+    /// Whether rejection transactions have been submitted.
+    pub verdicts_sent: bool,
+    /// Workers this agent has challenged.
+    pub reject_targets: Vec<Address>,
+    /// Whether `Finalize` has been submitted.
+    pub finalize_sent: bool,
+    /// Whether `Cancel` has been submitted (unfillable task).
+    pub cancel_sent: bool,
+    /// Answers successfully collected (the marketplace's utility).
+    pub collected: usize,
+}
+
+impl RequesterAgent {
+    /// Wraps a protocol client.
+    pub fn new(addr: Address, client: Requester, workload: Workload) -> Self {
+        Self {
+            addr,
+            client,
+            workload,
+            published_block: None,
+            golden_sent: false,
+            verdicts_sent: false,
+            reject_targets: Vec::new(),
+            finalize_sent: false,
+            cancel_sent: false,
+            collected: 0,
+        }
+    }
+}
+
+/// A pool worker: one identity, one behaviour, many concurrent sessions.
+pub struct WorkerAgent {
+    /// On-chain identity.
+    pub addr: Address,
+    /// The behaviour every session of this worker follows.
+    pub behavior: WorkerBehavior,
+    /// Live per-HIT protocol sessions.
+    pub sessions: BTreeMap<HitId, Worker>,
+    /// HITs this worker has already revealed for.
+    pub revealed: Vec<HitId>,
+}
+
+impl WorkerAgent {
+    /// A fresh worker.
+    pub fn new(addr: Address, behavior: WorkerBehavior) -> Self {
+        Self {
+            addr,
+            behavior,
+            sessions: BTreeMap::new(),
+            revealed: Vec::new(),
+        }
+    }
+}

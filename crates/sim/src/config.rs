@@ -1,0 +1,108 @@
+//! Marketplace scenario configuration.
+
+use dragoon_chain::Gas;
+use dragoon_contract::{PhaseWindows, SettlementMode};
+use dragoon_core::workload::AnswerModel;
+use dragoon_protocol::WorkerBehavior;
+
+/// Which mempool scheduler the market runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarketPolicy {
+    /// Honest FIFO delivery.
+    Fifo,
+    /// Reverse-order delivery every round (a crude rushing adversary).
+    Reverse,
+    /// A designated front-runner (the first worker of the pool) whose
+    /// transactions jump the queue every round.
+    FrontRun,
+}
+
+/// A weighted worker-behaviour mix; weights are relative frequencies.
+pub type BehaviorMix = Vec<(WorkerBehavior, u32)>;
+
+/// Everything that defines one marketplace run. Every field has a
+/// sensible default (see [`MarketConfig::default`]); construct with
+/// struct-update syntax:
+///
+/// ```
+/// use dragoon_sim::MarketConfig;
+/// let cfg = MarketConfig { hits: 250, seed: 7, ..MarketConfig::default() };
+/// ```
+#[derive(Clone, Debug)]
+pub struct MarketConfig {
+    /// Total HITs published over the run.
+    pub hits: usize,
+    /// HITs published per block until `hits` is reached.
+    pub spawn_per_block: usize,
+    /// Size of the worker pool.
+    pub workers: usize,
+    /// Max concurrent unsettled HITs one worker participates in.
+    pub worker_capacity: usize,
+    /// Extra candidates racing for each task's last slot beyond `k`
+    /// (exercises `TaskFull` contention; 0 = no overbooking).
+    pub overbook: usize,
+    /// Questions per task `N`.
+    pub questions: usize,
+    /// Gold standards per task `|G|`.
+    pub golds: usize,
+    /// Workers per task `K`.
+    pub k: usize,
+    /// Quality threshold `Θ`.
+    pub theta: u64,
+    /// Budget per task `B`.
+    pub budget: u128,
+    /// The weighted behaviour mix workers are drawn from.
+    pub behavior_mix: BehaviorMix,
+    /// Phase windows for every instance (`commit_timeout` should be
+    /// `Some` so unfillable tasks cancel instead of lingering forever).
+    pub windows: PhaseWindows,
+    /// Per-block gas cap (`None` = unbounded blocks).
+    pub block_gas_limit: Option<Gas>,
+    /// Inline or batched settlement verification.
+    pub settlement: SettlementMode,
+    /// The mempool scheduling policy.
+    pub policy: MarketPolicy,
+    /// Hard stop after this many blocks (unfinished HITs are reported).
+    pub max_blocks: u64,
+    /// The run's master seed; equal seeds ⇒ identical reports.
+    pub seed: u64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self {
+            hits: 50,
+            spawn_per_block: 8,
+            workers: 40,
+            worker_capacity: 4,
+            overbook: 1,
+            questions: 6,
+            golds: 3,
+            k: 3,
+            theta: 3,
+            budget: 3_000,
+            behavior_mix: vec![
+                (
+                    WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.95 }),
+                    6,
+                ),
+                (
+                    WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.30 }),
+                    2,
+                ),
+                (WorkerBehavior::Honest(AnswerModel::RandomBot), 1),
+                (WorkerBehavior::CommitNoReveal, 1),
+            ],
+            windows: PhaseWindows {
+                commit_timeout: Some(12),
+                reveal: 2,
+                evaluate: 4,
+            },
+            block_gas_limit: Some(30_000_000),
+            settlement: SettlementMode::Batched,
+            policy: MarketPolicy::Fifo,
+            max_blocks: 600,
+            seed: 0xd1a6_0000,
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The block-driven marketplace engine.
+//!
+//! [`MarketSim`] multiplexes hundreds of Π_hit instances over one
+//! simulated chain hosting a [`HitRegistry`]. Each block it:
+//!
+//! 1. publishes up to `spawn_per_block` new HITs (factory `Create`
+//!    transactions, budget frozen into per-instance escrow),
+//! 2. snapshots every live instance's phase and lets the agent pools
+//!    react — workers race for commit slots (optionally overbooked so
+//!    `TaskFull` contention actually happens), accepted workers reveal,
+//!    requesters open gold standards, challenge bad submissions and
+//!    finalize,
+//! 3. advances the chain one round under the configured mempool policy
+//!    (honest FIFO, reverse, or a designated front-runner), and
+//! 4. harvests events into per-block and per-HIT metrics.
+//!
+//! Everything — key generation, workloads, worker noise, scheduling —
+//! derives from the single `MarketConfig::seed`, so a run is exactly
+//! reproducible, and a `PerProof` vs `Batched` pair of runs with the
+//! same seed settles every worker identically (asserted by the
+//! `tests/marketplace.rs` equivalence test).
+
+use crate::agents::{RequesterAgent, WorkerAgent};
+use crate::config::{MarketConfig, MarketPolicy};
+use crate::metrics::{BlockStat, HitOutcome, MarketReport};
+use dragoon_chain::{
+    Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, ReversePolicy, TxStatus,
+};
+use dragoon_contract::{
+    HitEvent, HitId, HitMessage, HitRegistry, Phase, RegistryEvent, RegistryMessage, RejectReason,
+    Settlement, REGISTRY_CODE_LEN,
+};
+use dragoon_core::task::EncryptedAnswer;
+use dragoon_core::workload::generate_workload;
+use dragoon_crypto::commitment::Commitment;
+use dragoon_crypto::elgamal::PlaintextRange;
+use dragoon_ledger::Address;
+use dragoon_protocol::{ContentStore, Requester, Verdict, Worker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A read-only snapshot of one live instance, taken between blocks so
+/// agent reactions don't fight the chain borrow.
+struct HitSnapshot {
+    id: HitId,
+    agent: usize,
+    phase: Phase,
+    committed: Vec<Address>,
+    k: usize,
+    commit_deadline: Option<u64>,
+    revealed: Vec<(Address, EncryptedAnswer)>,
+    golden_open: bool,
+    evaluate_deadline: Option<u64>,
+    settled_workers: BTreeSet<Address>,
+}
+
+/// The marketplace engine. Build with [`MarketSim::new`], run with
+/// [`MarketSim::run`].
+pub struct MarketSim {
+    config: MarketConfig,
+    rng: StdRng,
+    chain: Chain<HitRegistry>,
+    requesters: Vec<RequesterAgent>,
+    workers: Vec<WorkerAgent>,
+    next_publish: usize,
+    /// Requester address → agent index (addresses are fixed at setup).
+    agent_by_addr: BTreeMap<Address, usize>,
+    agent_of_hit: BTreeMap<HitId, usize>,
+    /// Worker indices that joined (or tried to join) each hit.
+    joined: BTreeMap<HitId, Vec<usize>>,
+    /// Commitments visible for each hit (mempool observation, for the
+    /// copy-paste behaviour).
+    observed: BTreeMap<HitId, Vec<Commitment>>,
+    settled_hits: BTreeSet<HitId>,
+    settled_block: BTreeMap<HitId, u64>,
+    cancelled_hits: BTreeSet<HitId>,
+    block_stats: Vec<BlockStat>,
+    events_seen: usize,
+    rewards_paid: u128,
+    workers_paid: usize,
+    refunds: u128,
+}
+
+impl MarketSim {
+    /// Sets up the chain, registry and agent pools from a config.
+    pub fn new(config: MarketConfig) -> Self {
+        assert!(config.hits > 0, "a market needs at least one HIT");
+        assert!(config.workers > 0, "a market needs workers");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut chain = Chain::deploy(
+            HitRegistry::new(config.settlement),
+            REGISTRY_CODE_LEN,
+            GasSchedule::istanbul(),
+        );
+        if let Some(limit) = config.block_gas_limit {
+            chain = chain.with_block_gas_limit(limit);
+        }
+        let mut store = ContentStore::new();
+        let mut requesters = Vec::with_capacity(config.hits);
+        for i in 0..config.hits as u64 {
+            let addr = Address::from_seed(0xd1a6_0000 + i);
+            chain.ledger.mint(addr, config.budget);
+            let workload = generate_workload(
+                config.questions,
+                config.golds,
+                config.k,
+                config.theta,
+                PlaintextRange::binary(),
+                config.budget,
+                &mut rng,
+            );
+            let client = Requester::new(addr, &workload, &mut store, &mut rng);
+            requesters.push(RequesterAgent::new(addr, client, workload));
+        }
+        let total_weight: u32 = config.behavior_mix.iter().map(|(_, w)| *w).sum();
+        assert!(total_weight > 0, "behaviour mix must have positive weight");
+        let workers = (0..config.workers as u64)
+            .map(|i| {
+                let addr = Address::from_seed(0x3031_0000 + i);
+                // Deterministic weighted assignment by pool position.
+                let mut ticket = (i as u32 * 7919) % total_weight;
+                let behavior = config
+                    .behavior_mix
+                    .iter()
+                    .find_map(|(b, w)| {
+                        if ticket < *w {
+                            Some(b.clone())
+                        } else {
+                            ticket -= w;
+                            None
+                        }
+                    })
+                    .expect("ticket < total_weight");
+                WorkerAgent::new(addr, behavior)
+            })
+            .collect();
+        let agent_by_addr = requesters
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.addr, i))
+            .collect();
+        Self {
+            config,
+            rng,
+            chain,
+            requesters,
+            workers,
+            next_publish: 0,
+            agent_by_addr,
+            agent_of_hit: BTreeMap::new(),
+            joined: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            settled_hits: BTreeSet::new(),
+            settled_block: BTreeMap::new(),
+            cancelled_hits: BTreeSet::new(),
+            block_stats: Vec::new(),
+            events_seen: 0,
+            rewards_paid: 0,
+            workers_paid: 0,
+            refunds: 0,
+        }
+    }
+
+    /// Runs the market to completion (every HIT settled) or to
+    /// `max_blocks`, returning the report.
+    pub fn run(mut self) -> MarketReport {
+        let mut fifo = FifoPolicy;
+        let mut reverse = ReversePolicy;
+        let mut front_run = FrontRunPolicy::new(self.workers[0].addr);
+        loop {
+            let done = self.next_publish >= self.config.hits
+                && self.settled_hits.len() >= self.agent_of_hit.len()
+                && self.agent_of_hit.len() >= self.config.hits;
+            if done || self.chain.round() >= self.config.max_blocks {
+                break;
+            }
+            self.publish_step();
+            self.agent_step();
+            let policy: &mut dyn ReorderPolicy<RegistryMessage> = match self.config.policy {
+                MarketPolicy::Fifo => &mut fifo,
+                MarketPolicy::Reverse => &mut reverse,
+                MarketPolicy::FrontRun => &mut front_run,
+            };
+            self.chain.advance_round(policy);
+            self.harvest();
+        }
+        self.report()
+    }
+
+    /// Submits this block's `Create` transactions.
+    fn publish_step(&mut self) {
+        let mut spawned = 0;
+        while self.next_publish < self.config.hits && spawned < self.config.spawn_per_block {
+            let agent = &self.requesters[self.next_publish];
+            let HitMessage::Publish(params) = agent.client.publish_msg() else {
+                unreachable!("publish_msg returns Publish");
+            };
+            self.chain.submit(
+                agent.addr,
+                RegistryMessage::Create {
+                    windows: self.config.windows,
+                    params,
+                },
+            );
+            self.next_publish += 1;
+            spawned += 1;
+        }
+    }
+
+    /// Snapshots every live instance.
+    fn snapshots(&self) -> Vec<HitSnapshot> {
+        let registry = self.chain.contract();
+        let mut out = Vec::new();
+        for (&id, &agent) in &self.agent_of_hit {
+            if self.settled_hits.contains(&id) {
+                continue;
+            }
+            let Some(hit) = registry.hit(id) else {
+                continue;
+            };
+            if hit.is_settled() {
+                continue;
+            }
+            let committed = hit.committed_workers().to_vec();
+            // Revealed ciphertexts are only consumed by the one block in
+            // which the requester sends its verdicts — skip the clones
+            // everywhere else (they dominate snapshot cost otherwise).
+            let revealed = if hit.phase() == Phase::Evaluate
+                && hit.golden().is_some()
+                && !self.requesters[agent].verdicts_sent
+            {
+                committed
+                    .iter()
+                    .filter_map(|w| hit.revealed(w).map(|cts| (*w, cts.clone())))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let settled_workers = committed
+                .iter()
+                .filter(|w| hit.settlement(w).is_some())
+                .copied()
+                .collect();
+            out.push(HitSnapshot {
+                id,
+                agent,
+                phase: hit.phase(),
+                committed,
+                k: hit.params().map_or(0, |p| p.k),
+                commit_deadline: hit.commit_deadline(),
+                revealed,
+                golden_open: hit.golden().is_some(),
+                evaluate_deadline: hit.evaluate_deadline(),
+                settled_workers,
+            });
+        }
+        out
+    }
+
+    /// Lets workers and requesters react to every live instance.
+    fn agent_step(&mut self) {
+        let round = self.chain.round();
+        let snapshots = self.snapshots();
+        let mut submissions: Vec<(Address, RegistryMessage)> = Vec::new();
+        for snap in &snapshots {
+            match snap.phase {
+                Phase::Commit => self.drive_commit(snap, round, &mut submissions),
+                Phase::Reveal => self.drive_reveal(snap, &mut submissions),
+                Phase::Evaluate => self.drive_evaluate(snap, round, &mut submissions),
+                Phase::Setup | Phase::Closed => {}
+            }
+        }
+        for (sender, msg) in submissions {
+            self.chain.submit(sender, msg);
+        }
+    }
+
+    /// Commit phase: eligible workers race for slots; the requester
+    /// cancels an unfillable task after its timeout.
+    fn drive_commit(
+        &mut self,
+        snap: &HitSnapshot,
+        round: u64,
+        submissions: &mut Vec<(Address, RegistryMessage)>,
+    ) {
+        let agent = &mut self.requesters[snap.agent];
+        if let Some(deadline) = snap.commit_deadline {
+            if round >= deadline && snap.committed.len() < snap.k && !agent.cancel_sent {
+                agent.cancel_sent = true;
+                submissions.push((
+                    agent.addr,
+                    RegistryMessage::Hit {
+                        id: snap.id,
+                        msg: HitMessage::Cancel,
+                    },
+                ));
+                return;
+            }
+        }
+        let target = snap.k + self.config.overbook;
+        let joined = self.joined.entry(snap.id).or_default();
+        if joined.len() >= target {
+            return;
+        }
+        let ek = agent.client.public_key();
+        // Disjoint field borrows: the workload stays borrowed from
+        // `requesters` while `workers`, `rng` etc. are mutated below.
+        let workload = &self.requesters[snap.agent].workload;
+        let observed = self.observed.entry(snap.id).or_default();
+        // Rotate the pool start per hit so load spreads deterministically.
+        let start = (snap.id as usize).wrapping_mul(13) % self.workers.len();
+        for off in 0..self.workers.len() {
+            if joined.len() >= target {
+                break;
+            }
+            let wi = (start + off) % self.workers.len();
+            if joined.contains(&wi) {
+                continue;
+            }
+            let active = self.workers[wi]
+                .sessions
+                .keys()
+                .filter(|id| !self.settled_hits.contains(id))
+                .count();
+            if active >= self.config.worker_capacity {
+                continue;
+            }
+            let w = &mut self.workers[wi];
+            let mut session = Worker::new(w.addr, w.behavior.clone());
+            let Some(msg) = session.commit_msg(workload, &ek, observed, &mut self.rng) else {
+                continue; // e.g. a copier with nothing to copy yet
+            };
+            if let HitMessage::Commit { commitment } = &msg {
+                observed.push(*commitment);
+            }
+            joined.push(wi);
+            w.sessions.insert(snap.id, session);
+            submissions.push((w.addr, RegistryMessage::Hit { id: snap.id, msg }));
+        }
+    }
+
+    /// Reveal phase: accepted sessions open their commitments.
+    fn drive_reveal(
+        &mut self,
+        snap: &HitSnapshot,
+        submissions: &mut Vec<(Address, RegistryMessage)>,
+    ) {
+        for wi in self.joined.get(&snap.id).cloned().unwrap_or_default() {
+            let w = &mut self.workers[wi];
+            if !snap.committed.contains(&w.addr) || w.revealed.contains(&snap.id) {
+                continue;
+            }
+            let Some(session) = w.sessions.get(&snap.id) else {
+                continue;
+            };
+            w.revealed.push(snap.id);
+            if let Some(msg) = session.reveal_msg(&mut self.rng) {
+                submissions.push((w.addr, RegistryMessage::Hit { id: snap.id, msg }));
+            }
+        }
+    }
+
+    /// Evaluate phase: the requester sequences golden → rejections →
+    /// finalize, waiting for each stage to confirm on-chain (rushing
+    /// adversaries can reorder within a round).
+    fn drive_evaluate(
+        &mut self,
+        snap: &HitSnapshot,
+        round: u64,
+        submissions: &mut Vec<(Address, RegistryMessage)>,
+    ) {
+        let agent = &mut self.requesters[snap.agent];
+        if !agent.golden_sent {
+            agent.golden_sent = true;
+            submissions.push((
+                agent.addr,
+                RegistryMessage::Hit {
+                    id: snap.id,
+                    msg: agent.client.golden_msg(),
+                },
+            ));
+        } else if !agent.verdicts_sent && snap.golden_open {
+            agent.verdicts_sent = true;
+            for (worker, cts) in &snap.revealed {
+                match agent.client.evaluate(*worker, cts, &mut self.rng) {
+                    Verdict::Accept { .. } => agent.collected += 1,
+                    Verdict::RejectOutOfRange { msg } | Verdict::RejectLowQuality { msg, .. } => {
+                        agent.reject_targets.push(*worker);
+                        submissions.push((agent.addr, RegistryMessage::Hit { id: snap.id, msg }));
+                    }
+                }
+            }
+        } else if !agent.finalize_sent
+            && agent.verdicts_sent
+            && agent
+                .reject_targets
+                .iter()
+                .all(|w| snap.settled_workers.contains(w))
+            && snap.evaluate_deadline.is_some_and(|d| round >= d)
+        {
+            agent.finalize_sent = true;
+            submissions.push((
+                agent.addr,
+                RegistryMessage::Hit {
+                    id: snap.id,
+                    msg: HitMessage::Finalize,
+                },
+            ));
+        }
+    }
+
+    /// Post-block bookkeeping: map fresh `Created` events to agents,
+    /// record settlements and payment flows, accumulate block stats.
+    fn harvest(&mut self) {
+        let round = self.chain.round();
+        let events = self.chain.events();
+        let mut commit_closed: Vec<HitId> = Vec::new();
+        for (at, event) in &events[self.events_seen..] {
+            match event {
+                RegistryEvent::Created { id, requester, .. } => {
+                    let agent = self.agent_by_addr[requester];
+                    self.requesters[agent].published_block = Some(*at);
+                    self.agent_of_hit.insert(*id, agent);
+                }
+                RegistryEvent::Hit { id, event } => match event {
+                    HitEvent::CommitClosed => commit_closed.push(*id),
+                    HitEvent::Paid { amount, .. } => {
+                        self.rewards_paid += amount;
+                        self.workers_paid += 1;
+                    }
+                    HitEvent::Refunded { amount, .. } => {
+                        self.refunds += amount;
+                    }
+                    HitEvent::Cancelled { refunded } => {
+                        self.refunds += refunded;
+                        self.cancelled_hits.insert(*id);
+                        self.settled_hits.insert(*id);
+                        self.settled_block.entry(*id).or_insert(*at);
+                    }
+                    HitEvent::Closed => {
+                        self.settled_hits.insert(*id);
+                        self.settled_block.entry(*id).or_insert(*at);
+                    }
+                    _ => {}
+                },
+            }
+        }
+        self.events_seen = events.len();
+        // A closed commit phase frees the losers of overbooked races:
+        // their commit reverted (TaskFull), so their session holds no
+        // slot and must not count against worker capacity.
+        for id in commit_closed {
+            let committed: Vec<Address> = self
+                .chain
+                .contract()
+                .hit(id)
+                .map(|h| h.committed_workers().to_vec())
+                .unwrap_or_default();
+            for &wi in self.joined.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                if !committed.contains(&self.workers[wi].addr) {
+                    self.workers[wi].sessions.remove(&id);
+                }
+            }
+        }
+        let block = self
+            .chain
+            .blocks()
+            .last()
+            .expect("advance_round produced a block");
+        self.block_stats.push(BlockStat {
+            height: round,
+            txs: block.receipts.len(),
+            reverted: block
+                .receipts
+                .iter()
+                .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+                .count(),
+            gas_used: block.receipts.iter().map(|r| r.gas_used).sum(),
+        });
+    }
+
+    /// Assembles the final report.
+    fn report(self) -> MarketReport {
+        let registry = self.chain.contract();
+        let mut outcomes = Vec::new();
+        let mut workers_rejected = 0;
+        for (&id, &agent) in &self.agent_of_hit {
+            let hit = registry.hit(id).expect("created instance");
+            let (mut paid, mut rejected, mut no_reveal) = (0, 0, 0);
+            for w in hit.committed_workers() {
+                match hit.settlement(w) {
+                    Some(Settlement::Paid) => paid += 1,
+                    Some(Settlement::Rejected(RejectReason::NoReveal)) => no_reveal += 1,
+                    Some(Settlement::Rejected(_)) => rejected += 1,
+                    None => {}
+                }
+            }
+            workers_rejected += rejected;
+            outcomes.push(HitOutcome {
+                id,
+                published_block: self.requesters[agent].published_block.unwrap_or(0),
+                settled_block: self.settled_block.get(&id).copied(),
+                cancelled: self.cancelled_hits.contains(&id),
+                paid,
+                rejected,
+                no_reveal,
+            });
+        }
+        let latencies: Vec<u64> = outcomes.iter().filter_map(HitOutcome::latency).collect();
+        let latency_mean_blocks = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+        };
+        let nonempty: Vec<&BlockStat> = self.block_stats.iter().filter(|b| b.txs > 0).collect();
+        let gas_per_block_mean = if nonempty.is_empty() {
+            0.0
+        } else {
+            nonempty.iter().map(|b| b.gas_used).sum::<u64>() as f64 / nonempty.len() as f64
+        };
+        let hits_cancelled = self.cancelled_hits.len();
+        let hits_settled = self.settled_hits.len() - hits_cancelled;
+        MarketReport {
+            seed: self.config.seed,
+            settlement: self.config.settlement,
+            blocks: self.chain.round(),
+            hits_published: self.agent_of_hit.len(),
+            hits_settled,
+            hits_cancelled,
+            hits_unfinished: self.agent_of_hit.len() - self.settled_hits.len(),
+            total_gas: self.chain.total_gas(),
+            gas_per_block_mean,
+            gas_per_block_max: self
+                .block_stats
+                .iter()
+                .map(|b| b.gas_used)
+                .max()
+                .unwrap_or(0),
+            block_gas_limit: self.config.block_gas_limit,
+            gas_utilization: self
+                .config
+                .block_gas_limit
+                .map(|l| gas_per_block_mean / l as f64),
+            latency_mean_blocks,
+            latency_max_blocks: latencies.iter().copied().max().unwrap_or(0),
+            answers_collected: self.requesters.iter().map(|a| a.collected).sum(),
+            rewards_paid: self.rewards_paid,
+            workers_paid: self.workers_paid,
+            workers_rejected,
+            refunds: self.refunds,
+            reverted_txs: self.block_stats.iter().map(|b| b.reverted).sum(),
+            batch: registry.batch_stats(),
+            outcomes,
+            block_stats: self.block_stats,
+        }
+    }
+
+    /// The chain, for post-run inspection in tests.
+    pub fn chain(&self) -> &Chain<HitRegistry> {
+        &self.chain
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_market(config: MarketConfig) -> MarketReport {
+    MarketSim::new(config).run()
+}

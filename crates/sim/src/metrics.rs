@@ -1,0 +1,219 @@
+//! Market-level metrics: per-block stats, per-HIT outcomes and the
+//! aggregate [`MarketReport`] with hand-rolled JSON output (the compat
+//! serde is derive-only, so structured output is written directly).
+
+use dragoon_chain::Gas;
+use dragoon_contract::{BatchStats, HitId, SettlementMode};
+
+/// One produced block's footprint.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockStat {
+    /// Block height (round number).
+    pub height: u64,
+    /// Executed transactions (including reverted).
+    pub txs: usize,
+    /// Reverted transactions.
+    pub reverted: usize,
+    /// Gas consumed by the block.
+    pub gas_used: Gas,
+}
+
+/// One HIT's lifecycle summary.
+#[derive(Clone, Debug)]
+pub struct HitOutcome {
+    /// Registry id.
+    pub id: HitId,
+    /// Block in which the instance was created/published.
+    pub published_block: u64,
+    /// Block in which it settled (closed or cancelled), if it did.
+    pub settled_block: Option<u64>,
+    /// Whether it was cancelled unfilled (the "dropped/expired" bucket).
+    pub cancelled: bool,
+    /// Workers paid.
+    pub paid: usize,
+    /// Workers rejected with proofs (low quality / out of range).
+    pub rejected: usize,
+    /// Workers recorded as `⊥` (committed, never revealed).
+    pub no_reveal: usize,
+}
+
+impl HitOutcome {
+    /// Settlement latency in blocks, if settled.
+    pub fn latency(&self) -> Option<u64> {
+        self.settled_block.map(|s| s - self.published_block)
+    }
+}
+
+/// The serializable outcome of a marketplace run.
+#[derive(Clone, Debug)]
+pub struct MarketReport {
+    /// The run's master seed.
+    pub seed: u64,
+    /// Settlement mode the market ran under.
+    pub settlement: SettlementMode,
+    /// Blocks produced.
+    pub blocks: u64,
+    /// HITs published.
+    pub hits_published: usize,
+    /// HITs settled with payments (closed).
+    pub hits_settled: usize,
+    /// HITs cancelled unfilled (dropped/expired).
+    pub hits_cancelled: usize,
+    /// HITs still open when the run stopped.
+    pub hits_unfinished: usize,
+    /// Total gas across all transactions.
+    pub total_gas: Gas,
+    /// Mean gas per non-empty block.
+    pub gas_per_block_mean: f64,
+    /// Max gas in one block.
+    pub gas_per_block_max: Gas,
+    /// The gas cap in force.
+    pub block_gas_limit: Option<Gas>,
+    /// `gas_per_block_mean / limit` over non-empty blocks.
+    pub gas_utilization: Option<f64>,
+    /// Mean settlement latency (publish → settle) in blocks.
+    pub latency_mean_blocks: f64,
+    /// Max settlement latency in blocks.
+    pub latency_max_blocks: u64,
+    /// Answers requesters accepted (decrypted, quality ≥ Θ) — the
+    /// marketplace's utility.
+    pub answers_collected: usize,
+    /// Total reward payments made to workers.
+    pub rewards_paid: u128,
+    /// Count of worker payments.
+    pub workers_paid: usize,
+    /// Workers rejected with proofs.
+    pub workers_rejected: usize,
+    /// Escrow refunded to requesters (leftovers + cancellations).
+    pub refunds: u128,
+    /// Reverted transactions over the whole run.
+    pub reverted_txs: usize,
+    /// Batched-settlement counters (all zero in per-proof mode).
+    pub batch: BatchStats,
+    /// Per-HIT outcomes, in id order.
+    pub outcomes: Vec<HitOutcome>,
+    /// Per-block footprints.
+    pub block_stats: Vec<BlockStat>,
+}
+
+impl MarketReport {
+    /// Compact single-object JSON (summary scalars only; per-HIT and
+    /// per-block series are available on the struct).
+    pub fn to_json(&self) -> String {
+        let mode = match self.settlement {
+            SettlementMode::PerProof => "per_proof",
+            SettlementMode::Batched => "batched",
+        };
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_kv(&mut s, "seed", &self.seed.to_string());
+        push_kv(&mut s, "settlement", &format!("\"{mode}\""));
+        push_kv(&mut s, "blocks", &self.blocks.to_string());
+        push_kv(&mut s, "hits_published", &self.hits_published.to_string());
+        push_kv(&mut s, "hits_settled", &self.hits_settled.to_string());
+        push_kv(&mut s, "hits_cancelled", &self.hits_cancelled.to_string());
+        push_kv(&mut s, "hits_unfinished", &self.hits_unfinished.to_string());
+        push_kv(&mut s, "total_gas", &self.total_gas.to_string());
+        push_kv(
+            &mut s,
+            "gas_per_block_mean",
+            &format!("{:.1}", self.gas_per_block_mean),
+        );
+        push_kv(
+            &mut s,
+            "gas_per_block_max",
+            &self.gas_per_block_max.to_string(),
+        );
+        push_kv(
+            &mut s,
+            "block_gas_limit",
+            &self
+                .block_gas_limit
+                .map_or("null".into(), |l| l.to_string()),
+        );
+        push_kv(
+            &mut s,
+            "gas_utilization",
+            &self
+                .gas_utilization
+                .map_or("null".into(), |u| format!("{u:.4}")),
+        );
+        push_kv(
+            &mut s,
+            "latency_mean_blocks",
+            &format!("{:.2}", self.latency_mean_blocks),
+        );
+        push_kv(
+            &mut s,
+            "latency_max_blocks",
+            &self.latency_max_blocks.to_string(),
+        );
+        push_kv(
+            &mut s,
+            "answers_collected",
+            &self.answers_collected.to_string(),
+        );
+        push_kv(&mut s, "rewards_paid", &self.rewards_paid.to_string());
+        push_kv(&mut s, "workers_paid", &self.workers_paid.to_string());
+        push_kv(
+            &mut s,
+            "workers_rejected",
+            &self.workers_rejected.to_string(),
+        );
+        push_kv(&mut s, "refunds", &self.refunds.to_string());
+        push_kv(&mut s, "reverted_txs", &self.reverted_txs.to_string());
+        push_kv(&mut s, "batch_dispatches", &self.batch.batches.to_string());
+        push_kv(&mut s, "batch_items", &self.batch.items.to_string());
+        s.push_str(&format!("\"batch_largest\":{}", self.batch.largest));
+        s.push('}');
+        s
+    }
+
+    /// A human-oriented multi-line summary for examples and logs.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "market: {} HITs over {} blocks ({} settled, {} cancelled, {} unfinished)\n",
+            self.hits_published,
+            self.blocks,
+            self.hits_settled,
+            self.hits_cancelled,
+            self.hits_unfinished
+        ));
+        out.push_str(&format!(
+            "gas:    {:.0}k/block mean, {}k max{} — {}k total\n",
+            self.gas_per_block_mean / 1_000.0,
+            self.gas_per_block_max / 1_000,
+            self.gas_utilization
+                .map_or(String::new(), |u| format!(" ({:.0}% of cap)", u * 100.0)),
+            self.total_gas / 1_000
+        ));
+        out.push_str(&format!(
+            "settle: {:.1} blocks mean latency, {} max\n",
+            self.latency_mean_blocks, self.latency_max_blocks
+        ));
+        out.push_str(&format!(
+            "payout: {} workers paid {} coins, {} rejected, {} refunded to requesters\n",
+            self.workers_paid, self.rewards_paid, self.workers_rejected, self.refunds
+        ));
+        out.push_str(&format!(
+            "useful: {} accepted answer vectors collected\n",
+            self.answers_collected
+        ));
+        if self.batch.batches > 0 {
+            out.push_str(&format!(
+                "batch:  {} dispatches covering {} proofs (largest {})\n",
+                self.batch.batches, self.batch.items, self.batch.largest
+            ));
+        }
+        out
+    }
+}
+
+fn push_kv(s: &mut String, key: &str, value: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(value);
+    s.push(',');
+}

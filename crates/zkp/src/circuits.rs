@@ -184,9 +184,7 @@ pub fn poqoea_public_inputs(instance: &PoqoeaInstance) -> Vec<Fr> {
         .zip(&instance.m_points)
         .zip(&instance.gold_points)
     {
-        v.extend_from_slice(&[
-            ct.c1.x, ct.c1.y, ct.c2.x, ct.c2.y, m.x, m.y, gold.x, gold.y,
-        ]);
+        v.extend_from_slice(&[ct.c1.x, ct.c1.y, ct.c2.x, ct.c2.y, m.x, m.y, gold.x, gold.y]);
     }
     v
 }
@@ -287,10 +285,7 @@ mod tests {
             "constraints = {}",
             cs.num_constraints()
         );
-        assert_eq!(
-            poqoea_public_inputs(&instance).len(),
-            2 + 2 + 3 * 8
-        );
+        assert_eq!(poqoea_public_inputs(&instance).len(), 2 + 2 + 3 * 8);
     }
 
     #[test]

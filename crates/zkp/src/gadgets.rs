@@ -76,9 +76,7 @@ pub fn enforce_on_curve(cs: &mut ConstraintSystem, p: PointVar) {
     cs.enforce(LC::from_var(p.y), LC::from_var(p.y), LC::from_var(y2));
     cs.enforce(LC::from_var(x2), LC::from_var(y2), LC::from_var(x2y2));
     cs.enforce(
-        LC::zero()
-            .add_term(x2, coeff_a())
-            .add_term(y2, Fr::one()),
+        LC::zero().add_term(x2, coeff_a()).add_term(y2, Fr::one()),
         LC::from_var(Variable::One),
         LC::constant(Fr::one()).add_term(x2y2, coeff_d()),
     );
@@ -139,12 +137,7 @@ pub fn point_double(cs: &mut ConstraintSystem, p: PointVar) -> PointVar {
 
 /// Selects `if b { p } else { q }` with two constraints:
 /// `out = q + b·(p − q)` per coordinate.
-pub fn point_select(
-    cs: &mut ConstraintSystem,
-    b: Variable,
-    p: PointVar,
-    q: PointVar,
-) -> PointVar {
+pub fn point_select(cs: &mut ConstraintSystem, b: Variable, p: PointVar, q: PointVar) -> PointVar {
     let b_val = cs.value_of(b);
     let chosen = if b_val == Fr::one() {
         JubPoint {
@@ -183,11 +176,7 @@ pub fn scalar_mul(cs: &mut ConstraintSystem, bits: &[Variable], base: PointVar) 
         y: cs.alloc_aux(id.y),
     };
     // Pin the accumulator's initial value.
-    cs.enforce(
-        LC::from_var(acc.x),
-        LC::from_var(Variable::One),
-        LC::zero(),
-    );
+    cs.enforce(LC::from_var(acc.x), LC::from_var(Variable::One), LC::zero());
     cs.enforce(
         LC::from_var(acc.y),
         LC::from_var(Variable::One),

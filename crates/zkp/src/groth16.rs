@@ -115,10 +115,7 @@ impl std::error::Error for SnarkError {}
 
 /// Evaluates, for every variable, the QAP polynomials `A_i(τ)`, `B_i(τ)`,
 /// `C_i(τ)` given the Lagrange values `L_j(τ)`.
-fn qap_evaluations(
-    cs: &ConstraintSystem,
-    lagrange: &[Fr],
-) -> (Vec<Fr>, Vec<Fr>, Vec<Fr>) {
+fn qap_evaluations(cs: &ConstraintSystem, lagrange: &[Fr]) -> (Vec<Fr>, Vec<Fr>, Vec<Fr>) {
     let m = cs.num_variables();
     let mut a = vec![Fr::zero(); m];
     let mut b = vec![Fr::zero(); m];
@@ -142,7 +139,10 @@ fn qap_evaluations(
 ///
 /// Only the *shape* of `cs` matters (constraints and variable counts);
 /// assignments are ignored.
-pub fn setup<R: Rng + ?Sized>(cs: &ConstraintSystem, rng: &mut R) -> Result<ProvingKey, SnarkError> {
+pub fn setup<R: Rng + ?Sized>(
+    cs: &ConstraintSystem,
+    rng: &mut R,
+) -> Result<ProvingKey, SnarkError> {
     let domain = Domain::new(cs.num_constraints().max(2)).ok_or(SnarkError::CircuitTooLarge)?;
     let (tau, alpha, beta, gamma, delta) = loop {
         let tau = Fr::random(rng);
@@ -338,7 +338,7 @@ pub fn verify_reference(vk: &VerifyingKey, proof: &Proof, public_inputs: &[Fr]) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::r1cs::{LinearCombination as LC, Variable};
+    use crate::r1cs::LinearCombination as LC;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -445,12 +445,7 @@ mod tests {
         let cs1 = demo_circuit(5, 7);
         let pk = setup(&cs1, &mut rng).unwrap();
         let proof = prove(&pk, &cs1, &mut rng).unwrap();
-        assert!(verify(
-            &pk.vk,
-            &proof,
-            &[Fr::from_u64(35), Fr::from_u64(125)]
-        )
-        .unwrap());
+        assert!(verify(&pk.vk, &proof, &[Fr::from_u64(35), Fr::from_u64(125)]).unwrap());
     }
 
     #[test]

@@ -226,10 +226,7 @@ mod tests {
         assert_eq!(g.mul_scalar(&Fr::zero()), JubPoint::identity());
         assert_eq!(g.mul_scalar(&Fr::one()), g);
         assert_eq!(g.mul_scalar(&Fr::from_u64(2)), g.double());
-        assert_eq!(
-            g.mul_scalar(&Fr::from_u64(5)),
-            g.double().double().add(&g)
-        );
+        assert_eq!(g.mul_scalar(&Fr::from_u64(5)), g.double().double().add(&g));
         // Homomorphism with non-wrapping scalars (the Fr modulus differs
         // from the Baby Jubjub subgroup order, so mod-r wraparound would
         // break g^(a+b) = g^a·g^b; u64 sums never wrap).
@@ -237,7 +234,8 @@ mod tests {
         let a: u64 = rng.gen();
         let b: u64 = rng.gen();
         assert_eq!(
-            g.mul_scalar(&Fr::from_u64(a)).add(&g.mul_scalar(&Fr::from_u64(b))),
+            g.mul_scalar(&Fr::from_u64(a))
+                .add(&g.mul_scalar(&Fr::from_u64(b))),
             g.mul_scalar(&Fr::from_u128(a as u128 + b as u128))
         );
     }

@@ -115,9 +115,7 @@ impl Domain {
         let mut omega_j = Fr::one();
         for _ in 0..self.n {
             let denom = (*x - omega_j) * Fr::from_u64(self.n as u64);
-            let denom_inv = denom
-                .inverse()
-                .expect("x must lie outside the domain");
+            let denom_inv = denom.inverse().expect("x must lie outside the domain");
             out.push(z * omega_j * denom_inv);
             omega_j *= self.omega;
         }
@@ -166,7 +164,7 @@ pub fn eval_poly(coeffs: &[Fr], x: &Fr) -> Fr {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x7717)

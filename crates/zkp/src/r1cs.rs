@@ -61,9 +61,9 @@ impl LinearCombination {
 
     /// Evaluates against a full witness assignment.
     pub fn evaluate(&self, cs: &ConstraintSystem) -> Fr {
-        self.0.iter().fold(Fr::zero(), |acc, (v, c)| {
-            acc + cs.value_of(*v) * *c
-        })
+        self.0
+            .iter()
+            .fold(Fr::zero(), |acc, (v, c)| acc + cs.value_of(*v) * *c)
     }
 }
 
@@ -134,12 +134,7 @@ impl ConstraintSystem {
     }
 
     /// Adds the constraint `a · b = c`.
-    pub fn enforce(
-        &mut self,
-        a: LinearCombination,
-        b: LinearCombination,
-        c: LinearCombination,
-    ) {
+    pub fn enforce(&mut self, a: LinearCombination, b: LinearCombination, c: LinearCombination) {
         self.constraints.push(Constraint { a, b, c });
     }
 
@@ -236,7 +231,10 @@ mod tests {
             .add_term(Variable::One, Fr::one());
         assert_eq!(lc.evaluate(&cs), Fr::from_u64(19));
         // Scale by 2 → 38.
-        assert_eq!(lc.clone().scale(Fr::from_u64(2)).evaluate(&cs), Fr::from_u64(38));
+        assert_eq!(
+            lc.clone().scale(Fr::from_u64(2)).evaluate(&cs),
+            Fr::from_u64(38)
+        );
         // Add lc to itself → 38.
         assert_eq!(lc.clone().add_lc(&lc).evaluate(&cs), Fr::from_u64(38));
     }

@@ -2,9 +2,7 @@
 //! gadget correctness over random inputs, and Baby Jubjub group laws.
 
 use dragoon_crypto::Fr;
-use dragoon_zkp::gadgets::{
-    alloc_bits, alloc_point, point_add, point_select, scalar_mul,
-};
+use dragoon_zkp::gadgets::{alloc_bits, alloc_point, point_add, point_select, scalar_mul};
 use dragoon_zkp::jubjub::{scalar_bits, JubKeyPair, JubPoint};
 use dragoon_zkp::ntt::{eval_poly, Domain};
 use dragoon_zkp::r1cs::ConstraintSystem;

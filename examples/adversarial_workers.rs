@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(dragoon_sim::seed_from_args_or(7));
     let honest = WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.97 });
 
     // ---- Scenario 1: the copy-paste attacker races four honest workers.
@@ -70,8 +70,7 @@ fn main() {
     let silent = report.workers[3];
     println!(
         "  silent worker: {:?}, balance {}; requester refunded {}",
-        report.settlements[&silent], report.balances[&silent],
-        report.balances[&report.requester]
+        report.settlements[&silent], report.balances[&silent], report.balances[&report.requester]
     );
     assert_eq!(report.balances[&silent], 0);
     println!("  → recorded as ⊥; the unclaimed share returned to the requester.\n");
@@ -88,10 +87,7 @@ fn main() {
         &mut ReversePolicy,
         &mut rng,
     );
-    let all_paid = report
-        .settlements
-        .values()
-        .all(|s| *s == Settlement::Paid);
+    let all_paid = report.settlements.values().all(|s| *s == Settlement::Paid);
     println!(
         "  all four honest workers paid under reordering: {all_paid} \
          (answers collected: {})",

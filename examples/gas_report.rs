@@ -14,15 +14,12 @@ use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(1108);
+    let mut rng = StdRng::seed_from_u64(dragoon_sim::seed_from_args_or(1108));
     // Worst case (reject all) exercises every code path.
     let report = driver::run(
         driver::RunConfig {
             workload: imagenet_workload(4_000_000, &mut rng),
-            behaviors: vec![
-                WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.0 });
-                4
-            ],
+            behaviors: vec![WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.0 }); 4],
             schedule: GasSchedule::istanbul(),
             block_gas_limit: None,
         },
@@ -30,10 +27,7 @@ fn main() {
     );
 
     println!("== Per-transaction gas breakdown (ImageNet task, worst case) ==\n");
-    println!(
-        "{:<10} {:<9} {:>10}   breakdown",
-        "tx", "status", "gas"
-    );
+    println!("{:<10} {:<9} {:>10}   breakdown", "tx", "status", "gas");
     let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
     for r in report.chain.receipts() {
         let status = match &r.status {

@@ -17,12 +17,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2020);
+    let mut rng = StdRng::seed_from_u64(dragoon_sim::seed_from_args_or(2020));
 
     // The ImageNet annotation task with a 4M-unit budget (1M per worker).
     let workload = imagenet_workload(4_000_000, &mut rng);
-    println!("ImageNet HIT: N = {}, |G| = {}, K = {}, Θ = {}\n",
-        workload.spec.n, workload.golden.len(), workload.spec.k, workload.spec.theta);
+    println!(
+        "ImageNet HIT: N = {}, |G| = {}, K = {}, Θ = {}\n",
+        workload.spec.n,
+        workload.golden.len(),
+        workload.spec.k,
+        workload.spec.theta
+    );
 
     // A realistic crowd: three diligent annotators with ordinary error
     // rates and one low-effort spammer
@@ -53,20 +58,40 @@ fn main() {
         };
         println!("  worker {i}: {outcome}");
     }
-    println!("\nAnnotations collected: {} × {} labels",
+    println!(
+        "\nAnnotations collected: {} × {} labels",
         report.collected.len(),
-        report.collected.first().map(|(_, a)| a.len()).unwrap_or(0));
+        report.collected.first().map(|(_, a)| a.len()).unwrap_or(0)
+    );
 
     println!("\nOn-chain handling fees (Table III rows):");
-    println!("  publish:           {:>9} gas  (${:.2})", report.gas.publish, gas_to_usd(report.gas.publish));
+    println!(
+        "  publish:           {:>9} gas  (${:.2})",
+        report.gas.publish,
+        gas_to_usd(report.gas.publish)
+    );
     for (i, submit) in report.gas.submit_per_worker().iter().enumerate() {
-        println!("  submit (worker {i}): {:>9} gas  (${:.2})", submit, gas_to_usd(*submit));
+        println!(
+            "  submit (worker {i}): {:>9} gas  (${:.2})",
+            submit,
+            gas_to_usd(*submit)
+        );
     }
     for (i, rej) in report.gas.rejects.iter().enumerate() {
-        println!("  rejection #{i}:      {:>9} gas  (${:.2})", rej, gas_to_usd(*rej));
+        println!(
+            "  rejection #{i}:      {:>9} gas  (${:.2})",
+            rej,
+            gas_to_usd(*rej)
+        );
     }
-    println!("  golden + settle:   {:>9} gas", report.gas.golden + report.gas.finalize);
+    println!(
+        "  golden + settle:   {:>9} gas",
+        report.gas.golden + report.gas.finalize
+    );
     let total = report.gas.total();
-    println!("  TOTAL:             {:>9} gas  (${:.2}; MTurk charges ≥ $4.00 for this task)",
-        total, gas_to_usd(total));
+    println!(
+        "  TOTAL:             {:>9} gas  (${:.2}; MTurk charges ≥ $4.00 for this task)",
+        total,
+        gas_to_usd(total)
+    );
 }

@@ -1,0 +1,30 @@
+//! The marketplace engine end to end: hundreds of concurrent HITs over
+//! one gas-capped chain with batched settlement verification.
+//!
+//! ```sh
+//! cargo run --release --example marketplace            # default seed
+//! cargo run --release --example marketplace -- 42      # CLI seed
+//! DRAGOON_SEED=0xfeed cargo run --release --example marketplace
+//! ```
+
+use dragoon_sim::{run_market, seed_from_args_or, MarketConfig};
+
+fn main() {
+    let seed = seed_from_args_or(0xd1a6_0001);
+    let config = MarketConfig {
+        hits: 250,
+        spawn_per_block: 10,
+        workers: 90,
+        worker_capacity: 5,
+        seed,
+        max_blocks: 900,
+        ..MarketConfig::default()
+    };
+    println!(
+        "publishing {} HITs (N={}, K={}, Θ={}) to a {}-worker pool, seed {seed:#x}\n",
+        config.hits, config.questions, config.k, config.theta, config.workers
+    );
+    let report = run_market(config);
+    print!("{}", report.summary());
+    println!("\nJSON: {}", report.to_json());
+}

@@ -15,22 +15,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = StdRng::seed_from_u64(dragoon_sim::seed_from_args_or(42));
 
     // 1. Describe the task: 10 binary questions, 2 secret gold
     //    standards, 3 workers, pay each 100 coins if they clear Θ = 2.
     let workload = generate_workload(
-        10,                         // N questions
-        2,                          // |G| gold standards
-        3,                          // K workers
-        2,                          // Θ quality threshold
-        PlaintextRange::binary(),   // answer options {0, 1}
-        300,                        // budget B
+        10,                       // N questions
+        2,                        // |G| gold standards
+        3,                        // K workers
+        2,                        // Θ quality threshold
+        PlaintextRange::binary(), // answer options {0, 1}
+        300,                      // budget B
         &mut rng,
     );
-    println!("Task: {} questions, {} golds, {} workers, Θ = {}, reward = {} each\n",
-        workload.spec.n, workload.golden.len(), workload.spec.k,
-        workload.spec.theta, workload.spec.reward_per_worker());
+    println!(
+        "Task: {} questions, {} golds, {} workers, Θ = {}, reward = {} each\n",
+        workload.spec.n,
+        workload.golden.len(),
+        workload.spec.k,
+        workload.spec.theta,
+        workload.spec.reward_per_worker()
+    );
 
     // 2. Choose worker behaviours: two diligent, one careless.
     let behaviors = vec![
@@ -54,9 +59,15 @@ fn main() {
     // 4. Outcomes.
     println!("Settlements:");
     for (worker, settlement) in &report.settlements {
-        println!("  {worker}  →  {settlement:?}  (balance {})", report.balances[worker]);
+        println!(
+            "  {worker}  →  {settlement:?}  (balance {})",
+            report.balances[worker]
+        );
     }
-    println!("\nRequester refund: {} coins", report.balances[&report.requester]);
+    println!(
+        "\nRequester refund: {} coins",
+        report.balances[&report.requester]
+    );
     println!("Answers collected: {}", report.collected.len());
     for (worker, answer) in &report.collected {
         println!("  {worker}: {:?}", answer.0);

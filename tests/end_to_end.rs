@@ -41,15 +41,7 @@ fn imagenet_task_full_run() {
 fn non_binary_task_with_wide_range() {
     // A 4-option task (range {0..3}) with 8 golds and 5 workers.
     let mut rng = StdRng::seed_from_u64(2);
-    let workload = generate_workload(
-        40,
-        8,
-        5,
-        6,
-        PlaintextRange::new(0, 3),
-        5_000,
-        &mut rng,
-    );
+    let workload = generate_workload(40, 8, 5, 6, PlaintextRange::new(0, 3), 5_000, &mut rng);
     let report = driver::run(
         driver::RunConfig {
             workload,
@@ -68,15 +60,7 @@ fn non_binary_task_with_wide_range() {
 #[test]
 fn single_worker_task() {
     let mut rng = StdRng::seed_from_u64(3);
-    let workload = generate_workload(
-        5,
-        2,
-        1,
-        2,
-        PlaintextRange::binary(),
-        100,
-        &mut rng,
-    );
+    let workload = generate_workload(5, 2, 1, 2, PlaintextRange::binary(), 100, &mut rng);
     let report = driver::run(
         driver::RunConfig {
             workload,
@@ -146,8 +130,7 @@ fn targeted_delay_cannot_steal_a_slot_forever() {
     // All four (including the delayed victim) were eventually paid.
     for w in &report.workers {
         assert_eq!(
-            report.balances[w],
-            1_000_000,
+            report.balances[w], 1_000_000,
             "worker {w} must be paid despite delays"
         );
     }
@@ -244,7 +227,7 @@ fn budget_conservation_across_runs() {
                 workload: imagenet_workload(4_000_000, &mut rng),
                 behaviors,
                 schedule: GasSchedule::istanbul(),
-            block_gas_limit: None,
+                block_gas_limit: None,
             },
             &mut rng,
         );
@@ -272,7 +255,7 @@ fn gas_totals_scale_with_workers() {
                 workload,
                 behaviors: vec![honest(1.0); k],
                 schedule: GasSchedule::istanbul(),
-            block_gas_limit: None,
+                block_gas_limit: None,
             },
             &mut rng,
         );
@@ -296,15 +279,7 @@ fn one_key_pair_serves_many_tasks() {
     let mut store = ContentStore::new();
 
     let w1 = imagenet_workload(4_000, &mut rng);
-    let w2 = generate_workload(
-        30,
-        4,
-        2,
-        3,
-        PlaintextRange::new(0, 3),
-        2_000,
-        &mut rng,
-    );
+    let w2 = generate_workload(30, 4, 2, 3, PlaintextRange::new(0, 3), 2_000, &mut rng);
     let r1 = Requester::with_keypair(
         dragoon_ledger::Address::from_byte(1),
         keypair,

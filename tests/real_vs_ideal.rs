@@ -22,10 +22,7 @@ use rand::SeedableRng;
 
 /// Runs the ideal functionality with an honest requester who evaluates
 /// every answer (rejecting the unqualified), on fixed plaintext answers.
-fn run_ideal(
-    workload: &Workload,
-    answers: &[Option<Answer>],
-) -> (IdealHit, Address, Vec<Address>) {
+fn run_ideal(workload: &Workload, answers: &[Option<Answer>]) -> (IdealHit, Address, Vec<Address>) {
     let mut ledger = Ledger::new();
     let requester = Address::from_byte(0xaa);
     ledger.mint(requester, workload.spec.budget);
@@ -99,11 +96,7 @@ fn compare_worlds(accuracies: &[f64], seed: u64) {
     );
 
     // Compare payment outcomes worker by worker.
-    for ((iw, rw), answer) in ideal_workers
-        .iter()
-        .zip(&report.workers)
-        .zip(&answers)
-    {
+    for ((iw, rw), answer) in ideal_workers.iter().zip(&report.workers).zip(&answers) {
         let ideal_paid = ideal.was_paid(iw).unwrap_or(false);
         let real_paid = matches!(report.settlements.get(rw), Some(Settlement::Paid));
         assert_eq!(
@@ -124,7 +117,10 @@ fn compare_worlds(accuracies: &[f64], seed: u64) {
     // decrypts them. Accepted answers must match exactly.
     for (addr, collected) in &report.collected {
         let idx = report.workers.iter().position(|w| w == addr).unwrap();
-        assert_eq!(collected, &answers[idx], "requester must recover the submitted data");
+        assert_eq!(
+            collected, &answers[idx],
+            "requester must recover the submitted data"
+        );
     }
 }
 

@@ -66,7 +66,7 @@ fn snark_rejects_wrong_statement() {
     let proof = groth16::prove(&pk, &f.cs, &mut rng).unwrap();
     // Tamper with the claimed message point in the public inputs.
     let mut bad_publics = f.publics.clone();
-    bad_publics[6] = bad_publics[6] + Fr::one();
+    bad_publics[6] += Fr::one();
     assert!(!groth16::verify(&pk.vk, &proof, &bad_publics).unwrap());
 }
 
