@@ -54,6 +54,95 @@ fn market_throughput(seed: u64) {
     }
 }
 
+/// A scale-tier market config: lightweight tasks (4 questions, 2 golds)
+/// and roomy blocks, so the measurement isolates the engine + state
+/// layer rather than proof arithmetic.
+fn scale_config(hits: usize, seed: u64, clone_checkpointing: bool) -> MarketConfig {
+    MarketConfig {
+        hits,
+        spawn_per_block: 25,
+        workers: (hits / 2).clamp(200, 2_500),
+        worker_capacity: 8,
+        questions: 4,
+        golds: 2,
+        k: 3,
+        theta: 2,
+        block_gas_limit: Some(100_000_000),
+        max_blocks: 4_000,
+        seed,
+        clone_checkpointing,
+        ..MarketConfig::default()
+    }
+}
+
+/// **Journal vs clone checkpointing** — the same 1 000-HIT market under
+/// the journaled state layer and under the pre-journal whole-state
+/// clone-per-transaction baseline. Reports are asserted identical (the
+/// differential guarantee); only the wall clock differs. The baseline is
+/// run at 1k HITs because its per-transaction cost grows with the number
+/// of instances ever created — at 10k it is not worth anyone's time,
+/// which is precisely the point of the journal.
+fn checkpoint_speedup(seed: u64) {
+    println!("\n== journaled state vs clone checkpointing (1 000 HITs) ==");
+    let mut walls = Vec::new();
+    for (label, clone_checkpointing) in [("journal", false), ("clone_checkpoint", true)] {
+        let config = scale_config(1_000, seed, clone_checkpointing);
+        let (wall, report) = time_once(|| run_market(config.clone()));
+        walls.push((label, wall, report.to_json()));
+        println!(
+            "{label:<17} {} HITs settled in {} blocks, wall {}",
+            report.hits_settled,
+            report.blocks,
+            fmt_duration(wall),
+        );
+    }
+    let (_, journal_wall, journal_json) = &walls[0];
+    let (_, clone_wall, clone_json) = &walls[1];
+    assert_eq!(
+        journal_json, clone_json,
+        "journal and clone checkpointing must produce identical reports"
+    );
+    let speedup = clone_wall.as_secs_f64() / journal_wall.as_secs_f64();
+    println!("speedup {speedup:.2}x (identical reports — differential holds)");
+    println!(
+        "JSON: {{\"bench\":\"checkpoint_speedup\",\"hits\":1000,\
+         \"journal_ms\":{},\"clone_ms\":{},\"speedup\":{speedup:.2}}}",
+        journal_wall.as_millis(),
+        clone_wall.as_millis(),
+    );
+}
+
+/// **10k-HIT scale** — the headline scenario the journal unlocks: ten
+/// thousand concurrent HITs multiplexed over one chain, journal-only
+/// (see [`checkpoint_speedup`] for why the clone baseline sits this
+/// one out). Emits the throughput JSON that seeds the perf trajectory.
+fn market_scale_10k(seed: u64) {
+    println!("\n== 10 000-HIT market scale (journaled) ==");
+    let config = scale_config(10_000, seed, false);
+    let (wall, report) = time_once(|| run_market(config.clone()));
+    let per_1k = report.hits_settled as f64 * 1_000.0 / report.blocks as f64;
+    let txs: usize = report.block_stats.iter().map(|b| b.txs).sum();
+    println!(
+        "{} of {} HITs settled in {} blocks ({per_1k:.0} per 1k blocks), \
+         {txs} txs, gas {:.0}k/block, wall {}",
+        report.hits_settled,
+        report.hits_published,
+        report.blocks,
+        report.gas_per_block_mean / 1_000.0,
+        fmt_duration(wall),
+    );
+    assert_eq!(report.hits_unfinished, 0, "10k-HIT run must drain");
+    println!(
+        "JSON: {{\"bench\":\"market_scale_10k\",\"hits_settled\":{},\
+         \"blocks\":{},\"hits_per_1k_blocks\":{per_1k:.1},\"txs\":{txs},\
+         \"wall_ms\":{},\"tx_per_sec\":{:.0}}}",
+        report.hits_settled,
+        report.blocks,
+        wall.as_millis(),
+        txs as f64 / wall.as_secs_f64(),
+    );
+}
+
 fn batch_speedup(seed: u64) {
     println!("\n== batched vs individual VPKE verification ==");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
@@ -101,5 +190,7 @@ fn main() {
     let seed = seed_from_env_or(0xd1a6_0002);
     println!("seed: {seed:#x}\n");
     market_throughput(seed);
+    checkpoint_speedup(seed);
+    market_scale_10k(seed);
     batch_speedup(seed);
 }

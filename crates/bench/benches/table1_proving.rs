@@ -66,6 +66,12 @@ fn main() {
     let cs = vpke_circuit(&vpke_inst, &jkp.sk);
     let (vpke_setup_t, pk_vpke) = time_once(|| groth16::setup(&cs, &mut rng).unwrap());
     let (gen_vpke_time, _proof) = time_once(|| groth16::prove(&pk_vpke, &cs, &mut rng).unwrap());
+    // Optimized baseline: the same prover with Pippenger bucket MSMs —
+    // what libsnark would look like with a modern MSM, keeping the
+    // paper-faithful naive column above intact.
+    let (opt_vpke_time, _proof) = time_once(|| {
+        groth16::prove_with_msm(&pk_vpke, &cs, &mut rng, dragoon_crypto::g1::msm_pippenger).unwrap()
+    });
     let gen_vpke_mem = pk_vpke.size_bytes() + cs.num_variables() * 32 * 8;
 
     // PoQoEA over the 6 gold standards (all mismatching — the rejection
@@ -93,6 +99,15 @@ fn main() {
     let cs_poq = poqoea_circuit(&poq_inst, &jkp.sk);
     let (poq_setup_t, pk_poq) = time_once(|| groth16::setup(&cs_poq, &mut rng).unwrap());
     let (gen_poq_time, _proof) = time_once(|| groth16::prove(&pk_poq, &cs_poq, &mut rng).unwrap());
+    let (opt_poq_time, _proof) = time_once(|| {
+        groth16::prove_with_msm(
+            &pk_poq,
+            &cs_poq,
+            &mut rng,
+            dragoon_crypto::g1::msm_pippenger,
+        )
+        .unwrap()
+    });
     let gen_poq_mem = pk_poq.size_bytes() + cs_poq.num_variables() * 32 * 8;
 
     // ---------------- The table ----------------
@@ -123,6 +138,27 @@ fn main() {
         "Generic PoQoEA",
         fmt_duration(gen_poq_time),
         format!("{} MB", gen_poq_mem / 1_000_000)
+    );
+    // Optimized-baseline column: same Groth16 prover, Pippenger MSMs.
+    println!(
+        "{:<22} {:>12} {:>14}   (optimized baseline: Pippenger MSM)",
+        "Generic VPKE (opt)",
+        fmt_duration(opt_vpke_time),
+        format!("{} MB", gen_vpke_mem / 1_000_000)
+    );
+    println!(
+        "{:<22} {:>12} {:>14}   (optimized baseline: Pippenger MSM)",
+        "Generic PoQoEA (opt)",
+        fmt_duration(opt_poq_time),
+        format!("{} MB", gen_poq_mem / 1_000_000)
+    );
+    println!(
+        "JSON: {{\"bench\":\"table1_prover_msm\",\"vpke_naive_ms\":{},\
+         \"vpke_pippenger_ms\":{},\"poqoea_naive_ms\":{},\"poqoea_pippenger_ms\":{}}}",
+        gen_vpke_time.as_millis(),
+        opt_vpke_time.as_millis(),
+        gen_poq_time.as_millis(),
+        opt_poq_time.as_millis(),
     );
     println!(
         "\n(Generic-ZKP trusted setup, not counted above: VPKE {} | PoQoEA {};",

@@ -7,11 +7,20 @@
 //! set (see [`crate::mempool`]), the scheduled transactions execute
 //! in order against the contract, and a block is produced. Reverted
 //! transactions consume their gas but leave contract and ledger state
-//! untouched (state is check-pointed per transaction, as on Ethereum).
+//! untouched (as on Ethereum).
+//!
+//! Atomicity is provided by the **state journal**
+//! ([`dragoon_ledger::journal`]): the chain brackets every transaction
+//! with [`Journaled::begin_tx`] on the contract and the ledger, and a
+//! revert replays the undo records of exactly the state the transaction
+//! touched. The pre-journal strategy — cloning the whole contract +
+//! ledger per transaction — survives as an opt-in baseline
+//! ([`Chain::with_clone_checkpointing`]) for differential tests and the
+//! throughput-comparison bench.
 
 use crate::gas::{CalldataStats, Gas, GasMeter, GasSchedule};
 use crate::mempool::{PendingTx, ReorderPolicy, Scheduled};
-use dragoon_ledger::{Address, Ledger};
+use dragoon_ledger::{Address, Journaled, Ledger};
 use std::fmt;
 
 /// Messages must report their calldata profile (for intrinsic gas) and a
@@ -25,9 +34,11 @@ pub trait ChainMessage: Clone {
 
 /// A contract hosted on the chain.
 ///
-/// Implementations must be [`Clone`]: the chain checkpoints the contract
-/// state before each transaction to provide revert-on-error atomicity.
-pub trait StateMachine: Clone {
+/// Implementations must be [`Journaled`]: the chain brackets each
+/// transaction with `begin_tx` / `commit_tx` / `rollback_tx`, and the
+/// contract records undo entries for every mutation so a revert restores
+/// exactly the touched state (no whole-state snapshot).
+pub trait StateMachine: Journaled {
     /// The message type accepted by the contract.
     type Msg: ChainMessage;
     /// The event type the contract emits.
@@ -85,8 +96,9 @@ impl<E: Clone> ExecEnv<'_, E> {
     ///
     /// Gas, ledger and round state are shared with the parent; events
     /// the child emits are mapped through `adapt` back into the parent's
-    /// event type. Transaction atomicity is unaffected: the chain
-    /// checkpoints around the whole outer transaction.
+    /// event type. Transaction atomicity is unaffected: the child shares
+    /// the outer transaction's journal scope, exactly as EVM sub-calls
+    /// share the outer transaction's revert scope.
     pub fn scoped<E2: Clone, T>(
         &mut self,
         contract: Address,
@@ -120,7 +132,7 @@ pub enum TxStatus {
 }
 
 /// A transaction receipt.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Receipt {
     /// Submission sequence number.
     pub seq: u64,
@@ -139,12 +151,22 @@ pub struct Receipt {
 }
 
 /// A produced block: the receipts of one round.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// Round number (block height).
     pub round: u64,
     /// Receipts, in execution order.
     pub receipts: Vec<Receipt>,
+}
+
+/// An open per-transaction checkpoint: either the journal transactions
+/// the chain opened on contract + ledger, or (in the clone baseline) the
+/// pre-transaction whole-state snapshots.
+enum Checkpoint<S> {
+    /// Journal transactions are open; revert replays undo records.
+    Journal,
+    /// Clone-checkpoint baseline; revert restores the snapshots.
+    Snapshot(Box<(S, Ledger)>),
 }
 
 /// The simulated chain hosting a single contract instance.
@@ -161,6 +183,10 @@ pub struct Chain<S: StateMachine> {
     next_seq: u64,
     deploy_gas: Gas,
     block_gas_limit: Option<Gas>,
+    /// `Some` switches atomicity back to whole-state clone checkpointing
+    /// (the function pointer is `S::clone`, captured where `S: Clone` is
+    /// in scope so the hot path stays free of the bound).
+    clone_checkpoint: Option<fn(&S) -> S>,
 }
 
 impl<S: StateMachine> Chain<S> {
@@ -181,6 +207,7 @@ impl<S: StateMachine> Chain<S> {
             next_seq: 0,
             deploy_gas,
             block_gas_limit: None,
+            clone_checkpoint: None,
         }
     }
 
@@ -191,6 +218,26 @@ impl<S: StateMachine> Chain<S> {
     pub fn with_block_gas_limit(mut self, limit: Gas) -> Self {
         self.block_gas_limit = Some(limit);
         self
+    }
+
+    /// Switches revert atomicity back to the pre-journal strategy:
+    /// cloning the whole contract + ledger before every transaction.
+    ///
+    /// This exists as the **comparison baseline** — differential tests
+    /// assert journaled execution is bit-identical to it, and the
+    /// throughput bench quantifies what the journal saves. Production
+    /// paths should never enable it.
+    pub fn with_clone_checkpointing(mut self) -> Self
+    where
+        S: Clone,
+    {
+        self.clone_checkpoint = Some(S::clone);
+        self
+    }
+
+    /// Whether the clone-checkpoint baseline is active.
+    pub fn clone_checkpointing(&self) -> bool {
+        self.clone_checkpoint.is_some()
     }
 
     /// The contract's address (its escrow account on the ledger).
@@ -270,24 +317,25 @@ impl<S: StateMachine> Chain<S> {
                     // Execute speculatively; if the block would exceed
                     // its gas limit (and is not empty — a single tx
                     // larger than the limit must still land somewhere),
-                    // roll back and carry the transaction over. The
-                    // speculative snapshot doubles as the transaction's
-                    // revert checkpoint, so each tx is cloned once.
-                    let contract_snapshot = self.contract.clone();
-                    let ledger_snapshot = self.ledger.clone();
+                    // roll the transaction back out of the block and
+                    // carry it over. The per-transaction checkpoint
+                    // (journal or clone baseline) stays open across the
+                    // limit check, so block-overflow rollback reuses the
+                    // transaction's own revert path.
                     let events_len = self.events.len();
-                    let (receipt, checkpoint) =
-                        self.execute_tx_consuming(tx.clone(), contract_snapshot, ledger_snapshot);
+                    let (receipt, open) = self.execute_tx_open(tx.clone());
                     if block_gas + receipt.gas_used > limit && !receipts.is_empty() {
-                        if let Some((contract, ledger)) = checkpoint {
-                            self.contract = contract;
-                            self.ledger = ledger;
+                        if let Some(checkpoint) = open {
+                            self.rollback_checkpoint(checkpoint);
                         }
-                        // checkpoint == None means the tx reverted, so
-                        // state already equals the snapshot.
+                        // `open == None` means the tx reverted, so state
+                        // already equals the pre-transaction state.
                         self.events.truncate(events_len);
                         carried.push(tx);
                         break;
+                    }
+                    if let Some(checkpoint) = open {
+                        self.commit_checkpoint(checkpoint);
                     }
                     block_gas += receipt.gas_used;
                     receipts.push(receipt);
@@ -313,26 +361,59 @@ impl<S: StateMachine> Chain<S> {
         self.advance_round(&mut crate::mempool::FifoPolicy)
     }
 
-    fn execute_tx(&mut self, tx: PendingTx<S::Msg>) -> Receipt {
-        // Checkpoint for atomicity.
-        let contract_snapshot = self.contract.clone();
-        let ledger_snapshot = self.ledger.clone();
-        self.execute_tx_consuming(tx, contract_snapshot, ledger_snapshot)
-            .0
+    /// Opens a per-transaction checkpoint: journal transactions on the
+    /// contract and the ledger, or (baseline mode) whole-state clones.
+    fn open_checkpoint(&mut self) -> Checkpoint<S> {
+        match self.clone_checkpoint {
+            Some(snap) => {
+                Checkpoint::Snapshot(Box::new((snap(&self.contract), self.ledger.clone())))
+            }
+            None => {
+                self.contract.begin_tx();
+                self.ledger.begin_tx();
+                Checkpoint::Journal
+            }
+        }
     }
 
-    /// Executes one transaction, consuming the caller's checkpoint:
-    /// on revert the snapshots move back into the chain (no clone); on
-    /// success they are returned so the gas-capped block path can reuse
-    /// them for block-overflow rollback. Either way each transaction
-    /// pays exactly one state clone.
-    #[allow(clippy::type_complexity)]
-    fn execute_tx_consuming(
-        &mut self,
-        tx: PendingTx<S::Msg>,
-        contract_snapshot: S,
-        ledger_snapshot: Ledger,
-    ) -> (Receipt, Option<(S, Ledger)>) {
+    /// Reverts contract + ledger to the checkpointed state.
+    fn rollback_checkpoint(&mut self, checkpoint: Checkpoint<S>) {
+        match checkpoint {
+            Checkpoint::Journal => {
+                self.contract.rollback_tx();
+                self.ledger.rollback_tx();
+            }
+            Checkpoint::Snapshot(snapshot) => {
+                let (contract, ledger) = *snapshot;
+                self.contract = contract;
+                self.ledger = ledger;
+            }
+        }
+    }
+
+    /// Finalizes the transaction's mutations, discarding the checkpoint.
+    fn commit_checkpoint(&mut self, checkpoint: Checkpoint<S>) {
+        if let Checkpoint::Journal = checkpoint {
+            self.contract.commit_tx();
+            self.ledger.commit_tx();
+        }
+    }
+
+    fn execute_tx(&mut self, tx: PendingTx<S::Msg>) -> Receipt {
+        let (receipt, open) = self.execute_tx_open(tx);
+        if let Some(checkpoint) = open {
+            self.commit_checkpoint(checkpoint);
+        }
+        receipt
+    }
+
+    /// Executes one transaction inside a fresh checkpoint. On revert the
+    /// checkpoint is consumed restoring pre-transaction state and `None`
+    /// is returned; on success the **still-open** checkpoint is returned
+    /// so the gas-capped block path can either commit it or roll the
+    /// whole (successful) transaction back out of an overfull block.
+    fn execute_tx_open(&mut self, tx: PendingTx<S::Msg>) -> (Receipt, Option<Checkpoint<S>>) {
+        let checkpoint = self.open_checkpoint();
         let mut meter = GasMeter::new();
         meter.charge("intrinsic", self.schedule.intrinsic(&tx.msg.calldata()));
         let label = tx.msg.label();
@@ -350,17 +431,16 @@ impl<S: StateMachine> Chain<S> {
             self.contract.on_message(&mut env, tx.sender, tx.msg)
         };
 
-        let (status, checkpoint) = match result {
+        let (status, open) = match result {
             Ok(()) => {
                 for e in events {
                     self.events.push((self.round, e));
                 }
-                (TxStatus::Ok, Some((contract_snapshot, ledger_snapshot)))
+                (TxStatus::Ok, Some(checkpoint))
             }
             Err(e) => {
-                // Roll back all state; gas is still consumed.
-                self.contract = contract_snapshot;
-                self.ledger = ledger_snapshot;
+                // Roll back all touched state; gas is still consumed.
+                self.rollback_checkpoint(checkpoint);
                 (TxStatus::Reverted(e.to_string()), None)
             }
         };
@@ -375,7 +455,7 @@ impl<S: StateMachine> Chain<S> {
                 status,
                 gas_breakdown: meter.breakdown().to_vec(),
             },
-            checkpoint,
+            open,
         )
     }
 
@@ -405,11 +485,28 @@ mod tests {
     use super::*;
     use crate::mempool::ReversePolicy;
 
-    /// A toy counter contract for exercising the chain plumbing.
+    /// A toy counter contract for exercising the chain plumbing. Its
+    /// journal is the simplest possible: an eager snapshot of both fields
+    /// at transaction start.
     #[derive(Clone, Default)]
     struct Counter {
         value: u64,
         last_sender: Option<Address>,
+        undo: Option<(u64, Option<Address>)>,
+    }
+
+    impl Journaled for Counter {
+        fn begin_tx(&mut self) {
+            self.undo = Some((self.value, self.last_sender));
+        }
+        fn commit_tx(&mut self) {
+            self.undo = None;
+        }
+        fn rollback_tx(&mut self) {
+            let (value, last_sender) = self.undo.take().expect("open transaction");
+            self.value = value;
+            self.last_sender = last_sender;
+        }
     }
 
     #[derive(Clone)]

@@ -25,6 +25,7 @@ pub mod gas;
 pub mod mempool;
 
 pub use chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
+pub use dragoon_ledger::{Journaled, StateJournal};
 pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
 pub use mempool::{
     AdversarialPolicy, DelayVictimPolicy, FifoPolicy, FrontRunPolicy, PendingTx, ReorderPolicy,

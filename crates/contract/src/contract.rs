@@ -26,7 +26,7 @@
 //! "emits" the ciphertexts themselves as event-log data.
 
 use crate::msg::{HitMessage, PublishParams};
-use dragoon_chain::{ExecEnv, StateMachine};
+use dragoon_chain::{ExecEnv, Journaled, StateJournal, StateMachine};
 use dragoon_core::poqoea::{self, QualityProof};
 use dragoon_core::task::{EncryptedAnswer, GoldenStandards};
 use dragoon_crypto::commitment::Commitment;
@@ -259,7 +259,7 @@ impl fmt::Display for HitError {
 
 /// Phase timing: how many rounds (clock periods) each window stays open
 /// after it begins.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PhaseWindows {
     /// Rounds the commit phase may stay open before the task becomes
     /// cancellable (`None` = wait for `K` commitments indefinitely, as
@@ -287,7 +287,7 @@ impl Default for PhaseWindows {
 }
 
 /// A worker's on-chain record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct WorkerRecord {
     commitment: Commitment,
     /// `Some(cts)` once revealed; `None` is the paper's `⊥`.
@@ -300,7 +300,7 @@ struct WorkerRecord {
 }
 
 /// Why a queued rejection will fire if its proofs verify.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum PendingKind {
     /// An `outrange` challenge at this question index.
     OutRange { index: usize },
@@ -310,7 +310,7 @@ enum PendingKind {
 
 /// A structurally valid rejection whose VPKE proofs await the end-of-block
 /// batch verification.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) struct PendingVerdict {
     worker: Address,
     kind: PendingKind,
@@ -345,7 +345,7 @@ impl BatchStats {
 }
 
 /// The HIT contract `C_hit`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HitContract {
     phase: Phase,
     windows: PhaseWindows,
@@ -367,6 +367,29 @@ pub struct HitContract {
     defer_verification: bool,
     pending_verdicts: Vec<PendingVerdict>,
     batch_stats: BatchStats,
+    /// Per-transaction undo journal: one lazy whole-instance snapshot,
+    /// taken at the first mutating touch of an open transaction. Guard
+    /// failures (wrong phase, duplicate commit, `TaskFull` races, …)
+    /// revert without ever paying for it, and an instance that is not
+    /// addressed by a transaction pays nothing at all.
+    journal: StateJournal<Box<HitContract>>,
+}
+
+impl Journaled for HitContract {
+    fn begin_tx(&mut self) {
+        self.journal.begin();
+    }
+
+    fn commit_tx(&mut self) {
+        self.journal.commit();
+    }
+
+    fn rollback_tx(&mut self) {
+        if let Some(snapshot) = self.journal.drain_rollback().into_iter().next() {
+            *self = *snapshot;
+        }
+        self.journal.reset();
+    }
 }
 
 impl Default for HitContract {
@@ -394,6 +417,19 @@ impl HitContract {
             defer_verification: false,
             pending_verdicts: Vec::new(),
             batch_stats: BatchStats::default(),
+            journal: StateJournal::new(),
+        }
+    }
+
+    /// Journals a whole-instance snapshot before the first mutation of
+    /// an open transaction (no-op outside a transaction or after the
+    /// first touch). Every mutating handler calls this after its guard
+    /// checks and before its first write.
+    fn touch(&mut self) {
+        if self.journal.recording() && self.journal.is_empty() {
+            let mut snapshot = Box::new(self.clone());
+            snapshot.journal.reset();
+            self.journal.record(snapshot);
         }
     }
 
@@ -518,6 +554,7 @@ impl HitContract {
             k: p.k,
         };
         env.emit(ev, 160);
+        self.touch();
         self.requester = Some(sender);
         self.params = Some(p);
         self.phase = Phase::Commit;
@@ -551,6 +588,7 @@ impl HitContract {
         }
         // Store the commitment.
         env.gas.charge("sstore", env.schedule.sstore_set);
+        self.touch();
         self.seen_commitments.push(commitment);
         self.workers.insert(
             sender,
@@ -624,6 +662,7 @@ impl HitContract {
         env.gas.charge("overhead", n as u64 * env.schedule.sload);
         // Emit the ciphertexts as event-log data.
         env.emit(HitEvent::Revealed { worker: sender }, encoded.len());
+        self.touch();
         let record = self.workers.get_mut(&sender).expect("checked above");
         record.revealed = Some(ciphertexts);
         record.item_digests = digests;
@@ -662,6 +701,7 @@ impl HitContract {
         let slots = golden.len().div_ceil(2) as u64;
         env.gas.charge("sstore", slots * env.schedule.sstore_set);
         env.emit(HitEvent::GoldenOpened, encoded.len());
+        self.touch();
         self.golden = Some(golden);
         Ok(())
     }
@@ -730,6 +770,7 @@ impl HitContract {
             }
         };
         env.gas.charge("sstore", env.schedule.sstore_update);
+        self.touch();
         let record = self.workers.get_mut(&worker).expect("checked above");
         if self.defer_verification && !claimed_in_range {
             record.pending = true;
@@ -809,6 +850,7 @@ impl HitContract {
         // Fig 4: pay if χ ≥ Θ or the proof fails to verify. The
         // structural half of verification always runs inline; the VPKE
         // half runs inline or is queued for the block-boundary batch.
+        self.touch();
         let structural = poqoea::split_quality_proof(&ek, &cts, chi, &proof, &golden);
         let pay_now = match &structural {
             _ if chi >= theta => true,
@@ -884,6 +926,7 @@ impl HitContract {
     /// Cancels an unfilled task: the whole escrow returns to the
     /// requester; no worker owes or receives anything.
     fn cancel(&mut self, env: &mut ExecEnv<'_, HitEvent>, charge_gas: bool) {
+        self.touch();
         let requester = self.requester.expect("published");
         let refunded = env.ledger.balance(&env.contract);
         if refunded > 0 {
@@ -912,6 +955,7 @@ impl HitContract {
         if self.pending_verdicts.is_empty() {
             return;
         }
+        self.touch();
         let pending = self.take_pending();
         let all_items: Vec<(DecryptionStatement, DecryptionProof)> = pending
             .iter()
@@ -927,6 +971,9 @@ impl HitContract {
     /// Drains the queued verdicts — the registry uses this to pool every
     /// instance's queue into one block-wide batch verification.
     pub(crate) fn take_pending(&mut self) -> Vec<PendingVerdict> {
+        if !self.pending_verdicts.is_empty() {
+            self.touch();
+        }
         std::mem::take(&mut self.pending_verdicts)
     }
 
@@ -939,6 +986,9 @@ impl HitContract {
         pending: Vec<PendingVerdict>,
         results: &[bool],
     ) {
+        if !pending.is_empty() {
+            self.touch();
+        }
         let p = self.params_ref();
         let reward = p.budget / p.k as u128;
         let mut offset = 0;
@@ -989,6 +1039,7 @@ impl HitContract {
     /// Settlement: pay every revealed, unsettled worker; mark
     /// non-revealers; refund leftover escrow to the requester.
     fn settle(&mut self, env: &mut ExecEnv<'_, HitEvent>, charge_gas: bool) {
+        self.touch();
         // Queued verdicts must land before default payments.
         self.resolve_pending(env);
         let p = self.params_ref();

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// The public parameters announced when a task is published
 /// (`publish, N, B, K, range, Θ, h, comm_gs` in Fig 4, plus the off-chain
 /// storage digest of the question set).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PublishParams {
     /// Number of questions `N`.
     pub n: usize,

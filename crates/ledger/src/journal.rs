@@ -1,0 +1,174 @@
+//! The transactional state journal: undo-log revert atomicity without
+//! whole-state clones.
+//!
+//! The chain originally provided revert-on-error atomicity by cloning the
+//! full contract + ledger before every transaction. With a registry
+//! hosting thousands of HIT instances that clone became the dominant
+//! simulation cost — every transaction paid for all the state it *didn't*
+//! touch. The journal inverts the cost model: state components record an
+//! undo entry for each mutation a transaction performs, and a revert
+//! replays those entries in LIFO order. Only state actually touched by a
+//! transaction pays any cost; a transaction that fails a guard check
+//! before mutating anything reverts for free.
+//!
+//! Two pieces:
+//!
+//! * [`StateJournal<U>`] — the reusable undo log. Each journaled
+//!   component picks its own undo-record type `U` (a prior balance, a
+//!   boxed instance snapshot, a created-id marker, …) and appends
+//!   records as it mutates. Recording is **off** outside a transaction,
+//!   so non-transactional mutations (genesis minting, clock ticks) cost
+//!   nothing and leak nothing.
+//! * [`Journaled`] — the transaction boundary every chain-hosted state
+//!   component implements. The chain brackets each transaction with
+//!   [`Journaled::begin_tx`] and exactly one of [`Journaled::commit_tx`]
+//!   / [`Journaled::rollback_tx`]; the gas-capped block path uses the
+//!   same bracket to roll a *successful* transaction back out of an
+//!   overfull block.
+
+/// A state component that can bracket mutations into revertible
+/// transactions.
+///
+/// Contract: calls come in strict `begin_tx` → (`commit_tx` |
+/// `rollback_tx`) pairs; nesting is not supported (the chain's
+/// internal-call mechanism shares the *outer* transaction's journal, as
+/// EVM sub-calls share the outer transaction's revert scope).
+pub trait Journaled {
+    /// Starts recording undo information for subsequent mutations.
+    fn begin_tx(&mut self);
+    /// Ends the transaction keeping its mutations; discards the undo log.
+    fn commit_tx(&mut self);
+    /// Ends the transaction reverting every mutation recorded since
+    /// [`Journaled::begin_tx`], in LIFO order.
+    fn rollback_tx(&mut self);
+}
+
+/// A reusable undo log with an explicit recording window.
+///
+/// While recording, [`StateJournal::record`] appends undo entries; while
+/// idle it is a no-op (one branch), so journaled components can call it
+/// unconditionally from every mutation site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateJournal<U> {
+    recording: bool,
+    undo: Vec<U>,
+}
+
+impl<U> Default for StateJournal<U> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<U> StateJournal<U> {
+    /// An idle journal.
+    pub fn new() -> Self {
+        Self {
+            recording: false,
+            undo: Vec::new(),
+        }
+    }
+
+    /// Opens the recording window.
+    pub fn begin(&mut self) {
+        debug_assert!(!self.recording, "journal transaction already open");
+        debug_assert!(self.undo.is_empty(), "stale undo records");
+        self.recording = true;
+    }
+
+    /// Whether a transaction is currently recording.
+    pub fn recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Whether no undo entry has been recorded yet this transaction.
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty()
+    }
+
+    /// Appends an undo entry if recording (no-op otherwise).
+    pub fn record(&mut self, undo: U) {
+        if self.recording {
+            self.undo.push(undo);
+        }
+    }
+
+    /// Appends a lazily computed undo entry if recording. Use when
+    /// capturing the prior value is not free (e.g. a map lookup).
+    pub fn record_with(&mut self, undo: impl FnOnce() -> U) {
+        if self.recording {
+            self.undo.push(undo());
+        }
+    }
+
+    /// Closes the window keeping the mutations; the undo log is dropped.
+    pub fn commit(&mut self) {
+        self.recording = false;
+        self.undo.clear();
+    }
+
+    /// Closes the window keeping the mutations and returns the undo log
+    /// in recording (FIFO) order — for components that must propagate
+    /// the commit to sub-journals named by their records.
+    pub fn drain_commit(&mut self) -> Vec<U> {
+        self.recording = false;
+        std::mem::take(&mut self.undo)
+    }
+
+    /// Closes the window and returns the undo log in LIFO (replay)
+    /// order. The caller applies each entry to restore pre-transaction
+    /// state.
+    pub fn drain_rollback(&mut self) -> Vec<U> {
+        self.recording = false;
+        let mut undo = std::mem::take(&mut self.undo);
+        undo.reverse();
+        undo
+    }
+
+    /// Resets to idle, discarding any state (used after a snapshot
+    /// restore re-imported a cloned journal).
+    pub fn reset(&mut self) {
+        self.recording = false;
+        self.undo.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_journal_records_nothing() {
+        let mut j: StateJournal<u32> = StateJournal::new();
+        j.record(1);
+        j.record_with(|| 2);
+        assert!(j.is_empty());
+        assert!(!j.recording());
+    }
+
+    #[test]
+    fn drain_rollback_is_lifo() {
+        let mut j = StateJournal::new();
+        j.begin();
+        j.record(1);
+        j.record(2);
+        j.record(3);
+        assert_eq!(j.drain_rollback(), vec![3, 2, 1]);
+        assert!(!j.recording());
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn commit_discards_undo() {
+        let mut j = StateJournal::new();
+        j.begin();
+        j.record(7);
+        j.commit();
+        assert!(j.is_empty());
+        assert!(!j.recording());
+        // The journal is reusable after commit.
+        j.begin();
+        j.record(9);
+        assert_eq!(j.drain_rollback(), vec![9]);
+    }
+}

@@ -23,7 +23,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 pub mod address;
+pub mod journal;
 pub use address::Address;
+pub use journal::{Journaled, StateJournal};
 
 /// An amount of coins (abstract smallest unit).
 pub type Amount = u128;
@@ -108,11 +110,64 @@ pub enum LedgerEvent {
     },
 }
 
+/// One undo record of the ledger's transaction journal.
+#[derive(Clone, Debug, PartialEq)]
+enum LedgerUndo {
+    /// `account` held `prior` before this transaction's first write to it
+    /// (`None` = no entry existed).
+    Balance {
+        account: Address,
+        prior: Option<Amount>,
+    },
+    /// One event was appended to the transparent log.
+    Event,
+}
+
 /// The ledger functionality `L`.
 #[derive(Clone, Debug, Default)]
 pub struct Ledger {
     balances: HashMap<Address, Amount>,
     events: Vec<LedgerEvent>,
+    /// Per-transaction undo log: balance writes and event appends are
+    /// journaled while a chain transaction is open, so a revert restores
+    /// exactly the touched entries instead of a whole-map snapshot.
+    journal: StateJournal<LedgerUndo>,
+}
+
+impl PartialEq for Ledger {
+    /// Ledger equality compares observable state (balances + event log);
+    /// the journal is transient bookkeeping and is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.balances == other.balances && self.events == other.events
+    }
+}
+
+impl Journaled for Ledger {
+    fn begin_tx(&mut self) {
+        self.journal.begin();
+    }
+
+    fn commit_tx(&mut self) {
+        self.journal.commit();
+    }
+
+    fn rollback_tx(&mut self) {
+        for undo in self.journal.drain_rollback() {
+            match undo {
+                LedgerUndo::Balance { account, prior } => match prior {
+                    Some(amount) => {
+                        self.balances.insert(account, amount);
+                    }
+                    None => {
+                        self.balances.remove(&account);
+                    }
+                },
+                LedgerUndo::Event => {
+                    self.events.pop();
+                }
+            }
+        }
+    }
 }
 
 impl Ledger {
@@ -121,10 +176,27 @@ impl Ledger {
         Self::default()
     }
 
+    /// Journals the prior value of `account`'s balance entry before a
+    /// write (no-op outside a transaction).
+    fn record_balance(&mut self, account: Address) {
+        let balances = &self.balances;
+        self.journal.record_with(|| LedgerUndo::Balance {
+            account,
+            prior: balances.get(&account).copied(),
+        });
+    }
+
+    /// Appends to the transparent event log, journaling the append.
+    fn push_event(&mut self, event: LedgerEvent) {
+        self.journal.record(LedgerUndo::Event);
+        self.events.push(event);
+    }
+
     /// Provisions `amount` new coins to `account` (genesis/testing).
     pub fn mint(&mut self, account: Address, amount: Amount) {
+        self.record_balance(account);
         *self.balances.entry(account).or_insert(0) += amount;
-        self.events.push(LedgerEvent::Minted { account, amount });
+        self.push_event(LedgerEvent::Minted { account, amount });
     }
 
     /// The balance of `account` (zero if never seen).
@@ -145,16 +217,18 @@ impl Ledger {
     ) -> Result<(), LedgerError> {
         let available = self.balance(&party);
         if available < amount {
-            self.events.push(LedgerEvent::NoFund { party, amount });
+            self.push_event(LedgerEvent::NoFund { party, amount });
             return Err(LedgerError::InsufficientFunds {
                 account: party,
                 requested: amount,
                 available,
             });
         }
+        self.record_balance(party);
+        self.record_balance(contract);
         *self.balances.get_mut(&party).expect("checked above") -= amount;
         *self.balances.entry(contract).or_insert(0) += amount;
-        self.events.push(LedgerEvent::Frozen {
+        self.push_event(LedgerEvent::Frozen {
             contract,
             party,
             amount,
@@ -178,9 +252,11 @@ impl Ledger {
                 available: escrow,
             });
         }
+        self.record_balance(contract);
+        self.record_balance(party);
         *self.balances.get_mut(&contract).expect("checked above") -= amount;
         *self.balances.entry(party).or_insert(0) += amount;
-        self.events.push(LedgerEvent::Paid {
+        self.push_event(LedgerEvent::Paid {
             contract,
             party,
             amount,
@@ -203,10 +279,11 @@ impl Ledger {
                 available,
             });
         }
+        self.record_balance(from);
+        self.record_balance(to);
         *self.balances.get_mut(&from).expect("checked above") -= amount;
         *self.balances.entry(to).or_insert(0) += amount;
-        self.events
-            .push(LedgerEvent::Transferred { from, to, amount });
+        self.push_event(LedgerEvent::Transferred { from, to, amount });
         Ok(())
     }
 
@@ -332,5 +409,93 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec!["mint", "freeze", "pay"]);
+    }
+
+    #[test]
+    fn rollback_restores_touched_entries_and_events() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        let baseline = l.clone();
+        l.begin_tx();
+        l.freeze(addr(9), addr(1), 60).unwrap();
+        l.pay(addr(9), addr(2), 25).unwrap();
+        l.transfer(addr(2), addr(3), 5).unwrap();
+        assert_ne!(l, baseline);
+        l.rollback_tx();
+        assert_eq!(l, baseline, "rollback must restore balances and events");
+        // Accounts created inside the transaction disappear entirely.
+        assert_eq!(l.balance(&addr(2)), 0);
+        assert_eq!(l.balance(&addr(3)), 0);
+        assert_eq!(l.events().len(), 1);
+    }
+
+    #[test]
+    fn rollback_removes_failed_freeze_nofund_event() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 10);
+        let baseline = l.clone();
+        l.begin_tx();
+        assert!(l.freeze(addr(9), addr(1), 60).is_err());
+        assert_eq!(l.events().len(), 2, "NoFund recorded inside the tx");
+        l.rollback_tx();
+        assert_eq!(l, baseline, "the NoFund event is part of the revert");
+    }
+
+    #[test]
+    fn commit_keeps_mutations_and_reuses_journal() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        l.begin_tx();
+        l.freeze(addr(9), addr(1), 60).unwrap();
+        l.commit_tx();
+        assert_eq!(l.balance(&addr(9)), 60);
+        // A later transaction reverts independently of the committed one.
+        l.begin_tx();
+        l.pay(addr(9), addr(2), 10).unwrap();
+        l.rollback_tx();
+        assert_eq!(l.balance(&addr(9)), 60);
+        assert_eq!(l.balance(&addr(2)), 0);
+    }
+
+    #[test]
+    fn journaled_rollback_equals_clone_restore_on_random_ops() {
+        // Differential: replay a pseudo-random op sequence against a
+        // journaled ledger and a cloned snapshot; rollback must equal the
+        // snapshot exactly.
+        let mut l = Ledger::new();
+        for i in 0..8 {
+            l.mint(addr(i), (i as u128 + 1) * 50);
+        }
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for round in 0..50 {
+            let snapshot = l.clone();
+            l.begin_tx();
+            for _ in 0..(round % 7 + 1) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = addr((x >> 8) as u8 % 8);
+                let b = addr((x >> 16) as u8 % 8 + 8);
+                let amt = (x >> 24) as u128 % 90;
+                match x % 4 {
+                    0 => {
+                        let _ = l.freeze(b, a, amt);
+                    }
+                    1 => {
+                        let _ = l.pay(b, a, amt);
+                    }
+                    2 => {
+                        let _ = l.transfer(a, b, amt);
+                    }
+                    _ => l.mint(a, amt),
+                }
+            }
+            if round % 2 == 0 {
+                l.rollback_tx();
+                assert_eq!(l, snapshot, "round {round}: rollback != clone restore");
+            } else {
+                l.commit_tx();
+            }
+        }
     }
 }

@@ -57,8 +57,15 @@ pub struct WorkerAgent {
     pub addr: Address,
     /// The behaviour every session of this worker follows.
     pub behavior: WorkerBehavior,
-    /// Live per-HIT protocol sessions.
+    /// Live per-HIT protocol sessions. Sessions are removed when their
+    /// HIT settles (or the worker loses an overbooked commit race), so
+    /// the map holds live sessions only.
     pub sessions: BTreeMap<HitId, Worker>,
+    /// Live-session count, maintained incrementally: +1 when a session
+    /// joins in `drive_commit`, −1 when `harvest` removes it. Makes the
+    /// engine's capacity check O(1) instead of a rescan of the session
+    /// map against the settled set per live HIT per block.
+    pub live_sessions: usize,
     /// HITs this worker has already revealed for.
     pub revealed: Vec<HitId>,
 }
@@ -70,6 +77,7 @@ impl WorkerAgent {
             addr,
             behavior,
             sessions: BTreeMap::new(),
+            live_sessions: 0,
             revealed: Vec::new(),
         }
     }

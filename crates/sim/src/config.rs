@@ -66,6 +66,12 @@ pub struct MarketConfig {
     pub max_blocks: u64,
     /// The run's master seed; equal seeds ⇒ identical reports.
     pub seed: u64,
+    /// Revert-atomicity strategy for the hosted chain: `false` (default)
+    /// uses the journaled state layer; `true` restores the pre-journal
+    /// whole-state clone checkpointing. The baseline exists for the
+    /// journal-equivalence differential tests and the throughput-
+    /// comparison bench — same seed, both settings, identical reports.
+    pub clone_checkpointing: bool,
 }
 
 impl Default for MarketConfig {
@@ -103,6 +109,7 @@ impl Default for MarketConfig {
             policy: MarketPolicy::Fifo,
             max_blocks: 600,
             seed: 0xd1a6_0000,
+            clone_checkpointing: false,
         }
     }
 }

@@ -96,6 +96,9 @@ impl MarketSim {
         if let Some(limit) = config.block_gas_limit {
             chain = chain.with_block_gas_limit(limit);
         }
+        if config.clone_checkpointing {
+            chain = chain.with_clone_checkpointing();
+        }
         let mut store = ContentStore::new();
         let mut requesters = Vec::with_capacity(config.hits);
         for i in 0..config.hits as u64 {
@@ -318,12 +321,10 @@ impl MarketSim {
             if joined.contains(&wi) {
                 continue;
             }
-            let active = self.workers[wi]
-                .sessions
-                .keys()
-                .filter(|id| !self.settled_hits.contains(id))
-                .count();
-            if active >= self.config.worker_capacity {
+            // O(1) capacity check: the counter is maintained on join and
+            // in `harvest`, replacing a rescan of the session map against
+            // the settled set for every candidate of every live HIT.
+            if self.workers[wi].live_sessions >= self.config.worker_capacity {
                 continue;
             }
             let w = &mut self.workers[wi];
@@ -336,6 +337,7 @@ impl MarketSim {
             }
             joined.push(wi);
             w.sessions.insert(snap.id, session);
+            w.live_sessions += 1;
             submissions.push((w.addr, RegistryMessage::Hit { id: snap.id, msg }));
         }
     }
@@ -416,6 +418,7 @@ impl MarketSim {
         let round = self.chain.round();
         let events = self.chain.events();
         let mut commit_closed: Vec<HitId> = Vec::new();
+        let mut settled_now: Vec<HitId> = Vec::new();
         for (at, event) in &events[self.events_seen..] {
             match event {
                 RegistryEvent::Created { id, requester, .. } => {
@@ -435,11 +438,15 @@ impl MarketSim {
                     HitEvent::Cancelled { refunded } => {
                         self.refunds += refunded;
                         self.cancelled_hits.insert(*id);
-                        self.settled_hits.insert(*id);
+                        if self.settled_hits.insert(*id) {
+                            settled_now.push(*id);
+                        }
                         self.settled_block.entry(*id).or_insert(*at);
                     }
                     HitEvent::Closed => {
-                        self.settled_hits.insert(*id);
+                        if self.settled_hits.insert(*id) {
+                            settled_now.push(*id);
+                        }
                         self.settled_block.entry(*id).or_insert(*at);
                     }
                     _ => {}
@@ -458,8 +465,20 @@ impl MarketSim {
                 .map(|h| h.committed_workers().to_vec())
                 .unwrap_or_default();
             for &wi in self.joined.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
-                if !committed.contains(&self.workers[wi].addr) {
-                    self.workers[wi].sessions.remove(&id);
+                if !committed.contains(&self.workers[wi].addr)
+                    && self.workers[wi].sessions.remove(&id).is_some()
+                {
+                    self.workers[wi].live_sessions -= 1;
+                }
+            }
+        }
+        // A settled (closed or cancelled) HIT releases every session slot
+        // its workers held — this is the decrement that keeps the O(1)
+        // capacity counters exact.
+        for id in settled_now {
+            for &wi in self.joined.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                if self.workers[wi].sessions.remove(&id).is_some() {
+                    self.workers[wi].live_sessions -= 1;
                 }
             }
         }

@@ -262,11 +262,33 @@ fn compute_h(cs: &ConstraintSystem, domain: &Domain) -> Vec<Fr> {
     h
 }
 
-/// Produces a proof for a satisfied constraint system.
+/// The G1 multi-scalar-multiplication backend a prover run uses.
+///
+/// [`prove`] fixes it to the deliberately naive [`msm`] (the
+/// libsnark-style baseline Table I measures against);
+/// [`prove_with_msm`] lets the bench's "optimized baseline" column swap
+/// in `dragoon_crypto::g1::msm_pippenger` without touching the
+/// paper-faithful path.
+pub type G1Msm = fn(&[G1Affine], &[Fr]) -> G1Projective;
+
+/// Produces a proof for a satisfied constraint system using the naive
+/// per-point MSM (the paper-faithful baseline).
 pub fn prove<R: Rng + ?Sized>(
     pk: &ProvingKey,
     cs: &ConstraintSystem,
     rng: &mut R,
+) -> Result<Proof, SnarkError> {
+    prove_with_msm(pk, cs, rng, msm)
+}
+
+/// Produces a proof with an explicit G1 MSM backend. The proof is
+/// identical whichever backend computes the sums — only the prover's
+/// running time changes.
+pub fn prove_with_msm<R: Rng + ?Sized>(
+    pk: &ProvingKey,
+    cs: &ConstraintSystem,
+    rng: &mut R,
+    g1_msm: G1Msm,
 ) -> Result<Proof, SnarkError> {
     cs.is_satisfied()
         .map_err(|e| SnarkError::Unsatisfied(e.index))?;
@@ -277,20 +299,20 @@ pub fn prove<R: Rng + ?Sized>(
     let s = Fr::random(rng);
 
     // A = α + Σ w_i·A_i(τ) + r·δ.
-    let a_acc = msm(&pk.a_query, &w);
+    let a_acc = g1_msm(&pk.a_query, &w);
     let a = (a_acc + pk.alpha_g1.to_projective() + pk.delta_g1 * r).to_affine();
 
     // B (G2) = β + Σ w_i·B_i(τ) + s·δ ; B1 is the G1 copy.
     let b_acc_g2 = dragoon_crypto::g2::msm_g2(&pk.b_g2_query, &w);
     let b = (b_acc_g2 + pk.vk.beta_g2.to_projective() + pk.vk.delta_g2 * s).to_affine();
-    let b_acc_g1 = msm(&pk.b_g1_query, &w);
+    let b_acc_g1 = g1_msm(&pk.b_g1_query, &w);
     let b1 = (b_acc_g1 + pk.beta_g1.to_projective() + pk.delta_g1 * s).to_affine();
 
     // C = Σ_aux w_i·L_i + Σ h_i·H_i + s·A + r·B1 − r·s·δ.
     let aux = &w[1 + cs.num_public()..];
-    let l_acc = msm(&pk.l_query, aux);
+    let l_acc = g1_msm(&pk.l_query, aux);
     let h = compute_h(cs, &domain);
-    let h_acc = msm(&pk.h_query[..h.len()], &h);
+    let h_acc = g1_msm(&pk.h_query[..h.len()], &h);
     let c = (l_acc + h_acc + a * s + b1 * r - pk.delta_g1 * (r * s)).to_affine();
 
     Ok(Proof { a, b, c })
@@ -372,6 +394,24 @@ mod tests {
         let publics = vec![Fr::from_u64(35), Fr::from_u64(125)];
         assert!(verify(&pk.vk, &proof, &publics).unwrap());
         assert!(verify_reference(&pk.vk, &proof, &publics));
+    }
+
+    #[test]
+    fn pippenger_msm_backend_produces_identical_proofs() {
+        let mut rng = rng();
+        let cs = demo_circuit(5, 7);
+        let pk = setup(&cs, &mut rng).unwrap();
+        // Identical RNG state ⇒ identical (r, s) blinding ⇒ the proof
+        // must be byte-identical whichever MSM backend computes it.
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng.clone();
+        let naive = prove_with_msm(&pk, &cs, &mut rng_a, msm).unwrap();
+        let pip = prove_with_msm(&pk, &cs, &mut rng_b, dragoon_crypto::g1::msm_pippenger).unwrap();
+        assert_eq!(naive.a, pip.a);
+        assert_eq!(naive.b, pip.b);
+        assert_eq!(naive.c, pip.c);
+        let publics = vec![Fr::from_u64(35), Fr::from_u64(125)];
+        assert!(verify(&pk.vk, &pip, &publics).unwrap());
     }
 
     #[test]

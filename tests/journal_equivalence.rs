@@ -1,0 +1,399 @@
+//! Journal-equivalence differential tests.
+//!
+//! The chain's revert atomicity moved from whole-state clone
+//! checkpointing to the journaled state layer (undo logs in ledger,
+//! contract and registry). These tests pin the refactor's contract:
+//! **journaled execution is bit-identical to the clone baseline** —
+//! receipts, events, balances, verdicts and full contract state — across
+//! random transaction sequences, mid-block gas-cap rollback,
+//! front-runner contention and whole-market runs.
+
+use dragoon_chain::{Chain, FrontRunPolicy, GasSchedule, ReorderPolicy, TxStatus};
+use dragoon_contract::{
+    HitMessage, HitRegistry, PhaseWindows, RegistryMessage, SettlementMode, REGISTRY_CODE_LEN,
+};
+use dragoon_core::task::GoldenStandards;
+use dragoon_crypto::commitment::{Commitment, CommitmentKey};
+use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+use dragoon_ledger::Address;
+use dragoon_sim::{run_market, MarketConfig, MarketPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BUDGET: u128 = 3_000;
+
+/// Fixture shared by both chains of a differential pair.
+struct Fixture {
+    kp: KeyPair,
+    requester: Address,
+    golden: GoldenStandards,
+    gs_key: CommitmentKey,
+}
+
+impl Fixture {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            kp: KeyPair::generate(&mut rng),
+            requester: Address::from_byte(0xd0),
+            golden: GoldenStandards {
+                indexes: vec![0, 2, 4],
+                answers: vec![1, 0, 1],
+            },
+            gs_key: CommitmentKey::random(&mut rng),
+        }
+    }
+
+    fn params(&self) -> dragoon_contract::PublishParams {
+        dragoon_contract::PublishParams {
+            n: 6,
+            budget: BUDGET,
+            k: 3,
+            range: PlaintextRange::binary(),
+            theta: 3,
+            ek: self.kp.ek,
+            comm_gs: Commitment::commit(&self.golden.encode(), &self.gs_key),
+            task_digest: [9u8; 32],
+        }
+    }
+
+    fn create_msg(&self) -> RegistryMessage {
+        RegistryMessage::Create {
+            windows: PhaseWindows {
+                commit_timeout: Some(4),
+                reveal: 2,
+                evaluate: 3,
+            },
+            params: self.params(),
+        }
+    }
+
+    /// A funded chain pair: identical except for the revert-atomicity
+    /// strategy (journal vs. whole-state clone checkpointing).
+    fn chain_pair(
+        &self,
+        mode: SettlementMode,
+        gas_limit: Option<u64>,
+    ) -> (Chain<HitRegistry>, Chain<HitRegistry>) {
+        let build = |clone_baseline: bool| {
+            let mut chain = Chain::deploy(
+                HitRegistry::new(mode),
+                REGISTRY_CODE_LEN,
+                GasSchedule::istanbul(),
+            );
+            if let Some(limit) = gas_limit {
+                chain = chain.with_block_gas_limit(limit);
+            }
+            if clone_baseline {
+                chain = chain.with_clone_checkpointing();
+            }
+            chain.ledger.mint(self.requester, BUDGET * 20);
+            for w in 1..=6u8 {
+                chain.ledger.mint(Address::from_byte(w), 100);
+            }
+            chain
+        };
+        (build(false), build(true))
+    }
+}
+
+/// Asserts every observable of the two chains is identical.
+fn assert_chains_equal(journal: &Chain<HitRegistry>, baseline: &Chain<HitRegistry>, tag: &str) {
+    assert_eq!(
+        journal.blocks(),
+        baseline.blocks(),
+        "{tag}: receipts diverged"
+    );
+    assert_eq!(journal.events(), baseline.events(), "{tag}: chain events");
+    assert_eq!(journal.ledger, baseline.ledger, "{tag}: ledger state");
+    assert_eq!(
+        journal.contract(),
+        baseline.contract(),
+        "{tag}: registry state"
+    );
+    assert_eq!(
+        journal.mempool_len(),
+        baseline.mempool_len(),
+        "{tag}: carried mempool"
+    );
+}
+
+/// Submits the same message to both chains.
+fn submit_both(
+    pair: &mut (Chain<HitRegistry>, Chain<HitRegistry>),
+    sender: Address,
+    msg: RegistryMessage,
+) {
+    pair.0.submit(sender, msg.clone());
+    pair.1.submit(sender, msg);
+}
+
+/// Random transaction soup: a deliberately messy mix of valid creates,
+/// commits, premature finalizes/cancels, unknown-instance routes and
+/// duplicate commitments — most of which revert — replayed against both
+/// strategies round by round.
+#[test]
+fn random_tx_sequences_journal_equals_clone() {
+    for seed in [1u64, 7, 0xfeed] {
+        let fx = Fixture::new(seed);
+        let mut pair = fx.chain_pair(SettlementMode::PerProof, None);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        for round in 0..12 {
+            let txs = rng.gen_range(1..6u32);
+            for _ in 0..txs {
+                let created = pair.0.contract().len() as u64;
+                match rng.gen_range(0..7u32) {
+                    0 => submit_both(&mut pair, fx.requester, fx.create_msg()),
+                    // Unfunded create: reverts at the ledger freeze.
+                    1 => submit_both(&mut pair, Address::from_byte(0x99), fx.create_msg()),
+                    2 if created > 0 => {
+                        // A commit; may duplicate a previous commitment
+                        // (copy-and-paste defence) or hit a full task.
+                        let id = rng.gen_range(0..created);
+                        let w = Address::from_byte(rng.gen_range(1..7u32) as u8);
+                        let tag = if rng.gen_range(0..3u32) == 0 {
+                            0 // deliberately reused payload → duplicate
+                        } else {
+                            rng.gen_range(0..1000u32)
+                        };
+                        let key = CommitmentKey([7u8; 32]);
+                        let comm = Commitment::commit(&tag.to_le_bytes(), &key);
+                        submit_both(
+                            &mut pair,
+                            w,
+                            RegistryMessage::Hit {
+                                id,
+                                msg: HitMessage::Commit { commitment: comm },
+                            },
+                        );
+                    }
+                    3 if created > 0 => {
+                        // Premature finalize: wrong phase or too early.
+                        let id = rng.gen_range(0..created);
+                        submit_both(
+                            &mut pair,
+                            fx.requester,
+                            RegistryMessage::Hit {
+                                id,
+                                msg: HitMessage::Finalize,
+                            },
+                        );
+                    }
+                    4 if created > 0 => {
+                        let id = rng.gen_range(0..created);
+                        submit_both(
+                            &mut pair,
+                            fx.requester,
+                            RegistryMessage::Hit {
+                                id,
+                                msg: HitMessage::Cancel,
+                            },
+                        );
+                    }
+                    5 => {
+                        // Route to an instance that does not exist.
+                        submit_both(
+                            &mut pair,
+                            fx.requester,
+                            RegistryMessage::Hit {
+                                id: 999,
+                                msg: HitMessage::Finalize,
+                            },
+                        );
+                    }
+                    _ => {
+                        // Golden opening in the wrong phase: reverts.
+                        let id = rng.gen_range(0..created.max(1));
+                        submit_both(
+                            &mut pair,
+                            fx.requester,
+                            RegistryMessage::Hit {
+                                id,
+                                msg: HitMessage::Golden {
+                                    golden: fx.golden.clone(),
+                                    key: fx.gs_key,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            pair.0.advance_round_fifo();
+            pair.1.advance_round_fifo();
+            assert_chains_equal(&pair.0, &pair.1, &format!("seed {seed} round {round}"));
+        }
+        // The soup must actually have exercised the revert path.
+        let reverted = pair
+            .0
+            .receipts()
+            .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+            .count();
+        assert!(reverted > 5, "seed {seed}: only {reverted} reverts");
+    }
+}
+
+/// Mid-block gas-cap rollback: Create transactions cost ~1.3M gas, so a
+/// 2M-gas block fits exactly one — every round a *successful* speculative
+/// execution must be rolled back out of the overfull block and carried.
+#[test]
+fn gas_cap_overflow_rollback_journal_equals_clone() {
+    let fx = Fixture::new(42);
+    let mut pair = fx.chain_pair(SettlementMode::PerProof, Some(2_000_000));
+    for _ in 0..5 {
+        submit_both(&mut pair, fx.requester, fx.create_msg());
+    }
+    for round in 0..6 {
+        pair.0.advance_round_fifo();
+        pair.1.advance_round_fifo();
+        assert_chains_equal(&pair.0, &pair.1, &format!("overflow round {round}"));
+    }
+    assert_eq!(pair.0.contract().len(), 5, "all creates eventually landed");
+    // Each of the first five blocks carried exactly one create.
+    for block in &pair.0.blocks()[..5] {
+        assert_eq!(block.receipts.len(), 1, "block {}", block.round);
+    }
+}
+
+/// Front-runner contention under a gas cap: the designated front-runner
+/// jumps the queue every round while overbooked commits race for slots,
+/// producing both reverts (TaskFull, duplicates) and carried spill-over.
+#[test]
+fn front_runner_contention_journal_equals_clone() {
+    let fx = Fixture::new(0xf407);
+    let mut pair = fx.chain_pair(SettlementMode::Batched, Some(4_000_000));
+    let front = Address::from_byte(1);
+    let mut policy_a = FrontRunPolicy::new(front);
+    let mut policy_b = FrontRunPolicy::new(front);
+    submit_both(&mut pair, fx.requester, fx.create_msg());
+    submit_both(&mut pair, fx.requester, fx.create_msg());
+    let mut rng = StdRng::seed_from_u64(0xf407);
+    for round in 0..10 {
+        // Everybody (including the front-runner) races commits at both
+        // instances; k = 3, so later commits revert with TaskFull.
+        for w in 1..=5u8 {
+            let id = rng.gen_range(0..2u64);
+            let key = CommitmentKey([w; 32]);
+            let comm = Commitment::commit(&[w, round as u8], &key);
+            submit_both(
+                &mut pair,
+                Address::from_byte(w),
+                RegistryMessage::Hit {
+                    id,
+                    msg: HitMessage::Commit { commitment: comm },
+                },
+            );
+        }
+        pair.0
+            .advance_round(&mut policy_a as &mut dyn ReorderPolicy<RegistryMessage>);
+        pair.1
+            .advance_round(&mut policy_b as &mut dyn ReorderPolicy<RegistryMessage>);
+        assert_chains_equal(&pair.0, &pair.1, &format!("front-run round {round}"));
+    }
+    let reverted = pair
+        .0
+        .receipts()
+        .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+        .count();
+    assert!(reverted > 0, "contention must produce reverts");
+}
+
+/// Regression: a failing transaction leaves the registry, the ledger and
+/// the event logs exactly untouched under the journal.
+#[test]
+fn failing_tx_leaves_state_untouched() {
+    let fx = Fixture::new(3);
+    let (mut chain, _) = fx.chain_pair(SettlementMode::PerProof, None);
+    chain.submit(fx.requester, fx.create_msg());
+    chain.advance_round_fifo();
+
+    let registry_before = chain.contract().clone();
+    let ledger_before = chain.ledger.clone();
+    let chain_events_before = chain.events().len();
+
+    // Three reverting transactions: unfunded create, unknown instance,
+    // wrong-phase golden opening.
+    chain.submit(Address::from_byte(0x99), fx.create_msg());
+    chain.submit(
+        fx.requester,
+        RegistryMessage::Hit {
+            id: 42,
+            msg: HitMessage::Finalize,
+        },
+    );
+    chain.submit(
+        fx.requester,
+        RegistryMessage::Hit {
+            id: 0,
+            msg: HitMessage::Golden {
+                golden: fx.golden.clone(),
+                key: fx.gs_key,
+            },
+        },
+    );
+    chain.advance_round_fifo();
+
+    let reverted = chain
+        .receipts()
+        .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+        .count();
+    assert_eq!(reverted, 3, "all three must revert");
+    assert_eq!(
+        chain.contract(),
+        &registry_before,
+        "registry state must be untouched"
+    );
+    assert_eq!(chain.ledger, ledger_before, "ledger must be untouched");
+    assert_eq!(
+        chain.events().len(),
+        chain_events_before,
+        "no contract events may leak from reverted transactions"
+    );
+}
+
+/// Whole-market differential: the same seeded marketplace scenario —
+/// batched settlement, gas-capped blocks, worker noise, PoQoEA
+/// rejections, cancellations — must produce byte-identical reports under
+/// the journal and under clone checkpointing.
+#[test]
+fn market_run_journal_equals_clone() {
+    let base = MarketConfig {
+        hits: 30,
+        spawn_per_block: 6,
+        workers: 25,
+        worker_capacity: 4,
+        seed: 0x10a1,
+        ..MarketConfig::default()
+    };
+    let journal = run_market(base.clone());
+    let baseline = run_market(MarketConfig {
+        clone_checkpointing: true,
+        ..base
+    });
+    assert_eq!(
+        journal.to_json(),
+        baseline.to_json(),
+        "whole-market reports must be identical"
+    );
+    assert_eq!(journal.hits_published, 30);
+    assert!(journal.workers_rejected > 0 || journal.hits_cancelled > 0);
+}
+
+/// The same differential under an adversarial front-running scheduler.
+#[test]
+fn market_run_front_run_journal_equals_clone() {
+    let base = MarketConfig {
+        hits: 15,
+        workers: 20,
+        overbook: 2,
+        policy: MarketPolicy::FrontRun,
+        seed: 0xab,
+        ..MarketConfig::default()
+    };
+    let journal = run_market(base.clone());
+    let baseline = run_market(MarketConfig {
+        clone_checkpointing: true,
+        ..base
+    });
+    assert_eq!(journal.to_json(), baseline.to_json());
+    assert!(journal.reverted_txs > 0, "overbooking must cause reverts");
+}

@@ -122,6 +122,45 @@ fn batched_settlement_verdicts_equal_per_proof() {
     assert!(report_b.batch.batches > 0);
 }
 
+/// The CI-speed scale smoke: 1 000 HITs through one registry — the
+/// journaled state layer keeps this tractable (the old whole-state clone
+/// per transaction was quadratic in live instances). Lightweight tasks
+/// (4 questions, 2 golds) keep the crypto cost down; the point is the
+/// engine and state layer, not the proofs.
+#[test]
+fn one_thousand_hit_smoke() {
+    let report = run_market(MarketConfig {
+        hits: 1_000,
+        spawn_per_block: 25,
+        workers: 400,
+        worker_capacity: 8,
+        questions: 4,
+        golds: 2,
+        k: 3,
+        theta: 2,
+        seed: 0x1000,
+        // 25 Creates/block alone cost ~32M gas; a mainnet-sized 30M cap
+        // would congest the mempool until reveals miss their phase
+        // windows, so the scale smoke runs with roomier blocks.
+        block_gas_limit: Some(100_000_000),
+        max_blocks: 1_200,
+        ..MarketConfig::default()
+    });
+    assert_eq!(report.hits_published, 1_000);
+    assert_eq!(
+        report.hits_unfinished, 0,
+        "every HIT must settle or cancel within the horizon"
+    );
+    assert!(
+        report.hits_settled >= 900,
+        "most HITs must fill and settle (settled {})",
+        report.hits_settled
+    );
+    assert!(report.workers_paid > 1_000, "paid {}", report.workers_paid);
+    let limit = report.block_gas_limit.unwrap();
+    assert!(report.gas_per_block_max <= limit);
+}
+
 #[test]
 fn same_seed_reproduces_identical_reports() {
     let cfg = MarketConfig {
