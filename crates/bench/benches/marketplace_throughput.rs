@@ -56,7 +56,11 @@ fn market_throughput(seed: u64) {
 
 /// A scale-tier market config: lightweight tasks (4 questions, 2 golds)
 /// and roomy blocks, so the measurement isolates the engine + state
-/// layer rather than proof arithmetic.
+/// layer rather than proof arithmetic. The executor is pinned serial so
+/// journal-vs-clone numbers measure checkpointing alone — the clone
+/// baseline cannot run the parallel executor, and mixing the two effects
+/// would inflate the comparison ([`parallel_exec_speedup`] measures the
+/// executor separately, against this same serial footing).
 fn scale_config(hits: usize, seed: u64, clone_checkpointing: bool) -> MarketConfig {
     MarketConfig {
         hits,
@@ -71,6 +75,7 @@ fn scale_config(hits: usize, seed: u64, clone_checkpointing: bool) -> MarketConf
         max_blocks: 4_000,
         seed,
         clone_checkpointing,
+        exec_threads: 1,
         ..MarketConfig::default()
     }
 }
@@ -143,6 +148,65 @@ fn market_scale_10k(seed: u64) {
     );
 }
 
+/// A parallel-execution scale config: per-proof settlement, so VPKE and
+/// PoQoEA verification cost sits *inside* the transactions the executor
+/// fans out (batched settlement already parallelizes at the block
+/// boundary), plus roomy blocks so batches are rarely cut by the cap.
+fn parallel_config(hits: usize, seed: u64, exec_threads: usize) -> MarketConfig {
+    MarketConfig {
+        settlement: dragoon_contract::SettlementMode::PerProof,
+        exec_threads,
+        ..scale_config(hits, seed, false)
+    }
+}
+
+/// **Parallel vs serial block execution** — the same per-proof market
+/// run under the strictly serial executor (`exec_threads = 1`) and under
+/// the optimistic parallel executor. Reports are asserted identical (the
+/// differential guarantee of `tests/parallel_equivalence.rs`); only the
+/// wall clock may differ. On a single-core host the executor degrades to
+/// oversubscribed threads, so the speedup column is honest about the
+/// thread budget it ran with.
+fn parallel_exec_speedup(seed: u64) {
+    // At least two workers so the parallel machinery actually engages
+    // even when the host reports one core.
+    let threads = dragoon_chain::resolve_threads(0).max(2);
+    for hits in [1_000usize, 10_000] {
+        println!("\n== parallel vs serial block execution ({hits} HITs, per-proof) ==");
+        let (serial_wall, serial) = time_once(|| run_market(parallel_config(hits, seed, 1)));
+        println!(
+            "serial      {} HITs settled in {} blocks, wall {}",
+            serial.hits_settled,
+            serial.blocks,
+            fmt_duration(serial_wall),
+        );
+        let (parallel_wall, parallel) =
+            time_once(|| run_market(parallel_config(hits, seed, threads)));
+        println!(
+            "parallel({threads}) {} HITs settled in {} blocks, wall {}",
+            parallel.hits_settled,
+            parallel.blocks,
+            fmt_duration(parallel_wall),
+        );
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "parallel and serial execution must produce identical reports"
+        );
+        let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64();
+        println!(
+            "speedup {speedup:.2}x at {threads} threads (identical reports — differential holds)"
+        );
+        println!(
+            "JSON: {{\"bench\":\"parallel_exec_speedup\",\"hits\":{hits},\
+             \"threads\":{threads},\"serial_ms\":{},\"parallel_ms\":{},\
+             \"speedup\":{speedup:.2}}}",
+            serial_wall.as_millis(),
+            parallel_wall.as_millis(),
+        );
+    }
+}
+
 fn batch_speedup(seed: u64) {
     println!("\n== batched vs individual VPKE verification ==");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
@@ -191,6 +255,7 @@ fn main() {
     println!("seed: {seed:#x}\n");
     market_throughput(seed);
     checkpoint_speedup(seed);
+    parallel_exec_speedup(seed);
     market_scale_10k(seed);
     batch_speedup(seed);
 }

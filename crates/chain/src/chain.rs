@@ -20,6 +20,7 @@
 
 use crate::gas::{CalldataStats, Gas, GasMeter, GasSchedule};
 use crate::mempool::{PendingTx, ReorderPolicy, Scheduled};
+use crate::parallel::ParallelStats;
 use dragoon_ledger::{Address, Journaled, Ledger};
 use std::fmt;
 
@@ -72,6 +73,28 @@ pub struct ExecEnv<'a, E> {
     /// The contract's own address (escrow account).
     pub contract: Address,
     events: &'a mut Vec<E>,
+}
+
+impl<'a, E> ExecEnv<'a, E> {
+    /// Assembles an execution environment (crate-internal: the parallel
+    /// executor builds per-thread environments over shadow ledgers).
+    pub(crate) fn new(
+        ledger: &'a mut Ledger,
+        gas: &'a mut GasMeter,
+        schedule: &'a GasSchedule,
+        round: u64,
+        contract: Address,
+        events: &'a mut Vec<E>,
+    ) -> Self {
+        Self {
+            ledger,
+            gas,
+            schedule,
+            round,
+            contract,
+            events,
+        }
+    }
 }
 
 impl<E: Clone> ExecEnv<'_, E> {
@@ -173,20 +196,26 @@ enum Checkpoint<S> {
 pub struct Chain<S: StateMachine> {
     /// The ledger (public, so tests can mint and inspect balances).
     pub ledger: Ledger,
-    contract: S,
-    contract_addr: Address,
-    schedule: GasSchedule,
-    round: u64,
-    mempool: Vec<PendingTx<S::Msg>>,
-    blocks: Vec<Block>,
-    events: Vec<(u64, S::Event)>,
+    pub(crate) contract: S,
+    pub(crate) contract_addr: Address,
+    pub(crate) schedule: GasSchedule,
+    pub(crate) round: u64,
+    pub(crate) mempool: Vec<PendingTx<S::Msg>>,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) events: Vec<(u64, S::Event)>,
     next_seq: u64,
     deploy_gas: Gas,
-    block_gas_limit: Option<Gas>,
+    pub(crate) block_gas_limit: Option<Gas>,
     /// `Some` switches atomicity back to whole-state clone checkpointing
     /// (the function pointer is `S::clone`, captured where `S: Clone` is
     /// in scope so the hot path stays free of the bound).
-    clone_checkpoint: Option<fn(&S) -> S>,
+    pub(crate) clone_checkpoint: Option<fn(&S) -> S>,
+    /// Worker threads for optimistic parallel block execution; `1` keeps
+    /// the strictly serial path (see [`crate::parallel`]).
+    pub(crate) exec_threads: usize,
+    /// Counters for the parallel executor (how many transactions ran
+    /// optimistically, how often it fell back, …).
+    pub(crate) parallel_stats: ParallelStats,
 }
 
 impl<S: StateMachine> Chain<S> {
@@ -208,6 +237,8 @@ impl<S: StateMachine> Chain<S> {
             deploy_gas,
             block_gas_limit: None,
             clone_checkpoint: None,
+            exec_threads: 1,
+            parallel_stats: ParallelStats::default(),
         }
     }
 
@@ -238,6 +269,26 @@ impl<S: StateMachine> Chain<S> {
     /// Whether the clone-checkpoint baseline is active.
     pub fn clone_checkpointing(&self) -> bool {
         self.clone_checkpoint.is_some()
+    }
+
+    /// Sets the worker-thread count for optimistic parallel block
+    /// execution (`0` and `1` both keep the serial path). Takes effect
+    /// through [`Chain::advance_round_parallel`]; the plain
+    /// [`Chain::advance_round`] is always serial.
+    pub fn with_exec_threads(mut self, threads: usize) -> Self {
+        self.exec_threads = threads.max(1);
+        self
+    }
+
+    /// The configured executor thread count.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads
+    }
+
+    /// Counters describing how the parallel executor ran (all zero while
+    /// only the serial path has been used).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.parallel_stats
     }
 
     /// The contract's address (its escrow account on the ledger).
@@ -282,25 +333,7 @@ impl<S: StateMachine> Chain<S> {
     /// transactions execute, a block is produced. Returns the block.
     pub fn advance_round(&mut self, policy: &mut dyn ReorderPolicy<S::Msg>) -> &Block {
         self.round += 1;
-        // Clock tick first: phase deadlines fire before this round's
-        // deliveries, matching the paper's "until the beginning of next
-        // clock period" semantics for delayed executions.
-        {
-            let mut meter = GasMeter::new();
-            let mut events = Vec::new();
-            let mut env = ExecEnv {
-                ledger: &mut self.ledger,
-                gas: &mut meter,
-                schedule: &self.schedule,
-                round: self.round,
-                contract: self.contract_addr,
-                events: &mut events,
-            };
-            self.contract.on_clock(&mut env, self.round);
-            for e in events {
-                self.events.push((self.round, e));
-            }
-        }
+        self.clock_tick();
 
         let pending = std::mem::take(&mut self.mempool);
         let Scheduled { deliver, delay } = policy.schedule(self.round, pending);
@@ -311,40 +344,91 @@ impl<S: StateMachine> Chain<S> {
         let mut deliver = deliver.into_iter();
         let mut carried: Vec<PendingTx<S::Msg>> = Vec::new();
         for tx in deliver.by_ref() {
-            match self.block_gas_limit {
-                None => receipts.push(self.execute_tx(tx)),
-                Some(limit) => {
-                    // Execute speculatively; if the block would exceed
-                    // its gas limit (and is not empty — a single tx
-                    // larger than the limit must still land somewhere),
-                    // roll the transaction back out of the block and
-                    // carry it over. The per-transaction checkpoint
-                    // (journal or clone baseline) stays open across the
-                    // limit check, so block-overflow rollback reuses the
-                    // transaction's own revert path.
-                    let events_len = self.events.len();
-                    let (receipt, open) = self.execute_tx_open(tx.clone());
-                    if block_gas + receipt.gas_used > limit && !receipts.is_empty() {
-                        if let Some(checkpoint) = open {
-                            self.rollback_checkpoint(checkpoint);
-                        }
-                        // `open == None` means the tx reverted, so state
-                        // already equals the pre-transaction state.
-                        self.events.truncate(events_len);
-                        carried.push(tx);
-                        break;
-                    }
-                    if let Some(checkpoint) = open {
-                        self.commit_checkpoint(checkpoint);
-                    }
-                    block_gas += receipt.gas_used;
-                    receipts.push(receipt);
-                }
+            if !self.execute_tx_into_block(tx, &mut block_gas, &mut receipts, &mut carried) {
+                break;
             }
         }
         // Whatever did not fit in this block carries to the next round,
         // ahead of newly delayed messages.
         carried.extend(deliver);
+        self.seal_block(receipts, carried)
+    }
+
+    /// Clock tick: phase deadlines fire before the round's deliveries,
+    /// matching the paper's "until the beginning of next clock period"
+    /// semantics for delayed executions.
+    pub(crate) fn clock_tick(&mut self) {
+        let mut meter = GasMeter::new();
+        let mut events = Vec::new();
+        let mut env = ExecEnv {
+            ledger: &mut self.ledger,
+            gas: &mut meter,
+            schedule: &self.schedule,
+            round: self.round,
+            contract: self.contract_addr,
+            events: &mut events,
+        };
+        self.contract.on_clock(&mut env, self.round);
+        for e in events {
+            self.events.push((self.round, e));
+        }
+    }
+
+    /// Executes one transaction into the block under construction,
+    /// honoring the block gas limit. Returns `false` when the block is
+    /// full: the transaction was rolled back and pushed to `carried`,
+    /// and the caller must stop delivering (everything else carries).
+    pub(crate) fn execute_tx_into_block(
+        &mut self,
+        tx: PendingTx<S::Msg>,
+        block_gas: &mut Gas,
+        receipts: &mut Vec<Receipt>,
+        carried: &mut Vec<PendingTx<S::Msg>>,
+    ) -> bool {
+        match self.block_gas_limit {
+            None => {
+                receipts.push(self.execute_tx(tx));
+                true
+            }
+            Some(limit) => {
+                // Execute speculatively; if the block would exceed
+                // its gas limit (and is not empty — a single tx
+                // larger than the limit must still land somewhere),
+                // roll the transaction back out of the block and
+                // carry it over. The per-transaction checkpoint
+                // (journal or clone baseline) stays open across the
+                // limit check, so block-overflow rollback reuses the
+                // transaction's own revert path.
+                let events_len = self.events.len();
+                let (receipt, open) = self.execute_tx_open(tx.clone());
+                if *block_gas + receipt.gas_used > limit && !receipts.is_empty() {
+                    if let Some(checkpoint) = open {
+                        self.rollback_checkpoint(checkpoint);
+                    }
+                    // `open == None` means the tx reverted, so state
+                    // already equals the pre-transaction state.
+                    self.events.truncate(events_len);
+                    carried.push(tx);
+                    false
+                } else {
+                    if let Some(checkpoint) = open {
+                        self.commit_checkpoint(checkpoint);
+                    }
+                    *block_gas += receipt.gas_used;
+                    receipts.push(receipt);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Produces the round's block and re-queues carried transactions
+    /// ahead of newly delayed messages.
+    pub(crate) fn seal_block(
+        &mut self,
+        receipts: Vec<Receipt>,
+        mut carried: Vec<PendingTx<S::Msg>>,
+    ) -> &Block {
         if !carried.is_empty() {
             carried.extend(std::mem::take(&mut self.mempool));
             self.mempool = carried;

@@ -13,6 +13,10 @@
 //!   from first principles rather than asserted.
 //! * **Transaction atomicity** ([`chain`]) — reverted transactions burn
 //!   gas but leave contract + ledger state untouched.
+//! * **Optimistic parallel execution** ([`parallel`]) — disjoint-instance
+//!   transactions execute concurrently on scoped threads with
+//!   journal-based conflict detection and serial fallback; committed
+//!   state is bit-identical to serial execution at any thread count.
 //!
 //! Substitution note (DESIGN.md §Substitutions): this crate replaces the
 //! Ethereum ropsten testnet used by the paper. The contract executes
@@ -23,11 +27,13 @@
 pub mod chain;
 pub mod gas;
 pub mod mempool;
+pub mod parallel;
 
 pub use chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
-pub use dragoon_ledger::{Journaled, StateJournal};
+pub use dragoon_ledger::{Journaled, StateJournal, TouchSet};
 pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
 pub use mempool::{
     AdversarialPolicy, DelayVictimPolicy, FifoPolicy, FrontRunPolicy, PendingTx, ReorderPolicy,
     ReversePolicy, Scheduled,
 };
+pub use parallel::{resolve_threads, MsgAccess, ParallelStateMachine, ParallelStats};

@@ -1,0 +1,506 @@
+//! Optimistic parallel block execution with journal-based conflict
+//! detection.
+//!
+//! Settlement verification already fans out across threads at the block
+//! boundary; this module removes the last big sequential section in the
+//! hot path — transaction *execution* within a block. The scheme is
+//! optimistic concurrency control specialized to the registry shape:
+//!
+//! 1. **Partition.** Each scheduled transaction declares the state it
+//!    may touch ([`ParallelStateMachine::msg_access`]): a single hosted
+//!    instance (`Hit { id, .. }` routes) or the global contract state
+//!    (`Create`, unknown ids). Contiguous runs of instance-addressed
+//!    transactions form a *batch*; global transactions are barriers that
+//!    execute serially between batches, so a `Create` and the
+//!    transactions around it keep exact serial order.
+//! 2. **Execute.** Within a batch, transactions group by instance id.
+//!    Each group runs on a scoped worker thread against a cloned shard
+//!    of its instance and a [`Ledger::sparse_overlay`] shadow of the
+//!    ledger, with every transaction bracketed by its own journal
+//!    transaction (`begin`/`commit`/`rollback`), exactly like serial
+//!    execution. Shadow ledgers record the **touched-entry set** — every
+//!    balance entry read or written ([`dragoon_ledger::TouchSet`]).
+//! 3. **Validate.** Two groups conflict when their touch sets intersect
+//!    (a read–write or write–write dependency would make the optimistic
+//!    result order-sensitive), and a group invalidates itself when it
+//!    touched an account outside its declared preset that has a base
+//!    entry (its shadow read a phantom zero). Any conflict discards the
+//!    whole batch's optimistic results and re-executes the batch
+//!    serially in mempool order. A mid-batch block-gas overflow is
+//!    detected the same way — receipts are simulated in schedule order —
+//!    and also falls back, so gas-capped carry-over semantics are
+//!    byte-identical to the serial path.
+//! 4. **Merge.** Disjoint groups commute, so their shards and touched
+//!    balance entries install in any order; receipts, contract events
+//!    and ledger events merge in schedule order. The committed state is
+//!    therefore **bit-identical to serial execution regardless of thread
+//!    count** — the property `tests/parallel_equivalence.rs` pins.
+//!
+//! Thread counts resolve through [`resolve_threads`]: an explicit
+//! setting wins, then the `DRAGOON_THREADS` environment variable, then
+//! the host's available parallelism.
+
+use crate::chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
+use crate::gas::{Gas, GasMeter, GasSchedule};
+use crate::mempool::{PendingTx, ReorderPolicy, Scheduled};
+use dragoon_ledger::{Address, Journaled, Ledger};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What a message may touch, as declared before execution. The scheduler
+/// only parallelizes across distinct [`MsgAccess::Instance`] keys;
+/// anything [`MsgAccess::Global`] is a serial barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgAccess {
+    /// Touches contract-global state (or cannot be attributed): executes
+    /// serially, in order, between parallel batches.
+    Global,
+    /// Touches only the hosted instance with this key (plus ledger
+    /// entries, which the touch sets police dynamically).
+    Instance(u64),
+}
+
+/// A [`StateMachine`] whose state shards by hosted instance, enabling
+/// optimistic parallel execution. Implementations must reproduce the
+/// serial `on_message` semantics *exactly* on a shard — same gas
+/// charges in the same order, same events, same error strings — because
+/// the differential guarantee is bit-identical receipts.
+pub trait ParallelStateMachine: StateMachine {
+    /// One extracted instance: an owned, thread-movable copy of the
+    /// state a group of transactions may mutate.
+    type Shard: Send;
+
+    /// Declares the access partition of a message against current state.
+    /// Messages addressing unknown instances must return
+    /// [`MsgAccess::Global`] so their revert executes in serial order.
+    fn msg_access(&self, msg: &Self::Msg) -> MsgAccess;
+
+    /// Clones the instance behind `key` into a shard (`None` if the key
+    /// vanished — the executor then falls back to serial execution).
+    fn shard_snapshot(&self, key: u64) -> Option<Self::Shard>;
+
+    /// Installs an executed shard back, replacing the instance state.
+    fn shard_install(&mut self, key: u64, shard: Self::Shard);
+
+    /// The ledger accounts transactions on this instance may touch
+    /// (escrow, requester, enrolled workers, …). The executor adds the
+    /// senders of the group's transactions; reads outside the resulting
+    /// preset are detected post-hoc and force a serial fallback.
+    fn shard_accounts(&self, key: u64) -> Vec<Address>;
+
+    /// Handles one instance-addressed message against the shard,
+    /// mirroring the serial routing path. The executor brackets the call
+    /// with [`ParallelStateMachine::shard_begin_tx`] and one of
+    /// commit/rollback, exactly as the chain brackets `on_message`.
+    fn shard_on_message(
+        shard: &mut Self::Shard,
+        env: &mut ExecEnv<'_, Self::Event>,
+        sender: Address,
+        msg: Self::Msg,
+    ) -> Result<(), Self::Error>;
+
+    /// Opens the shard's journal transaction.
+    fn shard_begin_tx(shard: &mut Self::Shard);
+    /// Commits the shard's journal transaction.
+    fn shard_commit_tx(shard: &mut Self::Shard);
+    /// Rolls the shard's journal transaction back.
+    fn shard_rollback_tx(shard: &mut Self::Shard);
+}
+
+/// Counters describing how the parallel executor ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Transactions whose optimistic parallel results committed.
+    pub parallel_txs: usize,
+    /// Transactions executed serially (global barriers, single-group
+    /// batches, and fallback re-executions).
+    pub serial_txs: usize,
+    /// Parallel batches whose results committed.
+    pub batches: usize,
+    /// Batches discarded because two groups' touch sets intersected (or
+    /// a group escaped its preset) — re-executed serially.
+    pub conflict_fallbacks: usize,
+    /// Batches discarded because the block gas limit cut the batch —
+    /// re-executed serially to reproduce exact carry-over semantics.
+    pub gas_fallbacks: usize,
+}
+
+/// Resolves a thread count: `explicit` if non-zero, else the
+/// `DRAGOON_THREADS` environment variable, else available parallelism.
+pub fn resolve_threads(explicit: usize) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("DRAGOON_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The outcome of one optimistically executed transaction, held until
+/// the batch validates.
+struct TxOutcome<S: StateMachine> {
+    /// Position within the round's schedule (the merge order).
+    pos: usize,
+    receipt: Receipt,
+    /// Contract events the transaction emitted (empty on revert).
+    events: Vec<S::Event>,
+    /// The half-open range of the group shadow's ledger-event log this
+    /// transaction appended.
+    ledger_events: (usize, usize),
+}
+
+/// One instance group's workspace: the shard, the shadow ledger, the
+/// transactions (schedule position + payload) and, after execution, the
+/// outcomes and the touched-entry set.
+struct GroupRun<S: ParallelStateMachine> {
+    key: u64,
+    shard: S::Shard,
+    ledger: Ledger,
+    preset: BTreeSet<Address>,
+    txs: Vec<(usize, PendingTx<S::Msg>)>,
+    outcomes: Vec<TxOutcome<S>>,
+    touched: BTreeSet<Address>,
+}
+
+/// Executes one group's transactions in schedule order against its shard
+/// and shadow ledger — the body each worker thread runs. Mirrors
+/// `Chain::execute_tx_open` exactly (intrinsic gas, journal bracket,
+/// event capture, revert handling).
+fn run_group<S: ParallelStateMachine>(
+    group: &mut GroupRun<S>,
+    round: u64,
+    schedule: &GasSchedule,
+    contract_addr: Address,
+) {
+    for (pos, tx) in &group.txs {
+        let mut meter = GasMeter::new();
+        meter.charge("intrinsic", schedule.intrinsic(&tx.msg.calldata()));
+        let label = tx.msg.label();
+        let mut events = Vec::new();
+        S::shard_begin_tx(&mut group.shard);
+        group.ledger.begin_tx();
+        let ev_start = group.ledger.events().len();
+        let result = {
+            let mut env = ExecEnv::new(
+                &mut group.ledger,
+                &mut meter,
+                schedule,
+                round,
+                contract_addr,
+                &mut events,
+            );
+            S::shard_on_message(&mut group.shard, &mut env, tx.sender, tx.msg.clone())
+        };
+        let (status, events) = match result {
+            Ok(()) => {
+                S::shard_commit_tx(&mut group.shard);
+                group.ledger.commit_tx();
+                (TxStatus::Ok, events)
+            }
+            Err(e) => {
+                // Roll back all touched state; gas is still consumed.
+                S::shard_rollback_tx(&mut group.shard);
+                group.ledger.rollback_tx();
+                (TxStatus::Reverted(e.to_string()), Vec::new())
+            }
+        };
+        let ev_end = group.ledger.events().len();
+        group.outcomes.push(TxOutcome {
+            pos: *pos,
+            receipt: Receipt {
+                seq: tx.seq,
+                sender: tx.sender,
+                label,
+                round,
+                gas_used: meter.used(),
+                status,
+                gas_breakdown: meter.breakdown().to_vec(),
+            },
+            events,
+            ledger_events: (ev_start, ev_end),
+        });
+    }
+    group.touched = group.ledger.take_touched();
+}
+
+impl<S> Chain<S>
+where
+    S: ParallelStateMachine,
+    S::Shard: Send,
+    S::Msg: Send,
+    S::Event: Send,
+{
+    /// Advances one round with optimistic parallel execution of
+    /// disjoint-instance transactions. Committed state — receipts,
+    /// events, ledger, contract, mempool carry-over — is bit-identical
+    /// to [`Chain::advance_round`] for every thread count; with one
+    /// executor thread (or under the clone-checkpoint baseline, which
+    /// has no shard journaling) it *is* the serial path.
+    pub fn advance_round_parallel(&mut self, policy: &mut dyn ReorderPolicy<S::Msg>) -> &Block {
+        if self.exec_threads <= 1 || self.clone_checkpoint.is_some() {
+            return self.advance_round(policy);
+        }
+        self.round += 1;
+        self.clock_tick();
+
+        let pending = std::mem::take(&mut self.mempool);
+        let Scheduled { deliver, delay } = policy.schedule(self.round, pending);
+        self.mempool = delay;
+
+        let mut receipts = Vec::new();
+        let mut block_gas: Gas = 0;
+        let mut carried: Vec<PendingTx<S::Msg>> = Vec::new();
+        let mut queue: VecDeque<PendingTx<S::Msg>> = deliver.into();
+        let mut pos = 0;
+        loop {
+            let access = match queue.front() {
+                None => break,
+                Some(tx) => self.contract.msg_access(&tx.msg),
+            };
+            let full = match access {
+                MsgAccess::Global => {
+                    // Serial barrier: global transactions execute alone,
+                    // in order, so creations and the transactions around
+                    // them see exact serial state.
+                    let tx = queue.pop_front().expect("front exists");
+                    pos += 1;
+                    self.parallel_stats.serial_txs += 1;
+                    !self.execute_tx_into_block(tx, &mut block_gas, &mut receipts, &mut carried)
+                }
+                MsgAccess::Instance(_) => {
+                    // Maximal run of instance-addressed transactions.
+                    let mut batch = Vec::new();
+                    while let Some(tx) = queue.front() {
+                        let MsgAccess::Instance(key) = self.contract.msg_access(&tx.msg) else {
+                            break;
+                        };
+                        batch.push((pos, key, queue.pop_front().expect("front exists")));
+                        pos += 1;
+                    }
+                    !self.execute_batch(batch, &mut block_gas, &mut receipts, &mut carried)
+                }
+            };
+            if full {
+                break;
+            }
+        }
+        // A full block carries everything not yet executed, in order.
+        carried.extend(queue);
+        self.seal_block(receipts, carried)
+    }
+
+    /// Executes one batch of instance-addressed transactions, in
+    /// parallel when it spans several instances. Returns `false` when
+    /// the block gas limit stopped the batch (remaining transactions
+    /// were pushed to `carried` by the serial fallback).
+    fn execute_batch(
+        &mut self,
+        batch: Vec<(usize, u64, PendingTx<S::Msg>)>,
+        block_gas: &mut Gas,
+        receipts: &mut Vec<Receipt>,
+        carried: &mut Vec<PendingTx<S::Msg>>,
+    ) -> bool {
+        let distinct: BTreeSet<u64> = batch.iter().map(|(_, key, _)| *key).collect();
+        if distinct.len() < 2 {
+            // A single hot instance is inherently sequential: its
+            // transactions execute serially, in mempool order.
+            return self.execute_batch_serial(batch, block_gas, receipts, carried);
+        }
+
+        // Assemble one workspace per instance group (schedule order is
+        // preserved inside each group's transaction list).
+        let Some(groups) = self.assemble_groups(&batch) else {
+            return self.execute_batch_serial(batch, block_gas, receipts, carried);
+        };
+
+        // Fan the groups out over scoped worker threads: largest groups
+        // first, round-robin over the buckets (group sizes are skewed —
+        // one busy instance can dominate a block). Distribution cannot
+        // affect results; groups are independent until validation.
+        let threads = self.exec_threads.min(groups.len());
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(groups[i].txs.len()));
+        let mut slots: Vec<Option<GroupRun<S>>> = groups.into_iter().map(Some).collect();
+        let mut buckets: Vec<Vec<GroupRun<S>>> = (0..threads).map(|_| Vec::new()).collect();
+        for (j, &i) in order.iter().enumerate() {
+            buckets[j % threads].push(slots[i].take().expect("each group moves once"));
+        }
+        let round = self.round;
+        let schedule = &self.schedule;
+        let contract_addr = self.contract_addr;
+        let mut groups: Vec<GroupRun<S>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|mut bucket| {
+                    scope.spawn(move || {
+                        for group in &mut bucket {
+                            run_group::<S>(group, round, schedule, contract_addr);
+                        }
+                        bucket
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("executor thread panicked"))
+                .collect()
+        });
+        groups.sort_by_key(|g| g.txs.first().map(|(pos, _)| *pos).unwrap_or(usize::MAX));
+
+        // Conflict detection over the journal-layer touch sets: results
+        // only commit if every touched ledger entry belongs to exactly
+        // one group and stayed inside that group's preset.
+        let mut conflict = false;
+        let mut owner: BTreeSet<Address> = BTreeSet::new();
+        'validate: for g in &groups {
+            for addr in &g.touched {
+                if !g.preset.contains(addr) && self.ledger.balance_entry(addr).is_some() {
+                    conflict = true;
+                    break 'validate;
+                }
+                if !owner.insert(*addr) {
+                    conflict = true;
+                    break 'validate;
+                }
+            }
+        }
+
+        // Gas-cap cut detection: replay the receipts' gas in schedule
+        // order against the block under construction. Any cut means the
+        // serial path would have stopped mid-batch, so the optimistic
+        // results (computed from batch-start state for every tx) must be
+        // discarded wholesale.
+        let overflow = self.block_gas_limit.is_some_and(|limit| {
+            let mut outcomes: Vec<&TxOutcome<S>> =
+                groups.iter().flat_map(|g| g.outcomes.iter()).collect();
+            outcomes.sort_by_key(|o| o.pos);
+            let mut gas = *block_gas;
+            let mut nonempty = !receipts.is_empty();
+            outcomes.iter().any(|o| {
+                if gas + o.receipt.gas_used > limit && nonempty {
+                    true
+                } else {
+                    gas += o.receipt.gas_used;
+                    nonempty = true;
+                    false
+                }
+            })
+        });
+
+        if conflict || overflow {
+            if conflict {
+                self.parallel_stats.conflict_fallbacks += 1;
+            } else {
+                self.parallel_stats.gas_fallbacks += 1;
+            }
+            // Discard every optimistic result (shards and shadows were
+            // private copies; main state is untouched) and re-execute
+            // the whole batch serially, in mempool order.
+            drop(groups);
+            return self.execute_batch_serial(batch, block_gas, receipts, carried);
+        }
+
+        // Merge. Groups are pairwise disjoint, so shard installs and
+        // balance merges commute; receipts and both event streams merge
+        // in schedule order, making the committed block byte-identical
+        // to serial execution.
+        self.parallel_stats.batches += 1;
+        self.parallel_stats.parallel_txs += batch.len();
+        for g in &groups {
+            for addr in &g.touched {
+                self.ledger.merge_entry(*addr, g.ledger.balance_entry(addr));
+            }
+        }
+        let mut merged: Vec<(usize, usize, usize)> = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for (oi, o) in g.outcomes.iter().enumerate() {
+                merged.push((o.pos, gi, oi));
+            }
+        }
+        merged.sort_unstable();
+        for (_, gi, oi) in merged {
+            let (a, b) = groups[gi].outcomes[oi].ledger_events;
+            let events = std::mem::take(&mut groups[gi].outcomes[oi].events);
+            let receipt = groups[gi].outcomes[oi].receipt.clone();
+            *block_gas += receipt.gas_used;
+            receipts.push(receipt);
+            for e in events {
+                self.events.push((self.round, e));
+            }
+            self.ledger.append_events(&groups[gi].ledger.events()[a..b]);
+        }
+        for g in groups {
+            self.contract.shard_install(g.key, g.shard);
+        }
+        true
+    }
+
+    /// Builds the per-instance group workspaces for a batch: shard
+    /// snapshots, account presets (declared accounts plus transaction
+    /// senders) and sparse shadow ledgers. `None` if any instance cannot
+    /// be sharded.
+    fn assemble_groups(
+        &self,
+        batch: &[(usize, u64, PendingTx<S::Msg>)],
+    ) -> Option<Vec<GroupRun<S>>> {
+        let mut groups: Vec<GroupRun<S>> = Vec::new();
+        let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+        for (pos, key, tx) in batch {
+            let gi = match index.get(key) {
+                Some(&gi) => gi,
+                None => {
+                    let shard = self.contract.shard_snapshot(*key)?;
+                    let preset: BTreeSet<Address> =
+                        self.contract.shard_accounts(*key).into_iter().collect();
+                    index.insert(*key, groups.len());
+                    groups.push(GroupRun {
+                        key: *key,
+                        shard,
+                        ledger: Ledger::new(),
+                        preset,
+                        txs: Vec::new(),
+                        outcomes: Vec::new(),
+                        touched: BTreeSet::new(),
+                    });
+                    groups.len() - 1
+                }
+            };
+            groups[gi].preset.insert(tx.sender);
+            groups[gi].txs.push((*pos, tx.clone()));
+        }
+        for g in &mut groups {
+            g.ledger = self.ledger.sparse_overlay(g.preset.iter().copied());
+        }
+        Some(groups)
+    }
+
+    /// The serial path for a batch: global barrier semantics, also used
+    /// as the conflict / gas-overflow fallback.
+    fn execute_batch_serial(
+        &mut self,
+        batch: Vec<(usize, u64, PendingTx<S::Msg>)>,
+        block_gas: &mut Gas,
+        receipts: &mut Vec<Receipt>,
+        carried: &mut Vec<PendingTx<S::Msg>>,
+    ) -> bool {
+        let mut batch = batch.into_iter();
+        for (_, _, tx) in batch.by_ref() {
+            self.parallel_stats.serial_txs += 1;
+            if !self.execute_tx_into_block(tx, block_gas, receipts, carried) {
+                // The block is full: the overflowing transaction is
+                // already in `carried`; the rest of the batch follows
+                // it, in order, exactly as the serial path carries the
+                // remaining deliveries.
+                carried.extend(batch.map(|(_, _, tx)| tx));
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -18,11 +18,19 @@
 //!   instance runs with deferred verification; at each block boundary
 //!   the registry drives every instance's queued rejection proofs
 //!   through `dragoon_crypto::vpke::batch_verify_each`.
+//! * **Parallel execution** — the registry implements
+//!   [`dragoon_chain::ParallelStateMachine`]: instance-addressed
+//!   transactions shard by [`HitId`] ([`RegistryShard`]) so disjoint
+//!   instances execute concurrently under the chain's optimistic
+//!   parallel block executor, with `Create` as a serial barrier.
 
 use crate::contract::{BatchStats, HitContract, HitError, HitEvent, PendingVerdict};
 use crate::msg::{HitMessage, PublishParams};
 use crate::PhaseWindows;
-use dragoon_chain::{CalldataStats, ChainMessage, ExecEnv, Journaled, StateJournal, StateMachine};
+use dragoon_chain::{
+    resolve_threads, CalldataStats, ChainMessage, ExecEnv, Journaled, MsgAccess,
+    ParallelStateMachine, StateJournal, StateMachine,
+};
 use dragoon_crypto::vpke::{self, DecryptionProof, DecryptionStatement};
 use dragoon_ledger::Address;
 use std::collections::{BTreeMap, BTreeSet};
@@ -155,7 +163,7 @@ enum RegistryUndo {
 }
 
 /// The marketplace registry contract.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct HitRegistry {
     mode: SettlementMode,
     hits: BTreeMap<HitId, HitInstance>,
@@ -167,6 +175,24 @@ pub struct HitRegistry {
     batch_stats: BatchStats,
     /// Per-transaction undo journal (see [`RegistryUndo`]).
     journal: StateJournal<RegistryUndo>,
+    /// Thread budget for block-boundary settlement verification
+    /// (`0` = resolve from `DRAGOON_THREADS` / available parallelism).
+    verify_threads: usize,
+}
+
+impl PartialEq for HitRegistry {
+    /// Compares observable contract state; the journal is transient
+    /// bookkeeping (as in [`dragoon_ledger::Ledger`]'s equality) and
+    /// `verify_threads` is a local performance knob — neither may
+    /// distinguish two chains (the equivalence suites compare registries
+    /// across thread counts).
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode
+            && self.hits == other.hits
+            && self.live == other.live
+            && self.next_id == other.next_id
+            && self.batch_stats == other.batch_stats
+    }
 }
 
 impl Journaled for HitRegistry {
@@ -221,7 +247,16 @@ impl HitRegistry {
             next_id: 0,
             batch_stats: BatchStats::default(),
             journal: StateJournal::new(),
+            verify_threads: 0,
         }
+    }
+
+    /// Sets the thread budget for block-boundary settlement verification
+    /// (`0` resolves from `DRAGOON_THREADS`, then available
+    /// parallelism). Verdicts are thread-count-independent.
+    pub fn with_verify_threads(mut self, threads: usize) -> Self {
+        self.verify_threads = threads;
+        self
     }
 
     /// The settlement mode in force.
@@ -384,7 +419,10 @@ impl StateMachine for HitRegistry {
             let total: usize = chunks.iter().map(Vec::len).sum();
             let chunk_refs: Vec<&[(DecryptionStatement, DecryptionProof)]> =
                 chunks.iter().map(Vec::as_slice).collect();
-            let results = vpke::par_batch_verify_chunks(&chunk_refs);
+            let results = vpke::par_batch_verify_chunks_with(
+                &chunk_refs,
+                resolve_threads(self.verify_threads),
+            );
             if total > 0 {
                 self.batch_stats.record(total as u64);
             }
@@ -415,6 +453,98 @@ impl StateMachine for HitRegistry {
         // Sweep: instances settled this block (by deadline, Finalize or
         // Cancel) leave the live set.
         self.live.retain(|id| !self.hits[id].hit.is_settled());
+    }
+}
+
+/// One hosted instance extracted for a parallel-executor worker thread:
+/// an owned clone of the instance plus its registry id. Opaque outside
+/// this crate — the executor only moves it between threads and hands it
+/// back through [`ParallelStateMachine::shard_install`].
+pub struct RegistryShard {
+    id: HitId,
+    inst: HitInstance,
+}
+
+impl ParallelStateMachine for HitRegistry {
+    type Shard = RegistryShard;
+
+    fn msg_access(&self, msg: &RegistryMessage) -> MsgAccess {
+        match msg {
+            // Creation allocates a fresh id and escrow — registry-global.
+            RegistryMessage::Create { .. } => MsgAccess::Global,
+            // Routes to unknown instances revert against global state
+            // (no sharding target exists), so they stay serial.
+            RegistryMessage::Hit { id, .. } => {
+                if self.hits.contains_key(id) {
+                    MsgAccess::Instance(*id)
+                } else {
+                    MsgAccess::Global
+                }
+            }
+        }
+    }
+
+    fn shard_snapshot(&self, key: u64) -> Option<RegistryShard> {
+        self.hits.get(&key).map(|inst| RegistryShard {
+            id: key,
+            inst: inst.clone(),
+        })
+    }
+
+    fn shard_install(&mut self, key: u64, shard: RegistryShard) {
+        debug_assert_eq!(key, shard.id, "shard returned under a foreign key");
+        self.hits.insert(key, shard.inst);
+    }
+
+    fn shard_accounts(&self, key: u64) -> Vec<Address> {
+        let Some(inst) = self.hits.get(&key) else {
+            return Vec::new();
+        };
+        // Everything instance transactions can pay to or read: the
+        // escrow, the requester (refunds) and the enrolled workers
+        // (rewards). Senders are added by the executor; any access
+        // beyond this preset is caught by the touch-set validation.
+        let mut accounts = vec![inst.addr];
+        accounts.extend(inst.hit.requester());
+        accounts.extend_from_slice(inst.hit.committed_workers());
+        accounts
+    }
+
+    fn shard_on_message(
+        shard: &mut RegistryShard,
+        env: &mut ExecEnv<'_, RegistryEvent>,
+        sender: Address,
+        msg: RegistryMessage,
+    ) -> Result<(), RegistryError> {
+        // Mirrors the `RegistryMessage::Hit` arm of `on_message` exactly
+        // (same gas charges, event wrapping and error mapping); the
+        // instance journal bracket is the executor's, via shard_*_tx.
+        let RegistryMessage::Hit { id, msg } = msg else {
+            unreachable!("the scheduler only routes instance-addressed messages to shards");
+        };
+        debug_assert_eq!(id, shard.id, "message routed to the wrong shard");
+        // Routing lookup.
+        env.gas.charge("sload", env.schedule.sload);
+        let hit = &mut shard.inst.hit;
+        let addr = shard.inst.addr;
+        env.scoped(
+            addr,
+            |child| hit.on_message(child, sender, msg),
+            |event| RegistryEvent::Hit { id, event },
+        )
+        .map_err(|e| RegistryError::Hit(id, e))
+    }
+
+    fn shard_begin_tx(shard: &mut RegistryShard) {
+        shard.inst.hit.begin_tx();
+    }
+
+    fn shard_commit_tx(shard: &mut RegistryShard) {
+        shard.inst.hit.commit_tx();
+    }
+
+    fn shard_rollback_tx(shard: &mut RegistryShard) {
+        shard.inst.hit.rollback_tx();
     }
 }
 

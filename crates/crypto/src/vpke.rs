@@ -391,11 +391,22 @@ pub fn batch_verify_each(items: &[(DecryptionStatement, DecryptionProof)]) -> Ve
 pub fn par_batch_verify_chunks(
     chunks: &[&[(DecryptionStatement, DecryptionProof)]],
 ) -> Vec<Vec<bool>> {
-    let total: usize = chunks.iter().map(|c| c.len()).sum();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(chunks.len());
+        .unwrap_or(1);
+    par_batch_verify_chunks_with(chunks, threads)
+}
+
+/// [`par_batch_verify_chunks`] with an explicit thread budget instead of
+/// the host's available parallelism — callers thread their configured
+/// count (e.g. `DRAGOON_THREADS` / `MarketConfig`) through here. Verdicts
+/// are identical for every thread count, including `1`.
+pub fn par_batch_verify_chunks_with(
+    chunks: &[&[(DecryptionStatement, DecryptionProof)]],
+    threads: usize,
+) -> Vec<Vec<bool>> {
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    let threads = threads.max(1).min(chunks.len());
     if threads <= 1 || total < 32 {
         return chunks.iter().map(|c| batch_verify_each(c)).collect();
     }
@@ -775,6 +786,15 @@ mod tests {
         assert_eq!(par, individual, "and verdicts equal per-proof verify");
         // Some of the corrupted proofs actually failed.
         assert!(par.iter().flatten().any(|&ok| !ok));
+        // An explicit thread budget — the configurable path the registry
+        // uses — is verdict-identical at every count, including 1.
+        for threads in [1usize, 2, 3, 16] {
+            assert_eq!(
+                par_batch_verify_chunks_with(&refs, threads),
+                seq,
+                "thread budget {threads} must not change verdicts"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //!   / [`Journaled::rollback_tx`]; the gas-capped block path uses the
 //!   same bracket to roll a *successful* transaction back out of an
 //!   overfull block.
+//! * [`TouchSet<K>`] — the touched-entry record the optimistic parallel
+//!   block executor builds its conflict detection on: while the undo log
+//!   captures writes, the touch set additionally captures *reads*, so
+//!   two transaction groups conflict exactly when their touch sets
+//!   intersect.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 /// A state component that can bracket mutations into revertible
 /// transactions.
@@ -41,6 +49,67 @@ pub trait Journaled {
     /// Ends the transaction reverting every mutation recorded since
     /// [`Journaled::begin_tx`], in LIFO order.
     fn rollback_tx(&mut self);
+}
+
+/// A set of state keys touched — read **or** written — while tracking is
+/// enabled. The undo log alone is not enough for optimistic concurrency:
+/// it records writes (it exists to revert them), but two transactions
+/// also conflict when one *reads* an entry the other writes, because the
+/// read value feeds guard checks, revert messages and payout amounts.
+/// `TouchSet` closes that gap: journaled components record every key a
+/// transaction observes, and the parallel block executor intersects the
+/// per-group sets to decide whether optimistic results may commit.
+///
+/// Reads come through `&self` accessors, so the set lives behind a
+/// [`RefCell`]; tracking is off by default and costs one branch when
+/// disabled, exactly like [`StateJournal::record`].
+#[derive(Clone, Debug)]
+pub struct TouchSet<K: Ord> {
+    enabled: bool,
+    keys: RefCell<BTreeSet<K>>,
+}
+
+impl<K: Ord> Default for TouchSet<K> {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            keys: RefCell::new(BTreeSet::new()),
+        }
+    }
+}
+
+impl<K: Ord + Copy> TouchSet<K> {
+    /// A disabled touch set (recording is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An enabled touch set, recording from the first access.
+    pub fn tracking() -> Self {
+        Self {
+            enabled: true,
+            keys: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    /// Whether accesses are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one touched key (no-op when disabled). Takes `&self` so
+    /// read-only accessors can report their reads.
+    pub fn record(&self, key: K) {
+        if self.enabled {
+            self.keys.borrow_mut().insert(key);
+        }
+    }
+
+    /// Drains and returns every key touched since tracking began (or the
+    /// last take).
+    pub fn take(&mut self) -> BTreeSet<K> {
+        std::mem::take(&mut self.keys.borrow_mut())
+    }
 }
 
 /// A reusable undo log with an explicit recording window.
@@ -156,6 +225,19 @@ mod tests {
         assert_eq!(j.drain_rollback(), vec![3, 2, 1]);
         assert!(!j.recording());
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn disabled_touch_set_records_nothing() {
+        let mut t: TouchSet<u32> = TouchSet::new();
+        t.record(1);
+        assert!(t.take().is_empty());
+        let mut t = TouchSet::tracking();
+        t.record(2);
+        t.record(1);
+        t.record(2);
+        assert_eq!(t.take().into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(t.take().is_empty(), "take drains");
     }
 
     #[test]

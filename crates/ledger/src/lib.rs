@@ -25,7 +25,9 @@ use std::fmt;
 pub mod address;
 pub mod journal;
 pub use address::Address;
-pub use journal::{Journaled, StateJournal};
+pub use journal::{Journaled, StateJournal, TouchSet};
+
+use std::collections::BTreeSet;
 
 /// An amount of coins (abstract smallest unit).
 pub type Amount = u128;
@@ -132,11 +134,17 @@ pub struct Ledger {
     /// journaled while a chain transaction is open, so a revert restores
     /// exactly the touched entries instead of a whole-map snapshot.
     journal: StateJournal<LedgerUndo>,
+    /// Touched-entry tracking (reads *and* writes) for the optimistic
+    /// parallel executor's conflict detection. Disabled on the canonical
+    /// ledger; enabled on the [`Ledger::sparse_overlay`] shadows the
+    /// executor hands to worker threads.
+    touches: TouchSet<Address>,
 }
 
 impl PartialEq for Ledger {
     /// Ledger equality compares observable state (balances + event log);
-    /// the journal is transient bookkeeping and is ignored.
+    /// the journal and the touch tracking are transient bookkeeping and
+    /// are ignored.
     fn eq(&self, other: &Self) -> bool {
         self.balances == other.balances && self.events == other.events
     }
@@ -177,8 +185,9 @@ impl Ledger {
     }
 
     /// Journals the prior value of `account`'s balance entry before a
-    /// write (no-op outside a transaction).
+    /// write (no-op outside a transaction), and records the touch.
     fn record_balance(&mut self, account: Address) {
+        self.touches.record(account);
         let balances = &self.balances;
         self.journal.record_with(|| LedgerUndo::Balance {
             account,
@@ -201,7 +210,73 @@ impl Ledger {
 
     /// The balance of `account` (zero if never seen).
     pub fn balance(&self, account: &Address) -> Amount {
+        self.touches.record(*account);
         self.balances.get(account).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic-concurrency support (parallel block execution)
+    // ------------------------------------------------------------------
+
+    /// A shadow ledger for one optimistic execution group: the balance
+    /// entries of `accounts` copied from this ledger, an empty event log
+    /// (only *new* events accumulate), and touch tracking enabled.
+    ///
+    /// The preset must cover every entry the group may read — the
+    /// executor verifies post-hoc that no touched account outside the
+    /// preset had a base entry (such a read would have seen a phantom
+    /// zero) and falls back to serial re-execution otherwise.
+    pub fn sparse_overlay(&self, accounts: impl IntoIterator<Item = Address>) -> Ledger {
+        let mut balances = HashMap::new();
+        for account in accounts {
+            if let Some(v) = self.balances.get(&account) {
+                balances.insert(account, *v);
+            }
+        }
+        Ledger {
+            balances,
+            events: Vec::new(),
+            journal: StateJournal::new(),
+            touches: TouchSet::tracking(),
+        }
+    }
+
+    /// The raw balance entry of `account` — `None` when no entry exists,
+    /// which is observably different from an explicit zero for state
+    /// comparison. Used by the executor to validate presets and merge
+    /// shadow results; records the touch like any other read.
+    pub fn balance_entry(&self, account: &Address) -> Option<Amount> {
+        self.touches.record(*account);
+        self.balances.get(account).copied()
+    }
+
+    /// Drains the set of accounts touched (read or written) since touch
+    /// tracking began. Empty unless the ledger was built by
+    /// [`Ledger::sparse_overlay`].
+    pub fn take_touched(&mut self) -> BTreeSet<Address> {
+        self.touches.take()
+    }
+
+    /// Installs a shadow ledger's final entry for `account`: `Some`
+    /// overwrites, `None` removes (an entry created and rolled back, or
+    /// one that never existed). Bypasses journal and events — merging
+    /// happens between transactions, after conflict validation.
+    pub fn merge_entry(&mut self, account: Address, entry: Option<Amount>) {
+        match entry {
+            Some(v) => {
+                self.balances.insert(account, v);
+            }
+            None => {
+                self.balances.remove(&account);
+            }
+        }
+    }
+
+    /// Appends a shadow ledger's event slice to the transparent log (the
+    /// executor merges per-transaction slices in schedule order, so the
+    /// committed log is identical to serial execution's).
+    pub fn append_events(&mut self, events: &[LedgerEvent]) {
+        self.events.extend_from_slice(events);
     }
 
     /// **FreezeCoins**: contract `contract` freezes `amount` from `party`.
@@ -293,7 +368,18 @@ impl Ledger {
     }
 
     /// Total coins in circulation (conservation-law invariant).
+    ///
+    /// Canonical-ledger only: on a [`Ledger::sparse_overlay`] shadow the
+    /// sum would cover just the preset's copied entries, and a whole-map
+    /// scan cannot be expressed as a touched-entry set, so contract code
+    /// must never guard on it (the debug assertion makes a future misuse
+    /// fail loudly in the differential suites instead of silently
+    /// committing state that diverges from serial execution).
     pub fn total_supply(&self) -> Amount {
+        debug_assert!(
+            !self.touches.enabled(),
+            "total_supply is not touch-trackable; do not call it on an execution shadow"
+        );
         self.balances.values().sum()
     }
 }
@@ -455,6 +541,51 @@ mod tests {
         l.rollback_tx();
         assert_eq!(l.balance(&addr(9)), 60);
         assert_eq!(l.balance(&addr(2)), 0);
+    }
+
+    #[test]
+    fn sparse_overlay_tracks_reads_and_writes() {
+        let mut base = Ledger::new();
+        base.mint(addr(1), 100);
+        base.mint(addr(9), 50);
+        let mut shadow = base.sparse_overlay([addr(1), addr(9)]);
+        assert!(
+            shadow.events().is_empty(),
+            "overlay log holds new events only"
+        );
+        // A read alone must be touched: guards and revert messages depend
+        // on it even when nothing is written.
+        assert_eq!(shadow.balance(&addr(1)), 100);
+        shadow.pay(addr(9), addr(2), 30).unwrap();
+        let touched = shadow.take_touched();
+        assert!(touched.contains(&addr(1)), "read-only access is a touch");
+        assert!(touched.contains(&addr(9)) && touched.contains(&addr(2)));
+        // Merging the touched entries reproduces serial execution.
+        for a in [addr(1), addr(2), addr(9)] {
+            base.merge_entry(a, shadow.balance_entry(&a));
+        }
+        base.append_events(shadow.events());
+        assert_eq!(base.balance(&addr(2)), 30);
+        assert_eq!(base.balance(&addr(9)), 20);
+        assert_eq!(base.events().len(), 3, "mint, mint, paid");
+        // The canonical ledger never tracks.
+        assert!(base.take_touched().is_empty());
+    }
+
+    #[test]
+    fn overlay_rollback_removes_created_entries() {
+        let mut base = Ledger::new();
+        base.mint(addr(9), 50);
+        let mut shadow = base.sparse_overlay([addr(9)]);
+        shadow.begin_tx();
+        shadow.pay(addr(9), addr(2), 10).unwrap();
+        shadow.rollback_tx();
+        assert_eq!(shadow.balance_entry(&addr(2)), None, "entry fully undone");
+        assert_eq!(shadow.balance_entry(&addr(9)), Some(50));
+        assert!(shadow.events().is_empty());
+        // merge_entry(None) must not materialize a zero entry.
+        base.merge_entry(addr(2), None);
+        assert_eq!(base.balance_entry(&addr(2)), None);
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub struct MarketConfig {
     /// journal-equivalence differential tests and the throughput-
     /// comparison bench — same seed, both settings, identical reports.
     pub clone_checkpointing: bool,
+    /// Worker threads for block execution *and* block-boundary
+    /// settlement verification: `0` (default) resolves from the
+    /// `DRAGOON_THREADS` environment variable, then the host's available
+    /// parallelism; `1` forces the strictly serial executor (the
+    /// differential baseline, like `clone_checkpointing`). Reports are
+    /// identical for every value — only wall clock changes.
+    pub exec_threads: usize,
 }
 
 impl Default for MarketConfig {
@@ -110,6 +117,7 @@ impl Default for MarketConfig {
             max_blocks: 600,
             seed: 0xd1a6_0000,
             clone_checkpointing: false,
+            exec_threads: 0,
         }
     }
 }

@@ -24,7 +24,8 @@ use crate::agents::{RequesterAgent, WorkerAgent};
 use crate::config::{MarketConfig, MarketPolicy};
 use crate::metrics::{BlockStat, HitOutcome, MarketReport};
 use dragoon_chain::{
-    Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, ReversePolicy, TxStatus,
+    resolve_threads, Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, ReversePolicy,
+    TxStatus,
 };
 use dragoon_contract::{
     HitEvent, HitId, HitMessage, HitRegistry, Phase, RegistryEvent, RegistryMessage, RejectReason,
@@ -88,11 +89,15 @@ impl MarketSim {
         assert!(config.hits > 0, "a market needs at least one HIT");
         assert!(config.workers > 0, "a market needs workers");
         let mut rng = StdRng::seed_from_u64(config.seed);
+        // One resolved thread budget drives both the parallel block
+        // executor and block-boundary settlement verification.
+        let threads = resolve_threads(config.exec_threads);
         let mut chain = Chain::deploy(
-            HitRegistry::new(config.settlement),
+            HitRegistry::new(config.settlement).with_verify_threads(threads),
             REGISTRY_CODE_LEN,
             GasSchedule::istanbul(),
-        );
+        )
+        .with_exec_threads(threads);
         if let Some(limit) = config.block_gas_limit {
             chain = chain.with_block_gas_limit(limit);
         }
@@ -185,7 +190,11 @@ impl MarketSim {
                 MarketPolicy::Reverse => &mut reverse,
                 MarketPolicy::FrontRun => &mut front_run,
             };
-            self.chain.advance_round(policy);
+            // Optimistic parallel execution over disjoint HIT instances;
+            // delegates to the serial path at one thread or under the
+            // clone-checkpoint baseline. Reports are identical either
+            // way (tests/parallel_equivalence.rs).
+            self.chain.advance_round_parallel(policy);
             self.harvest();
         }
         self.report()

@@ -8,7 +8,7 @@
 //! random transaction sequences, mid-block gas-cap rollback,
 //! front-runner contention and whole-market runs.
 
-use dragoon_chain::{Chain, FrontRunPolicy, GasSchedule, ReorderPolicy, TxStatus};
+use dragoon_chain::{Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, TxStatus};
 use dragoon_contract::{
     HitMessage, HitRegistry, PhaseWindows, RegistryMessage, SettlementMode, REGISTRY_CODE_LEN,
 };
@@ -252,6 +252,57 @@ fn gas_cap_overflow_rollback_journal_equals_clone() {
     for block in &pair.0.blocks()[..5] {
         assert_eq!(block.receipts.len(), 1, "block {}", block.round);
     }
+}
+
+/// The same mid-block overflow discipline under the **parallel**
+/// executor: a journaled chain running 4 executor threads against the
+/// serial clone-checkpoint baseline. Oversized creates land alone
+/// through the serial-barrier path; the commit batch that follows spans
+/// two instances and is cut by the 100k cap mid-batch, so the executor
+/// must discard its optimistic results and reproduce the serial
+/// carry-over exactly.
+#[test]
+fn gas_cap_overflow_rollback_parallel_journal_equals_clone() {
+    let fx = Fixture::new(43);
+    let (journal, baseline) = fx.chain_pair(SettlementMode::PerProof, Some(100_000));
+    let mut pair = (journal.with_exec_threads(4), baseline);
+    submit_both(&mut pair, fx.requester, fx.create_msg());
+    submit_both(&mut pair, fx.requester, fx.create_msg());
+    for round in 0..2 {
+        pair.0.advance_round_parallel(&mut FifoPolicy);
+        pair.1.advance_round_fifo();
+        assert_chains_equal(&pair.0, &pair.1, &format!("parallel create round {round}"));
+    }
+    assert_eq!(pair.0.contract().len(), 2);
+    // Six commits alternating between the two instances: ~46k gas each,
+    // so a 100k block fits two and the parallel batch is cut mid-way.
+    for w in 1..=6u8 {
+        let key = CommitmentKey([w; 32]);
+        let comm = Commitment::commit(&[w], &key);
+        submit_both(
+            &mut pair,
+            Address::from_byte(w),
+            RegistryMessage::Hit {
+                id: (w % 2) as u64,
+                msg: HitMessage::Commit { commitment: comm },
+            },
+        );
+    }
+    for round in 0..4 {
+        pair.0.advance_round_parallel(&mut FifoPolicy);
+        pair.1.advance_round_fifo();
+        assert_chains_equal(
+            &pair.0,
+            &pair.1,
+            &format!("parallel overflow round {round}"),
+        );
+    }
+    assert_eq!(pair.0.mempool_len(), 0, "every commit eventually landed");
+    assert!(
+        pair.0.parallel_stats().gas_fallbacks >= 1,
+        "the cut batch must have fallen back: {:?}",
+        pair.0.parallel_stats()
+    );
 }
 
 /// Front-runner contention under a gas cap: the designated front-runner

@@ -1,0 +1,621 @@
+//! Parallel-execution equivalence: the differential suite for the
+//! optimistic parallel block executor.
+//!
+//! The executor's contract is absolute: committed state — receipts,
+//! contract events, ledger balances and event log, registry state,
+//! mempool carry-over, whole-market report JSON — is **bit-identical to
+//! serial execution for every thread count**. These tests pin that
+//! property across:
+//!
+//! * random transaction soups (proptest-driven) at 1, 2 and 8 threads,
+//! * full multi-instance lifecycles where disjoint instances genuinely
+//!   execute in parallel (stats prove optimistic batches committed),
+//! * adversarial same-instance contention (everything must fall back to
+//!   serial re-execution in mempool order),
+//! * cross-instance ledger conflicts (two instances paying the same
+//!   worker in one block — the journal touch sets must catch it),
+//! * mid-batch block-gas overflow (carry-over must match serial), and
+//! * whole-market runs under FIFO and front-running schedulers.
+
+use dragoon_chain::{Chain, FifoPolicy, GasSchedule, TxStatus};
+use dragoon_contract::{
+    HitMessage, HitRegistry, PhaseWindows, RegistryMessage, SettlementMode, REGISTRY_CODE_LEN,
+};
+use dragoon_core::poqoea::{self, QualityProof};
+use dragoon_core::task::{Answer, GoldenStandards};
+use dragoon_crypto::commitment::{Commitment, CommitmentKey};
+use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+use dragoon_ledger::Address;
+use dragoon_sim::{run_market, MarketConfig, MarketPolicy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BUDGET: u128 = 3_000;
+/// Thread counts every differential runs at; index 0 is the serial
+/// baseline the others are compared against.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+struct Fixture {
+    kp: KeyPair,
+    requester: Address,
+    golden: GoldenStandards,
+    gs_key: CommitmentKey,
+}
+
+impl Fixture {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            kp: KeyPair::generate(&mut rng),
+            requester: Address::from_byte(0xd0),
+            golden: GoldenStandards {
+                indexes: vec![0, 2, 4],
+                answers: vec![1, 0, 1],
+            },
+            gs_key: CommitmentKey::random(&mut rng),
+        }
+    }
+
+    fn params(&self) -> dragoon_contract::PublishParams {
+        dragoon_contract::PublishParams {
+            n: 6,
+            budget: BUDGET,
+            k: 3,
+            range: PlaintextRange::binary(),
+            theta: 3,
+            ek: self.kp.ek,
+            comm_gs: Commitment::commit(&self.golden.encode(), &self.gs_key),
+            task_digest: [9u8; 32],
+        }
+    }
+
+    fn create_msg(&self) -> RegistryMessage {
+        RegistryMessage::Create {
+            windows: PhaseWindows {
+                commit_timeout: Some(4),
+                reveal: 2,
+                evaluate: 3,
+            },
+            params: self.params(),
+        }
+    }
+
+    /// One funded chain per thread count, identical except for the
+    /// executor's thread budget.
+    fn chain_set(&self, mode: SettlementMode, gas_limit: Option<u64>) -> Vec<Chain<HitRegistry>> {
+        THREADS
+            .iter()
+            .map(|&threads| {
+                let mut chain = Chain::deploy(
+                    HitRegistry::new(mode).with_verify_threads(threads),
+                    REGISTRY_CODE_LEN,
+                    GasSchedule::istanbul(),
+                )
+                .with_exec_threads(threads);
+                if let Some(limit) = gas_limit {
+                    chain = chain.with_block_gas_limit(limit);
+                }
+                chain.ledger.mint(self.requester, BUDGET * 20);
+                for w in 1..=40u8 {
+                    chain.ledger.mint(Address::from_byte(w), 100);
+                }
+                chain
+            })
+            .collect()
+    }
+}
+
+/// Submits the same message to every chain of the set.
+fn submit_all(chains: &mut [Chain<HitRegistry>], sender: Address, msg: RegistryMessage) {
+    for chain in chains.iter_mut() {
+        chain.submit(sender, msg.clone());
+    }
+}
+
+/// Advances every chain one FIFO round through the parallel entry point
+/// (which is the serial path at one thread).
+fn advance_all(chains: &mut [Chain<HitRegistry>]) {
+    for chain in chains.iter_mut() {
+        chain.advance_round_parallel(&mut FifoPolicy);
+    }
+}
+
+/// Asserts every observable of each chain matches the serial baseline.
+fn assert_all_equal(chains: &[Chain<HitRegistry>], tag: &str) {
+    let serial = &chains[0];
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        assert_eq!(
+            serial.blocks(),
+            chain.blocks(),
+            "{tag}: receipts diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.events(),
+            chain.events(),
+            "{tag}: chain events diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.ledger, chain.ledger,
+            "{tag}: ledger diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.contract(),
+            chain.contract(),
+            "{tag}: registry state diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.mempool_len(),
+            chain.mempool_len(),
+            "{tag}: carried mempool diverged at {threads} threads"
+        );
+    }
+}
+
+/// Drives `count` instances with per-instance worker pools through
+/// commit and reveal, in interleaved blocks so every block carries
+/// transactions for many disjoint instances. Returns each instance's
+/// workers and their encrypted answers.
+#[allow(clippy::type_complexity)]
+fn drive_to_evaluate(
+    fx: &Fixture,
+    chains: &mut [Chain<HitRegistry>],
+    rng: &mut StdRng,
+    count: u64,
+    shared_worker: Option<Address>,
+) -> Vec<(Vec<Address>, Vec<dragoon_core::task::EncryptedAnswer>)> {
+    for _ in 0..count {
+        submit_all(chains, fx.requester, fx.create_msg());
+    }
+    advance_all(chains);
+    let good = Answer(vec![1, 0, 0, 0, 1, 0]);
+    let bad = Answer(vec![0, 0, 1, 0, 0, 0]);
+    let mut per_hit = Vec::new();
+    // Commits: interleaved across instances within the same block.
+    let mut commits: Vec<(Address, RegistryMessage)> = Vec::new();
+    let mut keys = Vec::new();
+    for id in 0..count {
+        // Disjoint worker pools by default; `shared_worker` (when set)
+        // takes the first slot of *every* instance to force cross-group
+        // ledger contention at settlement.
+        let workers: Vec<Address> = (1..=3u8)
+            .map(|j| match (j, shared_worker) {
+                (1, Some(w)) => w,
+                _ => Address::from_byte(10 + (id as u8) * 3 + j),
+            })
+            .collect();
+        let answers = [bad.clone(), good.clone(), good.clone()];
+        let mut cts = Vec::new();
+        let mut hit_keys = Vec::new();
+        for (w, a) in workers.iter().zip(&answers) {
+            let enc = a.encrypt(&fx.kp.ek, rng);
+            let key = CommitmentKey::random(rng);
+            let comm = Commitment::commit(&enc.encode(), &key);
+            commits.push((
+                *w,
+                RegistryMessage::Hit {
+                    id,
+                    msg: HitMessage::Commit { commitment: comm },
+                },
+            ));
+            cts.push(enc);
+            hit_keys.push(key);
+        }
+        per_hit.push((workers, cts));
+        keys.push(hit_keys);
+    }
+    for (sender, msg) in commits {
+        submit_all(chains, sender, msg);
+    }
+    advance_all(chains);
+    assert_all_equal(chains, "commit block");
+    // Reveals, likewise interleaved.
+    for (id, ((workers, cts), hit_keys)) in per_hit.iter().zip(&keys).enumerate() {
+        for ((w, enc), key) in workers.iter().zip(cts).zip(hit_keys) {
+            submit_all(
+                chains,
+                *w,
+                RegistryMessage::Hit {
+                    id: id as u64,
+                    msg: HitMessage::Reveal {
+                        ciphertexts: enc.clone(),
+                        key: *key,
+                    },
+                },
+            );
+        }
+    }
+    advance_all(chains);
+    assert_all_equal(chains, "reveal block");
+    // Close the reveal window.
+    advance_all(chains);
+    advance_all(chains);
+    // Open gold standards on every instance in one block.
+    for id in 0..count {
+        submit_all(
+            chains,
+            fx.requester,
+            RegistryMessage::Hit {
+                id,
+                msg: HitMessage::Golden {
+                    golden: fx.golden.clone(),
+                    key: fx.gs_key,
+                },
+            },
+        );
+    }
+    advance_all(chains);
+    assert_all_equal(chains, "golden block");
+    per_hit
+}
+
+/// Full multi-instance lifecycle: four disjoint instances running
+/// commit → reveal → golden → PoQoEA rejection → deadline settlement,
+/// with every phase's transactions interleaved across instances in the
+/// same blocks. The serial baseline and the 2- and 8-thread executors
+/// must agree bit-for-bit, and the multi-threaded chains must actually
+/// have committed optimistic batches (this workload has no conflicts).
+#[test]
+fn multi_instance_lifecycle_parallel_equals_serial() {
+    let fx = Fixture::new(0x9a7a);
+    let mut rng = StdRng::seed_from_u64(0x9a7a ^ 1);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 4, None);
+    // Reject each instance's low-quality worker 0 — all four PoQoEA
+    // verifications land in the same block, one per instance, executing
+    // concurrently on the multi-threaded chains.
+    for (id, (workers, cts)) in per_hit.iter().enumerate() {
+        let (chi, proof) = poqoea::prove_quality(
+            &fx.kp.dk,
+            &cts[0],
+            &fx.golden,
+            &PlaintextRange::binary(),
+            &mut rng,
+        );
+        assert!(chi < 3);
+        submit_all(
+            &mut chains,
+            fx.requester,
+            RegistryMessage::Hit {
+                id: id as u64,
+                msg: HitMessage::Evaluate {
+                    worker: workers[0],
+                    chi,
+                    proof,
+                },
+            },
+        );
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "evaluate block");
+    for round in 0..6 {
+        advance_all(&mut chains);
+        assert_all_equal(&chains, &format!("settlement round {round}"));
+    }
+    for id in 0..4 {
+        assert!(chains[0].contract().hit(id).unwrap().is_settled());
+    }
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.batches > 0 && stats.parallel_txs > 0,
+            "{threads} threads: no optimistic batch ever committed ({stats:?})"
+        );
+        assert_eq!(
+            stats.conflict_fallbacks, 0,
+            "{threads} threads: disjoint instances must not conflict"
+        );
+    }
+}
+
+/// Inline payments across disjoint instances in one block: a bogus
+/// PoQoEA (χ=0, empty proof) backfires and pays the worker immediately,
+/// so each group's shadow ledger carries real balance writes and `Paid`
+/// events that must merge back in schedule order.
+#[test]
+fn parallel_inline_payments_merge_exactly() {
+    let fx = Fixture::new(0x6e4d);
+    let mut rng = StdRng::seed_from_u64(0x6e4d ^ 1);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 3, None);
+    for (id, (workers, _)) in per_hit.iter().enumerate() {
+        submit_all(
+            &mut chains,
+            fx.requester,
+            RegistryMessage::Hit {
+                id: id as u64,
+                msg: HitMessage::Evaluate {
+                    worker: workers[1],
+                    chi: 0,
+                    proof: QualityProof::default(),
+                },
+            },
+        );
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "backfired evaluate block");
+    // The backfired rejections paid each instance's worker 1 inline.
+    for (workers, _) in &per_hit {
+        assert_eq!(chains[0].ledger.balance(&workers[1]), 100 + BUDGET / 3);
+    }
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(stats.batches > 0, "{threads} threads: {stats:?}");
+        assert_eq!(stats.conflict_fallbacks, 0, "{threads} threads: {stats:?}");
+    }
+}
+
+/// Conflict injection, cross-instance flavor: every instance enrolls the
+/// *same* worker, and one block carries a backfired evaluation (an
+/// inline payment to that worker) for each instance. The groups' journal
+/// touch sets all contain the shared worker's balance entry, so the
+/// optimistic results must be discarded and the block re-executed
+/// serially — detected, not silently merged.
+#[test]
+fn shared_worker_payments_force_conflict_fallback() {
+    let fx = Fixture::new(0xc04f);
+    let mut rng = StdRng::seed_from_u64(0xc04f ^ 1);
+    let shared = Address::from_byte(40);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 3, Some(shared));
+    for (id, (workers, _)) in per_hit.iter().enumerate() {
+        assert_eq!(workers[0], shared);
+        submit_all(
+            &mut chains,
+            fx.requester,
+            RegistryMessage::Hit {
+                id: id as u64,
+                msg: HitMessage::Evaluate {
+                    worker: shared,
+                    chi: 0,
+                    proof: QualityProof::default(),
+                },
+            },
+        );
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "conflicting payment block");
+    // All three instances paid the same worker BUDGET/3 each.
+    assert_eq!(chains[0].ledger.balance(&shared), 100 + 3 * (BUDGET / 3));
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.conflict_fallbacks >= 1,
+            "{threads} threads: overlapping touch sets must fall back ({stats:?})"
+        );
+    }
+    // The fallback's serial re-execution preserves mempool order.
+    let evaluate_seqs: Vec<u64> = chains[2]
+        .receipts()
+        .filter(|r| r.label == "evaluate")
+        .map(|r| r.seq)
+        .collect();
+    let mut sorted = evaluate_seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(evaluate_seqs, sorted, "fallback must keep mempool order");
+}
+
+/// Conflict injection, hot-instance flavor: every worker hammers the one
+/// HIT in the block, with duplicate commitments and overbooked slots.
+/// A single-instance batch is inherently sequential — all transactions
+/// must go through serial execution in mempool order, no optimistic
+/// batch may commit, and no journal state may leak across threads
+/// (state equality plus the journal's own stale-undo debug assertions
+/// police the latter).
+#[test]
+fn hot_instance_contention_all_serial_in_mempool_order() {
+    let fx = Fixture::new(0x407);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    submit_all(&mut chains, fx.requester, fx.create_msg());
+    advance_all(&mut chains);
+    // Ten workers race for k = 3 slots; worker 7 copies worker 1's
+    // commitment (DuplicateCommitment), everyone past the quota reverts
+    // with TaskFull.
+    for w in 1..=10u8 {
+        let tag = if w == 7 { 1 } else { w };
+        let key = CommitmentKey([7u8; 32]);
+        let comm = Commitment::commit(&[tag], &key);
+        submit_all(
+            &mut chains,
+            Address::from_byte(w),
+            RegistryMessage::Hit {
+                id: 0,
+                msg: HitMessage::Commit { commitment: comm },
+            },
+        );
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "hot instance block");
+    let reverted = chains[0]
+        .receipts()
+        .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+        .count();
+    assert!(
+        reverted >= 7,
+        "contention must produce reverts ({reverted})"
+    );
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert_eq!(
+            stats.batches, 0,
+            "{threads} threads: a single hot instance must not batch ({stats:?})"
+        );
+        assert_eq!(stats.parallel_txs, 0, "{threads} threads: {stats:?}");
+        assert!(stats.serial_txs >= 11, "{threads} threads: {stats:?}");
+        // Serial re-execution order is mempool order: seq strictly
+        // ascending under FIFO.
+        let seqs: Vec<u64> = chain.receipts().map(|r| r.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            seqs, sorted,
+            "{threads} threads: order must be mempool order"
+        );
+    }
+}
+
+/// Gas-cap block overflow under the parallel executor: a batch of
+/// commits across two instances exceeds the block limit mid-batch. The
+/// executor must detect the cut against the schedule-ordered receipts,
+/// discard the optimistic results and fall back to serial execution so
+/// the carry-over (and every later block) matches the serial chain
+/// exactly.
+#[test]
+fn gas_cap_overflow_rollback_parallel_equals_serial() {
+    let fx = Fixture::new(0x9a5);
+    // ~46k gas per commit: a 100k block fits two.
+    let mut chains = fx.chain_set(SettlementMode::PerProof, Some(100_000));
+    submit_all(&mut chains, fx.requester, fx.create_msg());
+    submit_all(&mut chains, fx.requester, fx.create_msg());
+    // Creates cost ~1.3M each — let them land in unlimited-size blocks
+    // first? No: the cap applies from round one, so each block carries
+    // one oversized create alone (also exercised under parallelism).
+    advance_all(&mut chains);
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "create blocks under cap");
+    assert_eq!(chains[0].contract().len(), 2);
+    // Six commits, alternating instances: the parallel batch spans both
+    // groups, but only two commits fit per block.
+    for w in 1..=6u8 {
+        let key = CommitmentKey([w; 32]);
+        let comm = Commitment::commit(&[w], &key);
+        submit_all(
+            &mut chains,
+            Address::from_byte(w),
+            RegistryMessage::Hit {
+                id: (w % 2) as u64,
+                msg: HitMessage::Commit { commitment: comm },
+            },
+        );
+    }
+    for round in 0..4 {
+        advance_all(&mut chains);
+        assert_all_equal(&chains, &format!("overflow round {round}"));
+    }
+    assert_eq!(chains[0].mempool_len(), 0, "all commits eventually landed");
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.gas_fallbacks >= 1,
+            "{threads} threads: the cut batch must fall back ({stats:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random transaction soups: valid creates, racing commits,
+    /// premature finalizes/cancels, unknown-instance routes, wrong-phase
+    /// goldens — most reverting, many instance-addressed (so the
+    /// multi-threaded chains build real optimistic batches). Proptest
+    /// drives the shape; every round must leave all three chains
+    /// bit-identical.
+    #[test]
+    fn random_soups_parallel_equals_serial(
+        ops in proptest::collection::vec((0u32..7, 0u64..8, 1u32..200), 12..40),
+    ) {
+        let fx = Fixture::new(0x50a1);
+        let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+        for (round, window) in ops.chunks(5).enumerate() {
+            for &(kind, id_sel, tag) in window {
+                let created = chains[0].contract().len() as u64;
+                match kind {
+                    0 => submit_all(&mut chains, fx.requester, fx.create_msg()),
+                    1 => submit_all(&mut chains, Address::from_byte(0x99), fx.create_msg()),
+                    2 | 3 if created > 0 => {
+                        let id = id_sel % created;
+                        let w = Address::from_byte((tag % 12 + 1) as u8);
+                        // Every third tag reuses a payload — the
+                        // copy-and-paste duplicate-commitment defence.
+                        let tag = if tag % 3 == 0 { 0 } else { tag };
+                        let key = CommitmentKey([7u8; 32]);
+                        let comm = Commitment::commit(&tag.to_le_bytes(), &key);
+                        submit_all(&mut chains, w, RegistryMessage::Hit {
+                            id,
+                            msg: HitMessage::Commit { commitment: comm },
+                        });
+                    }
+                    4 if created > 0 => {
+                        let id = id_sel % created;
+                        submit_all(&mut chains, fx.requester, RegistryMessage::Hit {
+                            id,
+                            msg: HitMessage::Finalize,
+                        });
+                    }
+                    5 => {
+                        submit_all(&mut chains, fx.requester, RegistryMessage::Hit {
+                            id: 999,
+                            msg: HitMessage::Finalize,
+                        });
+                    }
+                    _ => {
+                        let id = id_sel % created.max(1);
+                        submit_all(&mut chains, fx.requester, RegistryMessage::Hit {
+                            id,
+                            msg: HitMessage::Golden {
+                                golden: fx.golden.clone(),
+                                key: fx.gs_key,
+                            },
+                        });
+                    }
+                }
+            }
+            advance_all(&mut chains);
+            assert_all_equal(&chains, &format!("soup round {round}"));
+        }
+    }
+}
+
+/// Whole-market differential: the same seeded marketplace — batched
+/// settlement, gas caps, worker noise, rejections, cancellations — must
+/// produce byte-identical report JSON at 1, 2 and 8 executor threads.
+#[test]
+fn market_report_identical_across_thread_counts() {
+    let base = MarketConfig {
+        hits: 24,
+        spawn_per_block: 6,
+        workers: 25,
+        worker_capacity: 4,
+        seed: 0x10a2,
+        exec_threads: 1,
+        ..MarketConfig::default()
+    };
+    let serial = run_market(base.clone());
+    assert_eq!(serial.hits_published, 24);
+    for threads in [2, 8] {
+        let parallel = run_market(MarketConfig {
+            exec_threads: threads,
+            ..base.clone()
+        });
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "market reports must be identical at {threads} threads"
+        );
+    }
+}
+
+/// The same market differential with inline (per-proof) settlement —
+/// the mode where verification cost sits inside the transactions the
+/// executor parallelizes — under a front-running scheduler.
+#[test]
+fn market_report_per_proof_front_run_identical() {
+    let base = MarketConfig {
+        hits: 15,
+        workers: 20,
+        overbook: 2,
+        settlement: SettlementMode::PerProof,
+        policy: MarketPolicy::FrontRun,
+        seed: 0xab2,
+        exec_threads: 1,
+        ..MarketConfig::default()
+    };
+    let serial = run_market(base.clone());
+    let parallel = run_market(MarketConfig {
+        exec_threads: 8,
+        ..base
+    });
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert!(serial.reverted_txs > 0, "overbooking must cause reverts");
+}
