@@ -200,11 +200,90 @@ fn parallel_exec_speedup(seed: u64) {
         println!(
             "JSON: {{\"bench\":\"parallel_exec_speedup\",\"hits\":{hits},\
              \"threads\":{threads},\"serial_ms\":{},\"parallel_ms\":{},\
-             \"speedup\":{speedup:.2}}}",
+             \"speedup\":{speedup:.2},\"scheduler\":{}}}",
             serial_wall.as_millis(),
             parallel_wall.as_millis(),
+            parallel.scheduler_json(),
         );
     }
+}
+
+/// **Spawn-heavy parallel execution** — the workload the access-set
+/// scheduler exists for: a 1k-HIT market whose spawn phase keeps roughly
+/// a third of every round's mempool `Create`/`Publish` transactions
+/// (concentrated spawning, small worker quotas). Under PR 3's scheduler
+/// every `Create` was a whole-round serial barrier, so this market
+/// degenerated to serial execution; with speculative id reservation the
+/// spawn blocks parallelize like any other. Reports are asserted
+/// identical; the JSON records the measured create share and the
+/// scheduler counters alongside the speedup.
+fn spawn_heavy_speedup(seed: u64) {
+    let threads = dragoon_chain::resolve_threads(0).max(2);
+    let hits = 1_000usize;
+    const SPAWN_PER_BLOCK: usize = 200;
+    println!("\n== spawn-heavy parallel vs serial execution ({hits} HITs, per-proof) ==");
+    let config = |exec_threads: usize| MarketConfig {
+        // Concentrated spawning: 200 creations per block while the
+        // backlog lasts, against lightweight 2-worker tasks with no
+        // overbooking, keeps roughly a third of each ramp round's
+        // mempool `Create`/`Publish`. The cap is raised so a 200-create
+        // block (~260M gas) is not cut — this bench measures
+        // scheduling, not carry-over.
+        spawn_per_block: SPAWN_PER_BLOCK,
+        k: 2,
+        theta: 2,
+        overbook: 0,
+        block_gas_limit: Some(600_000_000),
+        ..parallel_config(hits, seed, exec_threads)
+    };
+    let (serial_wall, serial) = time_once(|| run_market(config(1)));
+    let (parallel_wall, parallel) = time_once(|| run_market(config(threads)));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "spawn-heavy parallel and serial execution must produce identical reports"
+    );
+    // Every published HIT is exactly one funded, successful `Create`.
+    let creates = serial.hits_published;
+    let txs: usize = serial.block_stats.iter().map(|b| b.txs).sum();
+    let create_share = creates as f64 / txs as f64;
+    let spawn_blocks = serial.hits_published.div_ceil(SPAWN_PER_BLOCK);
+    let spawn_txs: usize = serial
+        .block_stats
+        .iter()
+        .take(spawn_blocks)
+        .map(|b| b.txs)
+        .sum();
+    let spawn_share = serial.hits_published as f64 / spawn_txs.max(1) as f64;
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64();
+    println!(
+        "serial      {} HITs settled in {} blocks, wall {}",
+        serial.hits_settled,
+        serial.blocks,
+        fmt_duration(serial_wall),
+    );
+    println!(
+        "parallel({threads}) {} HITs settled in {} blocks, wall {}",
+        parallel.hits_settled,
+        parallel.blocks,
+        fmt_duration(parallel_wall),
+    );
+    println!(
+        "speedup {speedup:.2}x at {threads} threads; creates are {:.0}% of all txs \
+         ({:.0}% of spawn-phase blocks) — identical reports",
+        create_share * 100.0,
+        spawn_share * 100.0,
+    );
+    println!(
+        "JSON: {{\"bench\":\"spawn_heavy_speedup\",\"hits\":{hits},\
+         \"threads\":{threads},\"create_share\":{create_share:.3},\
+         \"spawn_phase_create_share\":{spawn_share:.3},\
+         \"serial_ms\":{},\"parallel_ms\":{},\"speedup\":{speedup:.2},\
+         \"scheduler\":{}}}",
+        serial_wall.as_millis(),
+        parallel_wall.as_millis(),
+        parallel.scheduler_json(),
+    );
 }
 
 fn batch_speedup(seed: u64) {
@@ -256,6 +335,7 @@ fn main() {
     market_throughput(seed);
     checkpoint_speedup(seed);
     parallel_exec_speedup(seed);
+    spawn_heavy_speedup(seed);
     market_scale_10k(seed);
     batch_speedup(seed);
 }

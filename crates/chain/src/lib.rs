@@ -13,10 +13,13 @@
 //!   from first principles rather than asserted.
 //! * **Transaction atomicity** ([`chain`]) — reverted transactions burn
 //!   gas but leave contract + ledger state untouched.
-//! * **Optimistic parallel execution** ([`parallel`]) — disjoint-instance
-//!   transactions execute concurrently on scoped threads with
-//!   journal-based conflict detection and serial fallback; committed
-//!   state is bit-identical to serial execution at any thread count.
+//! * **Optimistic parallel execution** ([`parallel`]) — transactions
+//!   declare access sets (instances + ledger accounts, reads and writes
+//!   apart), a conflict-graph grouper schedules disjoint groups onto
+//!   scoped threads (creations included, via speculative id
+//!   reservation), and journal-based touch records drive selective
+//!   conflict retry with a serial backstop; committed state is
+//!   bit-identical to serial execution at any thread count.
 //!
 //! Substitution note (DESIGN.md §Substitutions): this crate replaces the
 //! Ethereum ropsten testnet used by the paper. The contract executes
@@ -30,10 +33,10 @@ pub mod mempool;
 pub mod parallel;
 
 pub use chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
-pub use dragoon_ledger::{Journaled, StateJournal, TouchSet};
+pub use dragoon_ledger::{Journaled, StateJournal, TouchRecord, TouchSet};
 pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
 pub use mempool::{
     AdversarialPolicy, DelayVictimPolicy, FifoPolicy, FrontRunPolicy, PendingTx, ReorderPolicy,
     ReversePolicy, Scheduled,
 };
-pub use parallel::{resolve_threads, MsgAccess, ParallelStateMachine, ParallelStats};
+pub use parallel::{resolve_threads, AccessSet, IdReserver, ParallelStateMachine, ParallelStats};

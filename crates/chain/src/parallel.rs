@@ -1,40 +1,52 @@
-//! Optimistic parallel block execution with journal-based conflict
-//! detection.
+//! Optimistic parallel block execution over declared access sets, with
+//! journal-based conflict detection and selective retry.
 //!
 //! Settlement verification already fans out across threads at the block
 //! boundary; this module removes the last big sequential section in the
 //! hot path — transaction *execution* within a block. The scheme is
 //! optimistic concurrency control specialized to the registry shape:
 //!
-//! 1. **Partition.** Each scheduled transaction declares the state it
-//!    may touch ([`ParallelStateMachine::msg_access`]): a single hosted
-//!    instance (`Hit { id, .. }` routes) or the global contract state
-//!    (`Create`, unknown ids). Contiguous runs of instance-addressed
-//!    transactions form a *batch*; global transactions are barriers that
-//!    execute serially between batches, so a `Create` and the
-//!    transactions around it keep exact serial order.
-//! 2. **Execute.** Within a batch, transactions group by instance id.
-//!    Each group runs on a scoped worker thread against a cloned shard
-//!    of its instance and a [`Ledger::sparse_overlay`] shadow of the
-//!    ledger, with every transaction bracketed by its own journal
-//!    transaction (`begin`/`commit`/`rollback`), exactly like serial
-//!    execution. Shadow ledgers record the **touched-entry set** — every
-//!    balance entry read or written ([`dragoon_ledger::TouchSet`]).
-//! 3. **Validate.** Two groups conflict when their touch sets intersect
-//!    (a read–write or write–write dependency would make the optimistic
-//!    result order-sensitive), and a group invalidates itself when it
-//!    touched an account outside its declared preset that has a base
-//!    entry (its shadow read a phantom zero). Any conflict discards the
-//!    whole batch's optimistic results and re-executes the batch
-//!    serially in mempool order. A mid-batch block-gas overflow is
-//!    detected the same way — receipts are simulated in schedule order —
-//!    and also falls back, so gas-capped carry-over semantics are
-//!    byte-identical to the serial path.
-//! 4. **Merge.** Disjoint groups commute, so their shards and touched
-//!    balance entries install in any order; receipts, contract events
-//!    and ledger events merge in schedule order. The committed state is
-//!    therefore **bit-identical to serial execution regardless of thread
-//!    count** — the property `tests/parallel_equivalence.rs` pins.
+//! 1. **Declare.** Each scheduled transaction declares an [`AccessSet`]
+//!    ([`ParallelStateMachine::access_set`]): the hosted instances it
+//!    reads and writes plus the ledger accounts it reads and writes.
+//!    Creation messages are not barriers: the state machine *reserves*
+//!    the next instance id from a monotonic counter snapshot
+//!    ([`IdReserver`]), so a spawn declares an ordinary instance write on
+//!    its reserved key and messages routed to that key later in the same
+//!    batch group with it. Only messages that cannot be attributed at all
+//!    (routes to ids that neither exist nor are reserved) stay serial
+//!    barriers.
+//! 2. **Group.** A conflict-graph grouper partitions the batch: any
+//!    resource — instance or account — declared written by one
+//!    transaction and touched by another joins their groups (union-find).
+//!    Declared read-read sharing stays parallel. Each group gets owned
+//!    shard snapshots of its instances (or fresh shards for reserved
+//!    ids), a [`Ledger::sparse_overlay`] shadow covering its declared
+//!    accounts plus its transactions' senders, and executes its
+//!    transactions in schedule order on a scoped worker thread with every
+//!    transaction bracketed by its own journal transaction, exactly like
+//!    serial execution.
+//! 3. **Validate.** Shadow ledgers record the observed touch sets, reads
+//!    and writes apart ([`dragoon_ledger::TouchRecord`]). A group that
+//!    escaped its declared preset (it read a phantom zero for an account
+//!    whose base entry exists) or whose creation message reverted (the id
+//!    reservation no longer matches serial assignment) forces the
+//!    correctness backstop: the whole batch is discarded and re-executed
+//!    serially in mempool order. Otherwise, groups whose observed records
+//!    conflict (a write on one side, any touch on the other) are
+//!    **selectively retried**: the conflicting groups merge into one
+//!    group that re-executes their transactions in mempool order against
+//!    fresh snapshots — non-conflicting groups keep their optimistic
+//!    results — and validation repeats until the batch is conflict-free.
+//!    A mid-batch block-gas overflow (receipts simulated in schedule
+//!    order) still falls back to serial so gas-capped carry-over
+//!    semantics are byte-identical.
+//! 4. **Merge.** Surviving groups are pairwise disjoint on every written
+//!    resource, so shard installs and written balance entries commute;
+//!    receipts, contract events and ledger events merge in schedule
+//!    order. The committed state is therefore **bit-identical to serial
+//!    execution regardless of thread count** — the property
+//!    `tests/parallel_equivalence.rs` pins.
 //!
 //! Thread counts resolve through [`resolve_threads`]: an explicit
 //! setting wins, then the `DRAGOON_THREADS` environment variable, then
@@ -43,20 +55,119 @@
 use crate::chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
 use crate::gas::{Gas, GasMeter, GasSchedule};
 use crate::mempool::{PendingTx, ReorderPolicy, Scheduled};
-use dragoon_ledger::{Address, Journaled, Ledger};
+use dragoon_ledger::{Address, Journaled, Ledger, TouchRecord};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// What a message may touch, as declared before execution. The scheduler
-/// only parallelizes across distinct [`MsgAccess::Instance`] keys;
-/// anything [`MsgAccess::Global`] is a serial barrier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MsgAccess {
-    /// Touches contract-global state (or cannot be attributed): executes
-    /// serially, in order, between parallel batches.
-    Global,
-    /// Touches only the hosted instance with this key (plus ledger
-    /// entries, which the touch sets police dynamically).
-    Instance(u64),
+/// What a message declares it may touch, before execution. Replaces the
+/// old single-key `MsgAccess` partition: instead of one instance id or a
+/// global barrier, a message names the instances and ledger accounts it
+/// reads and writes, and the scheduler builds conflict groups from the
+/// declared sets. Declarations must *over-approximate reads* that feed
+/// guards (every declared account is copied into the group's shadow
+/// ledger) but may under-approximate outcome-dependent writes: observed
+/// escapes within the preset are caught dynamically and retried, escapes
+/// outside it fall back to serial execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessSet {
+    global: bool,
+    /// The instance id this message speculatively creates (reserved from
+    /// the monotonic counter via [`IdReserver`]); also listed in
+    /// [`AccessSet::instance_writes`].
+    pub reserves: Option<u64>,
+    /// Hosted instances read but not written.
+    pub instance_reads: Vec<u64>,
+    /// Hosted instances written (routing targets).
+    pub instance_writes: Vec<u64>,
+    /// Ledger accounts read (guards, potential outcome-dependent
+    /// payees).
+    pub account_reads: Vec<Address>,
+    /// Ledger accounts written.
+    pub account_writes: Vec<Address>,
+}
+
+impl AccessSet {
+    /// A message that cannot be attributed: executes serially, in order,
+    /// between parallel batches.
+    pub fn global() -> Self {
+        Self {
+            global: true,
+            ..Self::default()
+        }
+    }
+
+    /// A message writing the single hosted instance `key`.
+    pub fn instance(key: u64) -> Self {
+        Self {
+            instance_writes: vec![key],
+            ..Self::default()
+        }
+    }
+
+    /// A creation message that speculatively claims the reserved instance
+    /// id `key`.
+    pub fn create(key: u64) -> Self {
+        Self {
+            reserves: Some(key),
+            instance_writes: vec![key],
+            ..Self::default()
+        }
+    }
+
+    /// Adds declared account reads.
+    pub fn reads_accounts(mut self, accounts: impl IntoIterator<Item = Address>) -> Self {
+        self.account_reads.extend(accounts);
+        self
+    }
+
+    /// Adds declared account writes.
+    pub fn writes_accounts(mut self, accounts: impl IntoIterator<Item = Address>) -> Self {
+        self.account_writes.extend(accounts);
+        self
+    }
+
+    /// Whether this message is a serial barrier.
+    pub fn is_global(&self) -> bool {
+        self.global
+    }
+
+    /// The instance whose shard executes this message (creation target or
+    /// first declared write). `None` only for malformed declarations,
+    /// which the scheduler treats as global.
+    fn primary_key(&self) -> Option<u64> {
+        self.reserves
+            .or_else(|| self.instance_writes.first().copied())
+    }
+}
+
+/// Hands out speculative instance ids during batch assembly. Seeded from
+/// [`ParallelStateMachine::reservation_base`] (the monotonic id counter)
+/// at the start of every batch, it assigns each creation message the id
+/// serial execution would assign it — provided every creation before it
+/// succeeds, which the executor verifies post-hoc (a reverted creation
+/// rewinds the counter serially, so the batch falls back).
+#[derive(Clone, Copy, Debug)]
+pub struct IdReserver {
+    base: u64,
+    next: u64,
+}
+
+impl IdReserver {
+    /// A reserver starting at the counter snapshot `base`.
+    pub fn new(base: u64) -> Self {
+        Self { base, next: base }
+    }
+
+    /// Claims the next speculative id.
+    pub fn reserve(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Whether `id` was reserved by an earlier message of this batch.
+    pub fn is_reserved(&self, id: u64) -> bool {
+        id >= self.base && id < self.next
+    }
 }
 
 /// A [`StateMachine`] whose state shards by hosted instance, enabling
@@ -69,23 +180,36 @@ pub trait ParallelStateMachine: StateMachine {
     /// state a group of transactions may mutate.
     type Shard: Send;
 
-    /// Declares the access partition of a message against current state.
-    /// Messages addressing unknown instances must return
-    /// [`MsgAccess::Global`] so their revert executes in serial order.
-    fn msg_access(&self, msg: &Self::Msg) -> MsgAccess;
+    /// Snapshot of the monotonic instance-id counter, taken at the start
+    /// of each batch so creation messages reserve deterministic ids.
+    fn reservation_base(&self) -> u64;
+
+    /// Declares the access set of a message against current state.
+    /// `contract` is the hosting contract's own address (instance escrow
+    /// addresses derive from it); `reserver` hands out speculative ids
+    /// for creations and knows which ids earlier messages of the same
+    /// batch reserved. Messages addressing unknown, unreserved instances
+    /// must return [`AccessSet::global`] so their revert executes in
+    /// serial order.
+    fn access_set(
+        &self,
+        contract: Address,
+        sender: Address,
+        msg: &Self::Msg,
+        reserver: &mut IdReserver,
+    ) -> AccessSet;
 
     /// Clones the instance behind `key` into a shard (`None` if the key
     /// vanished — the executor then falls back to serial execution).
     fn shard_snapshot(&self, key: u64) -> Option<Self::Shard>;
 
-    /// Installs an executed shard back, replacing the instance state.
-    fn shard_install(&mut self, key: u64, shard: Self::Shard);
+    /// An empty shard standing for the speculatively reserved id `key`;
+    /// the group's creation message populates it.
+    fn shard_reserve(&self, key: u64, contract: Address) -> Self::Shard;
 
-    /// The ledger accounts transactions on this instance may touch
-    /// (escrow, requester, enrolled workers, …). The executor adds the
-    /// senders of the group's transactions; reads outside the resulting
-    /// preset are detected post-hoc and force a serial fallback.
-    fn shard_accounts(&self, key: u64) -> Vec<Address>;
+    /// Installs an executed shard back, replacing (or, for a reserved id
+    /// whose creation succeeded, registering) the instance state.
+    fn shard_install(&mut self, key: u64, shard: Self::Shard);
 
     /// Handles one instance-addressed message against the shard,
     /// mirroring the serial routing path. The executor brackets the call
@@ -109,15 +233,25 @@ pub trait ParallelStateMachine: StateMachine {
 /// Counters describing how the parallel executor ran.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ParallelStats {
-    /// Transactions whose optimistic parallel results committed.
+    /// Transactions whose optimistic parallel results committed
+    /// (including selectively retried ones).
     pub parallel_txs: usize,
     /// Transactions executed serially (global barriers, single-group
     /// batches, and fallback re-executions).
     pub serial_txs: usize,
     /// Parallel batches whose results committed.
     pub batches: usize,
-    /// Batches discarded because two groups' touch sets intersected (or
-    /// a group escaped its preset) — re-executed serially.
+    /// Conflict groups formed across committed batches.
+    pub groups: usize,
+    /// Serial-barrier transactions (messages no access set could be
+    /// declared for — unknown-instance routes).
+    pub barriers: usize,
+    /// Selective retries: conflicting group sets merged and re-executed
+    /// in mempool order while the rest of the batch kept its optimistic
+    /// results.
+    pub selective_retries: usize,
+    /// Batches discarded wholesale — a group escaped its declared preset
+    /// or a speculative creation reverted — and re-executed serially.
     pub conflict_fallbacks: usize,
     /// Batches discarded because the block gas limit cut the batch —
     /// re-executed serially to reproduce exact carry-over semantics.
@@ -142,6 +276,23 @@ pub fn resolve_threads(explicit: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// One scheduled transaction of a batch, with its declared access.
+struct BatchTx<M> {
+    /// Position within the round's schedule (the merge order).
+    pos: usize,
+    /// The instance whose shard executes it.
+    key: u64,
+    access: AccessSet,
+    tx: PendingTx<M>,
+}
+
+impl<M> BatchTx<M> {
+    /// Whether this transaction speculatively creates its instance.
+    fn creates(&self) -> bool {
+        self.access.reserves.is_some()
+    }
+}
+
 /// The outcome of one optimistically executed transaction, held until
 /// the batch validates.
 struct TxOutcome<S: StateMachine> {
@@ -155,21 +306,26 @@ struct TxOutcome<S: StateMachine> {
     ledger_events: (usize, usize),
 }
 
-/// One instance group's workspace: the shard, the shadow ledger, the
-/// transactions (schedule position + payload) and, after execution, the
-/// outcomes and the touched-entry set.
+/// One conflict group's workspace: the shards of every instance it
+/// declares, the shadow ledger, the transactions (schedule position +
+/// payload) and, after execution, the outcomes and the observed touch
+/// record.
 struct GroupRun<S: ParallelStateMachine> {
-    key: u64,
-    shard: S::Shard,
+    /// Instance keys whose shards install back on commit.
+    write_keys: BTreeSet<u64>,
+    shards: BTreeMap<u64, S::Shard>,
     ledger: Ledger,
     preset: BTreeSet<Address>,
-    txs: Vec<(usize, PendingTx<S::Msg>)>,
+    txs: Vec<BatchTx<S::Msg>>,
     outcomes: Vec<TxOutcome<S>>,
-    touched: BTreeSet<Address>,
+    touched: TouchRecord<Address>,
+    /// A creation message reverted — serial execution would have assigned
+    /// later reservations different ids, so the batch must fall back.
+    create_reverted: bool,
 }
 
-/// Executes one group's transactions in schedule order against its shard
-/// and shadow ledger — the body each worker thread runs. Mirrors
+/// Executes one group's transactions in schedule order against its
+/// shards and shadow ledger — the body each worker thread runs. Mirrors
 /// `Chain::execute_tx_open` exactly (intrinsic gas, journal bracket,
 /// event capture, revert handling).
 fn run_group<S: ParallelStateMachine>(
@@ -178,12 +334,16 @@ fn run_group<S: ParallelStateMachine>(
     schedule: &GasSchedule,
     contract_addr: Address,
 ) {
-    for (pos, tx) in &group.txs {
+    for btx in &group.txs {
+        let shard = group
+            .shards
+            .get_mut(&btx.key)
+            .expect("group holds every declared shard");
         let mut meter = GasMeter::new();
-        meter.charge("intrinsic", schedule.intrinsic(&tx.msg.calldata()));
-        let label = tx.msg.label();
+        meter.charge("intrinsic", schedule.intrinsic(&btx.tx.msg.calldata()));
+        let label = btx.tx.msg.label();
         let mut events = Vec::new();
-        S::shard_begin_tx(&mut group.shard);
+        S::shard_begin_tx(shard);
         group.ledger.begin_tx();
         let ev_start = group.ledger.events().len();
         let result = {
@@ -195,27 +355,30 @@ fn run_group<S: ParallelStateMachine>(
                 contract_addr,
                 &mut events,
             );
-            S::shard_on_message(&mut group.shard, &mut env, tx.sender, tx.msg.clone())
+            S::shard_on_message(shard, &mut env, btx.tx.sender, btx.tx.msg.clone())
         };
         let (status, events) = match result {
             Ok(()) => {
-                S::shard_commit_tx(&mut group.shard);
+                S::shard_commit_tx(shard);
                 group.ledger.commit_tx();
                 (TxStatus::Ok, events)
             }
             Err(e) => {
                 // Roll back all touched state; gas is still consumed.
-                S::shard_rollback_tx(&mut group.shard);
+                S::shard_rollback_tx(shard);
                 group.ledger.rollback_tx();
+                if btx.creates() {
+                    group.create_reverted = true;
+                }
                 (TxStatus::Reverted(e.to_string()), Vec::new())
             }
         };
         let ev_end = group.ledger.events().len();
         group.outcomes.push(TxOutcome {
-            pos: *pos,
+            pos: btx.pos,
             receipt: Receipt {
-                seq: tx.seq,
-                sender: tx.sender,
+                seq: btx.tx.seq,
+                sender: btx.tx.sender,
                 label,
                 round,
                 gas_used: meter.used(),
@@ -229,6 +392,42 @@ fn run_group<S: ParallelStateMachine>(
     group.touched = group.ledger.take_touched();
 }
 
+/// A plain union-find over `0..n`.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// A resource in the conflict graph: a hosted instance or a ledger
+/// account.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Resource {
+    Instance(u64),
+    Account(Address),
+}
+
 impl<S> Chain<S>
 where
     S: ParallelStateMachine,
@@ -236,10 +435,10 @@ where
     S::Msg: Send,
     S::Event: Send,
 {
-    /// Advances one round with optimistic parallel execution of
-    /// disjoint-instance transactions. Committed state — receipts,
-    /// events, ledger, contract, mempool carry-over — is bit-identical
-    /// to [`Chain::advance_round`] for every thread count; with one
+    /// Advances one round with optimistic parallel execution over
+    /// declared access sets. Committed state — receipts, events, ledger,
+    /// contract, mempool carry-over — is bit-identical to
+    /// [`Chain::advance_round`] for every thread count; with one
     /// executor thread (or under the clone-checkpoint baseline, which
     /// has no shard journaling) it *is* the serial path.
     pub fn advance_round_parallel(&mut self, policy: &mut dyn ReorderPolicy<S::Msg>) -> &Block {
@@ -258,36 +457,42 @@ where
         let mut carried: Vec<PendingTx<S::Msg>> = Vec::new();
         let mut queue: VecDeque<PendingTx<S::Msg>> = deliver.into();
         let mut pos = 0;
-        loop {
-            let access = match queue.front() {
-                None => break,
-                Some(tx) => self.contract.msg_access(&tx.msg),
-            };
-            let full = match access {
-                MsgAccess::Global => {
-                    // Serial barrier: global transactions execute alone,
-                    // in order, so creations and the transactions around
-                    // them see exact serial state.
-                    let tx = queue.pop_front().expect("front exists");
-                    pos += 1;
-                    self.parallel_stats.serial_txs += 1;
-                    !self.execute_tx_into_block(tx, &mut block_gas, &mut receipts, &mut carried)
+        'round: while !queue.is_empty() {
+            // Accumulate the maximal run of attributable transactions
+            // into one batch. Creation messages reserve ids against the
+            // counter snapshot, so spawns batch like any instance write.
+            let mut reserver = IdReserver::new(self.contract.reservation_base());
+            let mut batch: Vec<BatchTx<S::Msg>> = Vec::new();
+            while let Some(tx) = queue.front() {
+                let access =
+                    self.contract
+                        .access_set(self.contract_addr, tx.sender, &tx.msg, &mut reserver);
+                let key = match (access.is_global(), access.primary_key()) {
+                    (false, Some(key)) => key,
+                    _ => break,
+                };
+                batch.push(BatchTx {
+                    pos,
+                    key,
+                    access,
+                    tx: queue.pop_front().expect("front exists"),
+                });
+                pos += 1;
+            }
+            if !batch.is_empty() {
+                if !self.execute_batch(batch, &mut block_gas, &mut receipts, &mut carried) {
+                    break 'round;
                 }
-                MsgAccess::Instance(_) => {
-                    // Maximal run of instance-addressed transactions.
-                    let mut batch = Vec::new();
-                    while let Some(tx) = queue.front() {
-                        let MsgAccess::Instance(key) = self.contract.msg_access(&tx.msg) else {
-                            break;
-                        };
-                        batch.push((pos, key, queue.pop_front().expect("front exists")));
-                        pos += 1;
-                    }
-                    !self.execute_batch(batch, &mut block_gas, &mut receipts, &mut carried)
-                }
-            };
-            if full {
-                break;
+                continue;
+            }
+            // The front transaction is a serial barrier: it executes
+            // alone, in order, against full contract state.
+            let tx = queue.pop_front().expect("checked non-empty");
+            pos += 1;
+            self.parallel_stats.serial_txs += 1;
+            self.parallel_stats.barriers += 1;
+            if !self.execute_tx_into_block(tx, &mut block_gas, &mut receipts, &mut carried) {
+                break 'round;
             }
         }
         // A full block carries everything not yet executed, in order.
@@ -295,29 +500,27 @@ where
         self.seal_block(receipts, carried)
     }
 
-    /// Executes one batch of instance-addressed transactions, in
-    /// parallel when it spans several instances. Returns `false` when
+    /// Executes one batch of attributed transactions, in parallel when
+    /// the grouper finds several disjoint groups. Returns `false` when
     /// the block gas limit stopped the batch (remaining transactions
     /// were pushed to `carried` by the serial fallback).
     fn execute_batch(
         &mut self,
-        batch: Vec<(usize, u64, PendingTx<S::Msg>)>,
+        batch: Vec<BatchTx<S::Msg>>,
         block_gas: &mut Gas,
         receipts: &mut Vec<Receipt>,
         carried: &mut Vec<PendingTx<S::Msg>>,
     ) -> bool {
-        let distinct: BTreeSet<u64> = batch.iter().map(|(_, key, _)| *key).collect();
-        if distinct.len() < 2 {
-            // A single hot instance is inherently sequential: its
-            // transactions execute serially, in mempool order.
-            return self.execute_batch_serial(batch, block_gas, receipts, carried);
-        }
-
-        // Assemble one workspace per instance group (schedule order is
-        // preserved inside each group's transaction list).
-        let Some(groups) = self.assemble_groups(&batch) else {
-            return self.execute_batch_serial(batch, block_gas, receipts, carried);
+        let groups = match self.assemble_groups(batch) {
+            Ok(groups) => groups,
+            Err(batch) => {
+                return self.execute_batch_serial(batch, block_gas, receipts, carried);
+            }
         };
+
+        let round = self.round;
+        let schedule = &self.schedule;
+        let contract_addr = self.contract_addr;
 
         // Fan the groups out over scoped worker threads: largest groups
         // first, round-robin over the buckets (group sizes are skewed —
@@ -331,9 +534,6 @@ where
         for (j, &i) in order.iter().enumerate() {
             buckets[j % threads].push(slots[i].take().expect("each group moves once"));
         }
-        let round = self.round;
-        let schedule = &self.schedule;
-        let contract_addr = self.contract_addr;
         let mut groups: Vec<GroupRun<S>> = std::thread::scope(|scope| {
             let handles: Vec<_> = buckets
                 .into_iter()
@@ -351,31 +551,94 @@ where
                 .flat_map(|h| h.join().expect("executor thread panicked"))
                 .collect()
         });
-        groups.sort_by_key(|g| g.txs.first().map(|(pos, _)| *pos).unwrap_or(usize::MAX));
+        groups.sort_by_key(|g| g.txs.first().map(|btx| btx.pos).unwrap_or(usize::MAX));
 
-        // Conflict detection over the journal-layer touch sets: results
-        // only commit if every touched ledger entry belongs to exactly
-        // one group and stayed inside that group's preset.
-        let mut conflict = false;
-        let mut owner: BTreeSet<Address> = BTreeSet::new();
-        'validate: for g in &groups {
-            for addr in &g.touched {
-                if !g.preset.contains(addr) && self.ledger.balance_entry(addr).is_some() {
-                    conflict = true;
-                    break 'validate;
-                }
-                if !owner.insert(*addr) {
-                    conflict = true;
-                    break 'validate;
+        // Validate-and-retry loop. Each iteration either proves the batch
+        // conflict-free (and breaks), merges conflicting groups and
+        // re-executes them (strictly shrinking the group count), or
+        // bails to the serial backstop.
+        loop {
+            // Backstop 1: a speculative creation reverted. Serial
+            // execution rewinds the id counter on that revert, so every
+            // later reservation in the batch is off by one — the
+            // optimistic ids cannot be trusted.
+            // Backstop 2: a group touched an account outside its declared
+            // preset that has a base entry: its shadow read a phantom
+            // zero, so its results are unsound.
+            let escaped = groups.iter().any(|g| {
+                g.create_reverted
+                    || g.touched.all().any(|addr| {
+                        !g.preset.contains(&addr) && self.ledger.balance_entry(&addr).is_some()
+                    })
+            });
+            if escaped {
+                self.parallel_stats.conflict_fallbacks += 1;
+                let batch = collect_batch(groups);
+                return self.execute_batch_serial(batch, block_gas, receipts, carried);
+            }
+
+            // Observed conflicts: any write-involved overlap between two
+            // groups' touch records makes their optimistic results
+            // order-sensitive. Union the transitive closure.
+            let mut uf = UnionFind::new(groups.len());
+            let mut any = false;
+            for i in 0..groups.len() {
+                for j in i + 1..groups.len() {
+                    if groups[i].touched.conflicts_with(&groups[j].touched) {
+                        uf.union(i, j);
+                        any = true;
+                    }
                 }
             }
+            if !any {
+                break;
+            }
+
+            // Selective retry: merge each conflicting component into one
+            // group and re-execute its transactions in mempool order
+            // against fresh snapshots of main state (which the component
+            // observes exclusively — every group overlapping it is part
+            // of it). Non-conflicting groups keep their results.
+            let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for i in 0..groups.len() {
+                let root = uf.find(i);
+                components.entry(root).or_default().push(i);
+            }
+            let mut merged_roots: BTreeSet<usize> = BTreeSet::new();
+            for (root, members) in &components {
+                if members.len() >= 2 {
+                    merged_roots.insert(*root);
+                }
+            }
+            let mut kept: Vec<GroupRun<S>> = Vec::new();
+            let mut retried: Vec<GroupRun<S>> = Vec::new();
+            let mut merging: BTreeMap<usize, Vec<GroupRun<S>>> = BTreeMap::new();
+            for (i, g) in groups.into_iter().enumerate() {
+                let root = uf.find(i);
+                if merged_roots.contains(&root) {
+                    merging.entry(root).or_default().push(g);
+                } else {
+                    kept.push(g);
+                }
+            }
+            for (_, members) in merging {
+                self.parallel_stats.selective_retries += 1;
+                let Ok(mut merged) = self.merge_groups(members) else {
+                    unreachable!("merged instances exist: their groups just ran");
+                };
+                run_group::<S>(&mut merged, round, schedule, contract_addr);
+                retried.push(merged);
+            }
+            kept.extend(retried);
+            kept.sort_by_key(|g| g.txs.first().map(|btx| btx.pos).unwrap_or(usize::MAX));
+            groups = kept;
         }
 
         // Gas-cap cut detection: replay the receipts' gas in schedule
         // order against the block under construction. Any cut means the
         // serial path would have stopped mid-batch, so the optimistic
-        // results (computed from batch-start state for every tx) must be
-        // discarded wholesale.
+        // results (computed from batch-start state) must be discarded
+        // wholesale.
         let overflow = self.block_gas_limit.is_some_and(|limit| {
             let mut outcomes: Vec<&TxOutcome<S>> =
                 groups.iter().flat_map(|g| g.outcomes.iter()).collect();
@@ -392,28 +655,21 @@ where
                 }
             })
         });
-
-        if conflict || overflow {
-            if conflict {
-                self.parallel_stats.conflict_fallbacks += 1;
-            } else {
-                self.parallel_stats.gas_fallbacks += 1;
-            }
-            // Discard every optimistic result (shards and shadows were
-            // private copies; main state is untouched) and re-execute
-            // the whole batch serially, in mempool order.
-            drop(groups);
+        if overflow {
+            self.parallel_stats.gas_fallbacks += 1;
+            let batch = collect_batch(groups);
             return self.execute_batch_serial(batch, block_gas, receipts, carried);
         }
 
-        // Merge. Groups are pairwise disjoint, so shard installs and
-        // balance merges commute; receipts and both event streams merge
-        // in schedule order, making the committed block byte-identical
-        // to serial execution.
+        // Merge. Groups are pairwise disjoint on every written resource,
+        // so shard installs and balance merges commute; receipts and both
+        // event streams merge in schedule order, making the committed
+        // block byte-identical to serial execution.
         self.parallel_stats.batches += 1;
-        self.parallel_stats.parallel_txs += batch.len();
+        self.parallel_stats.groups += groups.len();
+        self.parallel_stats.parallel_txs += groups.iter().map(|g| g.txs.len()).sum::<usize>();
         for g in &groups {
-            for addr in &g.touched {
+            for addr in &g.touched.writes {
                 self.ledger.merge_entry(*addr, g.ledger.balance_entry(addr));
             }
         }
@@ -435,72 +691,192 @@ where
             }
             self.ledger.append_events(&groups[gi].ledger.events()[a..b]);
         }
-        for g in groups {
-            self.contract.shard_install(g.key, g.shard);
+        for mut g in groups {
+            for key in g.write_keys.clone() {
+                let shard = g.shards.remove(&key).expect("write key has a shard");
+                self.contract.shard_install(key, shard);
+            }
         }
         true
     }
 
-    /// Builds the per-instance group workspaces for a batch: shard
-    /// snapshots, account presets (declared accounts plus transaction
-    /// senders) and sparse shadow ledgers. `None` if any instance cannot
-    /// be sharded.
+    /// Builds the conflict groups for a batch: union-find over declared
+    /// resources (any resource with a declared writer joins every
+    /// transaction touching it), then one workspace per group with shard
+    /// snapshots, the account preset (declared accounts plus transaction
+    /// senders) and a sparse shadow ledger. `Err(batch)` when the batch
+    /// should execute serially instead: it forms fewer than two groups
+    /// (inherently sequential — no workspace is built) or a declared
+    /// instance cannot be sharded (vanished id).
+    #[allow(clippy::type_complexity)]
     fn assemble_groups(
         &self,
-        batch: &[(usize, u64, PendingTx<S::Msg>)],
-    ) -> Option<Vec<GroupRun<S>>> {
-        let mut groups: Vec<GroupRun<S>> = Vec::new();
-        let mut index: BTreeMap<u64, usize> = BTreeMap::new();
-        for (pos, key, tx) in batch {
-            let gi = match index.get(key) {
-                Some(&gi) => gi,
-                None => {
-                    let shard = self.contract.shard_snapshot(*key)?;
-                    let preset: BTreeSet<Address> =
-                        self.contract.shard_accounts(*key).into_iter().collect();
-                    index.insert(*key, groups.len());
-                    groups.push(GroupRun {
-                        key: *key,
-                        shard,
-                        ledger: Ledger::new(),
-                        preset,
-                        txs: Vec::new(),
-                        outcomes: Vec::new(),
-                        touched: BTreeSet::new(),
-                    });
-                    groups.len() - 1
+        batch: Vec<BatchTx<S::Msg>>,
+    ) -> Result<Vec<GroupRun<S>>, Vec<BatchTx<S::Msg>>> {
+        let mut uf = UnionFind::new(batch.len());
+        let mut writers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
+        let mut readers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
+        for (ti, btx) in batch.iter().enumerate() {
+            for key in &btx.access.instance_writes {
+                writers
+                    .entry(Resource::Instance(*key))
+                    .or_default()
+                    .push(ti);
+            }
+            for key in &btx.access.instance_reads {
+                readers
+                    .entry(Resource::Instance(*key))
+                    .or_default()
+                    .push(ti);
+            }
+            for addr in &btx.access.account_writes {
+                writers
+                    .entry(Resource::Account(*addr))
+                    .or_default()
+                    .push(ti);
+            }
+            for addr in &btx.access.account_reads {
+                readers
+                    .entry(Resource::Account(*addr))
+                    .or_default()
+                    .push(ti);
+            }
+        }
+        // A resource someone declares writing serializes every toucher
+        // into one group; read-only sharing stays parallel.
+        for (res, ws) in &writers {
+            let first = ws[0];
+            for &w in &ws[1..] {
+                uf.union(first, w);
+            }
+            if let Some(rs) = readers.get(res) {
+                for &r in rs {
+                    uf.union(first, r);
                 }
-            };
-            groups[gi].preset.insert(tx.sender);
-            groups[gi].txs.push((*pos, tx.clone()));
+            }
         }
-        for g in &mut groups {
-            g.ledger = self.ledger.sparse_overlay(g.preset.iter().copied());
+        let mut index: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut members: Vec<Vec<BatchTx<S::Msg>>> = Vec::new();
+        for (ti, btx) in batch.into_iter().enumerate() {
+            let root = uf.find(ti);
+            let gi = *index.entry(root).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            members[gi].push(btx);
         }
-        Some(groups)
+        if members.len() < 2 {
+            // A single group (one hot instance, or one conflict
+            // component) is inherently sequential: hand the batch back
+            // for serial execution before paying for shard snapshots and
+            // ledger overlays it would never use.
+            return Err(members.into_iter().flatten().collect());
+        }
+        let mut groups: Vec<GroupRun<S>> = Vec::with_capacity(members.len());
+        let mut failed = false;
+        for slot in members.iter_mut() {
+            match self.build_group(std::mem::take(slot)) {
+                Ok(g) => groups.push(g),
+                Err(txs) => {
+                    *slot = txs;
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            let mut batch: Vec<BatchTx<S::Msg>> = groups
+                .into_iter()
+                .flat_map(|g| g.txs)
+                .chain(members.into_iter().flatten())
+                .collect();
+            batch.sort_by_key(|btx| btx.pos);
+            return Err(batch);
+        }
+        Ok(groups)
     }
 
-    /// The serial path for a batch: global barrier semantics, also used
-    /// as the conflict / gas-overflow fallback.
+    /// Builds one group's workspace from its transactions (already in
+    /// schedule order). On a vanished declared instance, hands the
+    /// transactions back so the caller can fall back serially.
+    fn build_group(&self, txs: Vec<BatchTx<S::Msg>>) -> Result<GroupRun<S>, Vec<BatchTx<S::Msg>>> {
+        let mut write_keys: BTreeSet<u64> = BTreeSet::new();
+        let mut read_keys: BTreeSet<u64> = BTreeSet::new();
+        let mut reserved_keys: BTreeSet<u64> = BTreeSet::new();
+        let mut preset: BTreeSet<Address> = BTreeSet::new();
+        for btx in &txs {
+            write_keys.extend(btx.access.instance_writes.iter().copied());
+            read_keys.extend(btx.access.instance_reads.iter().copied());
+            reserved_keys.extend(btx.access.reserves);
+            preset.extend(btx.access.account_reads.iter().copied());
+            preset.extend(btx.access.account_writes.iter().copied());
+            preset.insert(btx.tx.sender);
+        }
+        let mut shards: BTreeMap<u64, S::Shard> = BTreeMap::new();
+        for &key in write_keys.union(&read_keys) {
+            let shard = if reserved_keys.contains(&key) {
+                self.contract.shard_reserve(key, self.contract_addr)
+            } else {
+                match self.contract.shard_snapshot(key) {
+                    Some(shard) => shard,
+                    None => return Err(txs),
+                }
+            };
+            shards.insert(key, shard);
+        }
+        let ledger = self.ledger.sparse_overlay(preset.iter().copied());
+        Ok(GroupRun {
+            write_keys,
+            shards,
+            ledger,
+            preset,
+            txs,
+            outcomes: Vec::new(),
+            touched: TouchRecord::default(),
+            create_reverted: false,
+        })
+    }
+
+    /// Merges conflicting groups into one retry group: their
+    /// transactions in schedule order, fresh shard snapshots and a fresh
+    /// shadow ledger (main state is untouched — the discarded optimistic
+    /// results lived on private copies).
+    #[allow(clippy::type_complexity)]
+    fn merge_groups(&self, members: Vec<GroupRun<S>>) -> Result<GroupRun<S>, Vec<BatchTx<S::Msg>>> {
+        let mut txs: Vec<BatchTx<S::Msg>> = members.into_iter().flat_map(|g| g.txs).collect();
+        txs.sort_by_key(|btx| btx.pos);
+        self.build_group(txs)
+    }
+
+    /// The serial path for a batch: also used as the conflict / gas-
+    /// overflow fallback. Returns `false` when the block filled up.
     fn execute_batch_serial(
         &mut self,
-        batch: Vec<(usize, u64, PendingTx<S::Msg>)>,
+        batch: Vec<BatchTx<S::Msg>>,
         block_gas: &mut Gas,
         receipts: &mut Vec<Receipt>,
         carried: &mut Vec<PendingTx<S::Msg>>,
     ) -> bool {
         let mut batch = batch.into_iter();
-        for (_, _, tx) in batch.by_ref() {
+        for btx in batch.by_ref() {
             self.parallel_stats.serial_txs += 1;
-            if !self.execute_tx_into_block(tx, block_gas, receipts, carried) {
+            if !self.execute_tx_into_block(btx.tx, block_gas, receipts, carried) {
                 // The block is full: the overflowing transaction is
                 // already in `carried`; the rest of the batch follows
                 // it, in order, exactly as the serial path carries the
                 // remaining deliveries.
-                carried.extend(batch.map(|(_, _, tx)| tx));
+                carried.extend(batch.map(|btx| btx.tx));
                 return false;
             }
         }
         true
     }
+}
+
+/// Flattens discarded groups back into the schedule-ordered batch for
+/// serial re-execution.
+fn collect_batch<S: ParallelStateMachine>(groups: Vec<GroupRun<S>>) -> Vec<BatchTx<S::Msg>> {
+    let mut batch: Vec<BatchTx<S::Msg>> = groups.into_iter().flat_map(|g| g.txs).collect();
+    batch.sort_by_key(|btx| btx.pos);
+    batch
 }

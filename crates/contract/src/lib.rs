@@ -17,7 +17,7 @@ pub use contract::{
     BatchStats, HitContract, HitError, HitEvent, Phase, PhaseWindows, RejectReason, Settlement,
     HIT_CONTRACT_CODE_LEN,
 };
-pub use msg::{HitMessage, PublishParams};
+pub use msg::{HitMessage, LedgerAccess, PublishParams};
 pub use registry::{
     HitId, HitRegistry, RegistryError, RegistryEvent, RegistryMessage, RegistryShard,
     SettlementMode, REGISTRY_CODE_LEN,

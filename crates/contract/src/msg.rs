@@ -1,10 +1,15 @@
 //! The transaction messages accepted by the HIT contract `C_hit`, with
-//! their byte encodings.
+//! their byte encodings and declared ledger access sets.
 //!
 //! Encodings matter: intrinsic calldata gas is charged from the actual
 //! zero/non-zero byte composition of the encoded message, exactly as
-//! Ethereum prices transaction data.
+//! Ethereum prices transaction data. Access sets matter for scheduling:
+//! [`HitMessage::access_set`] declares, per message, which ledger
+//! accounts execution may read or write, and the optimistic parallel
+//! block executor groups transactions by those declarations instead of
+//! serializing on whole instances.
 
+use crate::contract::HitContract;
 use dragoon_chain::{CalldataStats, ChainMessage};
 use dragoon_core::poqoea::QualityProof;
 use dragoon_core::task::{EncryptedAnswer, GoldenStandards};
@@ -94,7 +99,75 @@ pub enum HitMessage {
     Cancel,
 }
 
+/// The ledger accounts one message may touch, declared before execution
+/// for the parallel scheduler. `reads` must cover accounts whose entries
+/// feed guards or *outcome-dependent* payments (the executor copies them
+/// into the group's shadow ledger); `writes` are the accounts execution
+/// deterministically moves coins between. A write that only materializes
+/// on one outcome (a backfired rejection paying the worker) is declared
+/// a read — the dynamic touch records catch the escalation and trigger a
+/// selective retry when it collides with another group.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LedgerAccess {
+    /// Accounts execution may read (or conditionally write).
+    pub reads: Vec<Address>,
+    /// Accounts execution writes on every successful path that touches
+    /// the ledger at all.
+    pub writes: Vec<Address>,
+}
+
 impl HitMessage {
+    /// Declares the ledger access of this message when routed to an
+    /// instance escrowed at `escrow` with current state `hit`. The
+    /// declaration is evaluated against pre-block state; drift within
+    /// the block (e.g. a same-block commit extending the worker set a
+    /// finalize pays) is absorbed by the executor's sender preset and
+    /// its dynamic touch-record validation.
+    pub fn access_set(&self, escrow: Address, hit: &HitContract) -> LedgerAccess {
+        match self {
+            // Publish freezes the budget from the sender (added to the
+            // preset by the executor) into the escrow.
+            HitMessage::Publish(_) => LedgerAccess {
+                reads: Vec::new(),
+                writes: vec![escrow],
+            },
+            // Pure contract-state transitions: no ledger traffic.
+            HitMessage::Commit { .. } | HitMessage::Reveal { .. } | HitMessage::Golden { .. } => {
+                LedgerAccess::default()
+            }
+            // A rejection that fails verification (or claims in-range)
+            // backfires into an immediate escrow → worker payment. The
+            // outcome depends on the proof, so the worker is a declared
+            // read; the escrow is written either way at settlement.
+            HitMessage::OutRange { worker, .. } | HitMessage::Evaluate { worker, .. } => {
+                LedgerAccess {
+                    reads: vec![*worker],
+                    writes: vec![escrow],
+                }
+            }
+            // Settlement drains the escrow to every committed worker
+            // (defaults + queued verdicts) and refunds the requester.
+            HitMessage::Finalize => {
+                let mut writes = vec![escrow];
+                writes.extend(hit.requester());
+                writes.extend_from_slice(hit.committed_workers());
+                LedgerAccess {
+                    reads: Vec::new(),
+                    writes,
+                }
+            }
+            // Cancellation refunds the whole escrow to the requester.
+            HitMessage::Cancel => {
+                let mut writes = vec![escrow];
+                writes.extend(hit.requester());
+                LedgerAccess {
+                    reads: Vec::new(),
+                    writes,
+                }
+            }
+        }
+    }
+
     /// The byte encoding whose composition determines calldata gas.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -231,6 +304,38 @@ mod tests {
         assert!(m_large.calldata().len() > 9 * m_small.calldata().len() / 2);
         // 100 questions × 128 bytes + key + tag ≈ 12.8 kB.
         assert_eq!(m_large.calldata().len(), 1 + 100 * 128 + 32);
+    }
+
+    #[test]
+    fn access_sets_declare_settlement_endpoints() {
+        use crate::PhaseWindows;
+        let escrow = Address::from_byte(0xee);
+        let worker = Address::from_byte(0x01);
+        let hit = HitContract::new(PhaseWindows {
+            commit_timeout: Some(4),
+            reveal: 2,
+            evaluate: 3,
+        });
+        // Pure state transitions touch no ledger accounts.
+        let commit = HitMessage::Commit {
+            commitment: Commitment([0u8; 32]),
+        };
+        assert_eq!(commit.access_set(escrow, &hit), LedgerAccess::default());
+        // A rejection declares the worker as an outcome-dependent read
+        // (the backfire payment) and the escrow as a write.
+        let evaluate = HitMessage::Evaluate {
+            worker,
+            chi: 0,
+            proof: dragoon_core::poqoea::QualityProof::default(),
+        };
+        let access = evaluate.access_set(escrow, &hit);
+        assert_eq!(access.reads, vec![worker]);
+        assert_eq!(access.writes, vec![escrow]);
+        // Settlement on an unpublished instance still names the escrow;
+        // requester and workers join as the instance fills.
+        let access = HitMessage::Finalize.access_set(escrow, &hit);
+        assert_eq!(access.writes, vec![escrow]);
+        assert!(access.reads.is_empty());
     }
 
     #[test]

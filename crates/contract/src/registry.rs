@@ -19,16 +19,18 @@
 //!   the registry drives every instance's queued rejection proofs
 //!   through `dragoon_crypto::vpke::batch_verify_each`.
 //! * **Parallel execution** — the registry implements
-//!   [`dragoon_chain::ParallelStateMachine`]: instance-addressed
-//!   transactions shard by [`HitId`] ([`RegistryShard`]) so disjoint
-//!   instances execute concurrently under the chain's optimistic
-//!   parallel block executor, with `Create` as a serial barrier.
+//!   [`dragoon_chain::ParallelStateMachine`]: every transaction declares
+//!   an access set (its target instance plus the ledger accounts the
+//!   wrapped [`HitMessage::access_set`] names), instances shard by
+//!   [`HitId`] ([`RegistryShard`]), and `Create` executes speculatively
+//!   against a reserved id (the next counter value), so spawn-heavy
+//!   blocks parallelize instead of serializing on a barrier.
 
 use crate::contract::{BatchStats, HitContract, HitError, HitEvent, PendingVerdict};
 use crate::msg::{HitMessage, PublishParams};
 use crate::PhaseWindows;
 use dragoon_chain::{
-    resolve_threads, CalldataStats, ChainMessage, ExecEnv, Journaled, MsgAccess,
+    resolve_threads, AccessSet, CalldataStats, ChainMessage, ExecEnv, Journaled,
     ParallelStateMachine, StateJournal, StateMachine,
 };
 use dragoon_crypto::vpke::{self, DecryptionProof, DecryptionStatement};
@@ -456,29 +458,67 @@ impl StateMachine for HitRegistry {
     }
 }
 
-/// One hosted instance extracted for a parallel-executor worker thread:
-/// an owned clone of the instance plus its registry id. Opaque outside
-/// this crate — the executor only moves it between threads and hands it
-/// back through [`ParallelStateMachine::shard_install`].
+/// One hosted (or speculatively reserved) instance extracted for a
+/// parallel-executor worker thread: an owned clone of the instance (or
+/// an empty slot the group's `Create` populates) plus its registry id
+/// and derived escrow address. Opaque outside this crate — the executor
+/// only moves it between threads and hands it back through
+/// [`ParallelStateMachine::shard_install`].
 pub struct RegistryShard {
     id: HitId,
-    inst: HitInstance,
+    addr: Address,
+    mode: SettlementMode,
+    inst: Option<HitInstance>,
+    /// The group's creation message built this instance; install must
+    /// register it and advance the id counter.
+    created: bool,
+    /// The instance was built by the *currently open* journal bracket
+    /// (no per-instance journal exists yet; rollback drops it whole).
+    tx_created: bool,
 }
 
 impl ParallelStateMachine for HitRegistry {
     type Shard = RegistryShard;
 
-    fn msg_access(&self, msg: &RegistryMessage) -> MsgAccess {
+    fn reservation_base(&self) -> u64 {
+        self.next_id
+    }
+
+    fn access_set(
+        &self,
+        contract: Address,
+        sender: Address,
+        msg: &RegistryMessage,
+        reserver: &mut dragoon_chain::IdReserver,
+    ) -> AccessSet {
         match msg {
-            // Creation allocates a fresh id and escrow — registry-global.
-            RegistryMessage::Create { .. } => MsgAccess::Global,
-            // Routes to unknown instances revert against global state
-            // (no sharding target exists), so they stay serial.
-            RegistryMessage::Hit { id, .. } => {
-                if self.hits.contains_key(id) {
-                    MsgAccess::Instance(*id)
+            // Creation reserves the id serial execution would assign and
+            // becomes an ordinary instance write: the budget freeze reads
+            // and writes the sender and funds the derived escrow.
+            RegistryMessage::Create { .. } => {
+                let id = reserver.reserve();
+                let escrow = Address::contract_address(&contract, id + 1);
+                AccessSet::create(id).writes_accounts([sender, escrow])
+            }
+            RegistryMessage::Hit { id, msg } => {
+                if let Some(inst) = self.hits.get(id) {
+                    let access = msg.access_set(inst.addr, &inst.hit);
+                    AccessSet::instance(*id)
+                        .reads_accounts(access.reads)
+                        .writes_accounts(access.writes)
+                } else if reserver.is_reserved(*id) {
+                    // Routed to an instance another message of this batch
+                    // speculatively creates: group with the creation. The
+                    // embryo escrow is the only attributable account (the
+                    // instance state to refine the declaration does not
+                    // exist yet); everything else is covered by senders
+                    // and the dynamic touch validation.
+                    let escrow = Address::contract_address(&contract, id + 1);
+                    AccessSet::instance(*id).writes_accounts([escrow])
                 } else {
-                    MsgAccess::Global
+                    // Routes to unknown instances revert against global
+                    // state (no sharding target exists): serial barrier.
+                    AccessSet::global()
                 }
             }
         }
@@ -487,27 +527,40 @@ impl ParallelStateMachine for HitRegistry {
     fn shard_snapshot(&self, key: u64) -> Option<RegistryShard> {
         self.hits.get(&key).map(|inst| RegistryShard {
             id: key,
-            inst: inst.clone(),
+            addr: inst.addr,
+            mode: self.mode,
+            inst: Some(inst.clone()),
+            created: false,
+            tx_created: false,
         })
+    }
+
+    fn shard_reserve(&self, key: u64, contract: Address) -> RegistryShard {
+        RegistryShard {
+            id: key,
+            addr: Address::contract_address(&contract, key + 1),
+            mode: self.mode,
+            inst: None,
+            created: false,
+            tx_created: false,
+        }
     }
 
     fn shard_install(&mut self, key: u64, shard: RegistryShard) {
         debug_assert_eq!(key, shard.id, "shard returned under a foreign key");
-        self.hits.insert(key, shard.inst);
-    }
-
-    fn shard_accounts(&self, key: u64) -> Vec<Address> {
-        let Some(inst) = self.hits.get(&key) else {
-            return Vec::new();
+        let Some(inst) = shard.inst else {
+            // A reserved shard whose creation never landed (the executor
+            // falls back serially on a reverted creation, so this is the
+            // defensive no-op path).
+            return;
         };
-        // Everything instance transactions can pay to or read: the
-        // escrow, the requester (refunds) and the enrolled workers
-        // (rewards). Senders are added by the executor; any access
-        // beyond this preset is caught by the touch-set validation.
-        let mut accounts = vec![inst.addr];
-        accounts.extend(inst.hit.requester());
-        accounts.extend_from_slice(inst.hit.committed_workers());
-        accounts
+        if shard.created {
+            // Speculative creation committed: register the instance
+            // exactly as the serial `Create` arm does.
+            self.next_id = self.next_id.max(key + 1);
+            self.live.insert(key);
+        }
+        self.hits.insert(key, inst);
     }
 
     fn shard_on_message(
@@ -516,35 +569,90 @@ impl ParallelStateMachine for HitRegistry {
         sender: Address,
         msg: RegistryMessage,
     ) -> Result<(), RegistryError> {
-        // Mirrors the `RegistryMessage::Hit` arm of `on_message` exactly
-        // (same gas charges, event wrapping and error mapping); the
-        // instance journal bracket is the executor's, via shard_*_tx.
-        let RegistryMessage::Hit { id, msg } = msg else {
-            unreachable!("the scheduler only routes instance-addressed messages to shards");
-        };
-        debug_assert_eq!(id, shard.id, "message routed to the wrong shard");
-        // Routing lookup.
-        env.gas.charge("sload", env.schedule.sload);
-        let hit = &mut shard.inst.hit;
-        let addr = shard.inst.addr;
-        env.scoped(
-            addr,
-            |child| hit.on_message(child, sender, msg),
-            |event| RegistryEvent::Hit { id, event },
-        )
-        .map_err(|e| RegistryError::Hit(id, e))
+        match msg {
+            RegistryMessage::Create { windows, params } => {
+                // Mirrors the `Create` arm of `on_message` exactly (gas
+                // charges, event order, error mapping) against the
+                // reserved shard instead of the registry map.
+                debug_assert!(
+                    shard.inst.is_none(),
+                    "a reserved id is created at most once per batch"
+                );
+                let id = shard.id;
+                let addr = shard.addr;
+                let mut hit = HitContract::new(windows);
+                if shard.mode == SettlementMode::Batched {
+                    hit = hit.with_deferred_verification();
+                }
+                // Registry bookkeeping: id counter + address mapping.
+                env.gas.charge("sstore", 2 * env.schedule.sstore_set);
+                env.scoped(
+                    addr,
+                    |child| hit.on_message(child, sender, HitMessage::Publish(params)),
+                    |event| RegistryEvent::Hit { id, event },
+                )
+                .map_err(|e| RegistryError::Hit(id, e))?;
+                env.emit(
+                    RegistryEvent::Created {
+                        id,
+                        addr,
+                        requester: sender,
+                    },
+                    64,
+                );
+                shard.inst = Some(HitInstance { addr, hit });
+                shard.created = true;
+                shard.tx_created = true;
+                Ok(())
+            }
+            RegistryMessage::Hit { id, msg } => {
+                debug_assert_eq!(id, shard.id, "message routed to the wrong shard");
+                // Mirrors the `Hit` arm: the unknown-instance revert
+                // precedes the routing-lookup gas charge, exactly as the
+                // serial map lookup fails before charging.
+                let Some(inst) = &mut shard.inst else {
+                    return Err(RegistryError::UnknownHit(id));
+                };
+                // Routing lookup.
+                env.gas.charge("sload", env.schedule.sload);
+                let hit = &mut inst.hit;
+                let addr = inst.addr;
+                env.scoped(
+                    addr,
+                    |child| hit.on_message(child, sender, msg),
+                    |event| RegistryEvent::Hit { id, event },
+                )
+                .map_err(|e| RegistryError::Hit(id, e))
+            }
+        }
     }
 
     fn shard_begin_tx(shard: &mut RegistryShard) {
-        shard.inst.hit.begin_tx();
+        shard.tx_created = false;
+        if let Some(inst) = &mut shard.inst {
+            inst.hit.begin_tx();
+        }
     }
 
     fn shard_commit_tx(shard: &mut RegistryShard) {
-        shard.inst.hit.commit_tx();
+        if shard.tx_created {
+            // The creation transaction: the instance has no per-instance
+            // journal yet (serial creation undoes via the registry's
+            // `Created` record, not an `Opened` one).
+            shard.tx_created = false;
+        } else if let Some(inst) = &mut shard.inst {
+            inst.hit.commit_tx();
+        }
     }
 
     fn shard_rollback_tx(shard: &mut RegistryShard) {
-        shard.inst.hit.rollback_tx();
+        if shard.tx_created {
+            shard.inst = None;
+            shard.created = false;
+            shard.tx_created = false;
+        } else if let Some(inst) = &mut shard.inst {
+            inst.hit.rollback_tx();
+        }
     }
 }
 

@@ -27,9 +27,10 @@
 //!   overfull block.
 //! * [`TouchSet<K>`] — the touched-entry record the optimistic parallel
 //!   block executor builds its conflict detection on: while the undo log
-//!   captures writes, the touch set additionally captures *reads*, so
-//!   two transaction groups conflict exactly when their touch sets
-//!   intersect.
+//!   captures writes, the touch set additionally captures *reads*, and
+//!   keeps the two apart ([`TouchRecord`]) so the executor can let
+//!   read-only sharing commute while any write-involved overlap forces a
+//!   re-execution of the groups involved.
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -51,29 +52,82 @@ pub trait Journaled {
     fn rollback_tx(&mut self);
 }
 
+/// The keys one execution group observed, with reads and writes kept
+/// apart. Produced by [`TouchSet::take`]; consumed by the parallel block
+/// executor's conflict validation: two groups whose records overlap only
+/// in reads commute, while an overlap that involves a write on either
+/// side makes the optimistic result order-sensitive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TouchRecord<K: Ord> {
+    /// Keys observed without being written.
+    pub reads: BTreeSet<K>,
+    /// Keys written (a read-modify-write counts as a write).
+    pub writes: BTreeSet<K>,
+}
+
+impl<K: Ord> Default for TouchRecord<K> {
+    fn default() -> Self {
+        Self {
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy> TouchRecord<K> {
+    /// Every key touched, read or written.
+    pub fn all(&self) -> impl Iterator<Item = K> + '_ {
+        self.reads.union(&self.writes).copied()
+    }
+
+    /// Whether `key` was touched at all.
+    pub fn contains(&self, key: &K) -> bool {
+        self.reads.contains(key) || self.writes.contains(key)
+    }
+
+    /// Whether this record and `other` have an order-sensitive overlap:
+    /// a key written by one side and touched (read or written) by the
+    /// other. Read-read overlaps commute and do not count.
+    pub fn conflicts_with(&self, other: &Self) -> bool {
+        !self.writes.is_disjoint(&other.writes)
+            || !self.writes.is_disjoint(&other.reads)
+            || !self.reads.is_disjoint(&other.writes)
+    }
+
+    /// Whether nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
 /// A set of state keys touched — read **or** written — while tracking is
 /// enabled. The undo log alone is not enough for optimistic concurrency:
 /// it records writes (it exists to revert them), but two transactions
 /// also conflict when one *reads* an entry the other writes, because the
 /// read value feeds guard checks, revert messages and payout amounts.
 /// `TouchSet` closes that gap: journaled components record every key a
-/// transaction observes, and the parallel block executor intersects the
-/// per-group sets to decide whether optimistic results may commit.
+/// transaction observes — reads and writes separately — and the parallel
+/// block executor compares the per-group [`TouchRecord`]s against the
+/// declared access sets and against each other to decide whether
+/// optimistic results may commit, must be selectively re-executed, or
+/// must fall back to serial order.
 ///
-/// Reads come through `&self` accessors, so the set lives behind a
-/// [`RefCell`]; tracking is off by default and costs one branch when
+/// Reads come through `&self` accessors, so the sets live behind
+/// [`RefCell`]s; tracking is off by default and costs one branch when
 /// disabled, exactly like [`StateJournal::record`].
 #[derive(Clone, Debug)]
 pub struct TouchSet<K: Ord> {
     enabled: bool,
-    keys: RefCell<BTreeSet<K>>,
+    reads: RefCell<BTreeSet<K>>,
+    writes: RefCell<BTreeSet<K>>,
 }
 
 impl<K: Ord> Default for TouchSet<K> {
     fn default() -> Self {
         Self {
             enabled: false,
-            keys: RefCell::new(BTreeSet::new()),
+            reads: RefCell::new(BTreeSet::new()),
+            writes: RefCell::new(BTreeSet::new()),
         }
     }
 }
@@ -88,7 +142,7 @@ impl<K: Ord + Copy> TouchSet<K> {
     pub fn tracking() -> Self {
         Self {
             enabled: true,
-            keys: RefCell::new(BTreeSet::new()),
+            ..Self::default()
         }
     }
 
@@ -97,18 +151,29 @@ impl<K: Ord + Copy> TouchSet<K> {
         self.enabled
     }
 
-    /// Records one touched key (no-op when disabled). Takes `&self` so
+    /// Records one observed key (no-op when disabled). Takes `&self` so
     /// read-only accessors can report their reads.
-    pub fn record(&self, key: K) {
+    pub fn record_read(&self, key: K) {
         if self.enabled {
-            self.keys.borrow_mut().insert(key);
+            self.reads.borrow_mut().insert(key);
         }
     }
 
-    /// Drains and returns every key touched since tracking began (or the
-    /// last take).
-    pub fn take(&mut self) -> BTreeSet<K> {
-        std::mem::take(&mut self.keys.borrow_mut())
+    /// Records one written key (no-op when disabled).
+    pub fn record_write(&self, key: K) {
+        if self.enabled {
+            self.writes.borrow_mut().insert(key);
+        }
+    }
+
+    /// Drains and returns the touch record accumulated since tracking
+    /// began (or the last take). Keys both read and written report only
+    /// as writes — the stronger access subsumes the weaker.
+    pub fn take(&mut self) -> TouchRecord<K> {
+        let writes = std::mem::take(&mut *self.writes.borrow_mut());
+        let mut reads = std::mem::take(&mut *self.reads.borrow_mut());
+        reads.retain(|k| !writes.contains(k));
+        TouchRecord { reads, writes }
     }
 }
 
@@ -230,14 +295,34 @@ mod tests {
     #[test]
     fn disabled_touch_set_records_nothing() {
         let mut t: TouchSet<u32> = TouchSet::new();
-        t.record(1);
+        t.record_read(1);
+        t.record_write(2);
         assert!(t.take().is_empty());
         let mut t = TouchSet::tracking();
-        t.record(2);
-        t.record(1);
-        t.record(2);
-        assert_eq!(t.take().into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        t.record_read(2);
+        t.record_read(1);
+        t.record_write(2);
+        let rec = t.take();
+        assert_eq!(rec.reads.into_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(rec.writes.into_iter().collect::<Vec<_>>(), vec![2]);
         assert!(t.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn touch_records_conflict_on_any_write_overlap() {
+        let rec = |reads: &[u32], writes: &[u32]| TouchRecord {
+            reads: reads.iter().copied().collect(),
+            writes: writes.iter().copied().collect(),
+        };
+        // Read-read sharing commutes.
+        assert!(!rec(&[1, 2], &[]).conflicts_with(&rec(&[2, 3], &[])));
+        // Write-write and read-write do not.
+        assert!(rec(&[], &[1]).conflicts_with(&rec(&[], &[1])));
+        assert!(rec(&[1], &[]).conflicts_with(&rec(&[], &[1])));
+        assert!(rec(&[], &[1]).conflicts_with(&rec(&[1], &[])));
+        // Disjoint sets never conflict.
+        assert!(!rec(&[1], &[2]).conflicts_with(&rec(&[3], &[4])));
+        assert!(rec(&[1], &[2]).contains(&1) && rec(&[1], &[2]).contains(&2));
     }
 
     #[test]

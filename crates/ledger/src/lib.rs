@@ -25,9 +25,7 @@ use std::fmt;
 pub mod address;
 pub mod journal;
 pub use address::Address;
-pub use journal::{Journaled, StateJournal, TouchSet};
-
-use std::collections::BTreeSet;
+pub use journal::{Journaled, StateJournal, TouchRecord, TouchSet};
 
 /// An amount of coins (abstract smallest unit).
 pub type Amount = u128;
@@ -185,9 +183,9 @@ impl Ledger {
     }
 
     /// Journals the prior value of `account`'s balance entry before a
-    /// write (no-op outside a transaction), and records the touch.
+    /// write (no-op outside a transaction), and records the write touch.
     fn record_balance(&mut self, account: Address) {
-        self.touches.record(account);
+        self.touches.record_write(account);
         let balances = &self.balances;
         self.journal.record_with(|| LedgerUndo::Balance {
             account,
@@ -210,7 +208,7 @@ impl Ledger {
 
     /// The balance of `account` (zero if never seen).
     pub fn balance(&self, account: &Address) -> Amount {
-        self.touches.record(*account);
+        self.touches.record_read(*account);
         self.balances.get(account).copied().unwrap_or(0)
     }
 
@@ -246,14 +244,14 @@ impl Ledger {
     /// comparison. Used by the executor to validate presets and merge
     /// shadow results; records the touch like any other read.
     pub fn balance_entry(&self, account: &Address) -> Option<Amount> {
-        self.touches.record(*account);
+        self.touches.record_read(*account);
         self.balances.get(account).copied()
     }
 
-    /// Drains the set of accounts touched (read or written) since touch
-    /// tracking began. Empty unless the ledger was built by
+    /// Drains the record of accounts touched since touch tracking began,
+    /// reads and writes kept apart. Empty unless the ledger was built by
     /// [`Ledger::sparse_overlay`].
-    pub fn take_touched(&mut self) -> BTreeSet<Address> {
+    pub fn take_touched(&mut self) -> TouchRecord<Address> {
         self.touches.take()
     }
 
@@ -558,8 +556,18 @@ mod tests {
         assert_eq!(shadow.balance(&addr(1)), 100);
         shadow.pay(addr(9), addr(2), 30).unwrap();
         let touched = shadow.take_touched();
-        assert!(touched.contains(&addr(1)), "read-only access is a touch");
-        assert!(touched.contains(&addr(9)) && touched.contains(&addr(2)));
+        assert!(
+            touched.reads.contains(&addr(1)),
+            "read-only access is a read touch"
+        );
+        assert!(
+            touched.writes.contains(&addr(9)) && touched.writes.contains(&addr(2)),
+            "payment endpoints are write touches"
+        );
+        assert!(
+            !touched.reads.contains(&addr(9)),
+            "a read that precedes a write reports as the write alone"
+        );
         // Merging the touched entries reproduces serial execution.
         for a in [addr(1), addr(2), addr(9)] {
             base.merge_entry(a, shadow.balance_entry(&a));

@@ -579,6 +579,7 @@ impl MarketSim {
             refunds: self.refunds,
             reverted_txs: self.block_stats.iter().map(|b| b.reverted).sum(),
             batch: registry.batch_stats(),
+            parallel: self.chain.parallel_stats(),
             outcomes,
             block_stats: self.block_stats,
         }

@@ -2,7 +2,7 @@
 //! aggregate [`MarketReport`] with hand-rolled JSON output (the compat
 //! serde is derive-only, so structured output is written directly).
 
-use dragoon_chain::Gas;
+use dragoon_chain::{Gas, ParallelStats};
 use dragoon_contract::{BatchStats, HitId, SettlementMode};
 
 /// One produced block's footprint.
@@ -90,6 +90,12 @@ pub struct MarketReport {
     pub reverted_txs: usize,
     /// Batched-settlement counters (all zero in per-proof mode).
     pub batch: BatchStats,
+    /// Parallel-executor counters (groups, selective retries, fallbacks,
+    /// barriers). Deliberately excluded from [`MarketReport::to_json`]:
+    /// that JSON is the cross-thread-count equivalence witness, and these
+    /// counters legitimately differ with the thread budget. Emit them via
+    /// [`MarketReport::scheduler_json`] instead.
+    pub parallel: ParallelStats,
     /// Per-HIT outcomes, in id order.
     pub outcomes: Vec<HitOutcome>,
     /// Per-block footprints.
@@ -169,6 +175,26 @@ impl MarketReport {
         s
     }
 
+    /// The parallel-executor counters as one JSON object — kept separate
+    /// from [`MarketReport::to_json`] so scheduler telemetry never leaks
+    /// into the thread-count equivalence assertions.
+    pub fn scheduler_json(&self) -> String {
+        let p = &self.parallel;
+        format!(
+            "{{\"parallel_txs\":{},\"serial_txs\":{},\"batches\":{},\
+             \"groups\":{},\"barriers\":{},\"selective_retries\":{},\
+             \"conflict_fallbacks\":{},\"gas_fallbacks\":{}}}",
+            p.parallel_txs,
+            p.serial_txs,
+            p.batches,
+            p.groups,
+            p.barriers,
+            p.selective_retries,
+            p.conflict_fallbacks,
+            p.gas_fallbacks,
+        )
+    }
+
     /// A human-oriented multi-line summary for examples and logs.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -204,6 +230,21 @@ impl MarketReport {
             out.push_str(&format!(
                 "batch:  {} dispatches covering {} proofs (largest {})\n",
                 self.batch.batches, self.batch.items, self.batch.largest
+            ));
+        }
+        let p = &self.parallel;
+        if p.parallel_txs + p.serial_txs > 0 {
+            out.push_str(&format!(
+                "sched:  {} parallel / {} serial txs in {} batches ({} groups), \
+                 {} retries, {} conflict + {} gas fallbacks, {} barriers\n",
+                p.parallel_txs,
+                p.serial_txs,
+                p.batches,
+                p.groups,
+                p.selective_retries,
+                p.conflict_fallbacks,
+                p.gas_fallbacks,
+                p.barriers,
             ));
         }
         out

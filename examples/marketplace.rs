@@ -27,4 +27,5 @@ fn main() {
     let report = run_market(config);
     print!("{}", report.summary());
     println!("\nJSON: {}", report.to_json());
+    println!("scheduler JSON: {}", report.scheduler_json());
 }

@@ -8,12 +8,15 @@
 //! property across:
 //!
 //! * random transaction soups (proptest-driven) at 1, 2 and 8 threads,
+//!   including Create-dominated soups (speculative id reservation),
 //! * full multi-instance lifecycles where disjoint instances genuinely
 //!   execute in parallel (stats prove optimistic batches committed),
 //! * adversarial same-instance contention (everything must fall back to
 //!   serial re-execution in mempool order),
-//! * cross-instance ledger conflicts (two instances paying the same
-//!   worker in one block — the journal touch sets must catch it),
+//! * cross-instance ledger conflicts (instances paying the same worker
+//!   in one block — the journal touch records must catch them and
+//!   resolve them by selective retry, not whole-batch discard),
+//! * reverted speculative creations (the serial backstop),
 //! * mid-batch block-gas overflow (carry-over must match serial), and
 //! * whole-market runs under FIFO and front-running schedulers.
 
@@ -162,7 +165,7 @@ fn drive_to_evaluate(
     chains: &mut [Chain<HitRegistry>],
     rng: &mut StdRng,
     count: u64,
-    shared_worker: Option<Address>,
+    shared_workers: &[(u8, Address)],
 ) -> Vec<(Vec<Address>, Vec<dragoon_core::task::EncryptedAnswer>)> {
     for _ in 0..count {
         submit_all(chains, fx.requester, fx.create_msg());
@@ -175,13 +178,16 @@ fn drive_to_evaluate(
     let mut commits: Vec<(Address, RegistryMessage)> = Vec::new();
     let mut keys = Vec::new();
     for id in 0..count {
-        // Disjoint worker pools by default; `shared_worker` (when set)
-        // takes the first slot of *every* instance to force cross-group
-        // ledger contention at settlement.
+        // Disjoint worker pools by default; each `(slot, worker)` of
+        // `shared_workers` pins that slot of *every* instance to the same
+        // worker to force cross-group ledger contention at settlement.
         let workers: Vec<Address> = (1..=3u8)
-            .map(|j| match (j, shared_worker) {
-                (1, Some(w)) => w,
-                _ => Address::from_byte(10 + (id as u8) * 3 + j),
+            .map(|j| {
+                shared_workers
+                    .iter()
+                    .find(|(slot, _)| *slot == j)
+                    .map(|(_, w)| *w)
+                    .unwrap_or_else(|| Address::from_byte(10 + (id as u8) * 3 + j))
             })
             .collect();
         let answers = [bad.clone(), good.clone(), good.clone()];
@@ -260,7 +266,7 @@ fn multi_instance_lifecycle_parallel_equals_serial() {
     let fx = Fixture::new(0x9a7a);
     let mut rng = StdRng::seed_from_u64(0x9a7a ^ 1);
     let mut chains = fx.chain_set(SettlementMode::PerProof, None);
-    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 4, None);
+    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 4, &[]);
     // Reject each instance's low-quality worker 0 — all four PoQoEA
     // verifications land in the same block, one per instance, executing
     // concurrently on the multi-threaded chains.
@@ -317,7 +323,7 @@ fn parallel_inline_payments_merge_exactly() {
     let fx = Fixture::new(0x6e4d);
     let mut rng = StdRng::seed_from_u64(0x6e4d ^ 1);
     let mut chains = fx.chain_set(SettlementMode::PerProof, None);
-    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 3, None);
+    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 3, &[]);
     for (id, (workers, _)) in per_hit.iter().enumerate() {
         submit_all(
             &mut chains,
@@ -347,17 +353,20 @@ fn parallel_inline_payments_merge_exactly() {
 
 /// Conflict injection, cross-instance flavor: every instance enrolls the
 /// *same* worker, and one block carries a backfired evaluation (an
-/// inline payment to that worker) for each instance. The groups' journal
-/// touch sets all contain the shared worker's balance entry, so the
-/// optimistic results must be discarded and the block re-executed
-/// serially — detected, not silently merged.
+/// inline payment to that worker) for each instance. The declared access
+/// sets name the shared worker only as a *read* (the payment is
+/// outcome-dependent), so the grouper leaves the instances parallel and
+/// the observed write-write overlap on the worker's balance entry must
+/// be resolved by a **selective retry** — the conflicting groups merge
+/// and re-execute in mempool order — never by discarding the whole batch
+/// to serial.
 #[test]
-fn shared_worker_payments_force_conflict_fallback() {
+fn shared_worker_payments_selective_retry() {
     let fx = Fixture::new(0xc04f);
     let mut rng = StdRng::seed_from_u64(0xc04f ^ 1);
     let shared = Address::from_byte(40);
     let mut chains = fx.chain_set(SettlementMode::PerProof, None);
-    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 3, Some(shared));
+    let per_hit = drive_to_evaluate(&fx, &mut chains, &mut rng, 3, &[(1, shared)]);
     for (id, (workers, _)) in per_hit.iter().enumerate() {
         assert_eq!(workers[0], shared);
         submit_all(
@@ -380,11 +389,19 @@ fn shared_worker_payments_force_conflict_fallback() {
     for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
         let stats = chain.parallel_stats();
         assert!(
-            stats.conflict_fallbacks >= 1,
-            "{threads} threads: overlapping touch sets must fall back ({stats:?})"
+            stats.selective_retries >= 1,
+            "{threads} threads: overlapping touch records must retry ({stats:?})"
+        );
+        assert_eq!(
+            stats.conflict_fallbacks, 0,
+            "{threads} threads: a declared-preset conflict must not discard the batch ({stats:?})"
+        );
+        assert!(
+            stats.batches > 0,
+            "{threads} threads: the retried batch must still commit optimistically ({stats:?})"
         );
     }
-    // The fallback's serial re-execution preserves mempool order.
+    // The retry's re-execution preserves mempool order.
     let evaluate_seqs: Vec<u64> = chains[2]
         .receipts()
         .filter(|r| r.label == "evaluate")
@@ -392,7 +409,63 @@ fn shared_worker_payments_force_conflict_fallback() {
         .collect();
     let mut sorted = evaluate_seqs.clone();
     sorted.sort_unstable();
-    assert_eq!(evaluate_seqs, sorted, "fallback must keep mempool order");
+    assert_eq!(evaluate_seqs, sorted, "retry must keep mempool order");
+}
+
+/// Repeated cross-group ledger conflicts: two workers are shared across
+/// every instance, and two consecutive blocks each carry one backfired
+/// evaluation per instance targeting the block's shared worker. Every
+/// block must take the selective-retry path (the conflict repeats), the
+/// full-serial backstop must never fire, and state must stay
+/// bit-identical throughout.
+#[test]
+fn repeated_cross_group_conflicts_stay_selective() {
+    let fx = Fixture::new(0x2e7a);
+    let mut rng = StdRng::seed_from_u64(0x2e7a ^ 1);
+    let shared_a = Address::from_byte(40);
+    let shared_b = Address::from_byte(39);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let per_hit = drive_to_evaluate(
+        &fx,
+        &mut chains,
+        &mut rng,
+        3,
+        &[(1, shared_a), (2, shared_b)],
+    );
+    for (round, shared) in [shared_a, shared_b].into_iter().enumerate() {
+        for (id, (workers, _)) in per_hit.iter().enumerate() {
+            assert!(workers.contains(&shared));
+            submit_all(
+                &mut chains,
+                fx.requester,
+                RegistryMessage::Hit {
+                    id: id as u64,
+                    msg: HitMessage::Evaluate {
+                        worker: shared,
+                        chi: 0,
+                        proof: QualityProof::default(),
+                    },
+                },
+            );
+        }
+        advance_all(&mut chains);
+        assert_all_equal(&chains, &format!("conflict round {round}"));
+    }
+    // Both shared workers were paid by all three instances.
+    for shared in [shared_a, shared_b] {
+        assert_eq!(chains[0].ledger.balance(&shared), 100 + 3 * (BUDGET / 3));
+    }
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.selective_retries >= 2,
+            "{threads} threads: each conflicting block must retry ({stats:?})"
+        );
+        assert_eq!(
+            stats.conflict_fallbacks, 0,
+            "{threads} threads: the serial backstop must stay cold ({stats:?})"
+        );
+    }
 }
 
 /// Conflict injection, hot-instance flavor: every worker hammers the one
@@ -502,6 +575,97 @@ fn gas_cap_overflow_rollback_parallel_equals_serial() {
     }
 }
 
+/// Speculative creation: a block whose mempool is entirely `Create`
+/// transactions from distinct requesters no longer serializes — each
+/// creation reserves its id deterministically, forms its own group and
+/// executes in parallel, with zero barriers and bit-identical state
+/// (ids, derived addresses, escrow balances, `Created` event order).
+#[test]
+fn create_dominated_block_parallelizes() {
+    let fx = Fixture::new(0xcafe);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let creators: Vec<Address> = (0..8u8).map(|i| Address::from_byte(0xa0 + i)).collect();
+    for chain in chains.iter_mut() {
+        for c in &creators {
+            chain.ledger.mint(*c, BUDGET * 4);
+        }
+    }
+    // Block 1: eight concurrent creations, nothing else.
+    for c in &creators {
+        submit_all(&mut chains, *c, fx.create_msg());
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "create-only block");
+    assert_eq!(chains[0].contract().len(), 8);
+    // Block 2: creations interleaved with commits to the fresh ids —
+    // spawn-heavy traffic with live instances in the same batch.
+    for (i, c) in creators.iter().enumerate() {
+        submit_all(&mut chains, *c, fx.create_msg());
+        let key = CommitmentKey([i as u8 + 1; 32]);
+        let comm = Commitment::commit(&[i as u8 + 1], &key);
+        submit_all(
+            &mut chains,
+            Address::from_byte(i as u8 + 1),
+            RegistryMessage::Hit {
+                id: i as u64,
+                msg: HitMessage::Commit { commitment: comm },
+            },
+        );
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "mixed create/commit block");
+    assert_eq!(chains[0].contract().len(), 16);
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.batches >= 2 && stats.parallel_txs >= 24,
+            "{threads} threads: creations must execute optimistically ({stats:?})"
+        );
+        assert_eq!(
+            stats.barriers, 0,
+            "{threads} threads: a creation must not be a barrier ({stats:?})"
+        );
+        assert_eq!(
+            stats.conflict_fallbacks, 0,
+            "{threads} threads: disjoint creations must not conflict ({stats:?})"
+        );
+    }
+}
+
+/// A speculative creation that *reverts* (unfunded requester) breaks the
+/// id-reservation assumption for everything after it, so the batch must
+/// take the full-serial backstop — and end bit-identical to serial,
+/// including the ids later successful creations receive.
+#[test]
+fn reverted_create_falls_back_to_serial() {
+    let fx = Fixture::new(0xdead);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let funded = Address::from_byte(0xa1);
+    for chain in chains.iter_mut() {
+        chain.ledger.mint(funded, BUDGET * 4);
+    }
+    // Funded, broke, funded: the middle creation reverts, shifting the
+    // serial id assignment of the third one.
+    submit_all(&mut chains, fx.requester, fx.create_msg());
+    submit_all(&mut chains, Address::from_byte(0x99), fx.create_msg());
+    submit_all(&mut chains, funded, fx.create_msg());
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "reverted-create block");
+    assert_eq!(chains[0].contract().len(), 2, "two creations landed");
+    let reverted = chains[0]
+        .receipts()
+        .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+        .count();
+    assert_eq!(reverted, 1);
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.conflict_fallbacks >= 1,
+            "{threads} threads: a reverted creation must fall back ({stats:?})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -563,6 +727,73 @@ proptest! {
             }
             advance_all(&mut chains);
             assert_all_equal(&chains, &format!("soup round {round}"));
+        }
+    }
+
+    /// Create-dominated soups: roughly half of every round's mempool is
+    /// a funded `Create` from a rotating pool of requesters, the rest
+    /// commits and finalizes against the ids created so far. The
+    /// workload PR 3 serialized completely (every `Create` was a
+    /// barrier) must now form optimistic batches with zero barriers and
+    /// stay bit-identical across thread counts.
+    #[test]
+    fn create_dominated_soups_parallel_equals_serial(
+        ops in proptest::collection::vec((0u32..8, 0u64..8, 1u32..200), 12..32),
+    ) {
+        let fx = Fixture::new(0x5ba1);
+        let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+        let creators: Vec<Address> = (0..6u8).map(|i| Address::from_byte(0xa0 + i)).collect();
+        for chain in chains.iter_mut() {
+            for c in &creators {
+                chain.ledger.mint(*c, BUDGET * 40);
+            }
+        }
+        for (round, window) in ops.chunks(4).enumerate() {
+            for &(kind, id_sel, tag) in window {
+                let created = chains[0].contract().len() as u64;
+                match kind {
+                    // Half the operation space spawns new instances.
+                    0..=3 => {
+                        let creator = creators[(tag as usize) % creators.len()];
+                        submit_all(&mut chains, creator, fx.create_msg());
+                    }
+                    4 | 5 if created > 0 => {
+                        let id = id_sel % created;
+                        let w = Address::from_byte((tag % 12 + 1) as u8);
+                        let key = CommitmentKey([3u8; 32]);
+                        let comm = Commitment::commit(&tag.to_le_bytes(), &key);
+                        submit_all(&mut chains, w, RegistryMessage::Hit {
+                            id,
+                            msg: HitMessage::Commit { commitment: comm },
+                        });
+                    }
+                    6 if created > 0 => {
+                        let id = id_sel % created;
+                        submit_all(&mut chains, fx.requester, RegistryMessage::Hit {
+                            id,
+                            msg: HitMessage::Finalize,
+                        });
+                    }
+                    _ => {
+                        let creator = creators[(id_sel as usize) % creators.len()];
+                        submit_all(&mut chains, creator, fx.create_msg());
+                    }
+                }
+            }
+            advance_all(&mut chains);
+            assert_all_equal(&chains, &format!("create soup round {round}"));
+        }
+        assert!(chains[0].contract().len() >= 6, "soup must actually spawn");
+        for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+            let stats = chain.parallel_stats();
+            assert!(
+                stats.batches > 0,
+                "{threads} threads: creations must batch ({stats:?})"
+            );
+            assert_eq!(
+                stats.barriers, 0,
+                "{threads} threads: no message of this soup is a barrier ({stats:?})"
+            );
         }
     }
 }
