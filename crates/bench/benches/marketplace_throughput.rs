@@ -286,6 +286,62 @@ fn spawn_heavy_speedup(seed: u64) {
     );
 }
 
+/// **Econ-layer overhead** — the same 1 000-HIT market with the
+/// `dragoon-econ` layer off and in observe-only mode (reputation fed by
+/// every settlement receipt, pricing/churn/adversaries idle, no gating
+/// or ordering). Observe-only econ influences nothing, so the reports
+/// are asserted byte-identical and the wall-clock delta prices exactly
+/// the layer's bookkeeping — the acceptance bar is <5% at 1k HITs.
+fn econ_overhead(seed: u64) {
+    println!("\n== econ layer overhead (1 000 HITs, observe-only) ==");
+    let base = scale_config(1_000, seed, false);
+    let econ_config = MarketConfig {
+        econ: dragoon_econ::EconConfig::observe_only(),
+        ..base.clone()
+    };
+    // Best-of-two walls per config: a single cold run overstates the
+    // delta by more than the delta itself (page cache, frequency ramp).
+    let (off_a, off) = time_once(|| run_market(base.clone()));
+    let (off_b, _) = time_once(|| run_market(base.clone()));
+    let off_wall = off_a.min(off_b);
+    let (on_a, on) = time_once(|| run_market(econ_config.clone()));
+    let (on_b, _) = time_once(|| run_market(econ_config.clone()));
+    let on_wall = on_a.min(on_b);
+    assert_eq!(
+        off.to_json(),
+        on.to_json(),
+        "observe-only econ must not change the market"
+    );
+    assert!(on.econ.is_some() && off.econ.is_none());
+    let overhead = on_wall.as_secs_f64() / off_wall.as_secs_f64() - 1.0;
+    println!(
+        "econ_off  {} HITs settled in {} blocks, wall {}",
+        off.hits_settled,
+        off.blocks,
+        fmt_duration(off_wall),
+    );
+    println!(
+        "econ_on   {} HITs settled in {} blocks, wall {} ({} receipts absorbed)",
+        on.hits_settled,
+        on.blocks,
+        fmt_duration(on_wall),
+        on.econ.as_ref().map_or(0, |e| e.rep_receipts),
+    );
+    println!(
+        "overhead {:+.1}% (identical reports — observe-only differential holds)",
+        overhead * 100.0
+    );
+    println!(
+        "JSON: {{\"bench\":\"econ_overhead\",\"hits\":1000,\
+         \"econ_off_ms\":{},\"econ_on_ms\":{},\"overhead_pct\":{:.2},\
+         \"econ\":{}}}",
+        off_wall.as_millis(),
+        on_wall.as_millis(),
+        overhead * 100.0,
+        on.econ_json(),
+    );
+}
+
 fn batch_speedup(seed: u64) {
     println!("\n== batched vs individual VPKE verification ==");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
@@ -336,6 +392,7 @@ fn main() {
     checkpoint_speedup(seed);
     parallel_exec_speedup(seed);
     spawn_heavy_speedup(seed);
+    econ_overhead(seed);
     market_scale_10k(seed);
     batch_speedup(seed);
 }

@@ -182,6 +182,37 @@ pub struct Block {
     pub receipts: Vec<Receipt>,
 }
 
+/// A compact per-block footprint read at block boundaries — the
+/// chain-level observation feed market-economics layers (dynamic
+/// pricing, congestion models) consume without re-scanning receipts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockObservation {
+    /// Block height (round number).
+    pub round: u64,
+    /// Executed transactions (including reverted).
+    pub txs: usize,
+    /// Reverted transactions.
+    pub reverted: usize,
+    /// Gas consumed by the block.
+    pub gas_used: Gas,
+}
+
+impl Block {
+    /// Summarizes this block as a [`BlockObservation`].
+    pub fn observation(&self) -> BlockObservation {
+        BlockObservation {
+            round: self.round,
+            txs: self.receipts.len(),
+            reverted: self
+                .receipts
+                .iter()
+                .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+                .count(),
+            gas_used: self.receipts.iter().map(|r| r.gas_used).sum(),
+        }
+    }
+}
+
 /// An open per-transaction checkpoint: either the journal transactions
 /// the chain opened on contract + ledger, or (in the clone baseline) the
 /// pre-transaction whole-state snapshots.
@@ -546,6 +577,12 @@ impl<S: StateMachine> Chain<S> {
     /// All produced blocks.
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// The footprint of the most recent block, for block-boundary
+    /// observers (econ layers reading fill rate and congestion).
+    pub fn last_observation(&self) -> Option<BlockObservation> {
+        self.blocks.last().map(Block::observation)
     }
 
     /// All events with the round in which they were emitted.

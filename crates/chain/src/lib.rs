@@ -32,7 +32,9 @@ pub mod gas;
 pub mod mempool;
 pub mod parallel;
 
-pub use chain::{Block, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus};
+pub use chain::{
+    Block, BlockObservation, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus,
+};
 pub use dragoon_ledger::{Journaled, StateJournal, TouchRecord, TouchSet};
 pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
 pub use mempool::{

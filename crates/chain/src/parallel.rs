@@ -19,7 +19,11 @@
 //! 2. **Group.** A conflict-graph grouper partitions the batch: any
 //!    resource — instance or account — declared written by one
 //!    transaction and touched by another joins their groups (union-find).
-//!    Declared read-read sharing stays parallel. Each group gets owned
+//!    Declared read-read sharing stays parallel, and so does declared
+//!    **debit-debit** sharing: a `Create`'s escrow freeze declares a
+//!    commutative debit on its funded sender, so same-sender spawns
+//!    split into separate groups whose deltas sum at merge (validated by
+//!    the overdraft check in step 3). Each group gets owned
 //!    shard snapshots of its instances (or fresh shards for reserved
 //!    ids), a [`Ledger::sparse_overlay`] shadow covering its declared
 //!    accounts plus its transactions' senders, and executes its
@@ -33,11 +37,16 @@
 //!    reservation no longer matches serial assignment) forces the
 //!    correctness backstop: the whole batch is discarded and re-executed
 //!    serially in mempool order. Otherwise, groups whose observed records
-//!    conflict (a write on one side, any touch on the other) are
-//!    **selectively retried**: the conflicting groups merge into one
-//!    group that re-executes their transactions in mempool order against
-//!    fresh snapshots — non-conflicting groups keep their optimistic
-//!    results — and validation repeats until the batch is conflict-free.
+//!    conflict (a write on one side, any touch on the other; debit-debit
+//!    overlaps commute and do not count) are **selectively retried**:
+//!    the conflicting groups merge into one group that re-executes their
+//!    transactions in mempool order against fresh snapshots —
+//!    non-conflicting groups keep their optimistic results — and
+//!    validation repeats until the batch is conflict-free. Debited
+//!    accounts additionally pass an **overdraft check** (the sum of
+//!    every group's successful freeze deltas must fit the canonical base
+//!    entry); an over-drawing burst merges its debitors for the same
+//!    mempool-order retry.
 //!    A mid-batch block-gas overflow (receipts simulated in schedule
 //!    order) still falls back to serial so gas-capped carry-over
 //!    semantics are byte-identical.
@@ -83,6 +92,12 @@ pub struct AccessSet {
     pub account_reads: Vec<Address>,
     /// Ledger accounts written.
     pub account_writes: Vec<Address>,
+    /// Ledger accounts *debited* by commutative escrow freezes (a
+    /// `Create`'s funded sender). Debit-debit sharing between groups
+    /// stays parallel — the deltas sum at merge — subject to the
+    /// executor's post-hoc overdraft check; a debit against a declared
+    /// read or write still serializes.
+    pub account_debits: Vec<Address>,
 }
 
 impl AccessSet {
@@ -122,6 +137,12 @@ impl AccessSet {
     /// Adds declared account writes.
     pub fn writes_accounts(mut self, accounts: impl IntoIterator<Item = Address>) -> Self {
         self.account_writes.extend(accounts);
+        self
+    }
+
+    /// Adds declared commutative account debits (escrow freezes).
+    pub fn debits_accounts(mut self, accounts: impl IntoIterator<Item = Address>) -> Self {
+        self.account_debits.extend(accounts);
         self
     }
 
@@ -590,6 +611,32 @@ where
                     }
                 }
             }
+            // Commutative-debit overdraft check: per debited account, the
+            // sum of every group's successful freeze deltas must fit the
+            // canonical base entry. If it does, every guard that passed
+            // optimistically also passes under any serial interleaving
+            // (each debit dᵢ sees base − Σ(prior) ≥ dᵢ whenever Σ ≤ base)
+            // and every failed guard still fails (serial balances are
+            // only lower). If it does not, some optimistic pass would
+            // have failed serially, so the debiting groups merge and
+            // re-execute in mempool order — a selective retry that
+            // restores exact serial guard semantics inside one group.
+            let mut debit_sums: BTreeMap<Address, (u128, Vec<usize>)> = BTreeMap::new();
+            for (i, g) in groups.iter().enumerate() {
+                for (addr, amt) in g.ledger.debit_totals() {
+                    let entry = debit_sums.entry(addr).or_insert((0, Vec::new()));
+                    entry.0 += amt;
+                    entry.1.push(i);
+                }
+            }
+            for (addr, (sum, members)) in &debit_sums {
+                if members.len() >= 2 && *sum > self.ledger.balance_entry(addr).unwrap_or(0) {
+                    for w in members.windows(2) {
+                        uf.union(w[0], w[1]);
+                    }
+                    any = true;
+                }
+            }
             if !any {
                 break;
             }
@@ -672,6 +719,14 @@ where
             for addr in &g.touched.writes {
                 self.ledger.merge_entry(*addr, g.ledger.balance_entry(addr));
             }
+            // Debited accounts merge additively: each group's accumulated
+            // freeze delta subtracts from the canonical entry, so
+            // several groups debiting one funded sender commute.
+            for addr in &g.touched.debits {
+                if let Some(delta) = g.ledger.debit_total(addr) {
+                    self.ledger.apply_debit(*addr, delta);
+                }
+            }
         }
         let mut merged: Vec<(usize, usize, usize)> = Vec::new();
         for (gi, g) in groups.iter().enumerate() {
@@ -716,6 +771,7 @@ where
         let mut uf = UnionFind::new(batch.len());
         let mut writers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
         let mut readers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
+        let mut debitors: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
         for (ti, btx) in batch.iter().enumerate() {
             for key in &btx.access.instance_writes {
                 writers
@@ -741,9 +797,18 @@ where
                     .or_default()
                     .push(ti);
             }
+            for addr in &btx.access.account_debits {
+                debitors
+                    .entry(Resource::Account(*addr))
+                    .or_default()
+                    .push(ti);
+            }
         }
         // A resource someone declares writing serializes every toucher
-        // into one group; read-only sharing stays parallel.
+        // into one group; read-only sharing stays parallel, and so does
+        // debit-only sharing (commutative escrow freezes — validated by
+        // the post-run overdraft check). A declared read against a
+        // declared debit is order-sensitive and serializes.
         for (res, ws) in &writers {
             let first = ws[0];
             for &w in &ws[1..] {
@@ -752,6 +817,28 @@ where
             if let Some(rs) = readers.get(res) {
                 for &r in rs {
                     uf.union(first, r);
+                }
+            }
+            if let Some(ds) = debitors.get(res) {
+                for &d in ds {
+                    uf.union(first, d);
+                }
+            }
+        }
+        for (res, ds) in &debitors {
+            if writers.contains_key(res) {
+                continue; // already fully unioned above
+            }
+            if let Some(rs) = readers.get(res) {
+                // A reader of a debited account pins every debitor to its
+                // group (transitively merging the debitors — conservative
+                // but sound; pure debit-debit sharing has no readers and
+                // stays parallel).
+                for &d in ds {
+                    uf.union(rs[0], d);
+                }
+                for &r in rs {
+                    uf.union(rs[0], r);
                 }
             }
         }
@@ -804,12 +891,15 @@ where
         let mut read_keys: BTreeSet<u64> = BTreeSet::new();
         let mut reserved_keys: BTreeSet<u64> = BTreeSet::new();
         let mut preset: BTreeSet<Address> = BTreeSet::new();
+        let mut debit_accounts: BTreeSet<Address> = BTreeSet::new();
         for btx in &txs {
             write_keys.extend(btx.access.instance_writes.iter().copied());
             read_keys.extend(btx.access.instance_reads.iter().copied());
             reserved_keys.extend(btx.access.reserves);
             preset.extend(btx.access.account_reads.iter().copied());
             preset.extend(btx.access.account_writes.iter().copied());
+            preset.extend(btx.access.account_debits.iter().copied());
+            debit_accounts.extend(btx.access.account_debits.iter().copied());
             preset.insert(btx.tx.sender);
         }
         let mut shards: BTreeMap<u64, S::Shard> = BTreeMap::new();
@@ -824,7 +914,9 @@ where
             };
             shards.insert(key, shard);
         }
-        let ledger = self.ledger.sparse_overlay(preset.iter().copied());
+        let ledger = self
+            .ledger
+            .sparse_overlay_with_debits(preset.iter().copied(), debit_accounts.iter().copied());
         Ok(GroupRun {
             write_keys,
             shards,

@@ -84,6 +84,19 @@ pub enum Settlement {
     Rejected(RejectReason),
 }
 
+/// One worker's finalized settlement, in the order settlements landed —
+/// the per-worker outcome feed cross-HIT layers (reputation books,
+/// payout analytics) consume without replaying the event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SettlementReceipt {
+    /// The settled worker.
+    pub worker: Address,
+    /// The outcome.
+    pub outcome: Settlement,
+    /// Coins paid to the worker (`B/K` when paid, zero when rejected).
+    pub amount: u128,
+}
+
 /// Events emitted by the contract (the transparent log all entities see).
 #[derive(Clone, Debug, PartialEq)]
 pub enum HitEvent {
@@ -367,6 +380,8 @@ pub struct HitContract {
     defer_verification: bool,
     pending_verdicts: Vec<PendingVerdict>,
     batch_stats: BatchStats,
+    /// Per-worker settlement receipts, in the order settlements landed.
+    receipts: Vec<SettlementReceipt>,
     /// Per-transaction undo journal: one lazy whole-instance snapshot,
     /// taken at the first mutating touch of an open transaction. Guard
     /// failures (wrong phase, duplicate commit, `TaskFull` races, …)
@@ -417,6 +432,7 @@ impl HitContract {
             defer_verification: false,
             pending_verdicts: Vec::new(),
             batch_stats: BatchStats::default(),
+            receipts: Vec::new(),
             journal: StateJournal::new(),
         }
     }
@@ -505,6 +521,22 @@ impl HitContract {
     /// Whether the task has fully settled.
     pub fn is_settled(&self) -> bool {
         self.settled
+    }
+
+    /// Per-worker settlement receipts in the order settlements landed —
+    /// the outcome data reputation layers accumulate across HITs.
+    pub fn settlement_receipts(&self) -> &[SettlementReceipt] {
+        &self.receipts
+    }
+
+    /// Appends one settlement receipt (each settlement site records
+    /// exactly one, alongside setting the worker record's outcome).
+    fn push_receipt(&mut self, worker: Address, outcome: Settlement, amount: u128) {
+        self.receipts.push(SettlementReceipt {
+            worker,
+            outcome,
+            amount,
+        });
     }
 
     fn params_ref(&self) -> &PublishParams {
@@ -791,6 +823,7 @@ impl HitContract {
                 .expect("escrow holds the budget");
             env.gas.charge("pay", env.schedule.call_value);
             record.settlement = Some(Settlement::Paid);
+            self.push_receipt(worker, Settlement::Paid, reward);
             env.emit(
                 HitEvent::Paid {
                     worker,
@@ -799,7 +832,9 @@ impl HitContract {
                 64,
             );
         } else {
-            record.settlement = Some(Settlement::Rejected(RejectReason::OutOfRange { index }));
+            let outcome = Settlement::Rejected(RejectReason::OutOfRange { index });
+            record.settlement = Some(outcome.clone());
+            self.push_receipt(worker, outcome, 0);
             env.emit(HitEvent::OutRanged { worker, index }, 64);
         }
         Ok(())
@@ -879,6 +914,7 @@ impl HitContract {
                 .expect("escrow holds the budget");
             env.gas.charge("pay", env.schedule.call_value);
             record.settlement = Some(Settlement::Paid);
+            self.push_receipt(worker, Settlement::Paid, reward);
             env.emit(
                 HitEvent::Paid {
                     worker,
@@ -887,7 +923,9 @@ impl HitContract {
                 64,
             );
         } else {
-            record.settlement = Some(Settlement::Rejected(RejectReason::LowQuality { chi }));
+            let outcome = Settlement::Rejected(RejectReason::LowQuality { chi });
+            record.settlement = Some(outcome.clone());
+            self.push_receipt(worker, outcome, 0);
             env.emit(HitEvent::Evaluated { worker, chi }, 64);
         }
         Ok(())
@@ -1021,13 +1059,15 @@ impl HitContract {
                         },
                     ),
                 };
-                record.settlement = Some(settlement);
+                record.settlement = Some(settlement.clone());
+                self.push_receipt(verdict.worker, settlement, 0);
                 env.emit_free(event);
             } else {
                 env.ledger
                     .pay(env.contract, verdict.worker, reward)
                     .expect("escrow holds the budget");
                 record.settlement = Some(Settlement::Paid);
+                self.push_receipt(verdict.worker, Settlement::Paid, reward);
                 env.emit_free(HitEvent::Paid {
                     worker: verdict.worker,
                     amount: reward,
@@ -1063,12 +1103,14 @@ impl HitContract {
                     env.gas.charge("sstore", env.schedule.sstore_update);
                 }
                 record.settlement = Some(Settlement::Paid);
+                self.push_receipt(addr, Settlement::Paid, reward);
                 env.emit_free(HitEvent::Paid {
                     worker: addr,
                     amount: reward,
                 });
             } else {
                 record.settlement = Some(Settlement::Rejected(RejectReason::NoReveal));
+                self.push_receipt(addr, Settlement::Rejected(RejectReason::NoReveal), 0);
             }
         }
         // Refund whatever remains in escrow (unfilled slots, rejected

@@ -15,7 +15,7 @@ pub mod registry;
 
 pub use contract::{
     BatchStats, HitContract, HitError, HitEvent, Phase, PhaseWindows, RejectReason, Settlement,
-    HIT_CONTRACT_CODE_LEN,
+    SettlementReceipt, HIT_CONTRACT_CODE_LEN,
 };
 pub use msg::{HitMessage, LedgerAccess, PublishParams};
 pub use registry::{

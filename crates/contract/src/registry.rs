@@ -493,12 +493,18 @@ impl ParallelStateMachine for HitRegistry {
     ) -> AccessSet {
         match msg {
             // Creation reserves the id serial execution would assign and
-            // becomes an ordinary instance write: the budget freeze reads
-            // and writes the sender and funds the derived escrow.
+            // becomes an ordinary instance write. The budget freeze
+            // *debits* the sender — a commutative declared access, so
+            // several spawns from the same funded sender stay in separate
+            // groups (the executor sums their deltas at merge and
+            // validates the total against the sender's base balance) —
+            // and funds the derived escrow, an ordinary write.
             RegistryMessage::Create { .. } => {
                 let id = reserver.reserve();
                 let escrow = Address::contract_address(&contract, id + 1);
-                AccessSet::create(id).writes_accounts([sender, escrow])
+                AccessSet::create(id)
+                    .debits_accounts([sender])
+                    .writes_accounts([escrow])
             }
             RegistryMessage::Hit { id, msg } => {
                 if let Some(inst) = self.hits.get(id) {

@@ -1,0 +1,171 @@
+//! Seeded worker churn: the pool gains and loses workers over a long
+//! horizon.
+//!
+//! The paper's worker pool is fixed for the lifetime of a task; a market
+//! running thousands of HITs over thousands of blocks is not. The
+//! [`ChurnProcess`] drives arrivals and departures from its **own**
+//! deterministic RNG stream (derived from the market seed), so the churn
+//! pattern is reproducible and independent of how much randomness agent
+//! behaviour consumes — and therefore identical at every executor thread
+//! count.
+//!
+//! Departure semantics are defined by the engine: a departed worker
+//! stops committing and stops revealing, so its outstanding commitments
+//! settle as `⊥` (no-reveal) and the escrowed shares flow back to the
+//! requesters — churn can never strand coins in escrow, which
+//! `tests/contention.rs` pins under front-running.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs of the churn process.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnParams {
+    /// Probability a new worker joins the pool in any given block
+    /// (evaluated up to `max_events_per_block` times).
+    pub join_rate: f64,
+    /// Probability *some* active worker departs in any given block
+    /// (evaluated up to `max_events_per_block` times; the victim is
+    /// drawn uniformly).
+    pub depart_rate: f64,
+    /// Arrival/departure draws per block (bounds burstiness).
+    pub max_events_per_block: usize,
+    /// Departures never shrink the active pool below this.
+    pub min_pool: usize,
+    /// Arrivals never grow the pool beyond this.
+    pub max_pool: usize,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        Self {
+            join_rate: 0.25,
+            depart_rate: 0.2,
+            max_events_per_block: 2,
+            min_pool: 8,
+            max_pool: 4_096,
+        }
+    }
+}
+
+/// One block's churn decision.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnDecision {
+    /// Workers to add to the pool this block.
+    pub joins: usize,
+    /// Positions (into the caller's *current* active-worker list, applied
+    /// in order with removal) of workers departing this block.
+    pub departs: Vec<usize>,
+}
+
+/// The seeded churn process.
+#[derive(Clone, Debug)]
+pub struct ChurnProcess {
+    params: ChurnParams,
+    rng: StdRng,
+    joined: usize,
+    departed: usize,
+}
+
+impl ChurnProcess {
+    /// A churn process with its own RNG stream derived from `seed`.
+    pub fn new(seed: u64, params: ChurnParams) -> Self {
+        Self {
+            params,
+            // Domain-separated from the engine's behaviour stream.
+            rng: StdRng::seed_from_u64(seed ^ 0xC0A2_15EA_5EED_0001),
+            joined: 0,
+            departed: 0,
+        }
+    }
+
+    /// Lifetime counters `(joined, departed)`.
+    pub fn totals(&self) -> (usize, usize) {
+        (self.joined, self.departed)
+    }
+
+    /// Decides this block's churn against an `active` pool size. The
+    /// returned depart positions index the caller's active list as it
+    /// shrinks (apply in order, removing as you go).
+    pub fn step(&mut self, active: usize) -> ChurnDecision {
+        let mut decision = ChurnDecision::default();
+        let mut remaining = active;
+        for _ in 0..self.params.max_events_per_block {
+            if remaining > self.params.min_pool && self.rng.gen::<f64>() < self.params.depart_rate {
+                decision.departs.push(self.rng.gen_range(0..remaining));
+                remaining -= 1;
+            }
+        }
+        for _ in 0..self.params.max_events_per_block {
+            if remaining + decision.joins < self.params.max_pool
+                && self.rng.gen::<f64>() < self.params.join_rate
+            {
+                decision.joins += 1;
+            }
+        }
+        self.joined += decision.joins;
+        self.departed += decision.departs.len();
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_pattern() {
+        let params = ChurnParams::default();
+        let mut a = ChurnProcess::new(7, params);
+        let mut b = ChurnProcess::new(7, params);
+        for active in [20usize, 19, 25, 30, 12] {
+            assert_eq!(a.step(active), b.step(active));
+        }
+        assert_eq!(a.totals(), b.totals());
+    }
+
+    #[test]
+    fn pool_bounds_hold() {
+        let mut churn = ChurnProcess::new(
+            3,
+            ChurnParams {
+                join_rate: 1.0,
+                depart_rate: 1.0,
+                max_events_per_block: 4,
+                min_pool: 5,
+                max_pool: 6,
+            },
+        );
+        // At the floor nothing departs; at the cap nothing joins.
+        let d = churn.step(5);
+        assert!(d.departs.is_empty());
+        assert_eq!(d.joins, 1, "one join reaches the cap of 6");
+        let d = churn.step(6);
+        assert_eq!(d.departs.len(), 1, "above the floor departures fire");
+        for pos in &d.departs {
+            assert!(*pos < 6);
+        }
+    }
+
+    #[test]
+    fn depart_positions_index_a_shrinking_list() {
+        let mut churn = ChurnProcess::new(
+            11,
+            ChurnParams {
+                join_rate: 0.0,
+                depart_rate: 1.0,
+                max_events_per_block: 3,
+                min_pool: 0,
+                max_pool: 100,
+            },
+        );
+        let d = churn.step(10);
+        assert_eq!(d.departs.len(), 3);
+        // Each pick must be valid against the list as it shrinks.
+        let mut remaining = 10;
+        for pos in &d.departs {
+            assert!(*pos < remaining);
+            remaining -= 1;
+        }
+    }
+}

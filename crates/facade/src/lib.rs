@@ -14,12 +14,15 @@
 //! * [`dragoon_protocol`] — the Π_hit clients, driver and ideal
 //!   functionality.
 //! * [`dragoon_zkp`] — the generic Groth16 zk-SNARK baseline.
+//! * [`dragoon_econ`] — the market-economics subsystem: cross-HIT
+//!   reputation, dynamic pricing, churn and adversary policies.
 //! * [`dragoon_sim`] — the concurrent multi-HIT marketplace engine.
 
 pub use dragoon_chain as chain;
 pub use dragoon_contract as contract;
 pub use dragoon_core as core;
 pub use dragoon_crypto as crypto;
+pub use dragoon_econ as econ;
 pub use dragoon_ledger as ledger;
 pub use dragoon_protocol as protocol;
 pub use dragoon_sim as sim;

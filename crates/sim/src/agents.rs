@@ -31,6 +31,16 @@ pub struct RequesterAgent {
     pub cancel_sent: bool,
     /// Answers successfully collected (the marketplace's utility).
     pub collected: usize,
+    /// Cartel bookkeeping (econ layer): verdicts were computed off-chain
+    /// ahead of the golden-opening decision.
+    pub verdicts_ready: bool,
+    /// Cartel bookkeeping: the golden opening was withheld (no rejection
+    /// would land, so the gold standards stay secret and the deadline
+    /// backstop settles the task).
+    pub golden_withheld: bool,
+    /// Rejection messages computed off-chain, submitted once the golden
+    /// opening confirms (cartel path only).
+    pub pending_rejects: Vec<dragoon_contract::HitMessage>,
 }
 
 impl RequesterAgent {
@@ -47,6 +57,9 @@ impl RequesterAgent {
             finalize_sent: false,
             cancel_sent: false,
             collected: 0,
+            verdicts_ready: false,
+            golden_withheld: false,
+            pending_rejects: Vec::new(),
         }
     }
 }
@@ -68,6 +81,10 @@ pub struct WorkerAgent {
     pub live_sessions: usize,
     /// HITs this worker has already revealed for.
     pub revealed: Vec<HitId>,
+    /// Whether the worker is still in the pool (churn departures flip
+    /// this off: the worker stops committing and stops revealing, so its
+    /// outstanding commitments settle as `⊥` and escrow flows back).
+    pub active: bool,
 }
 
 impl WorkerAgent {
@@ -79,6 +96,7 @@ impl WorkerAgent {
             sessions: BTreeMap::new(),
             live_sessions: 0,
             revealed: Vec::new(),
+            active: true,
         }
     }
 }

@@ -3,6 +3,7 @@
 use dragoon_chain::Gas;
 use dragoon_contract::{PhaseWindows, SettlementMode};
 use dragoon_core::workload::AnswerModel;
+use dragoon_econ::EconConfig;
 use dragoon_protocol::WorkerBehavior;
 
 /// Which mempool scheduler the market runs under.
@@ -79,6 +80,12 @@ pub struct MarketConfig {
     /// differential baseline, like `clone_checkpointing`). Reports are
     /// identical for every value — only wall clock changes.
     pub exec_threads: usize,
+    /// The market-economics layer (`dragoon-econ`): cross-HIT worker
+    /// reputation, dynamic pricing of `B` from observed fill rates,
+    /// seeded worker churn and adversary policies (golden-withholding
+    /// requester cartels, reputation-farming sybils). Disabled by
+    /// default — existing scenarios stay byte-identical.
+    pub econ: EconConfig,
 }
 
 impl Default for MarketConfig {
@@ -118,6 +125,7 @@ impl Default for MarketConfig {
             seed: 0xd1a6_0000,
             clone_checkpointing: false,
             exec_threads: 0,
+            econ: EconConfig::default(),
         }
     }
 }

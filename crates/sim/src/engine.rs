@@ -21,11 +21,10 @@
 //! `tests/marketplace.rs` equivalence test).
 
 use crate::agents::{RequesterAgent, WorkerAgent};
-use crate::config::{MarketConfig, MarketPolicy};
+use crate::config::{BehaviorMix, MarketConfig, MarketPolicy};
 use crate::metrics::{BlockStat, HitOutcome, MarketReport};
 use dragoon_chain::{
     resolve_threads, Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, ReversePolicy,
-    TxStatus,
 };
 use dragoon_contract::{
     HitEvent, HitId, HitMessage, HitRegistry, Phase, RegistryEvent, RegistryMessage, RejectReason,
@@ -35,8 +34,9 @@ use dragoon_core::task::EncryptedAnswer;
 use dragoon_core::workload::generate_workload;
 use dragoon_crypto::commitment::Commitment;
 use dragoon_crypto::elgamal::PlaintextRange;
+use dragoon_econ::{EconEngine, JoinDecision};
 use dragoon_ledger::Address;
-use dragoon_protocol::{ContentStore, Requester, Verdict, Worker};
+use dragoon_protocol::{ContentStore, Requester, Verdict, Worker, WorkerBehavior};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -49,6 +49,7 @@ struct HitSnapshot {
     phase: Phase,
     committed: Vec<Address>,
     k: usize,
+    budget: u128,
     commit_deadline: Option<u64>,
     revealed: Vec<(Address, EncryptedAnswer)>,
     golden_open: bool,
@@ -81,6 +82,29 @@ pub struct MarketSim {
     rewards_paid: u128,
     workers_paid: usize,
     refunds: u128,
+    /// The econ layer runtime (`None` when `config.econ` is disabled).
+    econ: Option<EconEngine>,
+    /// Next churn-arrival sequence number (continues the initial pool's
+    /// address derivation).
+    next_worker_index: u64,
+}
+
+/// Deterministic weighted behaviour assignment by pool position — the
+/// same draw for the initial pool and for churn arrivals.
+fn behavior_for(mix: &BehaviorMix, index: u64) -> WorkerBehavior {
+    let total_weight: u32 = mix.iter().map(|(_, w)| *w).sum();
+    assert!(total_weight > 0, "behaviour mix must have positive weight");
+    let mut ticket = (index as u32).wrapping_mul(7919) % total_weight;
+    mix.iter()
+        .find_map(|(b, w)| {
+            if ticket < *w {
+                Some(b.clone())
+            } else {
+                ticket -= w;
+                None
+            }
+        })
+        .expect("ticket < total_weight")
 }
 
 impl MarketSim {
@@ -104,16 +128,39 @@ impl MarketSim {
         if config.clone_checkpointing {
             chain = chain.with_clone_checkpointing();
         }
+        // The econ layer: reputation, pricing, churn and adversary
+        // classification, constructed before the agent pools so cartel
+        // requesters can shape their workloads (strict θ) at generation.
+        let base_reward = config.budget / config.k.max(1) as u128;
+        let mut econ = config.econ.enabled.then(|| {
+            EconEngine::for_market(
+                config.econ.clone(),
+                config.seed,
+                config.budget,
+                config.block_gas_limit,
+            )
+        });
+        // With dynamic pricing the publish-time budget can exceed the
+        // scenario default; mint requesters up to the price ceiling.
+        let publish_headroom = econ
+            .as_ref()
+            .and_then(|e| e.config().pricing.map(|p| p.max))
+            .unwrap_or(config.budget)
+            .max(config.budget);
         let mut store = ContentStore::new();
         let mut requesters = Vec::with_capacity(config.hits);
         for i in 0..config.hits as u64 {
             let addr = Address::from_seed(0xd1a6_0000 + i);
-            chain.ledger.mint(addr, config.budget);
+            chain.ledger.mint(addr, publish_headroom);
+            let theta = econ.as_mut().map_or(config.theta, |e| {
+                e.register_requester(i as usize, addr);
+                e.theta_for(i as usize, config.golds, config.theta)
+            });
             let workload = generate_workload(
                 config.questions,
                 config.golds,
                 config.k,
-                config.theta,
+                theta,
                 PlaintextRange::binary(),
                 config.budget,
                 &mut rng,
@@ -121,26 +168,13 @@ impl MarketSim {
             let client = Requester::new(addr, &workload, &mut store, &mut rng);
             requesters.push(RequesterAgent::new(addr, client, workload));
         }
-        let total_weight: u32 = config.behavior_mix.iter().map(|(_, w)| *w).sum();
-        assert!(total_weight > 0, "behaviour mix must have positive weight");
         let workers = (0..config.workers as u64)
             .map(|i| {
                 let addr = Address::from_seed(0x3031_0000 + i);
-                // Deterministic weighted assignment by pool position.
-                let mut ticket = (i as u32 * 7919) % total_weight;
-                let behavior = config
-                    .behavior_mix
-                    .iter()
-                    .find_map(|(b, w)| {
-                        if ticket < *w {
-                            Some(b.clone())
-                        } else {
-                            ticket -= w;
-                            None
-                        }
-                    })
-                    .expect("ticket < total_weight");
-                WorkerAgent::new(addr, behavior)
+                if let Some(e) = &mut econ {
+                    e.register_worker(i as usize, addr, base_reward);
+                }
+                WorkerAgent::new(addr, behavior_for(&config.behavior_mix, i))
             })
             .collect();
         let agent_by_addr = requesters
@@ -148,6 +182,7 @@ impl MarketSim {
             .enumerate()
             .map(|(i, a)| (a.addr, i))
             .collect();
+        let next_worker_index = config.workers as u64;
         Self {
             config,
             rng,
@@ -167,12 +202,21 @@ impl MarketSim {
             rewards_paid: 0,
             workers_paid: 0,
             refunds: 0,
+            econ,
+            next_worker_index,
         }
     }
 
     /// Runs the market to completion (every HIT settled) or to
     /// `max_blocks`, returning the report.
-    pub fn run(mut self) -> MarketReport {
+    pub fn run(self) -> MarketReport {
+        self.run_keeping_chain().0
+    }
+
+    /// Like [`MarketSim::run`], but also hands back the chain so tests
+    /// can audit post-run ledger state (escrow conservation under churn,
+    /// per-instance balances).
+    pub fn run_keeping_chain(mut self) -> (MarketReport, Chain<HitRegistry>) {
         let mut fifo = FifoPolicy;
         let mut reverse = ReversePolicy;
         let mut front_run = FrontRunPolicy::new(self.workers[0].addr);
@@ -197,17 +241,23 @@ impl MarketSim {
             self.chain.advance_round_parallel(policy);
             self.harvest();
         }
-        self.report()
+        let report = self.build_report();
+        (report, self.chain)
     }
 
-    /// Submits this block's `Create` transactions.
+    /// Submits this block's `Create` transactions. With dynamic pricing
+    /// enabled, each new HIT freezes the controller's *current* price as
+    /// its budget `B` instead of the scenario default.
     fn publish_step(&mut self) {
         let mut spawned = 0;
         while self.next_publish < self.config.hits && spawned < self.config.spawn_per_block {
             let agent = &self.requesters[self.next_publish];
-            let HitMessage::Publish(params) = agent.client.publish_msg() else {
+            let HitMessage::Publish(mut params) = agent.client.publish_msg() else {
                 unreachable!("publish_msg returns Publish");
             };
+            if let Some(e) = &self.econ {
+                params.budget = e.next_budget(params.budget);
+            }
             self.chain.submit(
                 agent.addr,
                 RegistryMessage::Create {
@@ -236,12 +286,21 @@ impl MarketSim {
             }
             let committed = hit.committed_workers().to_vec();
             // Revealed ciphertexts are only consumed by the one block in
-            // which the requester sends its verdicts — skip the clones
+            // which the requester decides its verdicts — skip the clones
             // everywhere else (they dominate snapshot cost otherwise).
-            let revealed = if hit.phase() == Phase::Evaluate
-                && hit.golden().is_some()
-                && !self.requesters[agent].verdicts_sent
-            {
+            // Honest requesters decide after their golden opening
+            // confirms; cartel requesters decide *before*, off-chain, so
+            // the golden can be withheld when nothing is rejectable.
+            let peeks_early = self
+                .econ
+                .as_ref()
+                .is_some_and(|e| e.is_cartel(&self.requesters[agent].addr))
+                && !self.requesters[agent].verdicts_ready;
+            let wants_reveals = peeks_early
+                || (hit.golden().is_some()
+                    && !self.requesters[agent].verdicts_sent
+                    && !self.requesters[agent].verdicts_ready);
+            let revealed = if hit.phase() == Phase::Evaluate && wants_reveals {
                 committed
                     .iter()
                     .filter_map(|w| hit.revealed(w).map(|cts| (*w, cts.clone())))
@@ -260,6 +319,7 @@ impl MarketSim {
                 phase: hit.phase(),
                 committed,
                 k: hit.params().map_or(0, |p| p.k),
+                budget: hit.params().map_or(0, |p| p.budget),
                 commit_deadline: hit.commit_deadline(),
                 revealed,
                 golden_open: hit.golden().is_some(),
@@ -274,10 +334,28 @@ impl MarketSim {
     fn agent_step(&mut self) {
         let round = self.chain.round();
         let snapshots = self.snapshots();
+        // Reputation-ordered worker selection: one ranking per block
+        // (scores only move at harvest), shared by every commit-phase
+        // HIT — high-reputation workers get first claim on fresh slots,
+        // and the per-worker capacity cap spreads the load.
+        let ranked: Option<Vec<usize>> =
+            self.econ.as_ref().filter(|e| e.orders_by_score()).map(|e| {
+                let mut candidates: Vec<(usize, Address)> = self
+                    .workers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.active)
+                    .map(|(i, w)| (i, w.addr))
+                    .collect();
+                e.rank(&mut candidates, round);
+                candidates.into_iter().map(|(i, _)| i).collect()
+            });
         let mut submissions: Vec<(Address, RegistryMessage)> = Vec::new();
         for snap in &snapshots {
             match snap.phase {
-                Phase::Commit => self.drive_commit(snap, round, &mut submissions),
+                Phase::Commit => {
+                    self.drive_commit(snap, round, ranked.as_deref(), &mut submissions)
+                }
                 Phase::Reveal => self.drive_reveal(snap, &mut submissions),
                 Phase::Evaluate => self.drive_evaluate(snap, round, &mut submissions),
                 Phase::Setup | Phase::Closed => {}
@@ -289,11 +367,15 @@ impl MarketSim {
     }
 
     /// Commit phase: eligible workers race for slots; the requester
-    /// cancels an unfillable task after its timeout.
+    /// cancels an unfillable task after its timeout. With the econ layer
+    /// on, candidates come reputation-ordered (`ranked`), departed
+    /// workers sit out, the reputation gate and reservation wages filter
+    /// the rest, and sybil policies pick each session's behaviour.
     fn drive_commit(
         &mut self,
         snap: &HitSnapshot,
         round: u64,
+        ranked: Option<&[usize]>,
         submissions: &mut Vec<(Address, RegistryMessage)>,
     ) {
         let agent = &mut self.requesters[snap.agent];
@@ -320,14 +402,25 @@ impl MarketSim {
         // `requesters` while `workers`, `rng` etc. are mutated below.
         let workload = &self.requesters[snap.agent].workload;
         let observed = self.observed.entry(snap.id).or_default();
-        // Rotate the pool start per hit so load spreads deterministically.
-        let start = (snap.id as usize).wrapping_mul(13) % self.workers.len();
-        for off in 0..self.workers.len() {
+        let reward = if snap.k > 0 {
+            snap.budget / snap.k as u128
+        } else {
+            0
+        };
+        // Rotate the pool start per hit so load spreads deterministically
+        // (reputation ordering, when enabled, replaces the rotation).
+        let pool = self.workers.len();
+        let start = (snap.id as usize).wrapping_mul(13) % pool;
+        let candidates = ranked.map_or(pool, <[usize]>::len);
+        for off in 0..candidates {
             if joined.len() >= target {
                 break;
             }
-            let wi = (start + off) % self.workers.len();
-            if joined.contains(&wi) {
+            let wi = match ranked {
+                Some(order) => order[off],
+                None => (start + off) % pool,
+            };
+            if !self.workers[wi].active || joined.contains(&wi) {
                 continue;
             }
             // O(1) capacity check: the counter is maintained on join and
@@ -336,8 +429,18 @@ impl MarketSim {
             if self.workers[wi].live_sessions >= self.config.worker_capacity {
                 continue;
             }
+            // Econ filters: reputation gate, reservation wage, and the
+            // sybil policy's per-session behaviour choice.
+            let mut policy_behavior = None;
+            if let Some(e) = &mut self.econ {
+                match e.join_decision(&self.workers[wi].addr, reward, round) {
+                    JoinDecision::Join(b) => policy_behavior = b,
+                    JoinDecision::Gated | JoinDecision::Declined => continue,
+                }
+            }
             let w = &mut self.workers[wi];
-            let mut session = Worker::new(w.addr, w.behavior.clone());
+            let behavior = policy_behavior.unwrap_or_else(|| w.behavior.clone());
+            let mut session = Worker::new(w.addr, behavior);
             let Some(msg) = session.commit_msg(workload, &ek, observed, &mut self.rng) else {
                 continue; // e.g. a copier with nothing to copy yet
             };
@@ -359,6 +462,11 @@ impl MarketSim {
     ) {
         for wi in self.joined.get(&snap.id).cloned().unwrap_or_default() {
             let w = &mut self.workers[wi];
+            // A departed worker never reveals: its commitment settles as
+            // `⊥` and the escrowed share flows back to the requester.
+            if !w.active {
+                continue;
+            }
             if !snap.committed.contains(&w.addr) || w.revealed.contains(&snap.id) {
                 continue;
             }
@@ -374,13 +482,22 @@ impl MarketSim {
 
     /// Evaluate phase: the requester sequences golden → rejections →
     /// finalize, waiting for each stage to confirm on-chain (rushing
-    /// adversaries can reorder within a round).
+    /// adversaries can reorder within a round). Cartel requesters run
+    /// [`MarketSim::drive_evaluate_cartel`] instead.
     fn drive_evaluate(
         &mut self,
         snap: &HitSnapshot,
         round: u64,
         submissions: &mut Vec<(Address, RegistryMessage)>,
     ) {
+        let is_cartel = self
+            .econ
+            .as_ref()
+            .is_some_and(|e| e.is_cartel(&self.requesters[snap.agent].addr));
+        if is_cartel {
+            self.drive_evaluate_cartel(snap, round, submissions);
+            return;
+        }
         let agent = &mut self.requesters[snap.agent];
         if !agent.golden_sent {
             agent.golden_sent = true;
@@ -421,6 +538,89 @@ impl MarketSim {
         }
     }
 
+    /// The golden-withholding cartel's evaluate phase: every verdict is
+    /// decided **off-chain first** (the requester holds the decryption
+    /// key; nothing forces evaluation through the chain), and the gold
+    /// standards open only when at least one rejection will land. A HIT
+    /// whose workers all pass keeps its golds secret — reusable across
+    /// the cartel's other HITs — and settles through the deadline
+    /// backstop; a HIT with rejectable work opens the golds and claws
+    /// back every rejected share.
+    fn drive_evaluate_cartel(
+        &mut self,
+        snap: &HitSnapshot,
+        round: u64,
+        submissions: &mut Vec<(Address, RegistryMessage)>,
+    ) {
+        let agent = &mut self.requesters[snap.agent];
+        if !agent.verdicts_ready {
+            agent.verdicts_ready = true;
+            for (worker, cts) in &snap.revealed {
+                match agent.client.evaluate(*worker, cts, &mut self.rng) {
+                    Verdict::Accept { .. } => agent.collected += 1,
+                    Verdict::RejectOutOfRange { msg } | Verdict::RejectLowQuality { msg, .. } => {
+                        agent.reject_targets.push(*worker);
+                        agent.pending_rejects.push(msg);
+                    }
+                }
+            }
+            let rejectable = agent.pending_rejects.len();
+            if let Some(e) = &mut self.econ {
+                if e.withholds_golden(&agent.addr, rejectable) {
+                    agent.golden_withheld = true;
+                    agent.golden_sent = true;
+                    agent.verdicts_sent = true;
+                }
+            }
+        }
+        if agent.golden_withheld {
+            // Nothing rejectable: settle through the deadline backstop
+            // (the explicit finalize just lands it a round earlier).
+            if !agent.finalize_sent && snap.evaluate_deadline.is_some_and(|d| round >= d) {
+                agent.finalize_sent = true;
+                submissions.push((
+                    agent.addr,
+                    RegistryMessage::Hit {
+                        id: snap.id,
+                        msg: HitMessage::Finalize,
+                    },
+                ));
+            }
+            return;
+        }
+        if !agent.golden_sent {
+            agent.golden_sent = true;
+            submissions.push((
+                agent.addr,
+                RegistryMessage::Hit {
+                    id: snap.id,
+                    msg: agent.client.golden_msg(),
+                },
+            ));
+        } else if !agent.verdicts_sent && snap.golden_open {
+            agent.verdicts_sent = true;
+            for msg in std::mem::take(&mut agent.pending_rejects) {
+                submissions.push((agent.addr, RegistryMessage::Hit { id: snap.id, msg }));
+            }
+        } else if !agent.finalize_sent
+            && agent.verdicts_sent
+            && agent
+                .reject_targets
+                .iter()
+                .all(|w| snap.settled_workers.contains(w))
+            && snap.evaluate_deadline.is_some_and(|d| round >= d)
+        {
+            agent.finalize_sent = true;
+            submissions.push((
+                agent.addr,
+                RegistryMessage::Hit {
+                    id: snap.id,
+                    msg: HitMessage::Finalize,
+                },
+            ));
+        }
+    }
+
     /// Post-block bookkeeping: map fresh `Created` events to agents,
     /// record settlements and payment flows, accumulate block stats.
     fn harvest(&mut self) {
@@ -428,6 +628,7 @@ impl MarketSim {
         let events = self.chain.events();
         let mut commit_closed: Vec<HitId> = Vec::new();
         let mut settled_now: Vec<HitId> = Vec::new();
+        let mut cancelled_now = 0usize;
         for (at, event) in &events[self.events_seen..] {
             match event {
                 RegistryEvent::Created { id, requester, .. } => {
@@ -441,11 +642,15 @@ impl MarketSim {
                         self.rewards_paid += amount;
                         self.workers_paid += 1;
                     }
-                    HitEvent::Refunded { amount, .. } => {
+                    HitEvent::Refunded { requester, amount } => {
                         self.refunds += amount;
+                        if let Some(e) = &mut self.econ {
+                            e.note_refund(requester, *amount);
+                        }
                     }
                     HitEvent::Cancelled { refunded } => {
                         self.refunds += refunded;
+                        cancelled_now += 1;
                         self.cancelled_hits.insert(*id);
                         if self.settled_hits.insert(*id) {
                             settled_now.push(*id);
@@ -466,7 +671,7 @@ impl MarketSim {
         // A closed commit phase frees the losers of overbooked races:
         // their commit reverted (TaskFull), so their session holds no
         // slot and must not count against worker capacity.
-        for id in commit_closed {
+        for &id in &commit_closed {
             let committed: Vec<Address> = self
                 .chain
                 .contract()
@@ -484,32 +689,81 @@ impl MarketSim {
         // A settled (closed or cancelled) HIT releases every session slot
         // its workers held — this is the decrement that keeps the O(1)
         // capacity counters exact.
-        for id in settled_now {
+        for &id in &settled_now {
             for &wi in self.joined.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
                 if self.workers[wi].sessions.remove(&id).is_some() {
                     self.workers[wi].live_sessions -= 1;
                 }
             }
         }
-        let block = self
+        // Econ block boundary: settlement receipts feed the reputation
+        // book and per-class payout metrics, the fill/latency outcomes
+        // feed the pricing controller, and the churn process reshapes
+        // the worker pool. Everything derives from committed chain
+        // state, so the layer is identical at every thread count.
+        if let Some(e) = &mut self.econ {
+            let mut latencies: Vec<u64> = Vec::new();
+            for &id in &settled_now {
+                let agent = self.agent_of_hit[&id];
+                let requester = self.requesters[agent].addr;
+                if let Some(hit) = self.chain.contract().hit(id) {
+                    e.on_settled_hit(&requester, hit.settlement_receipts(), round);
+                }
+                if !self.cancelled_hits.contains(&id) {
+                    if let (Some(&settled), Some(published)) = (
+                        self.settled_block.get(&id),
+                        self.requesters[agent].published_block,
+                    ) {
+                        latencies.push(settled.saturating_sub(published));
+                    }
+                }
+            }
+            let observation = self
+                .chain
+                .last_observation()
+                .expect("advance_round produced a block");
+            e.observe_block(&observation, commit_closed.len(), cancelled_now, &latencies);
+            // Churn: departures first (against the current active list,
+            // positions applied with removal), then arrivals extending
+            // the pool with the next derived addresses.
+            let mut actives: Vec<usize> = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.active)
+                .map(|(i, _)| i)
+                .collect();
+            let decision = e.churn_step(actives.len());
+            for pos in decision.departs {
+                let wi = actives.remove(pos);
+                self.workers[wi].active = false;
+            }
+            let base_reward = self.config.budget / self.config.k.max(1) as u128;
+            for _ in 0..decision.joins {
+                let index = self.next_worker_index;
+                self.next_worker_index += 1;
+                let addr = Address::from_seed(0x3031_0000 + index);
+                e.register_worker(index as usize, addr, base_reward);
+                self.workers.push(WorkerAgent::new(
+                    addr,
+                    behavior_for(&self.config.behavior_mix, index),
+                ));
+            }
+        }
+        let observation = self
             .chain
-            .blocks()
-            .last()
+            .last_observation()
             .expect("advance_round produced a block");
         self.block_stats.push(BlockStat {
             height: round,
-            txs: block.receipts.len(),
-            reverted: block
-                .receipts
-                .iter()
-                .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
-                .count(),
-            gas_used: block.receipts.iter().map(|r| r.gas_used).sum(),
+            txs: observation.txs,
+            reverted: observation.reverted,
+            gas_used: observation.gas_used,
         });
     }
 
     /// Assembles the final report.
-    fn report(self) -> MarketReport {
+    fn build_report(&self) -> MarketReport {
         let registry = self.chain.contract();
         let mut outcomes = Vec::new();
         let mut workers_rejected = 0;
@@ -580,8 +834,9 @@ impl MarketSim {
             reverted_txs: self.block_stats.iter().map(|b| b.reverted).sum(),
             batch: registry.batch_stats(),
             parallel: self.chain.parallel_stats(),
+            econ: self.econ.as_ref().map(|e| e.report(self.chain.round())),
             outcomes,
-            block_stats: self.block_stats,
+            block_stats: self.block_stats.clone(),
         }
     }
 

@@ -4,6 +4,7 @@
 
 use dragoon_chain::{Gas, ParallelStats};
 use dragoon_contract::{BatchStats, HitId, SettlementMode};
+use dragoon_econ::EconReport;
 
 /// One produced block's footprint.
 #[derive(Clone, Copy, Debug)]
@@ -96,6 +97,12 @@ pub struct MarketReport {
     /// counters legitimately differ with the thread budget. Emit them via
     /// [`MarketReport::scheduler_json`] instead.
     pub parallel: ParallelStats,
+    /// The econ layer's report (`None` when the layer is disabled).
+    /// Everything in it derives deterministically from chain state, so
+    /// it is identical across executor thread counts — emitted via
+    /// [`MarketReport::econ_json`], kept out of [`MarketReport::to_json`]
+    /// so pre-econ golden outputs stay stable.
+    pub econ: Option<EconReport>,
     /// Per-HIT outcomes, in id order.
     pub outcomes: Vec<HitOutcome>,
     /// Per-block footprints.
@@ -195,6 +202,15 @@ impl MarketReport {
         )
     }
 
+    /// The econ layer's report as one JSON object (`null` when the layer
+    /// is disabled). Deterministic across thread counts — `tests/econ.rs`
+    /// asserts byte equality — so it is safe to golden-gate in CI.
+    pub fn econ_json(&self) -> String {
+        self.econ
+            .as_ref()
+            .map_or_else(|| "null".into(), EconReport::to_json)
+    }
+
     /// A human-oriented multi-line summary for examples and logs.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -231,6 +247,9 @@ impl MarketReport {
                 "batch:  {} dispatches covering {} proofs (largest {})\n",
                 self.batch.batches, self.batch.items, self.batch.largest
             ));
+        }
+        if let Some(econ) = &self.econ {
+            out.push_str(&econ.summary());
         }
         let p = &self.parallel;
         if p.parallel_txs + p.serial_txs > 0 {

@@ -1,0 +1,59 @@
+//! The long-horizon econ-market scenario: the full `dragoon-econ` layer
+//! over the marketplace engine — cross-HIT worker reputation (ordering
+//! and gating), dynamic pricing of `B` from observed fill rates against
+//! reservation-wage supply, seeded worker churn, a golden-withholding
+//! requester cartel and a reputation-farming sybil cohort.
+//!
+//! ```sh
+//! cargo run --release --example econ_market            # default seed
+//! cargo run --release --example econ_market -- 42      # CLI seed
+//! DRAGOON_SEED=42 cargo run --release --example econ_market
+//! ```
+//!
+//! The `JSON:` and `ECON:` lines are deterministic for a given seed at
+//! any executor thread count; CI diffs them against committed golden
+//! files (`tests/golden/`) to regression-gate scenario determinism.
+
+use dragoon_econ::{ChurnParams, EconConfig, PricingParams};
+use dragoon_sim::{run_market, seed_from_args_or, MarketConfig};
+
+fn main() {
+    let seed = seed_from_args_or(0xd1a6_0005);
+    let config = MarketConfig {
+        hits: 120,
+        // One HIT per block: publishing spans the whole horizon, so the
+        // pricing controller adapts while the market is still live.
+        spawn_per_block: 1,
+        workers: 60,
+        worker_capacity: 4,
+        seed,
+        max_blocks: 1_500,
+        econ: EconConfig {
+            enabled: true,
+            // Open the market underpriced: the controller has to discover
+            // the clearing wage against the pool's reservation spread.
+            pricing: Some(PricingParams {
+                initial: 1_500,
+                min: 600,
+                max: 24_000,
+                ..PricingParams::default()
+            }),
+            churn: Some(ChurnParams::default()),
+            reservation_wages: true,
+            cartel_requesters: 24, // 20% of requesters collude
+            sybil_workers: 6,      // 10% of the opening pool
+            ..EconConfig::default()
+        },
+        ..MarketConfig::default()
+    };
+    println!(
+        "econ market: {} HITs (N={}, K={}, Θ={}) to a churning {}-worker pool, \
+         24 cartel requesters, 6 sybils, seed {seed:#x}\n",
+        config.hits, config.questions, config.k, config.theta, config.workers
+    );
+    let report = run_market(config);
+    print!("{}", report.summary());
+    println!("\nJSON: {}", report.to_json());
+    println!("ECON: {}", report.econ_json());
+    println!("scheduler JSON: {}", report.scheduler_json());
+}

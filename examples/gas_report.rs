@@ -1,20 +1,24 @@
 //! Prints a detailed per-transaction gas breakdown of a full ImageNet
 //! run — the drill-down behind Table III, showing *where* every unit of
-//! gas goes (calldata, storage, precompiles, logs).
+//! gas goes (calldata, storage, precompiles, logs) — plus the parallel
+//! executor's scheduler telemetry for a small marketplace run.
 //!
 //! ```sh
 //! cargo run --release --example gas_report
+//! DRAGOON_THREADS=4 cargo run --release --example gas_report
 //! ```
 
 use dragoon_chain::{gas_to_usd, GasSchedule, TxStatus};
 use dragoon_core::workload::{imagenet_workload, AnswerModel};
 use dragoon_protocol::{driver, WorkerBehavior};
+use dragoon_sim::{run_market, MarketConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(dragoon_sim::seed_from_args_or(1108));
+    let seed = dragoon_sim::seed_from_args_or(1108);
+    let mut rng = StdRng::seed_from_u64(seed);
     // Worst case (reject all) exercises every code path.
     let report = driver::run(
         driver::RunConfig {
@@ -66,4 +70,17 @@ fn main() {
         grand,
         gas_to_usd(grand)
     );
+
+    // Parallel-executor telemetry: a small marketplace run surfaces the
+    // scheduler counters (groups, selective retries, fallbacks) outside
+    // the bench — the serial path reports all zeros.
+    let market = MarketConfig {
+        hits: 40,
+        workers: 30,
+        seed,
+        ..MarketConfig::default()
+    };
+    println!("\n== Parallel-executor scheduler stats (40-HIT market, seed {seed:#x}) ==\n");
+    let report = run_market(market);
+    println!("{}", report.scheduler_json());
 }

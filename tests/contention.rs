@@ -1,12 +1,16 @@
 //! Mempool `ReorderPolicy` under contention: a front-runner racing
-//! honest workers for a task's last commitment slot, and gas-capped
-//! blocks deferring (never dropping) the overflow.
+//! honest workers for a task's last commitment slot, gas-capped blocks
+//! deferring (never dropping) the overflow, and worker churn under
+//! front-running never stranding escrowed coins.
 
 use dragoon_chain::{Chain, FifoPolicy, FrontRunPolicy, GasSchedule, TxStatus};
 use dragoon_contract::{HitContract, HitMessage, Phase, PhaseWindows, PublishParams};
 use dragoon_crypto::commitment::{Commitment, CommitmentKey};
 use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+use dragoon_econ::{ChurnParams, EconConfig};
 use dragoon_ledger::Address;
+use dragoon_sim::{MarketConfig, MarketPolicy, MarketSim};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -164,4 +168,74 @@ fn full_block_defers_pending_txs_instead_of_dropping() {
     let commit_receipts = chain.receipts().filter(|r| r.label == "commit").count();
     assert_eq!(commit_receipts, 3);
     let _ = f.requester;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Worker churn under a front-running scheduler never strands
+    /// escrow: departures mid-round (a worker that committed but left
+    /// before revealing) settle as `⊥` and their shares flow back to
+    /// the requester. Across random seeds and departure rates, every
+    /// HIT settles, every instance escrow drains to zero, the ledger
+    /// conserves total supply, and each budget splits exactly into
+    /// worker rewards plus requester refunds.
+    #[test]
+    fn churn_under_front_running_never_strands_escrow(
+        seed in 1u64..400,
+        depart_pct in 10u32..40,
+    ) {
+        const HITS: usize = 10;
+        const BUDGET_PER_HIT: u128 = 3_000;
+        let config = MarketConfig {
+            hits: HITS,
+            spawn_per_block: 2,
+            workers: 12,
+            worker_capacity: 3,
+            budget: BUDGET_PER_HIT,
+            policy: MarketPolicy::FrontRun,
+            max_blocks: 500,
+            seed,
+            econ: EconConfig {
+                enabled: true,
+                churn: Some(ChurnParams {
+                    join_rate: 0.3,
+                    depart_rate: depart_pct as f64 / 100.0,
+                    max_events_per_block: 2,
+                    min_pool: 4,
+                    max_pool: 64,
+                }),
+                ..EconConfig::default()
+            },
+            ..MarketConfig::default()
+        };
+        let minted = BUDGET_PER_HIT * HITS as u128;
+        let (report, chain) = MarketSim::new(config).run_keeping_chain();
+        prop_assert_eq!(report.hits_unfinished, 0, "the horizon must drain");
+        prop_assert_eq!(report.hits_published, HITS);
+        // Conservation: churn and front-running move coins, never
+        // destroy them.
+        prop_assert_eq!(chain.ledger.total_supply(), minted);
+        // No stranded escrow: every instance settled and drained.
+        for (id, hit) in chain.contract().hits() {
+            prop_assert!(hit.is_settled(), "hit #{} left open", id);
+            let escrow = chain.contract().hit_address(id).unwrap();
+            prop_assert_eq!(
+                chain.ledger.balance(&escrow),
+                0,
+                "hit #{} stranded coins in escrow",
+                id
+            );
+        }
+        // Every frozen budget split exactly into rewards + refunds.
+        prop_assert_eq!(
+            report.rewards_paid + report.refunds,
+            BUDGET_PER_HIT * report.hits_published as u128
+        );
+        let econ = report.econ.expect("churn implies econ on");
+        prop_assert!(
+            econ.workers_departed > 0 || econ.workers_joined > 0,
+            "churn must actually fire for the invariant to mean anything"
+        );
+    }
 }

@@ -1,0 +1,288 @@
+//! The econ-layer integration suite: determinism, convergence and
+//! adversary extraction for the `dragoon-econ` market-economics
+//! subsystem, end to end through the marketplace engine.
+//!
+//! * **Thread-count determinism** — a fully loaded econ market
+//!   (reputation ordering + gating, dynamic pricing, churn, cartel and
+//!   sybils) produces byte-identical market *and* econ JSON at 1, 2 and
+//!   8 executor threads: reputation ordering, price paths and churn are
+//!   functions of committed chain state only.
+//! * **Observe-only differential** — passive econ changes nothing; the
+//!   market report is byte-identical to an econ-disabled run (the same
+//!   differential the throughput bench prices overhead with).
+//! * **Pricing convergence** — against a reservation-wage worker pool,
+//!   a market opened underpriced discovers a clearing price: the
+//!   windowed fill rate ends inside the tolerance band and the price
+//!   lifts off its floor without pinning to the ceiling.
+//! * **Cartel extraction** — a golden-withholding cartel (strict θ,
+//!   off-chain pre-evaluation) pushes honest-worker payout measurably
+//!   below the honest baseline and claws the difference back as
+//!   refunds.
+//! * **Sybil farming** — reputation-farming sybils ride farmed scores
+//!   into defection; the metrics record both the extraction and the
+//!   proof-backed rejections that answer it.
+
+use dragoon_core::workload::AnswerModel;
+use dragoon_econ::{ChurnParams, EconConfig, PricingParams, ReputationParams};
+use dragoon_protocol::WorkerBehavior;
+use dragoon_sim::{run_market, MarketConfig};
+
+/// A fully loaded econ scenario: every feature on at once.
+fn full_econ_config(seed: u64) -> MarketConfig {
+    MarketConfig {
+        hits: 30,
+        spawn_per_block: 2,
+        workers: 24,
+        worker_capacity: 4,
+        seed,
+        max_blocks: 500,
+        econ: EconConfig {
+            enabled: true,
+            pricing: Some(PricingParams {
+                initial: 1_200,
+                min: 600,
+                max: 12_000,
+                ..PricingParams::default()
+            }),
+            churn: Some(ChurnParams::default()),
+            reservation_wages: true,
+            cartel_requesters: 6,
+            sybil_workers: 4,
+            ..EconConfig::default()
+        },
+        ..MarketConfig::default()
+    }
+}
+
+/// Reputation ordering (and every other econ input) is deterministic
+/// across executor thread counts: the serial baseline and the 2- and
+/// 8-thread runs must produce byte-identical market and econ JSON.
+#[test]
+fn econ_market_identical_across_thread_counts() {
+    let base = MarketConfig {
+        exec_threads: 1,
+        ..full_econ_config(0xec01)
+    };
+    let serial = run_market(base.clone());
+    assert!(serial.econ.is_some(), "econ layer must be live");
+    assert!(serial.hits_published > 0);
+    for threads in [2, 8] {
+        let parallel = run_market(MarketConfig {
+            exec_threads: threads,
+            ..base.clone()
+        });
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "market reports must be identical at {threads} threads"
+        );
+        assert_eq!(
+            serial.econ_json(),
+            parallel.econ_json(),
+            "econ reports (reputation ordering, prices, churn) must be \
+             identical at {threads} threads"
+        );
+    }
+}
+
+/// The same seed twice is the same market: the whole econ layer —
+/// including the churn process's private RNG stream — replays exactly.
+#[test]
+fn econ_market_reproducible_for_a_seed() {
+    let a = run_market(full_econ_config(0xec02));
+    let b = run_market(full_econ_config(0xec02));
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.econ_json(), b.econ_json());
+}
+
+/// Passive (observe-only) econ influences nothing: the market report is
+/// byte-identical to an econ-disabled run, while the reputation book
+/// still absorbed every settlement receipt.
+#[test]
+fn observe_only_econ_matches_disabled() {
+    let base = MarketConfig {
+        hits: 25,
+        workers: 20,
+        seed: 0xec03,
+        ..MarketConfig::default()
+    };
+    let off = run_market(base.clone());
+    let on = run_market(MarketConfig {
+        econ: EconConfig::observe_only(),
+        ..base
+    });
+    assert_eq!(
+        off.to_json(),
+        on.to_json(),
+        "observe-only econ must not change the market"
+    );
+    let econ = on.econ.expect("layer reports in observe-only mode");
+    assert!(econ.rep_receipts > 0, "receipts still feed the book");
+    assert_eq!(econ.gated_commits, 0);
+    assert_eq!(econ.declined_commits, 0);
+    assert!(off.econ.is_none());
+}
+
+/// Dynamic pricing converges against reservation-wage supply: opened
+/// well under the pool's wage spread, the controller raises `B` until
+/// the market clears and ends with the windowed fill rate inside the
+/// tolerance band, off the floor and off the ceiling.
+#[test]
+fn dynamic_pricing_converges_to_a_clearing_band() {
+    let report = run_market(MarketConfig {
+        hits: 70,
+        spawn_per_block: 1,
+        workers: 40,
+        worker_capacity: 4,
+        seed: 0xec04,
+        max_blocks: 800,
+        econ: EconConfig {
+            enabled: true,
+            // No gating/ordering noise: isolate the price↔supply loop.
+            reputation: ReputationParams {
+                order_by_score: false,
+                gate_commits: false,
+                ..ReputationParams::default()
+            },
+            pricing: Some(PricingParams {
+                initial: 900,
+                min: 600,
+                max: 24_000,
+                target_fill: 0.9,
+                ..PricingParams::default()
+            }),
+            reservation_wages: true,
+            ..EconConfig::default()
+        },
+        ..MarketConfig::default()
+    });
+    assert_eq!(report.hits_unfinished, 0, "the horizon must drain");
+    let econ = report.econ.expect("econ on");
+    assert!(
+        econ.price_adjustments > 0,
+        "the controller must actually steer"
+    );
+    assert!(
+        econ.price_final > 900,
+        "underpriced opening must be corrected upward (final {})",
+        econ.price_final
+    );
+    assert!(
+        econ.price_final < 24_000,
+        "the price must not pin to the ceiling"
+    );
+    assert!(
+        econ.fill_rate_recent >= 0.7,
+        "the windowed fill rate must end inside the tolerance band \
+         (got {:.3})",
+        econ.fill_rate_recent
+    );
+    assert!(
+        econ.declined_commits > 0,
+        "reservation wages must bite for the loop to mean anything"
+    );
+}
+
+/// The golden-withholding cartel extracts from honest workers: with the
+/// same seed and scenario, turning every requester into a cartel member
+/// (strict θ = |G|, off-chain pre-evaluation, withheld goldens on clean
+/// HITs) lowers the honest-worker payout measurably below the honest
+/// baseline and claws the difference back into requester refunds.
+#[test]
+fn cartel_lowers_honest_worker_payout_vs_baseline() {
+    // θ = 2 < |G| = 4 leaves honest requesters lenient (they can only
+    // reject χ < 2); the cartel tightens to θ = 4 where any gold miss
+    // is rejectable. Noisy-but-honest workers make misses common.
+    let scenario = |cartel: usize| MarketConfig {
+        hits: 24,
+        spawn_per_block: 3,
+        workers: 20,
+        worker_capacity: 4,
+        questions: 6,
+        golds: 4,
+        k: 3,
+        theta: 2,
+        behavior_mix: vec![(
+            WorkerBehavior::Honest(AnswerModel::Diligent { accuracy: 0.85 }),
+            1,
+        )],
+        seed: 0xec05,
+        max_blocks: 400,
+        econ: EconConfig {
+            enabled: true,
+            reputation: ReputationParams {
+                // No gating: keep the worker side identical so the
+                // payout delta is the cartel's alone.
+                order_by_score: false,
+                gate_commits: false,
+                ..ReputationParams::default()
+            },
+            cartel_requesters: cartel,
+            ..EconConfig::default()
+        },
+        ..MarketConfig::default()
+    };
+    let baseline = run_market(scenario(0));
+    let cartel = run_market(scenario(24));
+    assert_eq!(baseline.hits_unfinished, 0);
+    assert_eq!(cartel.hits_unfinished, 0);
+    let base_econ = baseline.econ.as_ref().expect("econ on");
+    let cartel_econ = cartel.econ.as_ref().expect("econ on");
+    assert!(
+        cartel_econ.cartel_rejections > 0,
+        "the strict-θ cartel must land rejections the lenient baseline \
+         cannot ({:?} rejections)",
+        cartel_econ.cartel_rejections
+    );
+    assert!(
+        cartel_econ.honest_paid < base_econ.honest_paid,
+        "cartel must lower honest-worker payout (baseline {}, cartel {})",
+        base_econ.honest_paid,
+        cartel_econ.honest_paid
+    );
+    assert!(
+        cartel_econ.cartel_refunds > base_econ.honest_refunds,
+        "the clawed-back shares must show up as cartel refunds \
+         (baseline honest refunds {}, cartel refunds {})",
+        base_econ.honest_refunds,
+        cartel_econ.cartel_refunds
+    );
+    // The extraction is the payout delta: what workers lost, the cartel
+    // (plus rounding) got back.
+    assert!(cartel.rewards_paid < baseline.rewards_paid);
+    assert!(cartel.refunds > baseline.refunds);
+}
+
+/// Reputation-farming sybils: farmed scores buy commit slots
+/// (reputation ordering), defection converts them into zero-effort
+/// submissions on well-paying HITs, and the metrics record both the
+/// extraction and the rejections that answer it.
+#[test]
+fn sybil_farming_extracts_and_gets_caught() {
+    let report = run_market(MarketConfig {
+        hits: 40,
+        spawn_per_block: 2,
+        workers: 16,
+        worker_capacity: 4,
+        seed: 0xec06,
+        max_blocks: 500,
+        econ: EconConfig {
+            enabled: true,
+            sybil_workers: 4,
+            ..EconConfig::default()
+        },
+        ..MarketConfig::default()
+    });
+    assert_eq!(report.hits_unfinished, 0);
+    let econ = report.econ.expect("econ on");
+    assert!(
+        econ.sybil_paid > 0,
+        "farming must earn the sybils real payouts"
+    );
+    assert!(
+        econ.sybil_rejected > 0,
+        "defection (random-bot work above the reward threshold) must \
+         draw proof-backed rejections"
+    );
+    assert!(econ.honest_paid > 0, "the market still serves honest work");
+}

@@ -632,6 +632,83 @@ fn create_dominated_block_parallelizes() {
     }
 }
 
+/// Same-sender spawns: six `Create` transactions from **one** funded
+/// requester in one block. The escrow debit is declared as a
+/// commutative delta-mergeable write on the sender's balance, so the
+/// spawns form separate groups (instead of one serial group via a
+/// shared declared write), their deltas sum at merge, and the overdraft
+/// check proves the sum fits — the access-set residue (c) shaved.
+#[test]
+fn same_sender_creates_parallelize_with_delta_debits() {
+    let fx = Fixture::new(0x5a5a);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    // chain_set funds the requester with BUDGET * 20; six creations
+    // freeze 6 × BUDGET, comfortably inside the balance.
+    for _ in 0..6 {
+        submit_all(&mut chains, fx.requester, fx.create_msg());
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "same-sender create block");
+    assert_eq!(chains[0].contract().len(), 6);
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.batches >= 1 && stats.groups > 1,
+            "{threads} threads: same-sender spawns must split into \
+             multiple groups ({stats:?})"
+        );
+        assert_eq!(
+            stats.selective_retries, 0,
+            "{threads} threads: a funded sender must pass the overdraft \
+             check outright ({stats:?})"
+        );
+        assert_eq!(stats.conflict_fallbacks, 0, "{threads} threads: {stats:?}");
+        assert_eq!(stats.barriers, 0, "{threads} threads: {stats:?}");
+    }
+}
+
+/// Same-sender spawns that *overdraw*: the sender holds funds for three
+/// of six creations. Each creation passes its guard optimistically
+/// (every group's shadow sees the full base balance), the overdraft
+/// check catches the sum, merges the debiting groups for a mempool-order
+/// retry — where the late creations genuinely revert, which then (and
+/// only then) takes the reverted-creation serial backstop. State must
+/// end bit-identical to serial: ids 0–2 created, three reverts.
+#[test]
+fn same_sender_create_overdraft_is_caught_and_matches_serial() {
+    let fx = Fixture::new(0x0d5a);
+    let mut chains = fx.chain_set(SettlementMode::PerProof, None);
+    let spender = Address::from_byte(0x77);
+    for chain in chains.iter_mut() {
+        chain.ledger.mint(spender, BUDGET * 3);
+    }
+    for _ in 0..6 {
+        submit_all(&mut chains, spender, fx.create_msg());
+    }
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "overdraft create block");
+    assert_eq!(chains[0].contract().len(), 3, "exactly the funded three");
+    assert_eq!(chains[0].ledger.balance(&spender), 0);
+    let reverted = chains[0]
+        .receipts()
+        .filter(|r| matches!(r.status, TxStatus::Reverted(_)))
+        .count();
+    assert_eq!(reverted, 3);
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.selective_retries >= 1,
+            "{threads} threads: the overdraft must be caught by the \
+             debit sum check and retried ({stats:?})"
+        );
+        assert!(
+            stats.conflict_fallbacks >= 1,
+            "{threads} threads: the retry's reverted creations must \
+             then take the serial backstop ({stats:?})"
+        );
+    }
+}
+
 /// A speculative creation that *reverts* (unfunded requester) breaks the
 /// id-reservation assumption for everything after it, so the batch must
 /// take the full-serial backstop — and end bit-identical to serial,
