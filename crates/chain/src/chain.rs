@@ -247,6 +247,14 @@ pub struct Chain<S: StateMachine> {
     /// Counters for the parallel executor (how many transactions ran
     /// optimistically, how often it fell back, …).
     pub(crate) parallel_stats: ParallelStats,
+    /// When set, every produced block's executed transactions are kept
+    /// (in receipt order) in `last_block_txs` — the canonical sequencer
+    /// feed `dragoon-net` rebroadcasts to replicas. Off by default:
+    /// recording clones every landed transaction.
+    pub(crate) record_block_txs: bool,
+    /// The most recent block's executed transactions (receipt order);
+    /// empty unless `record_block_txs` is on.
+    pub(crate) last_block_txs: Vec<PendingTx<S::Msg>>,
 }
 
 impl<S: StateMachine> Chain<S> {
@@ -270,6 +278,8 @@ impl<S: StateMachine> Chain<S> {
             clone_checkpoint: None,
             exec_threads: 1,
             parallel_stats: ParallelStats::default(),
+            record_block_txs: false,
+            last_block_txs: Vec::new(),
         }
     }
 
@@ -360,10 +370,29 @@ impl<S: StateMachine> Chain<S> {
         self.mempool.len()
     }
 
+    /// Toggles per-block transaction recording (see
+    /// [`Chain::last_block_txs`]). The canonical sequencer in
+    /// `dragoon-net` enables this so each produced block's executed
+    /// transactions can be rebroadcast to replicas.
+    pub fn set_record_block_txs(&mut self, on: bool) {
+        self.record_block_txs = on;
+        if !on {
+            self.last_block_txs.clear();
+        }
+    }
+
+    /// The most recent block's executed transactions in receipt order
+    /// (carried-over transactions excluded). Empty unless
+    /// [`Chain::set_record_block_txs`] enabled recording.
+    pub fn last_block_txs(&self) -> &[PendingTx<S::Msg>] {
+        &self.last_block_txs
+    }
+
     /// Advances one round: the policy schedules the mempool, scheduled
     /// transactions execute, a block is produced. Returns the block.
     pub fn advance_round(&mut self, policy: &mut dyn ReorderPolicy<S::Msg>) -> &Block {
         self.round += 1;
+        self.last_block_txs.clear();
         self.clock_tick();
 
         let pending = std::mem::take(&mut self.mempool);
@@ -418,6 +447,9 @@ impl<S: StateMachine> Chain<S> {
     ) -> bool {
         match self.block_gas_limit {
             None => {
+                if self.record_block_txs {
+                    self.last_block_txs.push(tx.clone());
+                }
                 receipts.push(self.execute_tx(tx));
                 true
             }
@@ -447,6 +479,9 @@ impl<S: StateMachine> Chain<S> {
                     }
                     *block_gas += receipt.gas_used;
                     receipts.push(receipt);
+                    if self.record_block_txs {
+                        self.last_block_txs.push(tx);
+                    }
                     true
                 }
             }

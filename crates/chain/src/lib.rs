@@ -31,14 +31,16 @@ pub mod chain;
 pub mod gas;
 pub mod mempool;
 pub mod parallel;
+pub mod replica;
 
 pub use chain::{
     Block, BlockObservation, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus,
 };
-pub use dragoon_ledger::{Journaled, StateJournal, TouchRecord, TouchSet};
+pub use dragoon_ledger::{Journaled, LedgerCapture, StateJournal, TouchRecord, TouchSet};
 pub use gas::{gas_to_usd, CalldataStats, Gas, GasMeter, GasSchedule};
 pub use mempool::{
     AdversarialPolicy, DelayVictimPolicy, FifoPolicy, FrontRunPolicy, PendingTx, ReorderPolicy,
     ReversePolicy, Scheduled,
 };
 pub use parallel::{resolve_threads, AccessSet, IdReserver, ParallelStateMachine, ParallelStats};
+pub use replica::{BlockUndo, CaptureStateMachine};

@@ -33,13 +33,18 @@
 //! 3. **Validate.** Shadow ledgers record the observed touch sets, reads
 //!    and writes apart ([`dragoon_ledger::TouchRecord`]). A group that
 //!    escaped its declared preset (it read a phantom zero for an account
-//!    whose base entry exists) or whose creation message reverted (the id
-//!    reservation no longer matches serial assignment) forces the
-//!    correctness backstop: the whole batch is discarded and re-executed
-//!    serially in mempool order. Otherwise, groups whose observed records
-//!    conflict (a write on one side, any touch on the other; debit-debit
-//!    overlaps commute and do not count) are **selectively retried**:
-//!    the conflicting groups merge into one group that re-executes their
+//!    whose base entry exists) forces the correctness backstop: the
+//!    whole batch is discarded and re-executed serially in mempool
+//!    order. A **reverted creation** no longer discards the batch:
+//!    serial execution rewinds the id counter on that revert, so the
+//!    executor re-reserves ids along the serial assignment (reverted
+//!    creations consume none) and re-executes only the groups holding
+//!    reservations — merged into one mempool-order group — while
+//!    reservation-free groups keep their optimistic results. Groups
+//!    whose observed records conflict
+//!    (a write on one side, any touch on the other; debit-debit overlaps
+//!    commute and do not count) are **selectively retried**: the
+//!    conflicting groups merge into one group that re-executes their
 //!    transactions in mempool order against fresh snapshots —
 //!    non-conflicting groups keep their optimistic results — and
 //!    validation repeats until the batch is conflict-free. Debited
@@ -48,8 +53,9 @@
 //!    entry); an over-drawing burst merges its debitors for the same
 //!    mempool-order retry.
 //!    A mid-batch block-gas overflow (receipts simulated in schedule
-//!    order) still falls back to serial so gas-capped carry-over
-//!    semantics are byte-identical.
+//!    order) commits the schedule-order prefix of whole groups that fit
+//!    and re-executes only the cut suffix serially, which re-derives the
+//!    exact gas-capped carry-over — byte-identical to the serial cut.
 //! 4. **Merge.** Surviving groups are pairwise disjoint on every written
 //!    resource, so shard installs and written balance entries commute;
 //!    receipts, contract events and ledger events merge in schedule
@@ -165,21 +171,46 @@ impl AccessSet {
 /// at the start of every batch, it assigns each creation message the id
 /// serial execution would assign it — provided every creation before it
 /// succeeds, which the executor verifies post-hoc (a reverted creation
-/// rewinds the counter serially, so the batch falls back).
-#[derive(Clone, Copy, Debug)]
+/// rewinds the counter serially, so the executor re-reserves with the
+/// reverted creations skipped and selectively retries the groups holding
+/// reservations).
+#[derive(Clone, Debug)]
 pub struct IdReserver {
     base: u64,
     next: u64,
+    /// Pre-computed ids handed out ahead of the sequential counter — the
+    /// creation-repair path replays the id assignment serial execution
+    /// would produce once reverted creations stop consuming ids.
+    assigned: VecDeque<u64>,
 }
 
 impl IdReserver {
     /// A reserver starting at the counter snapshot `base`.
     pub fn new(base: u64) -> Self {
-        Self { base, next: base }
+        Self {
+            base,
+            next: base,
+            assigned: VecDeque::new(),
+        }
+    }
+
+    /// A reserver that hands out `assigned` (in order) before falling
+    /// back to the sequential counter — used by the creation-repair
+    /// retry to replay serial id assignment.
+    fn with_assignments(base: u64, assigned: VecDeque<u64>) -> Self {
+        Self {
+            base,
+            next: base,
+            assigned,
+        }
     }
 
     /// Claims the next speculative id.
     pub fn reserve(&mut self) -> u64 {
+        if let Some(id) = self.assigned.pop_front() {
+            self.next = self.next.max(id + 1);
+            return id;
+        }
         let id = self.next;
         self.next += 1;
         id
@@ -271,12 +302,23 @@ pub struct ParallelStats {
     /// in mempool order while the rest of the batch kept its optimistic
     /// results.
     pub selective_retries: usize,
+    /// Reverted speculative creations repaired in place: the executor
+    /// re-reserved ids along the serial assignment (reverted creations
+    /// consume none) and re-executed only the groups holding
+    /// reservations, while reservation-free groups kept their results.
+    pub create_retries: usize,
     /// Batches discarded wholesale — a group escaped its declared preset
-    /// or a speculative creation reverted — and re-executed serially.
+    /// or a creation repair failed to stabilize — and re-executed
+    /// serially.
     pub conflict_fallbacks: usize,
-    /// Batches discarded because the block gas limit cut the batch —
-    /// re-executed serially to reproduce exact carry-over semantics.
+    /// Batches discarded because the block gas limit cut the batch
+    /// before any whole group fit — re-executed serially to reproduce
+    /// exact carry-over semantics.
     pub gas_fallbacks: usize,
+    /// Mid-batch block-gas cuts where the prefix of groups fitting the
+    /// block committed optimistically and only the cut suffix
+    /// re-executed serially.
+    pub gas_prefix_commits: usize,
 }
 
 /// Resolves a thread count: `explicit` if non-zero, else the
@@ -340,10 +382,13 @@ struct GroupRun<S: ParallelStateMachine> {
     txs: Vec<BatchTx<S::Msg>>,
     outcomes: Vec<TxOutcome<S>>,
     touched: TouchRecord<Address>,
-    /// A creation message reverted — serial execution would have assigned
-    /// later reservations different ids, so the batch must fall back.
-    create_reverted: bool,
 }
+
+/// How many times a batch may re-derive its speculative id assignment
+/// after reverted creations before giving up on the repair and falling
+/// back to serial execution (re-execution can in principle change which
+/// creations revert, re-shifting the assignment).
+const MAX_CREATE_REPAIRS: usize = 3;
 
 /// Executes one group's transactions in schedule order against its
 /// shards and shadow ledger — the body each worker thread runs. Mirrors
@@ -388,9 +433,6 @@ fn run_group<S: ParallelStateMachine>(
                 // Roll back all touched state; gas is still consumed.
                 S::shard_rollback_tx(shard);
                 group.ledger.rollback_tx();
-                if btx.creates() {
-                    group.create_reverted = true;
-                }
                 (TxStatus::Reverted(e.to_string()), Vec::new())
             }
         };
@@ -467,6 +509,7 @@ where
             return self.advance_round(policy);
         }
         self.round += 1;
+        self.last_block_txs.clear();
         self.clock_tick();
 
         let pending = std::mem::take(&mut self.mempool);
@@ -575,27 +618,68 @@ where
         groups.sort_by_key(|g| g.txs.first().map(|btx| btx.pos).unwrap_or(usize::MAX));
 
         // Validate-and-retry loop. Each iteration either proves the batch
-        // conflict-free (and breaks), merges conflicting groups and
+        // conflict-free (and breaks), repairs a reverted speculative
+        // creation's id assignment, merges conflicting groups and
         // re-executes them (strictly shrinking the group count), or
         // bails to the serial backstop.
+        let reservation_base = self.contract.reservation_base();
+        let mut expected_reverted: BTreeSet<usize> = BTreeSet::new();
+        let mut create_repairs = 0usize;
         loop {
-            // Backstop 1: a speculative creation reverted. Serial
-            // execution rewinds the id counter on that revert, so every
-            // later reservation in the batch is off by one — the
-            // optimistic ids cannot be trusted.
-            // Backstop 2: a group touched an account outside its declared
+            // Backstop: a group touched an account outside its declared
             // preset that has a base entry: its shadow read a phantom
-            // zero, so its results are unsound.
+            // zero, so its results are unsound and the whole batch
+            // re-executes serially.
             let escaped = groups.iter().any(|g| {
-                g.create_reverted
-                    || g.touched.all().any(|addr| {
-                        !g.preset.contains(&addr) && self.ledger.balance_entry(&addr).is_some()
-                    })
+                g.touched.all().any(|addr| {
+                    !g.preset.contains(&addr) && self.ledger.balance_entry(&addr).is_some()
+                })
             });
             if escaped {
                 self.parallel_stats.conflict_fallbacks += 1;
                 let batch = collect_batch(groups);
                 return self.execute_batch_serial(batch, block_gas, receipts, carried);
+            }
+
+            // Reverted speculative creations: serial execution rewinds
+            // the id counter on a creation revert, so every later
+            // reservation in the batch is shifted off its optimistic id.
+            // Instead of discarding the whole batch, re-reserve ids
+            // along the serial assignment (reverted creations consume
+            // none) and selectively re-execute the groups holding
+            // reservations — reservation-free groups are untouched by id
+            // assignment and keep their optimistic results. The repair
+            // must stabilize: if re-execution changes which creations
+            // revert (each repair re-derives the assignment), it runs
+            // again, bounded by [`MAX_CREATE_REPAIRS`].
+            let reverted_creates: BTreeSet<usize> = groups
+                .iter()
+                .flat_map(|g| {
+                    g.txs.iter().zip(&g.outcomes).filter_map(|(btx, o)| {
+                        (btx.creates() && matches!(o.receipt.status, TxStatus::Reverted(_)))
+                            .then_some(btx.pos)
+                    })
+                })
+                .collect();
+            if reverted_creates != expected_reverted {
+                if create_repairs >= MAX_CREATE_REPAIRS {
+                    self.parallel_stats.conflict_fallbacks += 1;
+                    let batch = collect_batch(groups);
+                    return self.execute_batch_serial(batch, block_gas, receipts, carried);
+                }
+                create_repairs += 1;
+                match self.repair_reverted_creates(groups, &reverted_creates, reservation_base) {
+                    Ok(repaired) => {
+                        self.parallel_stats.create_retries += 1;
+                        expected_reverted = reverted_creates;
+                        groups = repaired;
+                        continue;
+                    }
+                    Err(batch) => {
+                        self.parallel_stats.conflict_fallbacks += 1;
+                        return self.execute_batch_serial(batch, block_gas, receipts, carried);
+                    }
+                }
             }
 
             // Observed conflicts: any write-involved overlap between two
@@ -682,36 +766,80 @@ where
         }
 
         // Gas-cap cut detection: replay the receipts' gas in schedule
-        // order against the block under construction. Any cut means the
-        // serial path would have stopped mid-batch, so the optimistic
-        // results (computed from batch-start state) must be discarded
-        // wholesale.
-        let overflow = self.block_gas_limit.is_some_and(|limit| {
+        // order against the block under construction. A cut means the
+        // serial path would have stopped mid-batch. Instead of
+        // discarding everything, commit the schedule-order prefix of
+        // *whole groups* that fits below the cut (their optimistic
+        // results are serial-identical — the batch just validated
+        // conflict-free) and re-execute only the suffix serially, which
+        // re-derives the exact cut and carry-over.
+        let cut_pos: Option<usize> = self.block_gas_limit.and_then(|limit| {
             let mut outcomes: Vec<&TxOutcome<S>> =
                 groups.iter().flat_map(|g| g.outcomes.iter()).collect();
             outcomes.sort_by_key(|o| o.pos);
             let mut gas = *block_gas;
             let mut nonempty = !receipts.is_empty();
-            outcomes.iter().any(|o| {
+            for o in outcomes {
                 if gas + o.receipt.gas_used > limit && nonempty {
-                    true
-                } else {
-                    gas += o.receipt.gas_used;
-                    nonempty = true;
-                    false
+                    return Some(o.pos);
                 }
-            })
+                gas += o.receipt.gas_used;
+                nonempty = true;
+            }
+            None
         });
-        if overflow {
-            self.parallel_stats.gas_fallbacks += 1;
-            let batch = collect_batch(groups);
+        if let Some(cut) = cut_pos {
+            // Shrink the cut to a group-closure prefix: a group with
+            // transactions on both sides of the boundary cannot commit
+            // (its shards reflect *all* its transactions), so the
+            // boundary retreats to its first position until every group
+            // lies entirely on one side.
+            let mut prefix_end = cut;
+            loop {
+                let mut shrunk = false;
+                for g in &groups {
+                    let first = g.txs.first().map(|btx| btx.pos).unwrap_or(usize::MAX);
+                    let last = g.txs.last().map(|btx| btx.pos).unwrap_or(0);
+                    if first < prefix_end && last >= prefix_end {
+                        prefix_end = first;
+                        shrunk = true;
+                    }
+                }
+                if !shrunk {
+                    break;
+                }
+            }
+            let (commit, rest): (Vec<GroupRun<S>>, Vec<GroupRun<S>>) = groups
+                .into_iter()
+                .partition(|g| g.txs.last().map(|btx| btx.pos).unwrap_or(0) < prefix_end);
+            if commit.is_empty() {
+                // The straddling group reaches back to the batch start:
+                // nothing can commit, so the whole batch falls back.
+                self.parallel_stats.gas_fallbacks += 1;
+                let batch = collect_batch(rest);
+                return self.execute_batch_serial(batch, block_gas, receipts, carried);
+            }
+            self.parallel_stats.gas_prefix_commits += 1;
+            self.commit_groups(commit, block_gas, receipts);
+            let batch = collect_batch(rest);
             return self.execute_batch_serial(batch, block_gas, receipts, carried);
         }
 
-        // Merge. Groups are pairwise disjoint on every written resource,
-        // so shard installs and balance merges commute; receipts and both
-        // event streams merge in schedule order, making the committed
-        // block byte-identical to serial execution.
+        self.commit_groups(groups, block_gas, receipts);
+        true
+    }
+
+    /// Merges validated groups into chain state. Groups are pairwise
+    /// disjoint on every written resource, so shard installs and balance
+    /// merges commute; receipts and both event streams merge in schedule
+    /// order, making the committed block byte-identical to serial
+    /// execution.
+    fn commit_groups(
+        &mut self,
+        mut groups: Vec<GroupRun<S>>,
+        block_gas: &mut Gas,
+        receipts: &mut Vec<Receipt>,
+    ) {
         self.parallel_stats.batches += 1;
         self.parallel_stats.groups += groups.len();
         self.parallel_stats.parallel_txs += groups.iter().map(|g| g.txs.len()).sum::<usize>();
@@ -741,18 +869,124 @@ where
             let receipt = groups[gi].outcomes[oi].receipt.clone();
             *block_gas += receipt.gas_used;
             receipts.push(receipt);
+            if self.record_block_txs {
+                self.last_block_txs.push(groups[gi].txs[oi].tx.clone());
+            }
             for e in events {
                 self.events.push((self.round, e));
             }
             self.ledger.append_events(&groups[gi].ledger.events()[a..b]);
         }
-        for mut g in groups {
+        for g in &mut groups {
             for key in g.write_keys.clone() {
                 let shard = g.shards.remove(&key).expect("write key has a shard");
                 self.contract.shard_install(key, shard);
             }
         }
-        true
+    }
+
+    /// Repairs a batch whose speculative creations partially reverted:
+    /// serial execution consumes an id only when a creation succeeds, so
+    /// the repair re-reserves along that assignment — surviving
+    /// creations consume sequential ids, reverted ones are tentatively
+    /// assigned the next id without consuming it (the id serial
+    /// execution would assign and roll back) — rebuilds the affected
+    /// access sets and re-executes every reservation-holding group's
+    /// transactions as one merged group in mempool order against fresh
+    /// snapshots.
+    /// Reservation-free groups keep their optimistic results. `Err`
+    /// hands the whole batch back for serial execution when a rebuilt
+    /// message can no longer be attributed (e.g. a route to an id no
+    /// surviving creation produces and no shard can stand for).
+    #[allow(clippy::type_complexity)]
+    fn repair_reverted_creates(
+        &self,
+        groups: Vec<GroupRun<S>>,
+        reverted: &BTreeSet<usize>,
+        base: u64,
+    ) -> Result<Vec<GroupRun<S>>, Vec<BatchTx<S::Msg>>> {
+        let mut kept: Vec<GroupRun<S>> = Vec::new();
+        let mut affected: Vec<BatchTx<S::Msg>> = Vec::new();
+        for g in groups {
+            // Any transaction keyed at or past the reservation base
+            // depends on speculative id assignment (creations and routes
+            // to reserved ids); its whole group re-executes.
+            if g.txs.iter().any(|btx| btx.key >= base) {
+                affected.extend(g.txs);
+            } else {
+                kept.push(g);
+            }
+        }
+        affected.sort_by_key(|btx| btx.pos);
+        // The serial id assignment, walked in schedule order: every
+        // creation is tentatively assigned the next id — serial rolls
+        // the counter back on a revert, so only surviving creations
+        // consume theirs. A reverted creation therefore shares its id
+        // with the next survivor; that is sound (and required — the id
+        // appears in the revert's receipt) because the merged group
+        // executes sequentially and the revert's rollback clears the
+        // shared shard before the survivor runs.
+        let mut next = base;
+        let mut assigned: VecDeque<u64> = VecDeque::new();
+        for btx in affected.iter().filter(|btx| btx.creates()) {
+            assigned.push_back(next);
+            if !reverted.contains(&btx.pos) {
+                next += 1;
+            }
+        }
+        let mut reserver = IdReserver::with_assignments(base, assigned);
+        let mut rebuilt: Vec<BatchTx<S::Msg>> = Vec::with_capacity(affected.len());
+        let mut failed = false;
+        for btx in &affected {
+            let access = self.contract.access_set(
+                self.contract_addr,
+                btx.tx.sender,
+                &btx.tx.msg,
+                &mut reserver,
+            );
+            match (access.is_global(), access.primary_key()) {
+                (false, Some(key)) => rebuilt.push(BatchTx {
+                    pos: btx.pos,
+                    key,
+                    access,
+                    tx: btx.tx.clone(),
+                }),
+                _ => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if !failed {
+            // Re-execute the affected transactions as ONE group in
+            // mempool order — exactly the selective-retry shape. The
+            // sequential in-group execution is serial-faithful (balances
+            // deplete in order, so e.g. an overdraft burst reverts the
+            // same creations serial execution would), which makes the
+            // observed reverted set stable and the repair converge
+            // instead of oscillating with the overdraft check.
+            match self.build_group(rebuilt) {
+                Ok(mut merged) => {
+                    run_group::<S>(&mut merged, self.round, &self.schedule, self.contract_addr);
+                    kept.push(merged);
+                    kept.sort_by_key(|g| g.txs.first().map(|btx| btx.pos).unwrap_or(usize::MAX));
+                    return Ok(kept);
+                }
+                Err(_) => failed = true,
+            }
+        }
+        debug_assert!(failed);
+        // Flatten everything — the kept groups plus the original
+        // affected transactions (the partial rebuilds hold clones and
+        // are simply dropped) — back into the schedule-ordered batch for
+        // the serial backstop.
+        let mut batch: Vec<BatchTx<S::Msg>> = kept
+            .into_iter()
+            .flat_map(|g| g.txs)
+            .chain(affected)
+            .collect();
+        batch.sort_by_key(|btx| btx.pos);
+        Err(batch)
     }
 
     /// Builds the conflict groups for a batch: union-find over declared
@@ -768,90 +1002,7 @@ where
         &self,
         batch: Vec<BatchTx<S::Msg>>,
     ) -> Result<Vec<GroupRun<S>>, Vec<BatchTx<S::Msg>>> {
-        let mut uf = UnionFind::new(batch.len());
-        let mut writers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
-        let mut readers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
-        let mut debitors: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
-        for (ti, btx) in batch.iter().enumerate() {
-            for key in &btx.access.instance_writes {
-                writers
-                    .entry(Resource::Instance(*key))
-                    .or_default()
-                    .push(ti);
-            }
-            for key in &btx.access.instance_reads {
-                readers
-                    .entry(Resource::Instance(*key))
-                    .or_default()
-                    .push(ti);
-            }
-            for addr in &btx.access.account_writes {
-                writers
-                    .entry(Resource::Account(*addr))
-                    .or_default()
-                    .push(ti);
-            }
-            for addr in &btx.access.account_reads {
-                readers
-                    .entry(Resource::Account(*addr))
-                    .or_default()
-                    .push(ti);
-            }
-            for addr in &btx.access.account_debits {
-                debitors
-                    .entry(Resource::Account(*addr))
-                    .or_default()
-                    .push(ti);
-            }
-        }
-        // A resource someone declares writing serializes every toucher
-        // into one group; read-only sharing stays parallel, and so does
-        // debit-only sharing (commutative escrow freezes — validated by
-        // the post-run overdraft check). A declared read against a
-        // declared debit is order-sensitive and serializes.
-        for (res, ws) in &writers {
-            let first = ws[0];
-            for &w in &ws[1..] {
-                uf.union(first, w);
-            }
-            if let Some(rs) = readers.get(res) {
-                for &r in rs {
-                    uf.union(first, r);
-                }
-            }
-            if let Some(ds) = debitors.get(res) {
-                for &d in ds {
-                    uf.union(first, d);
-                }
-            }
-        }
-        for (res, ds) in &debitors {
-            if writers.contains_key(res) {
-                continue; // already fully unioned above
-            }
-            if let Some(rs) = readers.get(res) {
-                // A reader of a debited account pins every debitor to its
-                // group (transitively merging the debitors — conservative
-                // but sound; pure debit-debit sharing has no readers and
-                // stays parallel).
-                for &d in ds {
-                    uf.union(rs[0], d);
-                }
-                for &r in rs {
-                    uf.union(rs[0], r);
-                }
-            }
-        }
-        let mut index: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut members: Vec<Vec<BatchTx<S::Msg>>> = Vec::new();
-        for (ti, btx) in batch.into_iter().enumerate() {
-            let root = uf.find(ti);
-            let gi = *index.entry(root).or_insert_with(|| {
-                members.push(Vec::new());
-                members.len() - 1
-            });
-            members[gi].push(btx);
-        }
+        let mut members = group_by_declared_conflicts(batch);
         if members.len() < 2 {
             // A single group (one hot instance, or one conflict
             // component) is inherently sequential: hand the batch back
@@ -925,7 +1076,6 @@ where
             txs,
             outcomes: Vec::new(),
             touched: TouchRecord::default(),
-            create_reverted: false,
         })
     }
 
@@ -971,4 +1121,94 @@ fn collect_batch<S: ParallelStateMachine>(groups: Vec<GroupRun<S>>) -> Vec<Batch
     let mut batch: Vec<BatchTx<S::Msg>> = groups.into_iter().flat_map(|g| g.txs).collect();
     batch.sort_by_key(|btx| btx.pos);
     batch
+}
+
+/// Partitions a batch into its declared conflict components: union-find
+/// over declared resources — any resource with a declared writer joins
+/// every transaction touching it; read-only and debit-only sharing stay
+/// parallel (the latter validated by the post-run overdraft check); a
+/// declared read against a declared debit is order-sensitive and
+/// serializes. Each component's transactions come back in schedule
+/// order.
+fn group_by_declared_conflicts<M>(batch: Vec<BatchTx<M>>) -> Vec<Vec<BatchTx<M>>> {
+    let mut uf = UnionFind::new(batch.len());
+    let mut writers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
+    let mut readers: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
+    let mut debitors: BTreeMap<Resource, Vec<usize>> = BTreeMap::new();
+    for (ti, btx) in batch.iter().enumerate() {
+        for key in &btx.access.instance_writes {
+            writers
+                .entry(Resource::Instance(*key))
+                .or_default()
+                .push(ti);
+        }
+        for key in &btx.access.instance_reads {
+            readers
+                .entry(Resource::Instance(*key))
+                .or_default()
+                .push(ti);
+        }
+        for addr in &btx.access.account_writes {
+            writers
+                .entry(Resource::Account(*addr))
+                .or_default()
+                .push(ti);
+        }
+        for addr in &btx.access.account_reads {
+            readers
+                .entry(Resource::Account(*addr))
+                .or_default()
+                .push(ti);
+        }
+        for addr in &btx.access.account_debits {
+            debitors
+                .entry(Resource::Account(*addr))
+                .or_default()
+                .push(ti);
+        }
+    }
+    for (res, ws) in &writers {
+        let first = ws[0];
+        for &w in &ws[1..] {
+            uf.union(first, w);
+        }
+        if let Some(rs) = readers.get(res) {
+            for &r in rs {
+                uf.union(first, r);
+            }
+        }
+        if let Some(ds) = debitors.get(res) {
+            for &d in ds {
+                uf.union(first, d);
+            }
+        }
+    }
+    for (res, ds) in &debitors {
+        if writers.contains_key(res) {
+            continue; // already fully unioned above
+        }
+        if let Some(rs) = readers.get(res) {
+            // A reader of a debited account pins every debitor to its
+            // group (transitively merging the debitors — conservative
+            // but sound; pure debit-debit sharing has no readers and
+            // stays parallel).
+            for &d in ds {
+                uf.union(rs[0], d);
+            }
+            for &r in rs {
+                uf.union(rs[0], r);
+            }
+        }
+    }
+    let mut index: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut members: Vec<Vec<BatchTx<M>>> = Vec::new();
+    for (ti, btx) in batch.into_iter().enumerate() {
+        let root = uf.find(ti);
+        let gi = *index.entry(root).or_insert_with(|| {
+            members.push(Vec::new());
+            members.len() - 1
+        });
+        members[gi].push(btx);
+    }
+    members
 }

@@ -1,0 +1,185 @@
+//! Replica-side block application with **captured commits** — the state
+//! layer `dragoon-net` builds reorgs on.
+//!
+//! A network replica does not schedule its own mempool: it receives a
+//! produced block (the transaction list, in receipt order) and replays
+//! it against local state. Because a replica may later learn that the
+//! block sat on a losing fork, every commit is *captured*: the undo log
+//! that [`crate::chain::Chain`]'s journal bracket normally discards at
+//! commit time is kept, stacked per block as a [`BlockUndo`], so the
+//! block can be unwound bit-exactly — deadline settlements, batched
+//! verdicts and escrow movements included — when fork choice switches
+//! branches.
+//!
+//! The split mirrors the production/validation separation: the sequencer
+//! keeps the optimistic parallel executor
+//! ([`crate::parallel`]); replicas replay serially (validation is
+//! re-execution, and a replayed block is already scheduled), with the
+//! journal captures providing O(touched-state) rollback instead of
+//! whole-chain snapshots.
+
+use crate::chain::{Block, Chain, ExecEnv, Receipt, StateMachine, TxStatus};
+use crate::gas::GasMeter;
+use crate::mempool::PendingTx;
+use dragoon_ledger::{Journaled, LedgerCapture};
+
+/// A [`StateMachine`] whose journal commits can be captured and later
+/// unwound — the contract-side contract for replica reorgs.
+///
+/// Laws (given a bracket `begin_tx` … mutations … `commit_tx_captured`):
+/// `revert_capture(capture)` must restore the observable state exactly
+/// as `rollback_tx` would have at the commit point, and captures must be
+/// reverted in reverse commit order.
+pub trait CaptureStateMachine: StateMachine {
+    /// The captured undo log of one committed transaction.
+    type Capture;
+
+    /// Commits the open journal transaction, returning its undo log.
+    fn commit_tx_captured(&mut self) -> Self::Capture;
+
+    /// Unwinds a previously captured commit (newest first).
+    fn revert_capture(&mut self, capture: Self::Capture);
+}
+
+/// Everything needed to unwind one externally applied block: the undo
+/// captures of its clock tick and every successful transaction, in
+/// application (FIFO) order.
+pub struct BlockUndo<S: CaptureStateMachine> {
+    round: u64,
+    events_len: usize,
+    segments: Vec<(LedgerCapture, S::Capture)>,
+}
+
+impl<S: CaptureStateMachine> BlockUndo<S> {
+    /// The round (block height) this undo belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+impl<S: CaptureStateMachine> Chain<S> {
+    /// Applies an externally produced block: advances the round, runs
+    /// the clock tick and every given transaction serially — all under
+    /// captured journal brackets — and seals the block directly (no
+    /// mempool scheduling, no gas-limit cut: the producer already
+    /// enforced its limit, so replay reproduces the receipts exactly).
+    ///
+    /// Returns the [`BlockUndo`] that [`Chain::revert_last_block`]
+    /// consumes to unwind the block on a reorg.
+    pub fn apply_block_captured(&mut self, txs: Vec<PendingTx<S::Msg>>) -> BlockUndo<S> {
+        debug_assert!(
+            self.clone_checkpoint.is_none(),
+            "captured application requires journal atomicity"
+        );
+        self.round += 1;
+        let events_len = self.events.len();
+        let mut segments = Vec::with_capacity(txs.len() + 1);
+        // The clock tick runs under its own captured bracket: phase
+        // deadlines and batched settlement verdicts firing at this block
+        // boundary are part of the block and must unwind with it.
+        self.contract.begin_tx();
+        self.ledger.begin_tx();
+        self.clock_tick();
+        segments.push((
+            self.ledger.commit_tx_captured(),
+            self.contract.commit_tx_captured(),
+        ));
+        let mut receipts = Vec::with_capacity(txs.len());
+        for tx in txs {
+            let (receipt, segment) = self.execute_tx_captured(tx);
+            receipts.push(receipt);
+            segments.extend(segment);
+        }
+        self.blocks.push(Block {
+            round: self.round,
+            receipts,
+        });
+        BlockUndo {
+            round: self.round,
+            events_len,
+            segments,
+        }
+    }
+
+    /// Unwinds the most recent block using its captured undo state:
+    /// segments revert in reverse application order, emitted events are
+    /// truncated, the round steps back and the block is popped (and
+    /// returned, so fork-choice bookkeeping can inspect it). Deeper
+    /// reorgs call this repeatedly, newest block first.
+    pub fn revert_last_block(&mut self, undo: BlockUndo<S>) -> Block {
+        let block = self.blocks.pop().expect("a block to revert");
+        assert_eq!(
+            block.round, undo.round,
+            "block undo must match the chain head"
+        );
+        for (ledger_capture, contract_capture) in undo.segments.into_iter().rev() {
+            self.contract.revert_capture(contract_capture);
+            self.ledger.revert_capture(ledger_capture);
+        }
+        self.events.truncate(undo.events_len);
+        self.round -= 1;
+        block
+    }
+
+    /// Executes one transaction under a captured journal bracket.
+    /// Mirrors the serial `execute_tx_open` path — same intrinsic
+    /// charge, same receipt shape — but a success commits *captured*
+    /// and a revert (which restores state immediately) captures
+    /// nothing.
+    fn execute_tx_captured(
+        &mut self,
+        tx: PendingTx<S::Msg>,
+    ) -> (Receipt, Option<(LedgerCapture, S::Capture)>) {
+        use crate::chain::ChainMessage;
+        self.contract.begin_tx();
+        self.ledger.begin_tx();
+        let mut meter = GasMeter::new();
+        meter.charge("intrinsic", self.schedule.intrinsic(&tx.msg.calldata()));
+        let label = tx.msg.label();
+        let mut events = Vec::new();
+
+        let result = {
+            let mut env = ExecEnv::new(
+                &mut self.ledger,
+                &mut meter,
+                &self.schedule,
+                self.round,
+                self.contract_addr,
+                &mut events,
+            );
+            self.contract.on_message(&mut env, tx.sender, tx.msg)
+        };
+
+        let (status, segment) = match result {
+            Ok(()) => {
+                for e in events {
+                    self.events.push((self.round, e));
+                }
+                let segment = (
+                    self.ledger.commit_tx_captured(),
+                    self.contract.commit_tx_captured(),
+                );
+                (TxStatus::Ok, Some(segment))
+            }
+            Err(e) => {
+                // Roll back all touched state; gas is still consumed.
+                self.contract.rollback_tx();
+                self.ledger.rollback_tx();
+                (TxStatus::Reverted(e.to_string()), None)
+            }
+        };
+
+        (
+            Receipt {
+                seq: tx.seq,
+                sender: tx.sender,
+                label,
+                round: self.round,
+                gas_used: meter.used(),
+                status,
+                gas_breakdown: meter.breakdown().to_vec(),
+            },
+            segment,
+        )
+    }
+}

@@ -437,6 +437,24 @@ impl HitContract {
         }
     }
 
+    /// Commits the open transaction but keeps the undo snapshot (if any)
+    /// so the commit can be unwound later — the reorg path of
+    /// `dragoon-net`. `None` means the transaction never touched this
+    /// instance.
+    pub(crate) fn commit_tx_captured(&mut self) -> Option<Box<HitContract>> {
+        let snapshot = self.journal.drain_commit().into_iter().next();
+        self.journal.reset();
+        snapshot
+    }
+
+    /// Unwinds a previously captured commit by restoring the snapshot
+    /// taken at that transaction's first touch.
+    pub(crate) fn revert_capture(&mut self, capture: Option<Box<HitContract>>) {
+        if let Some(snapshot) = capture {
+            *self = *snapshot;
+        }
+    }
+
     /// Journals a whole-instance snapshot before the first mutation of
     /// an open transaction (no-op outside a transaction or after the
     /// first touch). Every mutating handler calls this after its guard
@@ -1185,6 +1203,7 @@ impl StateMachine for HitContract {
         if self.phase == Phase::Reveal {
             if let Some(deadline) = self.reveal_deadline {
                 if round > deadline {
+                    self.touch();
                     let revealed = self
                         .workers
                         .values()

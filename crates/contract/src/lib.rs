@@ -19,6 +19,6 @@ pub use contract::{
 };
 pub use msg::{HitMessage, LedgerAccess, PublishParams};
 pub use registry::{
-    HitId, HitRegistry, RegistryError, RegistryEvent, RegistryMessage, RegistryShard,
-    SettlementMode, REGISTRY_CODE_LEN,
+    HitId, HitRegistry, RegistryCapture, RegistryError, RegistryEvent, RegistryMessage,
+    RegistryShard, SettlementMode, REGISTRY_CODE_LEN,
 };

@@ -30,8 +30,8 @@ use crate::contract::{BatchStats, HitContract, HitError, HitEvent, PendingVerdic
 use crate::msg::{HitMessage, PublishParams};
 use crate::PhaseWindows;
 use dragoon_chain::{
-    resolve_threads, AccessSet, CalldataStats, ChainMessage, ExecEnv, Journaled,
-    ParallelStateMachine, StateJournal, StateMachine,
+    resolve_threads, AccessSet, CalldataStats, CaptureStateMachine, ChainMessage, ExecEnv,
+    Journaled, ParallelStateMachine, StateJournal, StateMachine,
 };
 use dragoon_crypto::vpke::{self, DecryptionProof, DecryptionStatement};
 use dragoon_ledger::Address;
@@ -162,6 +162,14 @@ enum RegistryUndo {
     /// Instance `id`'s own journal was opened for this transaction;
     /// commit/rollback propagate into it.
     Opened(HitId),
+    /// Instance `id` left the live set (settled at this clock tick);
+    /// undo re-inserts it. Recorded only by instrumented clock ticks —
+    /// message-path sweeps happen lazily at the next tick.
+    Settled(HitId),
+    /// Prior value of the cross-instance batch counters, journaled
+    /// before a clock tick's batched-settlement dispatch records into
+    /// them.
+    Stats(BatchStats),
 }
 
 /// The marketplace registry contract.
@@ -227,6 +235,91 @@ impl Journaled for HitRegistry {
                     self.hits.remove(&id);
                     self.live.remove(&id);
                     self.next_id -= 1;
+                }
+                RegistryUndo::Settled(id) => {
+                    self.live.insert(id);
+                }
+                RegistryUndo::Stats(prior) => {
+                    self.batch_stats = prior;
+                }
+            }
+        }
+    }
+}
+
+/// The captured undo log of one *committed* registry transaction (or
+/// instrumented clock tick): everything needed to unwind the commit
+/// later. This is what `dragoon-net` replicas stack per applied block so
+/// a losing fork can be reorged away — the plain [`Journaled`] bracket
+/// only supports rollback-before-commit.
+#[derive(Debug, Default)]
+pub struct RegistryCapture(Vec<CaptureEntry>);
+
+impl RegistryCapture {
+    /// `true` when the committed transaction touched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// One captured undo entry. Mirrors [`RegistryUndo`], with `Opened`
+/// carrying the touched instance's own captured snapshot.
+#[derive(Debug)]
+enum CaptureEntry {
+    Created(HitId),
+    Opened(HitId, Option<Box<HitContract>>),
+    Settled(HitId),
+    Stats(BatchStats),
+}
+
+impl HitRegistry {
+    /// Commits the open transaction like [`Journaled::commit_tx`], but
+    /// returns the undo log — with each opened instance's captured
+    /// snapshot folded in — so the commit can be unwound later with
+    /// [`HitRegistry::revert_capture`].
+    pub fn commit_tx_captured(&mut self) -> RegistryCapture {
+        let undos = self.journal.drain_commit();
+        let mut entries = Vec::with_capacity(undos.len());
+        for undo in undos {
+            entries.push(match undo {
+                RegistryUndo::Created(id) => CaptureEntry::Created(id),
+                RegistryUndo::Opened(id) => CaptureEntry::Opened(
+                    id,
+                    self.hits
+                        .get_mut(&id)
+                        .expect("opened instance exists")
+                        .hit
+                        .commit_tx_captured(),
+                ),
+                RegistryUndo::Settled(id) => CaptureEntry::Settled(id),
+                RegistryUndo::Stats(prior) => CaptureEntry::Stats(prior),
+            });
+        }
+        RegistryCapture(entries)
+    }
+
+    /// Unwinds a previously captured commit (see
+    /// [`HitRegistry::commit_tx_captured`]). Captures must be reverted
+    /// in reverse commit order (newest first); entries replay LIFO.
+    pub fn revert_capture(&mut self, capture: RegistryCapture) {
+        for entry in capture.0.into_iter().rev() {
+            match entry {
+                CaptureEntry::Created(id) => {
+                    self.hits.remove(&id);
+                    self.live.remove(&id);
+                    self.next_id -= 1;
+                }
+                CaptureEntry::Opened(id, snapshot) => self
+                    .hits
+                    .get_mut(&id)
+                    .expect("captured instance exists")
+                    .hit
+                    .revert_capture(snapshot),
+                CaptureEntry::Settled(id) => {
+                    self.live.insert(id);
+                }
+                CaptureEntry::Stats(prior) => {
+                    self.batch_stats = prior;
                 }
             }
         }
@@ -393,8 +486,22 @@ impl StateMachine for HitRegistry {
         // identical to the previous single concatenated batch (and to
         // per-proof verification): batch verdicts are per-item facts, so
         // the partitioning is free to follow the parallelism.
-        let mut drained: Vec<(HitId, Vec<PendingVerdict>)> = Vec::new();
         let live: Vec<HitId> = self.live.iter().copied().collect();
+        // Instrumented tick (an open registry bracket around the clock
+        // tick — the captured block path of `dragoon-net` replicas):
+        // open every live unsettled instance's own journal exactly once
+        // up front, so mutations from *any* phase below are recorded.
+        if self.journal.recording() {
+            for &id in &live {
+                let inst = self.hits.get_mut(&id).expect("live instance exists");
+                if inst.hit.is_settled() {
+                    continue;
+                }
+                inst.hit.begin_tx();
+                self.journal.record(RegistryUndo::Opened(id));
+            }
+        }
+        let mut drained: Vec<(HitId, Vec<PendingVerdict>)> = Vec::new();
         for &id in &live {
             let inst = self.hits.get_mut(&id).expect("live instance exists");
             if inst.hit.is_settled() {
@@ -426,6 +533,8 @@ impl StateMachine for HitRegistry {
                 resolve_threads(self.verify_threads),
             );
             if total > 0 {
+                let prior = self.batch_stats;
+                self.journal.record(RegistryUndo::Stats(prior));
                 self.batch_stats.record(total as u64);
             }
             for ((id, pending), verdicts) in drained.into_iter().zip(results) {
@@ -453,8 +562,22 @@ impl StateMachine for HitRegistry {
             );
         }
         // Sweep: instances settled this block (by deadline, Finalize or
-        // Cancel) leave the live set.
-        self.live.retain(|id| !self.hits[id].hit.is_settled());
+        // Cancel) leave the live set. Instrumented ticks journal each
+        // removal so a reorg can resurrect the live set.
+        if self.journal.recording() {
+            let settled: Vec<HitId> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|id| self.hits[id].hit.is_settled())
+                .collect();
+            for id in settled {
+                self.live.remove(&id);
+                self.journal.record(RegistryUndo::Settled(id));
+            }
+        } else {
+            self.live.retain(|id| !self.hits[id].hit.is_settled());
+        }
     }
 }
 
@@ -475,6 +598,18 @@ pub struct RegistryShard {
     /// The instance was built by the *currently open* journal bracket
     /// (no per-instance journal exists yet; rollback drops it whole).
     tx_created: bool,
+}
+
+impl CaptureStateMachine for HitRegistry {
+    type Capture = RegistryCapture;
+
+    fn commit_tx_captured(&mut self) -> RegistryCapture {
+        HitRegistry::commit_tx_captured(self)
+    }
+
+    fn revert_capture(&mut self, capture: RegistryCapture) {
+        HitRegistry::revert_capture(self, capture)
+    }
 }
 
 impl ParallelStateMachine for HitRegistry {

@@ -17,6 +17,8 @@
 //! * [`dragoon_econ`] — the market-economics subsystem: cross-HIT
 //!   reputation, dynamic pricing, churn and adversary policies.
 //! * [`dragoon_sim`] — the concurrent multi-HIT marketplace engine.
+//! * [`dragoon_net`] — the deterministic multi-node network simulation:
+//!   gossip, link faults, partitions, forks and reorg-capable replicas.
 
 pub use dragoon_chain as chain;
 pub use dragoon_contract as contract;
@@ -24,6 +26,7 @@ pub use dragoon_core as core;
 pub use dragoon_crypto as crypto;
 pub use dragoon_econ as econ;
 pub use dragoon_ledger as ledger;
+pub use dragoon_net as net;
 pub use dragoon_protocol as protocol;
 pub use dragoon_sim as sim;
 pub use dragoon_zkp as zkp;

@@ -170,30 +170,21 @@ impl Journaled for Ledger {
 
     fn rollback_tx(&mut self) {
         for undo in self.journal.drain_rollback() {
-            match undo {
-                LedgerUndo::Balance { account, prior } => match prior {
-                    Some(amount) => {
-                        self.balances.insert(account, amount);
-                    }
-                    None => {
-                        self.balances.remove(&account);
-                    }
-                },
-                LedgerUndo::Event => {
-                    self.events.pop();
-                }
-                LedgerUndo::Debit { account, amount } => {
-                    let entry = self
-                        .debits
-                        .get_mut(&account)
-                        .expect("journaled debit has an accumulator entry");
-                    *entry -= amount;
-                    if *entry == 0 {
-                        self.debits.remove(&account);
-                    }
-                }
-            }
+            self.apply_undo(undo);
         }
+    }
+}
+
+/// The captured undo log of one *committed* ledger transaction: enough
+/// to unwind the commit later (block reorgs in `dragoon-net`), where the
+/// plain [`Journaled`] bracket only supports rollback-before-commit.
+#[derive(Debug, Default)]
+pub struct LedgerCapture(Vec<LedgerUndo>);
+
+impl LedgerCapture {
+    /// `true` when the committed transaction touched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 }
 
@@ -201,6 +192,49 @@ impl Ledger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Commits the open transaction like [`Journaled::commit_tx`], but
+    /// returns the undo log instead of discarding it, so the commit can
+    /// be unwound later with [`Ledger::revert_capture`].
+    pub fn commit_tx_captured(&mut self) -> LedgerCapture {
+        LedgerCapture(self.journal.drain_commit())
+    }
+
+    /// Unwinds a previously captured commit. Captures must be reverted
+    /// in reverse commit order (newest first) — each one replays its
+    /// undo entries LIFO, exactly as a pre-commit rollback would have.
+    pub fn revert_capture(&mut self, capture: LedgerCapture) {
+        for undo in capture.0.into_iter().rev() {
+            self.apply_undo(undo);
+        }
+    }
+
+    /// Applies one undo record (shared by rollback and capture-revert).
+    fn apply_undo(&mut self, undo: LedgerUndo) {
+        match undo {
+            LedgerUndo::Balance { account, prior } => match prior {
+                Some(amount) => {
+                    self.balances.insert(account, amount);
+                }
+                None => {
+                    self.balances.remove(&account);
+                }
+            },
+            LedgerUndo::Event => {
+                self.events.pop();
+            }
+            LedgerUndo::Debit { account, amount } => {
+                let entry = self
+                    .debits
+                    .get_mut(&account)
+                    .expect("journaled debit has an accumulator entry");
+                *entry -= amount;
+                if *entry == 0 {
+                    self.debits.remove(&account);
+                }
+            }
+        }
     }
 
     /// Journals the prior value of `account`'s balance entry before a
@@ -626,6 +660,31 @@ mod tests {
         l.rollback_tx();
         assert_eq!(l.balance(&addr(9)), 60);
         assert_eq!(l.balance(&addr(2)), 0);
+    }
+
+    #[test]
+    fn captured_commits_revert_in_reverse_order() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        let baseline = l.clone();
+        // Two committed transactions, each captured.
+        l.begin_tx();
+        l.freeze(addr(9), addr(1), 60).unwrap();
+        let first = l.commit_tx_captured();
+        l.begin_tx();
+        l.pay(addr(9), addr(2), 25).unwrap();
+        l.transfer(addr(2), addr(3), 5).unwrap();
+        let second = l.commit_tx_captured();
+        let committed = l.clone();
+        assert_eq!(l.balance(&addr(3)), 5);
+        // Reverting newest-first restores the intermediate, then the
+        // original state bit-for-bit.
+        l.revert_capture(second);
+        assert_eq!(l.balance(&addr(9)), 60);
+        assert_eq!(l.balance(&addr(2)), 0);
+        l.revert_capture(first);
+        assert_eq!(l, baseline, "captured reverts restore the baseline");
+        assert_ne!(l, committed);
     }
 
     #[test]

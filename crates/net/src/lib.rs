@@ -1,0 +1,31 @@
+//! # dragoon-net
+//!
+//! Deterministic multi-node network simulation for the dragoon
+//! marketplace chain: N nodes, each owning an independent mempool and
+//! a full chain replica (registry, ledger, receipts), connected by a
+//! discrete-event gossip layer with seeded per-link delays, loss,
+//! duplicate delivery and scheduled partitions — all on one virtual
+//! clock, bit-reproducible from a seed.
+//!
+//! Node 0 replays the canonical sequencer's blocks; the other nodes
+//! follow by gossip, buffer competing branches, and switch heads by
+//! longest-chain fork choice with full state rollback (the chain's
+//! captured-undo replica path). Adversarial [`RelayPolicy`]
+//! implementations can delay or withhold block propagation per link —
+//! the network-level analogue of MEV — and the convergence
+//! differential proves every honest node still settles to the exact
+//! single-node state.
+
+pub mod config;
+pub mod node;
+pub mod relay;
+pub mod report;
+pub mod sim;
+
+pub use config::{NetConfig, PartitionWindow, ProposerPolicy, RelaySpec};
+pub use node::{block_id, BlockId, NetBlock, GENESIS};
+pub use relay::{
+    build_relay, DelayTargetsRelay, HonestRelay, RelayDecision, RelayPolicy, WithholdReleaseRelay,
+};
+pub use report::NetReport;
+pub use sim::{NetMsg, NetSim};

@@ -1,0 +1,278 @@
+//! One simulated node: a chain replica, a block tree with longest-chain
+//! fork choice, and a gossip mempool.
+//!
+//! A node applies blocks through the chain's **captured** path
+//! ([`dragoon_chain::replica`]): every applied block leaves a
+//! [`BlockUndo`] on a stack parallel to the applied branch, so switching
+//! to a heavier branch is pop-revert / re-apply — bit-exact, touched
+//! state only, deadline settlements included.
+
+use dragoon_chain::mempool::PendingTx;
+use dragoon_chain::replica::{BlockUndo, CaptureStateMachine};
+use dragoon_chain::Chain;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A block identity: a content hash over height, proposer, parent and
+/// the transaction list — equal on every node that knows the block.
+pub type BlockId = u64;
+
+/// The implicit common ancestor of everything: the deployed genesis
+/// state every replica starts from.
+pub const GENESIS: BlockId = 0;
+
+/// A gossiped block: enough to replay it (full transactions) and to
+/// place it in the tree.
+#[derive(Clone, Debug)]
+pub struct NetBlock<M> {
+    /// Content hash (see [`block_id`]).
+    pub id: BlockId,
+    /// Parent block (or [`GENESIS`]).
+    pub parent: BlockId,
+    /// Chain height (= the round the block advances its chain to).
+    pub height: u64,
+    /// Producing node index (`0` = the canonical sequencer).
+    pub proposer: usize,
+    /// Full transaction list, in execution order.
+    pub txs: Vec<PendingTx<M>>,
+}
+
+/// Deterministic content hash for block identity (FNV-1a over the
+/// header fields and each transaction's seq + sender).
+pub fn block_id<M>(height: u64, proposer: usize, parent: BlockId, txs: &[PendingTx<M>]) -> BlockId {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&height.to_le_bytes());
+    eat(&(proposer as u64).to_le_bytes());
+    eat(&parent.to_le_bytes());
+    eat(&(txs.len() as u64).to_le_bytes());
+    for tx in txs {
+        eat(&tx.seq.to_le_bytes());
+        eat(&tx.sender.0);
+    }
+    // Reserve 0 for genesis.
+    h.max(1)
+}
+
+/// One node of the simulated network.
+pub(crate) struct Node<S: CaptureStateMachine> {
+    /// The local chain replica (public to the crate so the simulation
+    /// and tests can audit final state).
+    pub(crate) chain: Chain<S>,
+    /// Every block this node knows, by id.
+    blocks: BTreeMap<BlockId, NetBlock<S::Msg>>,
+    /// Parent → children edges (for completeness cascades).
+    children: BTreeMap<BlockId, Vec<BlockId>>,
+    /// Blocks whose entire ancestry down to genesis is known — the only
+    /// fork-choice candidates (an orphan's branch can't be replayed).
+    complete: BTreeSet<BlockId>,
+    /// The applied branch, genesis-exclusive: `applied[h-1]` is the
+    /// block at height `h`.
+    applied: Vec<BlockId>,
+    /// Captured undo state, parallel to `applied`.
+    undos: Vec<BlockUndo<S>>,
+    /// Gossip mempool: transactions heard but not applied on the
+    /// current branch, by canonical sequence number.
+    pub(crate) mempool: BTreeMap<u64, PendingTx<S::Msg>>,
+    /// Sequence numbers applied on the current branch.
+    applied_seqs: BTreeSet<u64>,
+    /// Ticks since the head last moved (fork patience counter).
+    pub(crate) head_age: u64,
+    /// Tick at which this node's head first matched the canonical tip
+    /// and has matched ever since (`None` = currently diverged).
+    pub(crate) converged_at: Option<u64>,
+    /// Branch switches that popped at least one block.
+    pub(crate) reorgs: u64,
+    /// Deepest single reorg (blocks popped).
+    pub(crate) max_reorg_depth: u64,
+}
+
+impl<S: CaptureStateMachine> Node<S> {
+    pub(crate) fn new(chain: Chain<S>) -> Self {
+        assert_eq!(chain.round(), 0, "replicas start from genesis");
+        Self {
+            chain,
+            blocks: BTreeMap::new(),
+            children: BTreeMap::new(),
+            complete: BTreeSet::new(),
+            applied: Vec::new(),
+            undos: Vec::new(),
+            mempool: BTreeMap::new(),
+            applied_seqs: BTreeSet::new(),
+            head_age: 0,
+            converged_at: None,
+            reorgs: 0,
+            max_reorg_depth: 0,
+        }
+    }
+
+    /// The applied head: `(block id, height)`.
+    pub(crate) fn head(&self) -> (BlockId, u64) {
+        match self.applied.last() {
+            Some(id) => (*id, self.applied.len() as u64),
+            None => (GENESIS, 0),
+        }
+    }
+
+    /// Whether this node knows the block.
+    pub(crate) fn knows(&self, id: BlockId) -> bool {
+        id == GENESIS || self.blocks.contains_key(&id)
+    }
+
+    /// A known block by id, cloned for re-gossip.
+    pub(crate) fn block(&self, id: BlockId) -> Option<NetBlock<S::Msg>> {
+        self.blocks.get(&id).cloned()
+    }
+
+    /// Records a gossiped transaction in the mempool (skipping ones
+    /// already applied on the current branch).
+    pub(crate) fn observe_tx(&mut self, tx: PendingTx<S::Msg>) {
+        if !self.applied_seqs.contains(&tx.seq) {
+            self.mempool.entry(tx.seq).or_insert(tx);
+        }
+    }
+
+    /// Inserts a block into the tree. Returns `false` for a duplicate.
+    /// The caller runs [`Node::try_advance`] afterwards, and — if the
+    /// parent is unknown — requests it from the sender.
+    pub(crate) fn insert_block(&mut self, block: NetBlock<S::Msg>) -> bool {
+        let id = block.id;
+        if self.knows(id) {
+            return false;
+        }
+        let parent = block.parent;
+        self.children.entry(parent).or_default().push(id);
+        self.blocks.insert(id, block);
+        // Completeness cascade: a block whose parent's ancestry is fully
+        // known completes, and may complete buffered orphan descendants.
+        if parent == GENESIS || self.complete.contains(&parent) {
+            let mut queue = VecDeque::from([id]);
+            while let Some(b) = queue.pop_front() {
+                if self.complete.insert(b) {
+                    if let Some(kids) = self.children.get(&b) {
+                        queue.extend(kids.iter().copied());
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The first unknown ancestor above `id`, if its branch is still
+    /// incomplete — the anti-entropy back-fill target.
+    pub(crate) fn missing_ancestor(&self, id: BlockId) -> Option<BlockId> {
+        let mut at = id;
+        loop {
+            match self.blocks.get(&at) {
+                None => return if at == GENESIS { None } else { Some(at) },
+                Some(b) => {
+                    if self.complete.contains(&at) {
+                        return None;
+                    }
+                    at = b.parent;
+                }
+            }
+        }
+    }
+
+    /// Longest-chain fork choice over complete blocks: greatest height;
+    /// ties prefer the canonical proposer's block, then the smaller id
+    /// (both deterministic and identical on every node).
+    fn best_head(&self) -> BlockId {
+        type ForkKey = (u64, bool, std::cmp::Reverse<BlockId>);
+        let mut best: Option<(ForkKey, BlockId)> = None;
+        for (&id, b) in &self.blocks {
+            if !self.complete.contains(&id) {
+                continue;
+            }
+            let key = (b.height, b.proposer == 0, std::cmp::Reverse(id));
+            if best.as_ref().is_none_or(|(k, _)| key > *k) {
+                best = Some((key, id));
+            }
+        }
+        best.map_or(GENESIS, |(_, id)| id)
+    }
+
+    /// Re-runs fork choice and, if a better branch exists, switches to
+    /// it: pops the divergent suffix (reverting state through the
+    /// captured undo stack, returning transactions to the mempool) and
+    /// applies the winning branch's blocks. Returns the number of
+    /// blocks popped (0 for a plain extension or no change).
+    pub(crate) fn try_advance(&mut self) -> usize {
+        let target = self.best_head();
+        if target == self.head().0 {
+            return 0;
+        }
+        // The target branch, genesis-exclusive, oldest first.
+        let mut branch: Vec<BlockId> = Vec::new();
+        let mut at = target;
+        while at != GENESIS {
+            branch.push(at);
+            at = self.blocks[&at].parent;
+        }
+        branch.reverse();
+        // Common prefix with the applied branch.
+        let mut common = 0;
+        while common < self.applied.len()
+            && common < branch.len()
+            && self.applied[common] == branch[common]
+        {
+            common += 1;
+        }
+        let popped = self.applied.len() - common;
+        if popped > 0 {
+            self.reorgs += 1;
+            self.max_reorg_depth = self.max_reorg_depth.max(popped as u64);
+        }
+        for _ in 0..popped {
+            let undo = self.undos.pop().expect("undo per applied block");
+            self.chain.revert_last_block(undo);
+            let id = self.applied.pop().expect("popped block exists");
+            for tx in &self.blocks[&id].txs {
+                self.applied_seqs.remove(&tx.seq);
+                self.mempool.insert(tx.seq, tx.clone());
+            }
+        }
+        for &id in &branch[common..] {
+            let block = &self.blocks[&id];
+            debug_assert_eq!(block.height, self.chain.round() + 1);
+            let txs = block.txs.clone();
+            for tx in &txs {
+                self.applied_seqs.insert(tx.seq);
+                self.mempool.remove(&tx.seq);
+            }
+            let undo = self.chain.apply_block_captured(txs);
+            self.applied.push(id);
+            self.undos.push(undo);
+        }
+        self.head_age = 0;
+        popped
+    }
+
+    /// Proposes a block on the current head from the gossip mempool —
+    /// the fork source: a node only does this when its head has been
+    /// stale past the patience window, so the block competes with
+    /// canonical blocks it has not seen. The block is inserted and
+    /// applied locally; the caller gossips it.
+    pub(crate) fn produce(&mut self, proposer: usize) -> NetBlock<S::Msg> {
+        let (parent, height) = self.head();
+        let txs: Vec<PendingTx<S::Msg>> = self.mempool.values().cloned().collect();
+        let block = NetBlock {
+            id: block_id(height + 1, proposer, parent, &txs),
+            parent,
+            height: height + 1,
+            proposer,
+            txs,
+        };
+        self.insert_block(block.clone());
+        let popped = self.try_advance();
+        debug_assert_eq!(popped, 0, "own production extends the head");
+        block
+    }
+}

@@ -1,0 +1,105 @@
+//! Relay policies: the adversary's grip on the wire.
+//!
+//! Every message handed to the gossip layer passes through one
+//! [`RelayPolicy`] before link faults (seeded delay, loss, duplicates)
+//! apply. An honest relay forwards everything; the MEV flavors delay or
+//! withhold *block* propagation to keep chosen victims' chain views
+//! stale — the network-level generalization of mempool front-running:
+//! instead of reordering transactions inside a block, the adversary
+//! reorders *chain knowledge* across nodes.
+
+use crate::config::RelaySpec;
+use crate::sim::NetMsg;
+
+/// What the relay decided for one message on one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelayDecision {
+    /// Deliver normally (link faults still apply).
+    Forward,
+    /// Deliver, but add this many ticks of delay first.
+    Delay(u64),
+    /// Censor the message entirely.
+    Drop,
+}
+
+/// An adversarial (or honest) relay between every pair of nodes.
+///
+/// Implementations must be deterministic in their inputs — the
+/// convergence differential replays runs bit-exactly from the seed.
+pub trait RelayPolicy<M> {
+    /// Decides the fate of `msg` sent `from → to` at `tick`.
+    fn relay(&mut self, tick: u64, from: usize, to: usize, msg: &NetMsg<M>) -> RelayDecision;
+}
+
+/// Forwards everything unchanged.
+pub struct HonestRelay;
+
+impl<M> RelayPolicy<M> for HonestRelay {
+    fn relay(&mut self, _tick: u64, _from: usize, _to: usize, _msg: &NetMsg<M>) -> RelayDecision {
+        RelayDecision::Forward
+    }
+}
+
+/// Delays block propagation to chosen victims by a fixed number of
+/// extra ticks. Victims run behind the head, propose stale forks and
+/// reorg when the delayed blocks finally land.
+pub struct DelayTargetsRelay {
+    victims: Vec<usize>,
+    extra: u64,
+}
+
+impl DelayTargetsRelay {
+    /// Targets `victims` with `extra` ticks of block-delivery delay.
+    pub fn new(victims: Vec<usize>, extra: u64) -> Self {
+        Self { victims, extra }
+    }
+}
+
+impl<M> RelayPolicy<M> for DelayTargetsRelay {
+    fn relay(&mut self, _tick: u64, _from: usize, to: usize, msg: &NetMsg<M>) -> RelayDecision {
+        if matches!(msg, NetMsg::Block(_)) && self.victims.contains(&to) {
+            RelayDecision::Delay(self.extra)
+        } else {
+            RelayDecision::Forward
+        }
+    }
+}
+
+/// Withholds the sequencer's blocks and releases them in bursts: every
+/// block message from node 0 is delayed to the next multiple of
+/// `period`. Between bursts the replicas see a frozen chain — once
+/// their patience runs out they fork — and each burst forces them to
+/// reorg back onto the canonical branch.
+pub struct WithholdReleaseRelay {
+    period: u64,
+}
+
+impl WithholdReleaseRelay {
+    /// Releases withheld blocks every `period` ticks.
+    pub fn new(period: u64) -> Self {
+        Self {
+            period: period.max(1),
+        }
+    }
+}
+
+impl<M> RelayPolicy<M> for WithholdReleaseRelay {
+    fn relay(&mut self, tick: u64, from: usize, _to: usize, msg: &NetMsg<M>) -> RelayDecision {
+        if from == 0 && matches!(msg, NetMsg::Block(_)) {
+            RelayDecision::Delay(self.period - 1 - (tick % self.period))
+        } else {
+            RelayDecision::Forward
+        }
+    }
+}
+
+/// Builds the boxed policy a [`RelaySpec`] names.
+pub fn build_relay<M>(spec: &RelaySpec) -> Box<dyn RelayPolicy<M>> {
+    match spec {
+        RelaySpec::Honest => Box::new(HonestRelay),
+        RelaySpec::DelayTargets { victims, extra } => {
+            Box::new(DelayTargetsRelay::new(victims.clone(), *extra))
+        }
+        RelaySpec::WithholdRelease { period } => Box::new(WithholdReleaseRelay::new(*period)),
+    }
+}

@@ -1,0 +1,85 @@
+//! The network run's serializable outcome.
+
+/// Counters and convergence facts for one simulated network run.
+///
+/// Everything here derives from the canonical block feed (which is
+/// thread-count independent) and the seeded gossip layer, so the JSON
+/// is byte-stable across `DRAGOON_THREADS` — safe to golden-gate — but
+/// is kept out of `MarketReport::to_json` so pre-net witnesses stay
+/// byte-identical.
+#[derive(Clone, Debug, Default)]
+pub struct NetReport {
+    /// Node count (including the sequencer's replica, node 0).
+    pub nodes: usize,
+    /// Virtual clock ticks elapsed (rounds + final drain).
+    pub ticks: u64,
+    /// Messages handed to the gossip layer.
+    pub messages_sent: u64,
+    /// Messages lost to partitions, link loss or relay censorship.
+    pub messages_dropped: u64,
+    /// Duplicate deliveries injected by the link layer.
+    pub duplicates_delivered: u64,
+    /// Fork blocks produced by stalled replicas.
+    pub forks_produced: u64,
+    /// Branch switches that popped at least one applied block, summed
+    /// over nodes.
+    pub reorgs: u64,
+    /// Deepest single reorg (blocks popped and re-applied).
+    pub max_reorg_depth: u64,
+    /// Scheduled partition windows in the scenario.
+    pub partition_windows: usize,
+    /// Ticks spent in the final convergence drain.
+    pub drain_ticks: u64,
+    /// Whether every node ended on the canonical head.
+    pub converged: bool,
+    /// Per-node tick at which the node's head reached the canonical
+    /// tip and stayed there (`-1` = never converged).
+    pub convergence_tick: Vec<i64>,
+}
+
+impl NetReport {
+    /// Compact single-object JSON.
+    pub fn to_json(&self) -> String {
+        let ticks: Vec<String> = self
+            .convergence_tick
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        format!(
+            "{{\"nodes\":{},\"ticks\":{},\"messages_sent\":{},\
+             \"messages_dropped\":{},\"duplicates_delivered\":{},\
+             \"forks_produced\":{},\"reorgs\":{},\"max_reorg_depth\":{},\
+             \"partition_windows\":{},\"drain_ticks\":{},\"converged\":{},\
+             \"convergence_tick\":[{}]}}",
+            self.nodes,
+            self.ticks,
+            self.messages_sent,
+            self.messages_dropped,
+            self.duplicates_delivered,
+            self.forks_produced,
+            self.reorgs,
+            self.max_reorg_depth,
+            self.partition_windows,
+            self.drain_ticks,
+            self.converged,
+            ticks.join(",")
+        )
+    }
+
+    /// A human-oriented one-liner for example binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "net:    {} nodes over {} ticks — {} msgs ({} dropped, {} dups), \
+             {} forks, {} reorgs (max depth {}), converged: {}",
+            self.nodes,
+            self.ticks,
+            self.messages_sent,
+            self.messages_dropped,
+            self.duplicates_delivered,
+            self.forks_produced,
+            self.reorgs,
+            self.max_reorg_depth,
+            self.converged,
+        )
+    }
+}

@@ -1,0 +1,382 @@
+//! The discrete-event network engine.
+//!
+//! One [`NetSim`] owns N [`Node`]s and a single virtual clock. All
+//! communication is message passing through a deterministic event
+//! queue: every send draws its fate (relay decision, loss, delay,
+//! duplication) from one seeded RNG in a fixed iteration order, so a
+//! whole run — forks, reorgs, convergence ticks — is bit-reproducible
+//! from the seed.
+//!
+//! ## Topology and roles
+//!
+//! Node 0 is the **sequencer's replica**: the canonical chain (driven
+//! by the market engine) hands each produced block's transaction list
+//! to [`NetSim::broadcast_block`]; node 0 applies it instantly and
+//! gossips it to every peer. Replicas (nodes 1..N) validate by
+//! re-execution and follow longest-chain fork choice. A replica whose
+//! head goes stale past the patience window proposes its own block
+//! from its gossip mempool — the genuine fork source under partitions
+//! and adversarial relays — which the canonical branch later reorgs
+//! away (canonical production is strictly faster, so it always wins on
+//! height; at equal height the canonical proposer wins the tie).
+//!
+//! ## Anti-entropy
+//!
+//! Every tick each node announces its head to every peer; a receiver
+//! that does not know the announced block requests it (and, for
+//! orphans, walks parent requests) from the announcer. Combined with
+//! scheduled partition heals this gives eventual delivery under
+//! arbitrary drop rates.
+
+use crate::config::{NetConfig, ProposerPolicy};
+use crate::node::{block_id, BlockId, NetBlock, Node, GENESIS};
+use crate::relay::{build_relay, RelayDecision, RelayPolicy};
+use crate::report::NetReport;
+use dragoon_chain::mempool::PendingTx;
+use dragoon_chain::replica::CaptureStateMachine;
+use dragoon_chain::Chain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A gossip-layer message.
+#[derive(Clone, Debug)]
+pub enum NetMsg<M> {
+    /// Transaction propagation (sequencer → replica mempools).
+    Tx(PendingTx<M>),
+    /// Block propagation.
+    Block(NetBlock<M>),
+    /// Anti-entropy head announcement.
+    HeadAnnounce {
+        /// The announcer's applied head.
+        head: BlockId,
+        /// Its height.
+        height: u64,
+    },
+    /// Request for a missing block (orphan back-fill).
+    BlockRequest {
+        /// The wanted block id.
+        id: BlockId,
+    },
+}
+
+/// One queued delivery.
+struct Delivery<M> {
+    to: usize,
+    from: usize,
+    msg: NetMsg<M>,
+}
+
+/// The N-node network simulation (see module docs).
+pub struct NetSim<S: CaptureStateMachine> {
+    cfg: NetConfig,
+    nodes: Vec<Node<S>>,
+    /// The event queue, totally ordered by (due tick, enqueue seq).
+    queue: BTreeMap<(u64, u64), Delivery<S::Msg>>,
+    next_event: u64,
+    tick: u64,
+    rng: StdRng,
+    relay: Box<dyn RelayPolicy<S::Msg>>,
+    /// The canonical branch tip (node 0's feed) and its height.
+    canonical_tip: BlockId,
+    canonical_height: u64,
+    /// Fork production gate: on while the market is live, off during
+    /// the final drain (proposers stop once demand stops).
+    producing: bool,
+    report: NetReport,
+}
+
+impl<S: CaptureStateMachine> NetSim<S> {
+    /// Builds the network: `nodes` replicas constructed from identical
+    /// genesis state (`genesis` is called once per node and must be
+    /// deterministic), links seeded from `seed`.
+    pub fn new(cfg: NetConfig, seed: u64, genesis: impl Fn() -> Chain<S>) -> Self {
+        assert!(cfg.nodes >= 1, "a network needs at least the sequencer");
+        let nodes: Vec<Node<S>> = (0..cfg.nodes).map(|_| Node::new(genesis())).collect();
+        let relay = build_relay(&cfg.relay);
+        let report = NetReport {
+            nodes: cfg.nodes,
+            partition_windows: cfg.partitions.len(),
+            convergence_tick: vec![-1; cfg.nodes],
+            ..NetReport::default()
+        };
+        Self {
+            cfg,
+            nodes,
+            queue: BTreeMap::new(),
+            next_event: 0,
+            tick: 0,
+            rng: StdRng::seed_from_u64(seed),
+            relay,
+            canonical_tip: GENESIS,
+            canonical_height: 0,
+            producing: true,
+            report,
+        }
+    }
+
+    /// Replaces the relay policy (for tests injecting custom
+    /// adversaries beyond the [`crate::RelaySpec`] built-ins).
+    pub fn with_relay(mut self, relay: Box<dyn RelayPolicy<S::Msg>>) -> Self {
+        self.relay = relay;
+        self
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The virtual clock.
+    pub fn tick_now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Node `i`'s chain replica, for state audits.
+    pub fn node_chain(&self, i: usize) -> &Chain<S> {
+        &self.nodes[i].chain
+    }
+
+    /// Node `i`'s applied head `(block id, height)`.
+    pub fn node_head(&self, i: usize) -> (BlockId, u64) {
+        self.nodes[i].head()
+    }
+
+    /// The canonical tip `(block id, height)` as fed by the sequencer.
+    pub fn canonical_head(&self) -> (BlockId, u64) {
+        (self.canonical_tip, self.canonical_height)
+    }
+
+    /// Announces one canonical-chain submission to every replica's
+    /// mempool (transaction propagation; subject to link faults).
+    pub fn gossip_tx(&mut self, tx: PendingTx<S::Msg>) {
+        self.nodes[0].observe_tx(tx.clone());
+        for to in 1..self.nodes.len() {
+            self.send(0, to, NetMsg::Tx(tx.clone()));
+        }
+    }
+
+    /// Feeds one produced canonical block (its executed transaction
+    /// list, in receipt order): node 0 applies it directly, gossips it
+    /// to every peer, and the network advances one tick.
+    pub fn broadcast_block(&mut self, txs: Vec<PendingTx<S::Msg>>) {
+        let height = self.canonical_height + 1;
+        let block = NetBlock {
+            id: block_id(height, 0, self.canonical_tip, &txs),
+            parent: self.canonical_tip,
+            height,
+            proposer: 0,
+            txs,
+        };
+        self.canonical_tip = block.id;
+        self.canonical_height = height;
+        for to in 1..self.nodes.len() {
+            self.send(0, to, NetMsg::Block(block.clone()));
+        }
+        self.nodes[0].insert_block(block);
+        let popped = self.nodes[0].try_advance();
+        debug_assert_eq!(popped, 0, "the sequencer's replica never reorgs");
+        self.advance_tick();
+    }
+
+    /// Runs the final convergence drain: fork production stops, the
+    /// clock keeps ticking (delivering queued messages, healing
+    /// partitions on schedule, anti-entropy back-filling) until every
+    /// node's head is the canonical tip or the configured tick budget
+    /// runs out. Returns whether the network converged.
+    pub fn drain(&mut self) -> bool {
+        self.producing = false;
+        let budget = self.cfg.drain_ticks;
+        let start = self.tick;
+        while !self.all_converged() && self.tick - start < budget {
+            self.advance_tick();
+        }
+        self.report.drain_ticks = self.tick - start;
+        self.finish_report();
+        self.all_converged()
+    }
+
+    /// The network outcome so far (final after [`NetSim::drain`]).
+    pub fn report(&self) -> NetReport {
+        let mut report = self.report.clone();
+        report.ticks = self.tick;
+        report.converged = self.all_converged();
+        for (i, node) in self.nodes.iter().enumerate() {
+            report.convergence_tick[i] = node.converged_at.map_or(-1, |t| t as i64);
+            report.reorgs += node.reorgs;
+            report.max_reorg_depth = report.max_reorg_depth.max(node.max_reorg_depth);
+        }
+        report
+    }
+
+    fn finish_report(&mut self) {
+        self.report = self.report();
+        // Node counters are folded in; zero them so a second call to
+        // `report()` does not double-count.
+        for node in &mut self.nodes {
+            node.reorgs = 0;
+            node.max_reorg_depth = 0;
+        }
+    }
+
+    fn all_converged(&self) -> bool {
+        self.nodes.iter().all(|n| n.head().0 == self.canonical_tip)
+    }
+
+    /// One virtual clock tick: deliver everything due, run
+    /// anti-entropy, let a stalled replica propose, update
+    /// staleness/convergence bookkeeping.
+    fn advance_tick(&mut self) {
+        self.tick += 1;
+        let heads: Vec<BlockId> = self.nodes.iter().map(|n| n.head().0).collect();
+        self.deliver_due();
+        self.anti_entropy();
+        if self.producing {
+            self.fork_production();
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if node.head().0 == heads[i] {
+                node.head_age += 1;
+            } else {
+                node.head_age = 0;
+            }
+            if node.head().0 == self.canonical_tip {
+                if node.converged_at.is_none() {
+                    node.converged_at = Some(self.tick);
+                }
+            } else {
+                node.converged_at = None;
+            }
+        }
+    }
+
+    /// Processes every queued delivery due at or before the current
+    /// tick, in deterministic (due, enqueue-seq) order. Processing may
+    /// enqueue new same-tick deliveries (zero-delay links); the loop
+    /// drains those too.
+    fn deliver_due(&mut self) {
+        while let Some((&key, _)) = self.queue.first_key_value() {
+            if key.0 > self.tick {
+                break;
+            }
+            let delivery = self.queue.remove(&key).expect("peeked entry exists");
+            self.process(delivery);
+        }
+    }
+
+    fn process(&mut self, delivery: Delivery<S::Msg>) {
+        let Delivery { to, from, msg } = delivery;
+        match msg {
+            NetMsg::Tx(tx) => self.nodes[to].observe_tx(tx),
+            NetMsg::Block(block) => {
+                let id = block.id;
+                if self.nodes[to].insert_block(block) {
+                    if let Some(missing) = self.nodes[to].missing_ancestor(id) {
+                        self.send(to, from, NetMsg::BlockRequest { id: missing });
+                    }
+                    self.nodes[to].try_advance();
+                }
+            }
+            NetMsg::HeadAnnounce { head, .. } => {
+                if !self.nodes[to].knows(head) {
+                    self.send(to, from, NetMsg::BlockRequest { id: head });
+                } else if let Some(missing) = self.nodes[to].missing_ancestor(head) {
+                    self.send(to, from, NetMsg::BlockRequest { id: missing });
+                }
+            }
+            NetMsg::BlockRequest { id } => {
+                if let Some(block) = self.nodes[to].block(id) {
+                    self.send(to, from, NetMsg::Block(block));
+                }
+            }
+        }
+    }
+
+    /// Every node announces its head to every peer, every tick — the
+    /// retry mechanism that makes delivery eventual under drops and
+    /// heals.
+    fn anti_entropy(&mut self) {
+        for from in 0..self.nodes.len() {
+            let (head, height) = self.nodes[from].head();
+            if head == GENESIS {
+                continue;
+            }
+            for to in 0..self.nodes.len() {
+                if to != from {
+                    self.send(from, to, NetMsg::HeadAnnounce { head, height });
+                }
+            }
+        }
+    }
+
+    /// The scheduled proposer (if any replica is stale past patience)
+    /// builds a block on its own head from its gossip mempool.
+    fn fork_production(&mut self) {
+        let replicas = self.nodes.len().saturating_sub(1);
+        if replicas == 0 {
+            return;
+        }
+        let slot = match self.cfg.proposer {
+            ProposerPolicy::RoundRobin => 1 + (self.tick as usize % replicas),
+            ProposerPolicy::Lottery => 1 + self.rng.gen_range(0..replicas),
+        };
+        if self.nodes[slot].head_age < self.cfg.fork_patience {
+            return;
+        }
+        let block = self.nodes[slot].produce(slot);
+        self.report.forks_produced += 1;
+        for to in 0..self.nodes.len() {
+            if to != slot {
+                self.send(slot, to, NetMsg::Block(block.clone()));
+            }
+        }
+    }
+
+    /// Whether the link `a ↔ b` is cut by any active partition window.
+    fn partitioned(&self, a: usize, b: usize) -> bool {
+        self.cfg.partitions.iter().any(|w| w.cuts(self.tick, a, b))
+    }
+
+    /// Sends one message through the link `from → to`: partitions cut
+    /// it, the relay policy rules on it, then seeded loss / delay /
+    /// duplication apply. Deliveries are enqueued, never processed
+    /// inline.
+    fn send(&mut self, from: usize, to: usize, msg: NetMsg<S::Msg>) {
+        self.report.messages_sent += 1;
+        if self.partitioned(from, to) {
+            self.report.messages_dropped += 1;
+            return;
+        }
+        let extra = match self.relay.relay(self.tick, from, to, &msg) {
+            RelayDecision::Forward => 0,
+            RelayDecision::Delay(extra) => extra,
+            RelayDecision::Drop => {
+                self.report.messages_dropped += 1;
+                return;
+            }
+        };
+        if self.cfg.drop_per_mille > 0 && self.rng.gen_range(0..1000u32) < self.cfg.drop_per_mille {
+            self.report.messages_dropped += 1;
+            return;
+        }
+        let (lo, hi) = self.cfg.delay;
+        let delay = if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
+        self.enqueue(self.tick + delay + extra, from, to, msg.clone());
+        if self.cfg.duplicate_per_mille > 0
+            && self.rng.gen_range(0..1000u32) < self.cfg.duplicate_per_mille
+        {
+            self.report.duplicates_delivered += 1;
+            self.enqueue(self.tick + delay + extra + 1, from, to, msg);
+        }
+    }
+
+    fn enqueue(&mut self, due: u64, from: usize, to: usize, msg: NetMsg<S::Msg>) {
+        let seq = self.next_event;
+        self.next_event += 1;
+        self.queue.insert((due, seq), Delivery { to, from, msg });
+    }
+}

@@ -4,6 +4,7 @@ use dragoon_chain::Gas;
 use dragoon_contract::{PhaseWindows, SettlementMode};
 use dragoon_core::workload::AnswerModel;
 use dragoon_econ::EconConfig;
+use dragoon_net::NetConfig;
 use dragoon_protocol::WorkerBehavior;
 
 /// Which mempool scheduler the market runs under.
@@ -86,6 +87,12 @@ pub struct MarketConfig {
     /// requester cartels, reputation-farming sybils). Disabled by
     /// default — existing scenarios stay byte-identical.
     pub econ: EconConfig,
+    /// The multi-node network layer (`dragoon-net`): the canonical
+    /// chain's blocks fan out over a deterministic gossip network of
+    /// full replicas with seeded link faults, scheduled partitions and
+    /// longest-chain fork choice. `None` (default) = single-node, all
+    /// existing scenarios byte-identical.
+    pub net: Option<NetConfig>,
 }
 
 impl Default for MarketConfig {
@@ -126,6 +133,7 @@ impl Default for MarketConfig {
             clone_checkpointing: false,
             exec_threads: 0,
             econ: EconConfig::default(),
+            net: None,
         }
     }
 }

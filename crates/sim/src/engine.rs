@@ -23,6 +23,7 @@
 use crate::agents::{RequesterAgent, WorkerAgent};
 use crate::config::{BehaviorMix, MarketConfig, MarketPolicy};
 use crate::metrics::{BlockStat, HitOutcome, MarketReport};
+use dragoon_chain::mempool::PendingTx;
 use dragoon_chain::{
     resolve_threads, Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, ReversePolicy,
 };
@@ -36,6 +37,7 @@ use dragoon_crypto::commitment::Commitment;
 use dragoon_crypto::elgamal::PlaintextRange;
 use dragoon_econ::{EconEngine, JoinDecision};
 use dragoon_ledger::Address;
+use dragoon_net::NetSim;
 use dragoon_protocol::{ContentStore, Requester, Verdict, Worker, WorkerBehavior};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,6 +86,10 @@ pub struct MarketSim {
     refunds: u128,
     /// The econ layer runtime (`None` when `config.econ` is disabled).
     econ: Option<EconEngine>,
+    /// The network layer runtime (`None` when `config.net` is unset):
+    /// every canonical submission and produced block fans out to a
+    /// simulated gossip network of full replicas.
+    net: Option<NetSim<HitRegistry>>,
     /// Next churn-arrival sequence number (continues the initial pool's
     /// address derivation).
     next_worker_index: u64,
@@ -183,6 +189,35 @@ impl MarketSim {
             .map(|(i, a)| (a.addr, i))
             .collect();
         let next_worker_index = config.workers as u64;
+        // The network layer: every replica starts from the exact genesis
+        // the canonical chain started from (same registry deployment,
+        // same requester mints), so a replica that has applied every
+        // canonical block holds bit-identical state. Replicas replay
+        // blocks serially — the producer already enforced the gas limit
+        // and resolved execution order — so they carry no executor or
+        // gas-cap configuration of their own.
+        let net = config.net.clone().map(|net_cfg| {
+            let settlement = config.settlement;
+            let hits = config.hits as u64;
+            NetSim::new(net_cfg, config.seed ^ 0x6e65_7477_6f72_6b00, move || {
+                let mut replica = Chain::deploy(
+                    HitRegistry::new(settlement).with_verify_threads(threads),
+                    REGISTRY_CODE_LEN,
+                    GasSchedule::istanbul(),
+                );
+                for i in 0..hits {
+                    replica
+                        .ledger
+                        .mint(Address::from_seed(0xd1a6_0000 + i), publish_headroom);
+                }
+                replica
+            })
+        });
+        if net.is_some() {
+            // Record each produced block's executed transaction list so
+            // the run loop can hand it to the gossip layer.
+            chain.set_record_block_txs(true);
+        }
         Self {
             config,
             rng,
@@ -203,7 +238,19 @@ impl MarketSim {
             workers_paid: 0,
             refunds: 0,
             econ,
+            net,
             next_worker_index,
+        }
+    }
+
+    /// Submits a transaction to the canonical chain and — with the
+    /// network layer on — gossips it to every replica's mempool.
+    fn submit_tx(&mut self, sender: Address, msg: RegistryMessage) {
+        if let Some(net) = &mut self.net {
+            let seq = self.chain.submit(sender, msg.clone());
+            net.gossip_tx(PendingTx { sender, msg, seq });
+        } else {
+            self.chain.submit(sender, msg);
         }
     }
 
@@ -216,7 +263,22 @@ impl MarketSim {
     /// Like [`MarketSim::run`], but also hands back the chain so tests
     /// can audit post-run ledger state (escrow conservation under churn,
     /// per-instance balances).
-    pub fn run_keeping_chain(mut self) -> (MarketReport, Chain<HitRegistry>) {
+    pub fn run_keeping_chain(self) -> (MarketReport, Chain<HitRegistry>) {
+        let (report, chain, _) = self.run_keeping_net();
+        (report, chain)
+    }
+
+    /// Like [`MarketSim::run_keeping_chain`], but also hands back the
+    /// network simulation (when configured) so tests can audit every
+    /// replica's final state against the canonical chain — the
+    /// convergence differential.
+    pub fn run_keeping_net(
+        mut self,
+    ) -> (
+        MarketReport,
+        Chain<HitRegistry>,
+        Option<NetSim<HitRegistry>>,
+    ) {
         let mut fifo = FifoPolicy;
         let mut reverse = ReversePolicy;
         let mut front_run = FrontRunPolicy::new(self.workers[0].addr);
@@ -239,10 +301,21 @@ impl MarketSim {
             // clone-checkpoint baseline. Reports are identical either
             // way (tests/parallel_equivalence.rs).
             self.chain.advance_round_parallel(policy);
+            // One network tick per market round: the produced block's
+            // executed transaction list fans out to the replicas.
+            if let Some(net) = &mut self.net {
+                net.broadcast_block(self.chain.last_block_txs().to_vec());
+            }
             self.harvest();
         }
+        // The market is done producing; let the network converge
+        // (queued deliveries land, partitions heal on schedule, forks
+        // reorg away).
+        if let Some(net) = &mut self.net {
+            net.drain();
+        }
         let report = self.build_report();
-        (report, self.chain)
+        (report, self.chain, self.net)
     }
 
     /// Submits this block's `Create` transactions. With dynamic pricing
@@ -252,19 +325,15 @@ impl MarketSim {
         let mut spawned = 0;
         while self.next_publish < self.config.hits && spawned < self.config.spawn_per_block {
             let agent = &self.requesters[self.next_publish];
+            let addr = agent.addr;
             let HitMessage::Publish(mut params) = agent.client.publish_msg() else {
                 unreachable!("publish_msg returns Publish");
             };
             if let Some(e) = &self.econ {
                 params.budget = e.next_budget(params.budget);
             }
-            self.chain.submit(
-                agent.addr,
-                RegistryMessage::Create {
-                    windows: self.config.windows,
-                    params,
-                },
-            );
+            let windows = self.config.windows;
+            self.submit_tx(addr, RegistryMessage::Create { windows, params });
             self.next_publish += 1;
             spawned += 1;
         }
@@ -362,7 +431,7 @@ impl MarketSim {
             }
         }
         for (sender, msg) in submissions {
-            self.chain.submit(sender, msg);
+            self.submit_tx(sender, msg);
         }
     }
 
@@ -835,6 +904,7 @@ impl MarketSim {
             batch: registry.batch_stats(),
             parallel: self.chain.parallel_stats(),
             econ: self.econ.as_ref().map(|e| e.report(self.chain.round())),
+            net: self.net.as_ref().map(NetSim::report),
             outcomes,
             block_stats: self.block_stats.clone(),
         }

@@ -5,6 +5,7 @@
 use dragoon_chain::{Gas, ParallelStats};
 use dragoon_contract::{BatchStats, HitId, SettlementMode};
 use dragoon_econ::EconReport;
+use dragoon_net::NetReport;
 
 /// One produced block's footprint.
 #[derive(Clone, Copy, Debug)]
@@ -103,6 +104,12 @@ pub struct MarketReport {
     /// [`MarketReport::econ_json`], kept out of [`MarketReport::to_json`]
     /// so pre-econ golden outputs stay stable.
     pub econ: Option<EconReport>,
+    /// The network layer's report (`None` when the run was single-node).
+    /// Derives from the canonical block feed and the seeded gossip
+    /// layer, so it is identical across executor thread counts —
+    /// emitted via [`MarketReport::net_json`], kept out of
+    /// [`MarketReport::to_json`] so pre-net golden outputs stay stable.
+    pub net: Option<NetReport>,
     /// Per-HIT outcomes, in id order.
     pub outcomes: Vec<HitOutcome>,
     /// Per-block footprints.
@@ -190,15 +197,18 @@ impl MarketReport {
         format!(
             "{{\"parallel_txs\":{},\"serial_txs\":{},\"batches\":{},\
              \"groups\":{},\"barriers\":{},\"selective_retries\":{},\
-             \"conflict_fallbacks\":{},\"gas_fallbacks\":{}}}",
+             \"create_retries\":{},\"conflict_fallbacks\":{},\
+             \"gas_fallbacks\":{},\"gas_prefix_commits\":{}}}",
             p.parallel_txs,
             p.serial_txs,
             p.batches,
             p.groups,
             p.barriers,
             p.selective_retries,
+            p.create_retries,
             p.conflict_fallbacks,
             p.gas_fallbacks,
+            p.gas_prefix_commits,
         )
     }
 
@@ -209,6 +219,15 @@ impl MarketReport {
         self.econ
             .as_ref()
             .map_or_else(|| "null".into(), EconReport::to_json)
+    }
+
+    /// The network layer's report as one JSON object (`null` when the
+    /// run was single-node). Thread-count independent — safe to
+    /// golden-gate in CI.
+    pub fn net_json(&self) -> String {
+        self.net
+            .as_ref()
+            .map_or_else(|| "null".into(), NetReport::to_json)
     }
 
     /// A human-oriented multi-line summary for examples and logs.
@@ -251,18 +270,25 @@ impl MarketReport {
         if let Some(econ) = &self.econ {
             out.push_str(&econ.summary());
         }
+        if let Some(net) = &self.net {
+            out.push_str(&net.summary());
+            out.push('\n');
+        }
         let p = &self.parallel;
         if p.parallel_txs + p.serial_txs > 0 {
             out.push_str(&format!(
                 "sched:  {} parallel / {} serial txs in {} batches ({} groups), \
-                 {} retries, {} conflict + {} gas fallbacks, {} barriers\n",
+                 {} retries ({} create), {} conflict + {} gas fallbacks \
+                 ({} prefix commits), {} barriers\n",
                 p.parallel_txs,
                 p.serial_txs,
                 p.batches,
                 p.groups,
                 p.selective_retries,
+                p.create_retries,
                 p.conflict_fallbacks,
                 p.gas_fallbacks,
+                p.gas_prefix_commits,
                 p.barriers,
             ));
         }

@@ -16,8 +16,9 @@
 //! * cross-instance ledger conflicts (instances paying the same worker
 //!   in one block — the journal touch records must catch them and
 //!   resolve them by selective retry, not whole-batch discard),
-//! * reverted speculative creations (the serial backstop),
-//! * mid-batch block-gas overflow (carry-over must match serial), and
+//! * reverted speculative creations (id-assignment repair in place),
+//! * mid-batch block-gas overflow (group-closed prefix commit or serial
+//!   fallback — carry-over must match serial), and
 //! * whole-market runs under FIFO and front-running schedulers.
 
 use dragoon_chain::{Chain, FifoPolicy, GasSchedule, TxStatus};
@@ -527,12 +528,13 @@ fn hot_instance_contention_all_serial_in_mempool_order() {
     }
 }
 
-/// Gas-cap block overflow under the parallel executor: a batch of
-/// commits across two instances exceeds the block limit mid-batch. The
-/// executor must detect the cut against the schedule-ordered receipts,
-/// discard the optimistic results and fall back to serial execution so
-/// the carry-over (and every later block) matches the serial chain
-/// exactly.
+/// Gas-cap block overflow under the parallel executor, straddling
+/// flavor: the six commits *alternate* instances, so both groups hold
+/// transactions on each side of the gas cut and no group-closed prefix
+/// can commit. The executor must detect the cut against the
+/// schedule-ordered receipts, discard the optimistic results and fall
+/// back to serial execution so the carry-over (and every later block)
+/// matches the serial chain exactly.
 #[test]
 fn gas_cap_overflow_rollback_parallel_equals_serial() {
     let fx = Fixture::new(0x9a5);
@@ -570,7 +572,59 @@ fn gas_cap_overflow_rollback_parallel_equals_serial() {
         let stats = chain.parallel_stats();
         assert!(
             stats.gas_fallbacks >= 1,
-            "{threads} threads: the cut batch must fall back ({stats:?})"
+            "{threads} threads: the straddled cut batch must fall back ({stats:?})"
+        );
+    }
+}
+
+/// Gas-cap block overflow, group-aligned flavor: two commits per
+/// instance, instance-contiguous in the mempool, so the gas cut falls
+/// exactly on a group boundary. The executor must commit the first
+/// group's optimistic results as the block prefix and re-execute only
+/// the cut suffix serially — bit-identical to the serial chain's
+/// carry-over, with the full-batch gas fallback staying cold.
+#[test]
+fn gas_cut_commits_group_closed_prefix() {
+    let fx = Fixture::new(0x9a6);
+    // ~46k gas per commit: a 100k block fits two — exactly instance 0's
+    // group.
+    let mut chains = fx.chain_set(SettlementMode::PerProof, Some(100_000));
+    submit_all(&mut chains, fx.requester, fx.create_msg());
+    submit_all(&mut chains, fx.requester, fx.create_msg());
+    advance_all(&mut chains);
+    advance_all(&mut chains);
+    assert_all_equal(&chains, "create blocks under cap");
+    assert_eq!(chains[0].contract().len(), 2);
+    // Four commits, instance-contiguous: the batch spans two groups of
+    // two commits each, and the block fits the first group exactly.
+    for w in 1..=4u8 {
+        let key = CommitmentKey([w; 32]);
+        let comm = Commitment::commit(&[w], &key);
+        submit_all(
+            &mut chains,
+            Address::from_byte(w),
+            RegistryMessage::Hit {
+                id: ((w - 1) / 2) as u64,
+                msg: HitMessage::Commit { commitment: comm },
+            },
+        );
+    }
+    for round in 0..3 {
+        advance_all(&mut chains);
+        assert_all_equal(&chains, &format!("prefix-cut round {round}"));
+    }
+    assert_eq!(chains[0].mempool_len(), 0, "all commits eventually landed");
+    for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
+        let stats = chain.parallel_stats();
+        assert!(
+            stats.gas_prefix_commits >= 1,
+            "{threads} threads: the fitting group must commit as the \
+             block prefix ({stats:?})"
+        );
+        assert_eq!(
+            stats.gas_fallbacks, 0,
+            "{threads} threads: a group-aligned cut must not discard \
+             the batch ({stats:?})"
         );
     }
 }
@@ -671,9 +725,10 @@ fn same_sender_creates_parallelize_with_delta_debits() {
 /// of six creations. Each creation passes its guard optimistically
 /// (every group's shadow sees the full base balance), the overdraft
 /// check catches the sum, merges the debiting groups for a mempool-order
-/// retry — where the late creations genuinely revert, which then (and
-/// only then) takes the reverted-creation serial backstop. State must
-/// end bit-identical to serial: ids 0–2 created, three reverts.
+/// retry — where the late creations genuinely revert, which then takes
+/// the creation-repair path (re-reserved ids, merged mempool-order
+/// re-execution) rather than the full-serial backstop. State must end
+/// bit-identical to serial: ids 0–2 created, three reverts.
 #[test]
 fn same_sender_create_overdraft_is_caught_and_matches_serial() {
     let fx = Fixture::new(0x0d5a);
@@ -702,19 +757,26 @@ fn same_sender_create_overdraft_is_caught_and_matches_serial() {
              debit sum check and retried ({stats:?})"
         );
         assert!(
-            stats.conflict_fallbacks >= 1,
+            stats.create_retries >= 1,
             "{threads} threads: the retry's reverted creations must \
-             then take the serial backstop ({stats:?})"
+             repair the id assignment in place ({stats:?})"
+        );
+        assert_eq!(
+            stats.conflict_fallbacks, 0,
+            "{threads} threads: the repair must converge without the \
+             serial backstop ({stats:?})"
         );
     }
 }
 
-/// A speculative creation that *reverts* (unfunded requester) breaks the
-/// id-reservation assumption for everything after it, so the batch must
-/// take the full-serial backstop — and end bit-identical to serial,
-/// including the ids later successful creations receive.
+/// A speculative creation that *reverts* (unfunded requester) shifts
+/// the serial id assignment of everything after it. The executor must
+/// repair in place — re-reserve ids along the serial assignment and
+/// selectively re-execute only the reservation-holding groups — never
+/// discard the batch to the full-serial backstop, and end bit-identical
+/// to serial, including the ids later successful creations receive.
 #[test]
-fn reverted_create_falls_back_to_serial() {
+fn reverted_create_repairs_in_place() {
     let fx = Fixture::new(0xdead);
     let mut chains = fx.chain_set(SettlementMode::PerProof, None);
     let funded = Address::from_byte(0xa1);
@@ -737,8 +799,14 @@ fn reverted_create_falls_back_to_serial() {
     for (chain, threads) in chains.iter().zip(THREADS).skip(1) {
         let stats = chain.parallel_stats();
         assert!(
-            stats.conflict_fallbacks >= 1,
-            "{threads} threads: a reverted creation must fall back ({stats:?})"
+            stats.create_retries >= 1,
+            "{threads} threads: a reverted creation must repair the id \
+             assignment in place ({stats:?})"
+        );
+        assert_eq!(
+            stats.conflict_fallbacks, 0,
+            "{threads} threads: a reverted creation must no longer \
+             discard the batch ({stats:?})"
         );
     }
 }
