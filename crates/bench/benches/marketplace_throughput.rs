@@ -11,11 +11,13 @@
 
 use dragoon_bench::{fmt_duration, time_once};
 use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
+use dragoon_crypto::precomp::ProofCache;
 use dragoon_crypto::vpke;
 use dragoon_net::{NetConfig, RelaySpec};
-use dragoon_sim::{run_market, seed_from_env_or, MarketConfig};
+use dragoon_sim::{run_market, seed_from_env_or, MarketConfig, MarketSim, ProvingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn market_throughput(seed: u64) {
     println!("== marketplace throughput ==");
@@ -436,6 +438,68 @@ fn net_overhead(seed: u64) {
     );
 }
 
+/// **Cold vs prewarmed proof cache** — the same seeded 1 000-HIT market
+/// under the async proving service, run twice against one shared
+/// [`ProofCache`]: first with the cache empty (every requester key pays
+/// its fixed-base table build inside a proof job) and again with the
+/// cache already holding every table from the first run. Simulated-tick
+/// latency comes from modeled cost, never the wall clock, so cache
+/// warmth cannot perturb the chain — the reports are asserted
+/// byte-identical and the wall-clock delta prices exactly the setup
+/// work the keyed cache amortizes away.
+fn cold_vs_prewarmed(seed: u64) {
+    println!("\n== cold vs prewarmed proof cache (1 000 HITs, async proving) ==");
+    let config = MarketConfig {
+        proving: ProvingConfig {
+            enabled: true,
+            ticks_per_kilocost: 0,
+        },
+        ..scale_config(1_000, seed, false)
+    };
+    // Sized above the requester population so admission never bypasses
+    // a key and the prewarmed run hits on every lookup.
+    let cache = Arc::new(ProofCache::with_capacity(2_048));
+    let (cold_wall, cold) =
+        time_once(|| MarketSim::new_with_cache(config.clone(), Arc::clone(&cache)).run());
+    let (warm_wall, warm) =
+        time_once(|| MarketSim::new_with_cache(config.clone(), Arc::clone(&cache)).run());
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "cache warmth must not change the market"
+    );
+    let hits = warm.proving.cache_hits;
+    let misses = warm.proving.cache_misses;
+    assert!(hits > 0, "prewarmed run must hit the proof cache");
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64();
+    println!(
+        "cold       {} HITs settled in {} blocks, wall {} ({} table builds)",
+        cold.hits_settled,
+        cold.blocks,
+        fmt_duration(cold_wall),
+        cold.proving.cache_misses,
+    );
+    println!(
+        "prewarmed  {} HITs settled in {} blocks, wall {} ({hits} hits / {misses} misses)",
+        warm.hits_settled,
+        warm.blocks,
+        fmt_duration(warm_wall),
+    );
+    println!(
+        "speedup {speedup:.2}x, hit rate {:.1}% (identical reports — cache is invisible to the chain)",
+        hit_rate * 100.0
+    );
+    println!(
+        "JSON: {{\"bench\":\"cold_vs_prewarmed\",\"hits\":1000,\
+         \"cold_ms\":{},\"prewarmed_ms\":{},\"speedup\":{speedup:.2},\
+         \"hit_rate\":{hit_rate:.3},\"proving\":{}}}",
+        cold_wall.as_millis(),
+        warm_wall.as_millis(),
+        warm.proving.to_json(),
+    );
+}
+
 fn batch_speedup(seed: u64) {
     println!("\n== batched vs individual VPKE verification ==");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
@@ -488,6 +552,7 @@ fn main() {
     spawn_heavy_speedup(seed);
     econ_overhead(seed);
     net_overhead(seed);
+    cold_vs_prewarmed(seed);
     market_scale_10k(seed);
     batch_speedup(seed);
 }

@@ -27,7 +27,9 @@ use dragoon_core::workload::imagenet_workload;
 use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
 use dragoon_crypto::vpke;
 use dragoon_zkp::jubjub::{jub_decrypt_point, jub_encrypt, JubKeyPair, JubPoint};
-use dragoon_zkp::{circuits, groth16, poqoea_circuit, vpke_circuit, PoqoeaInstance, VpkeInstance};
+use dragoon_zkp::{
+    circuits, groth16, poqoea_circuit, vpke_circuit, CrsCache, PoqoeaInstance, VpkeInstance,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,7 +79,8 @@ fn main() {
         m_point,
     };
     let cs = vpke_circuit(&vpke_inst, &jkp.sk);
-    let pk_vpke = groth16::setup(&cs, &mut rng).unwrap();
+    let crs = CrsCache::new();
+    let pk_vpke = crs.get_or_setup(&cs, &mut rng).unwrap();
     let gproof = groth16::prove(&pk_vpke, &cs, &mut rng).unwrap();
     let publics = circuits::vpke_public_inputs(&vpke_inst);
     let gen_vpke_verify = time_avg(5, || {
@@ -105,7 +108,7 @@ fn main() {
         mismatch,
     };
     let cs_poq = poqoea_circuit(&poq_inst, &jkp.sk);
-    let pk_poq = groth16::setup(&cs_poq, &mut rng).unwrap();
+    let pk_poq = crs.get_or_setup(&cs_poq, &mut rng).unwrap();
     let gproof_poq = groth16::prove(&pk_poq, &cs_poq, &mut rng).unwrap();
     let publics_poq = circuits::poqoea_public_inputs(&poq_inst);
     let gen_poq_verify = time_avg(5, || {

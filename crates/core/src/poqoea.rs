@@ -21,7 +21,7 @@
 //!   `|G|` and `range` are small constants (§V-A).
 
 use crate::task::{EncryptedAnswer, GoldenStandards};
-use dragoon_crypto::elgamal::{DecryptionKey, EncryptionKey, PlaintextRange};
+use dragoon_crypto::elgamal::{DecryptionKey, EncryptionKey, KeyPair, PlaintextRange};
 use dragoon_crypto::vpke::{self, DecryptionProof, DecryptionStatement, PlaintextClaim};
 use dragoon_crypto::{Fr, G1Projective};
 use rand::Rng;
@@ -137,6 +137,19 @@ pub fn prove_quality<R: Rng + ?Sized>(
     range: &PlaintextRange,
     rng: &mut R,
 ) -> (u64, QualityProof) {
+    prove_quality_with_key(&KeyPair::from_secret(dk.0), cts, gs, range, rng)
+}
+
+/// [`prove_quality`] with the full key pair, so the `|G|` inner VPKE
+/// proofs don't each re-derive `h = g^k` — the proving service's
+/// evaluate jobs enter here.
+pub fn prove_quality_with_key<R: Rng + ?Sized>(
+    kp: &KeyPair,
+    cts: &EncryptedAnswer,
+    gs: &GoldenStandards,
+    range: &PlaintextRange,
+    rng: &mut R,
+) -> (u64, QualityProof) {
     let mut chi = 0u64;
     let mut items = Vec::new();
     for (&i, &s) in gs.indexes.iter().zip(&gs.answers) {
@@ -145,7 +158,7 @@ pub fn prove_quality<R: Rng + ?Sized>(
             // see directly; nothing to prove.
             continue;
         };
-        let (claim, proof) = vpke::prove(dk, ct, range, rng);
+        let (claim, proof) = vpke::prove_with_key(kp, ct, range, rng);
         let is_match = matches!(claim, PlaintextClaim::InRange(m) if m == s);
         if is_match {
             chi += 1;

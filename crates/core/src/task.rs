@@ -7,6 +7,7 @@
 //! mechanism incorporated by Amazon's MTurk, and the one ImageNet used.
 
 use dragoon_crypto::elgamal::{Ciphertext, EncryptionKey, PlaintextRange};
+use dragoon_crypto::precomp::ProofCache;
 use dragoon_crypto::Fr;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -234,7 +235,26 @@ impl Answer {
     /// Encrypts the whole vector to the requester, returning the
     /// ciphertext vector `c_j`.
     pub fn encrypt<R: Rng + ?Sized>(&self, ek: &EncryptionKey, rng: &mut R) -> EncryptedAnswer {
-        EncryptedAnswer(self.0.iter().map(|&m| ek.encrypt(m, rng)).collect())
+        self.encrypt_cached(ek, rng, None)
+    }
+
+    /// [`Answer::encrypt`], optionally accelerated by a fixed-base table
+    /// for `ek` fetched from the shared proof cache. The ciphertexts (and
+    /// the rng draws) are identical with or without the cache — only the
+    /// `h^ρ` multiplications get cheaper.
+    pub fn encrypt_cached<R: Rng + ?Sized>(
+        &self,
+        ek: &EncryptionKey,
+        rng: &mut R,
+        cache: Option<&ProofCache>,
+    ) -> EncryptedAnswer {
+        let table = cache.map(|c| c.table_for(&ek.0));
+        EncryptedAnswer(
+            self.0
+                .iter()
+                .map(|&m| ek.encrypt_with_table(m, Fr::random(rng), table.as_deref()))
+                .collect(),
+        )
     }
 
     /// Deterministic encryption with caller-supplied randomness (one

@@ -17,6 +17,7 @@
 
 use crate::field::Fr;
 use crate::g1::{G1Affine, G1Projective};
+use crate::precomp::{mul_generator, FixedBaseTable};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -46,7 +47,7 @@ impl KeyPair {
 
     /// Rebuilds the key pair from an existing secret.
     pub fn from_secret(k: Fr) -> Self {
-        let h = (G1Projective::generator() * k).to_affine();
+        let h = mul_generator(&k).to_affine();
         Self {
             ek: EncryptionKey(h),
             dk: DecryptionKey(k),
@@ -151,9 +152,27 @@ impl EncryptionKey {
     /// Encrypts `m` with caller-chosen randomness `ρ` (deterministic;
     /// exposed for tests and for the simulator).
     pub fn encrypt_with(&self, m: u64, rho: Fr) -> Ciphertext {
-        let g = G1Projective::generator();
-        let c1 = (g * rho).to_affine();
-        let c2 = (g * Fr::from_u64(m) + self.0 * rho).to_affine();
+        let c1 = mul_generator(&rho).to_affine();
+        let c2 = (mul_generator(&Fr::from_u64(m)) + self.0 * rho).to_affine();
+        Ciphertext { c1, c2 }
+    }
+
+    /// [`EncryptionKey::encrypt_with`], with the `h^ρ` term computed
+    /// through a precomputed fixed-base table for this key. Produces the
+    /// identical ciphertext; only wall clock changes. The proving
+    /// service's commit jobs fetch one table per requester from the
+    /// shared [`crate::precomp::ProofCache`] and thread it through here.
+    pub fn encrypt_with_table(
+        &self,
+        m: u64,
+        rho: Fr,
+        table: Option<&FixedBaseTable>,
+    ) -> Ciphertext {
+        let Some(table) = table else {
+            return self.encrypt_with(m, rho);
+        };
+        let c1 = mul_generator(&rho).to_affine();
+        let c2 = (mul_generator(&Fr::from_u64(m)) + table.mul(&rho)).to_affine();
         Ciphertext { c1, c2 }
     }
 }
@@ -176,7 +195,7 @@ impl DecryptionKey {
 
     /// The matching public key.
     pub fn public_key(&self) -> EncryptionKey {
-        EncryptionKey((G1Projective::generator() * self.0).to_affine())
+        EncryptionKey(mul_generator(&self.0).to_affine())
     }
 }
 

@@ -16,6 +16,9 @@
 //!   (brute force and baby-step giant-step).
 //! * [`vpke`] — verifiable decryption: the Schnorr/Chaum–Pedersen variant
 //!   of §V-C with Fiat–Shamir, the building block PoQoEA reduces to.
+//! * [`precomp`] — windowed fixed-base tables and the keyed
+//!   [`precomp::ProofCache`] the async proving service shares across its
+//!   worker pool.
 
 pub mod arith;
 pub mod commitment;
@@ -25,6 +28,7 @@ pub mod g1;
 pub mod g2;
 pub mod keccak;
 pub mod pairing;
+pub mod precomp;
 pub mod ro;
 pub mod tower;
 pub mod vpke;
@@ -34,4 +38,5 @@ pub use elgamal::{Ciphertext, DecryptionKey, EncryptionKey, KeyPair};
 pub use field::{Fq, Fr};
 pub use g1::{G1Affine, G1Projective};
 pub use keccak::{keccak256, keccak256_concat, Keccak256};
+pub use precomp::{CacheStats, FixedBaseTable, ProofCache};
 pub use vpke::{DecryptionProof, DecryptionStatement};

@@ -1,0 +1,235 @@
+//! Fixed-base precomputation and the keyed proof-precomputation cache.
+//!
+//! Every proof object on the marketplace hot path — ElGamal encryption,
+//! VPKE proving, PoQoEA quality proofs — spends its time in scalar
+//! multiplications against two kinds of bases: the group generator `g`
+//! (commitment randomness, claim points, public keys) and a requester's
+//! encryption key `h` (the `h^ρ` term of every ciphertext). Both bases
+//! repeat across thousands of proofs, so a windowed fixed-base table
+//! ([`FixedBaseTable`]) turns each multiplication from ~256 doublings +
+//! ~128 additions into at most 63 additions and no doublings.
+//!
+//! * [`generator_table`] — a process-wide table for `g`, built once.
+//! * [`ProofCache`] — a keyed cache of per-base tables (one per
+//!   requester encryption key), shared by the proving service's worker
+//!   pool. Hit/miss counters feed `ProvingStats`; the admission cap
+//!   bounds memory. Lookups build missing tables *under the lock* so a
+//!   miss is counted exactly once per distinct key regardless of thread
+//!   interleaving — the cache statistics stay deterministic across
+//!   `DRAGOON_THREADS` values.
+//!
+//! Table-based multiplication returns the same group element as
+//! [`G1Projective::mul_scalar`] (asserted by unit tests), and every
+//! caller normalizes through `to_affine()`, so switching a code path to
+//! the table changes no serialized bytes — goldens are unaffected.
+
+use crate::field::Fr;
+use crate::g1::{G1Affine, G1Projective};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Window width in bits. 4 divides the 64-bit limb evenly, keeps the
+/// table at 64 windows × 15 entries (~92 KiB per base) and caps a
+/// multiplication at 63 additions.
+const WINDOW_BITS: usize = 4;
+/// Nibbles in a 256-bit scalar.
+const WINDOWS: usize = 256 / WINDOW_BITS;
+/// Nonzero digits per window.
+const ENTRIES: usize = (1 << WINDOW_BITS) - 1;
+
+/// A windowed fixed-base multiplication table: for window `w` and digit
+/// `d ∈ [1, 15]`, entry `w·15 + (d-1)` holds `d · 2^{4w} · base`.
+pub struct FixedBaseTable {
+    entries: Vec<G1Projective>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for one base point.
+    pub fn new(base: &G1Affine) -> Self {
+        let mut entries = Vec::with_capacity(WINDOWS * ENTRIES);
+        let mut window_base = base.to_projective();
+        for _ in 0..WINDOWS {
+            let mut acc = G1Projective::identity();
+            for _ in 0..ENTRIES {
+                acc += window_base;
+                entries.push(acc);
+            }
+            // Advance to the next window's base: ×2^WINDOW_BITS.
+            for _ in 0..WINDOW_BITS {
+                window_base = window_base.double();
+            }
+        }
+        Self { entries }
+    }
+
+    /// Multiplies the table's base by `k`, skipping zero nibbles — small
+    /// scalars (claim points `g^m`, fold counters) cost one or two
+    /// additions.
+    pub fn mul(&self, k: &Fr) -> G1Projective {
+        let limbs = k.to_plain_limbs();
+        let mut acc = G1Projective::identity();
+        for (li, limb) in limbs.iter().enumerate() {
+            let mut limb = *limb;
+            let mut w = li * (64 / WINDOW_BITS);
+            while limb != 0 {
+                let d = (limb & 0xf) as usize;
+                if d != 0 {
+                    acc += self.entries[w * ENTRIES + (d - 1)];
+                }
+                limb >>= WINDOW_BITS;
+                w += 1;
+            }
+        }
+        acc
+    }
+}
+
+/// The process-wide fixed-base table for the group generator `g`.
+pub fn generator_table() -> &'static FixedBaseTable {
+    static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+    TABLE.get_or_init(|| FixedBaseTable::new(&G1Affine::generator()))
+}
+
+/// Multiplies the generator by `k` through the process-wide table.
+pub fn mul_generator(k: &Fr) -> G1Projective {
+    generator_table().mul(k)
+}
+
+/// A snapshot of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a table.
+    pub hits: u64,
+    /// Lookups that built (or, past the cap, bypassed) a table — one
+    /// per distinct admitted key, thread-count independent under the cap.
+    pub misses: u64,
+    /// Tables currently resident.
+    pub entries: usize,
+}
+
+/// A keyed cache of fixed-base tables, one per base point (in the
+/// marketplace: one per requester encryption key). Shared across the
+/// proving service's worker threads; cold (first-use) table builds are
+/// the "setup" cost the cold-vs-prewarmed bench measures.
+pub struct ProofCache {
+    tables: Mutex<HashMap<[u8; 64], Arc<FixedBaseTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cap: usize,
+}
+
+impl ProofCache {
+    /// Default admission cap: bounds resident tables to ~47 MiB while
+    /// comfortably covering every test and golden scenario, so the
+    /// hit/miss counters those assert on are exact.
+    pub const DEFAULT_CAP: usize = 512;
+
+    /// A cache with the default admission cap.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// A cache admitting at most `cap` tables; further distinct keys are
+    /// computed without caching (each such lookup counts as a miss, and
+    /// which keys win admission can then depend on thread timing — size
+    /// the cap above the key population when stats must be exact).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            tables: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cap,
+        }
+    }
+
+    /// The table for `base`, building and admitting it on first use.
+    /// Builds happen under the cache lock: concurrent first lookups of
+    /// one key serialize, exactly one records the miss.
+    pub fn table_for(&self, base: &G1Affine) -> Arc<FixedBaseTable> {
+        let key = base.to_bytes();
+        let mut tables = self.tables.lock().expect("proof cache poisoned");
+        if let Some(table) = tables.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(table);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(FixedBaseTable::new(base));
+        if tables.len() < self.cap {
+            tables.insert(key, Arc::clone(&table));
+        }
+        table
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.tables.lock().expect("proof cache poisoned").len(),
+        }
+    }
+}
+
+impl Default for ProofCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_matches_naive_multiplication() {
+        let mut rng = StdRng::seed_from_u64(0x7ab1e);
+        let base = (G1Projective::generator() * Fr::random(&mut rng)).to_affine();
+        let table = FixedBaseTable::new(&base);
+        for _ in 0..8 {
+            let k = Fr::random(&mut rng);
+            assert_eq!(table.mul(&k), base.to_projective().mul_scalar(&k));
+        }
+    }
+
+    #[test]
+    fn table_handles_edge_scalars() {
+        let table = generator_table();
+        let g = G1Projective::generator();
+        assert!(table.mul(&Fr::zero()).is_identity());
+        assert_eq!(table.mul(&Fr::one()), g);
+        for m in [2u64, 3, 15, 16, 17, 255, 1 << 20] {
+            let k = Fr::from_u64(m);
+            assert_eq!(table.mul(&k), g.mul_scalar(&k), "m = {m}");
+        }
+        assert_eq!(table.mul(&-Fr::one()), -g);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut rng = StdRng::seed_from_u64(0xcac4e);
+        let cache = ProofCache::new();
+        let b1 = (G1Projective::generator() * Fr::random(&mut rng)).to_affine();
+        let b2 = (G1Projective::generator() * Fr::random(&mut rng)).to_affine();
+        cache.table_for(&b1);
+        cache.table_for(&b1);
+        cache.table_for(&b2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn cache_cap_bypasses_but_still_computes() {
+        let mut rng = StdRng::seed_from_u64(0xca9);
+        let cache = ProofCache::with_capacity(1);
+        let b1 = (G1Projective::generator() * Fr::random(&mut rng)).to_affine();
+        let b2 = (G1Projective::generator() * Fr::random(&mut rng)).to_affine();
+        let k = Fr::random(&mut rng);
+        cache.table_for(&b1);
+        let t2 = cache.table_for(&b2);
+        assert_eq!(t2.mul(&k), b2.to_projective().mul_scalar(&k));
+        assert_eq!(cache.stats().entries, 1, "cap admits only the first");
+    }
+}

@@ -16,9 +16,12 @@
 //! and verify against the same point `M = g^m`, exactly matching the two
 //! branches of the paper's `VerifyPKE`.
 
-use crate::elgamal::{Ciphertext, Decrypted, DecryptionKey, EncryptionKey, PlaintextRange};
+use crate::elgamal::{
+    Ciphertext, Decrypted, DecryptionKey, EncryptionKey, KeyPair, PlaintextRange,
+};
 use crate::field::Fr;
 use crate::g1::{G1Affine, G1Projective};
+use crate::precomp::mul_generator;
 use crate::ro::Transcript;
 use rand::Rng;
 
@@ -38,9 +41,7 @@ impl PlaintextClaim {
     /// The group element `M = g^m` this claim denotes.
     pub fn to_point(&self) -> G1Affine {
         match self {
-            PlaintextClaim::InRange(m) => {
-                (G1Projective::generator() * Fr::from_u64(*m)).to_affine()
-            }
+            PlaintextClaim::InRange(m) => mul_generator(&Fr::from_u64(*m)).to_affine(),
             PlaintextClaim::OutOfRange(p) => *p,
         }
     }
@@ -104,9 +105,22 @@ pub fn prove<R: Rng + ?Sized>(
     range: &PlaintextRange,
     rng: &mut R,
 ) -> (PlaintextClaim, DecryptionProof) {
-    let decrypted = dk.decrypt(ct, range);
+    prove_with_key(&KeyPair::from_secret(dk.0), ct, range, rng)
+}
+
+/// [`prove`] with the full key pair, so the public key `h` is not
+/// re-derived from the secret on every proof — the hot-path entry point
+/// the proving service's evaluate jobs use (a PoQoEA proof calls this
+/// once per gold standard).
+pub fn prove_with_key<R: Rng + ?Sized>(
+    kp: &KeyPair,
+    ct: &Ciphertext,
+    range: &PlaintextRange,
+    rng: &mut R,
+) -> (PlaintextClaim, DecryptionProof) {
+    let decrypted = kp.dk.decrypt(ct, range);
     let claim = PlaintextClaim::from_decrypted(&decrypted);
-    let proof = prove_claim(dk, ct, &claim, rng);
+    let proof = prove_claim_with_key(kp, ct, &claim, rng);
     (claim, proof)
 }
 
@@ -118,12 +132,21 @@ pub fn prove_claim<R: Rng + ?Sized>(
     claim: &PlaintextClaim,
     rng: &mut R,
 ) -> DecryptionProof {
-    let ek = dk.public_key();
+    prove_claim_with_key(&KeyPair::from_secret(dk.0), ct, claim, rng)
+}
+
+/// [`prove_claim`] with the full key pair (no per-call `g^k`).
+pub fn prove_claim_with_key<R: Rng + ?Sized>(
+    kp: &KeyPair,
+    ct: &Ciphertext,
+    claim: &PlaintextClaim,
+    rng: &mut R,
+) -> DecryptionProof {
     let x = Fr::random(rng);
     let a = (ct.c1 * x).to_affine();
-    let b = (G1Projective::generator() * x).to_affine();
-    let c = challenge(&a, &b, &ek, ct, &claim.to_point());
-    let z = x + dk.0 * c;
+    let b = mul_generator(&x).to_affine();
+    let c = challenge(&a, &b, &kp.ek, ct, &claim.to_point());
+    let z = x + kp.dk.0 * c;
     DecryptionProof { a, b, z }
 }
 

@@ -10,6 +10,9 @@
 //!   producing per-phase gas reports (Table III's raw material).
 //! * [`ideal`] — the ideal functionality `F_hit` (Fig 2), the trusted
 //!   specification used by the real-vs-ideal comparison tests.
+//! * [`proving`] — the asynchronous proving pipeline: a keyed proof-job
+//!   queue and scoped worker pool with deterministic per-job RNG
+//!   streams and modeled (tick-based) proving latency.
 //! * [`storage`] — content-addressed off-chain storage (the Swarm
 //!   stand-in for task question sets).
 //! * [`strawman`] — the transparent (no-privacy) design the paper's
@@ -18,6 +21,7 @@
 
 pub mod driver;
 pub mod ideal;
+pub mod proving;
 pub mod requester;
 pub mod storage;
 pub mod strawman;
@@ -25,6 +29,9 @@ pub mod worker;
 
 pub use driver::{run, run_with_policy, GasByPhase, RunConfig, RunReport};
 pub use ideal::{IdealHit, IdealPhase, Leakage};
-pub use requester::{Requester, Verdict};
+pub use proving::{
+    job_rng, JobKey, ProofJob, ProofPhase, ProvingConfig, ProvingService, ProvingStats,
+};
+pub use requester::{Evaluator, Requester, Verdict};
 pub use storage::ContentStore;
-pub use worker::{Worker, WorkerBehavior};
+pub use worker::{CommitArtifacts, Worker, WorkerBehavior};

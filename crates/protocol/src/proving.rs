@@ -1,0 +1,487 @@
+//! The asynchronous proving pipeline: a keyed job queue plus a scoped
+//! worker pool that takes proving (answer encryption, commitments,
+//! VPKE / PoQoEA evaluation proofs) off the agent hot path.
+//!
+//! Agents no longer prove inline while the round advances. Instead each
+//! drive enqueues a [`ProofJob`] keyed by `(agent, instance, phase)`;
+//! the [`ProvingService`] computes the batch on a scoped thread pool and
+//! releases each finished output at `enqueue_tick + latency`, where the
+//! latency is **modeled** — derived deterministically from the job's
+//! declared cost units and [`ProvingConfig::ticks_per_kilocost`], never
+//! from wall clock. Released outputs re-enter the sim in deterministic
+//! `(ready_tick, enqueue_seq)` order, so the mempool sequence — and
+//! therefore committed chain state — is bit-identical for any
+//! `DRAGOON_THREADS`.
+//!
+//! Determinism of the proofs themselves comes from per-job RNG streams:
+//! [`job_rng`] splits the master seed by the job key, so a proof's
+//! randomness depends only on `(seed, agent, instance, phase)` — not on
+//! which worker thread ran it or in what order the pool scheduled it.
+//!
+//! With the service disabled (the default), the same unified job path
+//! runs inline and serially: every job still gets its keyed RNG stream
+//! and releases on the tick it was enqueued, which is exactly the
+//! async pipeline at zero latency — the equivalence the
+//! `proving_equivalence` suite pins down.
+
+use dragoon_ledger::Address;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which protocol phase a proof job belongs to (part of the job key and
+/// of the per-job RNG domain separation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProofPhase {
+    /// Answer draw + encryption + commitment.
+    Commit,
+    /// Commitment opening (no proving work; cost 0).
+    Reveal,
+    /// Decrypt + VPKE / PoQoEA verdict proving.
+    Evaluate,
+    /// Non-proving control messages (publish, golden, finalize, cancel)
+    /// routed through the queue so mempool order is phase-independent.
+    Control,
+}
+
+impl ProofPhase {
+    fn tag(self) -> u64 {
+        match self {
+            ProofPhase::Commit => 1,
+            ProofPhase::Reveal => 2,
+            ProofPhase::Evaluate => 3,
+            ProofPhase::Control => 4,
+        }
+    }
+}
+
+/// The queue key: which agent asked, for which HIT instance, in which
+/// phase. Also the domain-separation input of [`job_rng`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobKey {
+    /// The submitting agent's on-chain identity.
+    pub agent: Address,
+    /// The HIT instance the job belongs to (`u64::MAX` for jobs not tied
+    /// to a single instance).
+    pub instance: u64,
+    /// The protocol phase.
+    pub phase: ProofPhase,
+}
+
+/// One unit of proving work: a keyed closure plus its modeled cost.
+///
+/// The closure receives the job's private RNG stream and returns the
+/// engine-defined output (a message to submit, artifacts to install…).
+/// It must not touch shared agent state — everything it reads is
+/// captured by value at enqueue time.
+pub struct ProofJob<T> {
+    /// The queue key.
+    pub key: JobKey,
+    /// Modeled proving cost in abstract cost units (0 for control jobs).
+    pub cost: u64,
+    /// The work itself, run with the job's keyed RNG stream.
+    pub run: Box<dyn FnOnce(&mut StdRng) -> T + Send>,
+}
+
+/// How the proving service is wired into a market run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProvingConfig {
+    /// `true` routes jobs through the async pipeline (parallel compute,
+    /// modeled latency); `false` (default) runs the same jobs inline,
+    /// serially, at zero latency.
+    pub enabled: bool,
+    /// Simulated ticks of latency per 1000 cost units (rounded down).
+    /// 0 means every proof is ready in the tick it was requested.
+    pub ticks_per_kilocost: u64,
+}
+
+/// Counters the proving service exposes into `MarketReport`. All fields
+/// serialized by [`ProvingStats::to_json`] are thread-independent; the
+/// observed `threads` value is kept out of the JSON for exactly that
+/// reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProvingStats {
+    /// Jobs enqueued.
+    pub jobs: u64,
+    /// Jobs whose output was released back into the sim.
+    pub completed: u64,
+    /// Jobs still pending when the run ended (their HITs settled ⊥ via
+    /// the deadline path without them).
+    pub dropped: u64,
+    /// Outputs released after their session was already closed/settled —
+    /// late proofs the engine discarded.
+    pub stale: u64,
+    /// Peak number of queued (not yet released) jobs.
+    pub queue_peak: u64,
+    /// Release-latency histogram in ticks: `[0, 1, 2–3, 4–7, 8+]`.
+    pub latency_hist: [u64; 5],
+    /// Largest observed release latency in ticks.
+    pub latency_max: u64,
+    /// Proof-cache hits attributable to this run.
+    pub cache_hits: u64,
+    /// Proof-cache misses (table builds) attributable to this run.
+    pub cache_misses: u64,
+    /// Worker threads the pool used. **Thread-dependent — excluded from
+    /// the JSON witness.**
+    pub threads: u64,
+}
+
+impl ProvingStats {
+    /// Serializes the thread-independent counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs\":{},\"completed\":{},\"dropped\":{},\"stale\":{},",
+                "\"queue_peak\":{},\"latency_hist\":[{},{},{},{},{}],",
+                "\"latency_max\":{},\"cache_hits\":{},\"cache_misses\":{}}}"
+            ),
+            self.jobs,
+            self.completed,
+            self.dropped,
+            self.stale,
+            self.queue_peak,
+            self.latency_hist[0],
+            self.latency_hist[1],
+            self.latency_hist[2],
+            self.latency_hist[3],
+            self.latency_hist[4],
+            self.latency_max,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+
+    fn record_latency(&mut self, ticks: u64) {
+        let bucket = match ticks {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=7 => 3,
+            _ => 4,
+        };
+        self.latency_hist[bucket] += 1;
+        self.latency_max = self.latency_max.max(ticks);
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The per-job RNG stream: a splitmix64 sponge over the master seed and
+/// the job key. A job's randomness is a pure function of
+/// `(seed, agent, instance, phase)` — independent of thread count,
+/// scheduling order, and every other job.
+pub fn job_rng(master_seed: u64, key: &JobKey) -> StdRng {
+    let mut h = splitmix64(master_seed ^ 0xd1a6_0b0b_5eed_0001);
+    let absorb = |state: &mut u64, v: u64| {
+        *state = splitmix64(*state ^ v);
+    };
+    // Address: 20 bytes → three u64 words (last one 4-byte padded).
+    let a = &key.agent.0;
+    let mut word = [0u8; 8];
+    for chunk in a.chunks(8) {
+        word.fill(0);
+        word[..chunk.len()].copy_from_slice(chunk);
+        absorb(&mut h, u64::from_le_bytes(word));
+    }
+    absorb(&mut h, key.instance);
+    absorb(&mut h, key.phase.tag());
+    StdRng::seed_from_u64(h)
+}
+
+struct QueuedOutput<T> {
+    ready_tick: u64,
+    enqueue_tick: u64,
+    seq: u64,
+    key: JobKey,
+    output: T,
+}
+
+/// The proving service: computes proof jobs (in parallel when enabled)
+/// and releases their outputs in deterministic `(ready_tick, seq)`
+/// order.
+pub struct ProvingService<T> {
+    master_seed: u64,
+    threads: usize,
+    config: ProvingConfig,
+    queue: Vec<QueuedOutput<T>>,
+    next_seq: u64,
+    stats: ProvingStats,
+}
+
+impl<T: Send> ProvingService<T> {
+    /// Creates the service. `threads` is the already-resolved pool width
+    /// (`dragoon_chain::resolve_threads`); it only affects wall-clock
+    /// speed, never results.
+    pub fn new(master_seed: u64, threads: usize, config: ProvingConfig) -> Self {
+        Self {
+            master_seed,
+            threads: threads.max(1),
+            config,
+            queue: Vec::new(),
+            next_seq: 0,
+            stats: ProvingStats {
+                threads: threads.max(1) as u64,
+                ..ProvingStats::default()
+            },
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ProvingConfig {
+        self.config
+    }
+
+    /// Enqueues and computes a batch of jobs requested at `tick`.
+    ///
+    /// Each job runs with its own [`job_rng`] stream — on the scoped
+    /// pool when the service is enabled with >1 thread, inline and in
+    /// enqueue order otherwise; both paths produce identical outputs.
+    /// The output becomes visible to [`Self::drain_ready`] at
+    /// `tick + cost·ticks_per_kilocost/1000` (always `tick` itself when
+    /// the service is disabled).
+    pub fn submit_batch(&mut self, tick: u64, jobs: Vec<ProofJob<T>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        self.stats.jobs += jobs.len() as u64;
+        let latencies: Vec<u64> = jobs
+            .iter()
+            .map(|j| {
+                if self.config.enabled {
+                    j.cost * self.config.ticks_per_kilocost / 1000
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let keys: Vec<JobKey> = jobs.iter().map(|j| j.key).collect();
+        let outputs = if self.config.enabled && self.threads > 1 && jobs.len() > 1 {
+            Self::run_parallel(self.master_seed, self.threads, jobs)
+        } else {
+            jobs.into_iter()
+                .map(|job| {
+                    let mut rng = job_rng(self.master_seed, &job.key);
+                    (job.run)(&mut rng)
+                })
+                .collect()
+        };
+        for ((output, key), latency) in outputs.into_iter().zip(keys).zip(latencies) {
+            self.queue.push(QueuedOutput {
+                ready_tick: tick + latency,
+                enqueue_tick: tick,
+                seq: self.next_seq,
+                key,
+                output,
+            });
+            self.next_seq += 1;
+        }
+        self.stats.queue_peak = self.stats.queue_peak.max(self.queue.len() as u64);
+    }
+
+    /// Work-stealing parallel execution over a scoped pool: an atomic
+    /// cursor hands out job indexes, each thread returns `(index,
+    /// output)` pairs, and the merge re-establishes enqueue order.
+    fn run_parallel(master_seed: u64, threads: usize, jobs: Vec<ProofJob<T>>) -> Vec<T> {
+        let n = jobs.len();
+        let slots: Vec<std::sync::Mutex<Option<ProofJob<T>>>> = jobs
+            .into_iter()
+            .map(|j| std::sync::Mutex::new(Some(j)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let mut merged: Vec<Option<T>> = Vec::with_capacity(n);
+        merged.resize_with(n, || None);
+        let chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(n))
+                .map(|_| {
+                    let cursor = &cursor;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let job = slots[i]
+                                .lock()
+                                .expect("job slot poisoned")
+                                .take()
+                                .expect("job taken twice");
+                            let mut rng = job_rng(master_seed, &job.key);
+                            local.push((i, (job.run)(&mut rng)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("proving worker panicked"))
+                .collect()
+        });
+        for (i, out) in chunks.into_iter().flatten() {
+            merged[i] = Some(out);
+        }
+        merged
+            .into_iter()
+            .map(|o| o.expect("proving job lost"))
+            .collect()
+    }
+
+    /// Releases every output whose ready tick has arrived, in
+    /// `(ready_tick, seq)` order — the deterministic admission order
+    /// into the mempool.
+    pub fn drain_ready(&mut self, tick: u64) -> Vec<(JobKey, T)> {
+        let mut ready: Vec<QueuedOutput<T>> = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].ready_tick <= tick {
+                ready.push(self.queue.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        ready.sort_by_key(|q| (q.ready_tick, q.seq));
+        self.stats.completed += ready.len() as u64;
+        for q in &ready {
+            self.stats
+                .record_latency(tick.saturating_sub(q.enqueue_tick));
+        }
+        ready.into_iter().map(|q| (q.key, q.output)).collect()
+    }
+
+    /// Jobs computed but not yet released.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Closes the service at the end of a run: whatever is still queued
+    /// is recorded as dropped (its HIT settled ⊥ without it).
+    pub fn finish(&mut self) {
+        self.stats.dropped += self.queue.len() as u64;
+        self.queue.clear();
+    }
+
+    /// Read access to the counters.
+    pub fn stats(&self) -> &ProvingStats {
+        &self.stats
+    }
+
+    /// Mutable access (the engine records stale drops and cache deltas).
+    pub fn stats_mut(&mut self) -> &mut ProvingStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn key(byte: u8, instance: u64, phase: ProofPhase) -> JobKey {
+        JobKey {
+            agent: Address::from_byte(byte),
+            instance,
+            phase,
+        }
+    }
+
+    fn draw_job(k: JobKey, cost: u64) -> ProofJob<u64> {
+        ProofJob {
+            key: k,
+            cost,
+            run: Box::new(|rng: &mut StdRng| rng.gen::<u64>()),
+        }
+    }
+
+    #[test]
+    fn job_rng_is_a_pure_function_of_seed_and_key() {
+        let k = key(7, 3, ProofPhase::Commit);
+        let a: u64 = job_rng(42, &k).gen();
+        let b: u64 = job_rng(42, &k).gen();
+        assert_eq!(a, b);
+        let c: u64 = job_rng(43, &k).gen();
+        assert_ne!(a, c, "different master seed, different stream");
+        let d: u64 = job_rng(42, &key(7, 3, ProofPhase::Evaluate)).gen();
+        assert_ne!(a, d, "different phase, different stream");
+        let e: u64 = job_rng(42, &key(8, 3, ProofPhase::Commit)).gen();
+        assert_ne!(a, e, "different agent, different stream");
+    }
+
+    #[test]
+    fn disabled_service_releases_same_tick_in_enqueue_order() {
+        let mut svc: ProvingService<u64> = ProvingService::new(1, 4, ProvingConfig::default());
+        let jobs: Vec<_> = (0..8u8)
+            .map(|b| draw_job(key(b, 0, ProofPhase::Commit), 10_000))
+            .collect();
+        svc.submit_batch(5, jobs);
+        let out = svc.drain_ready(5);
+        assert_eq!(out.len(), 8, "zero latency when disabled");
+        let order: Vec<u8> = out.iter().map(|(k, _)| k.agent.0[19]).collect();
+        assert_eq!(order, (0..8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn parallel_and_serial_outputs_are_identical() {
+        let cfg = ProvingConfig {
+            enabled: true,
+            ticks_per_kilocost: 0,
+        };
+        let make = || -> Vec<ProofJob<u64>> {
+            (0..32u8)
+                .map(|b| draw_job(key(b, u64::from(b) * 7, ProofPhase::Evaluate), 500))
+                .collect()
+        };
+        let mut serial: ProvingService<u64> = ProvingService::new(9, 1, cfg);
+        serial.submit_batch(0, make());
+        let mut parallel: ProvingService<u64> = ProvingService::new(9, 8, cfg);
+        parallel.submit_batch(0, make());
+        assert_eq!(serial.drain_ready(0), parallel.drain_ready(0));
+    }
+
+    #[test]
+    fn latency_delays_release_and_orders_by_ready_then_seq() {
+        let cfg = ProvingConfig {
+            enabled: true,
+            ticks_per_kilocost: 1,
+        };
+        let mut svc: ProvingService<u64> = ProvingService::new(3, 1, cfg);
+        // Costs 2000 and 0 → latencies 2 and 0 ticks.
+        svc.submit_batch(
+            10,
+            vec![
+                draw_job(key(1, 0, ProofPhase::Commit), 2_000),
+                draw_job(key(2, 0, ProofPhase::Control), 0),
+            ],
+        );
+        let now = svc.drain_ready(10);
+        assert_eq!(now.len(), 1);
+        assert_eq!(now[0].0.agent, Address::from_byte(2));
+        assert!(svc.drain_ready(11).is_empty());
+        let later = svc.drain_ready(12);
+        assert_eq!(later.len(), 1);
+        assert_eq!(later[0].0.agent, Address::from_byte(1));
+        assert_eq!(svc.stats().latency_hist, [1, 0, 1, 0, 0]);
+        assert_eq!(svc.stats().latency_max, 2);
+    }
+
+    #[test]
+    fn finish_counts_unreleased_jobs_as_dropped() {
+        let cfg = ProvingConfig {
+            enabled: true,
+            ticks_per_kilocost: 1,
+        };
+        let mut svc: ProvingService<u64> = ProvingService::new(3, 2, cfg);
+        svc.submit_batch(0, vec![draw_job(key(1, 0, ProofPhase::Commit), 50_000)]);
+        assert!(svc.drain_ready(3).is_empty());
+        svc.finish();
+        assert_eq!(svc.stats().dropped, 1);
+        assert_eq!(svc.pending(), 0);
+    }
+}

@@ -123,37 +123,19 @@ impl Requester {
         cts: &EncryptedAnswer,
         rng: &mut R,
     ) -> Verdict {
-        let range = self.task.range;
-        // Decrypt every item; find the first out-of-range one.
-        let mut plain = Vec::with_capacity(cts.len());
-        for (i, ct) in cts.0.iter().enumerate() {
-            match self.keypair.dk.decrypt(ct, &range) {
-                Decrypted::InRange(m) => plain.push(m),
-                Decrypted::OutOfRange(_) => {
-                    let (claim, proof) = vpke::prove(&self.keypair.dk, ct, &range, rng);
-                    return Verdict::RejectOutOfRange {
-                        msg: HitMessage::OutRange {
-                            worker,
-                            index: i,
-                            claim,
-                            proof,
-                        },
-                    };
-                }
-            }
-        }
-        let answer = Answer(plain);
-        let q = dragoon_core::quality(&answer, &self.golden);
-        if q >= self.task.theta {
-            Verdict::Accept { quality: q, answer }
-        } else {
-            let (chi, proof) =
-                poqoea::prove_quality(&self.keypair.dk, cts, &self.golden, &range, rng);
-            debug_assert_eq!(chi, q);
-            Verdict::RejectLowQuality {
-                quality: chi,
-                msg: HitMessage::Evaluate { worker, chi, proof },
-            }
+        self.evaluator().evaluate(worker, cts, rng)
+    }
+
+    /// A self-contained evaluation capsule: everything `evaluate` reads,
+    /// cloneable into a proof job so evaluation (decrypt + VPKE/PoQoEA
+    /// proving) can run on a proving worker thread while the requester
+    /// agent stays on the sim thread.
+    pub fn evaluator(&self) -> Evaluator {
+        Evaluator {
+            keypair: self.keypair,
+            golden: self.golden.clone(),
+            range: self.task.range,
+            theta: self.task.theta,
         }
     }
 
@@ -171,6 +153,70 @@ impl Requester {
     /// The range of the task's questions.
     pub fn range(&self) -> PlaintextRange {
         self.task.range
+    }
+}
+
+/// The detachable evaluation half of a [`Requester`]: owns the key
+/// pair, gold standards and acceptance parameters — exactly what one
+/// evaluation touches, nothing of the on-chain identity. `Clone` so the
+/// proving service can move one per verdict job across threads.
+#[derive(Clone)]
+pub struct Evaluator {
+    keypair: KeyPair,
+    golden: GoldenStandards,
+    range: PlaintextRange,
+    theta: u64,
+}
+
+impl Evaluator {
+    /// Decrypts a revealed submission and decides accept / reject,
+    /// producing the proof message when rejecting (Fig 5, phase 3).
+    /// Byte-for-byte the evaluation [`Requester::evaluate`] performs.
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        worker: Address,
+        cts: &EncryptedAnswer,
+        rng: &mut R,
+    ) -> Verdict {
+        let range = self.range;
+        // Decrypt every item; find the first out-of-range one.
+        let mut plain = Vec::with_capacity(cts.len());
+        for (i, ct) in cts.0.iter().enumerate() {
+            match self.keypair.dk.decrypt(ct, &range) {
+                Decrypted::InRange(m) => plain.push(m),
+                Decrypted::OutOfRange(_) => {
+                    let (claim, proof) = vpke::prove_with_key(&self.keypair, ct, &range, rng);
+                    return Verdict::RejectOutOfRange {
+                        msg: HitMessage::OutRange {
+                            worker,
+                            index: i,
+                            claim,
+                            proof,
+                        },
+                    };
+                }
+            }
+        }
+        let answer = Answer(plain);
+        let q = dragoon_core::quality(&answer, &self.golden);
+        if q >= self.theta {
+            Verdict::Accept { quality: q, answer }
+        } else {
+            let (chi, proof) =
+                poqoea::prove_quality_with_key(&self.keypair, cts, &self.golden, &range, rng);
+            debug_assert_eq!(chi, q);
+            Verdict::RejectLowQuality {
+                quality: chi,
+                msg: HitMessage::Evaluate { worker, chi, proof },
+            }
+        }
+    }
+
+    /// The number of proving cost units one evaluation of `cts` models:
+    /// every item is decrypted, and (pessimistically) each gold standard
+    /// may need a VPKE proof.
+    pub fn evaluation_cost(&self, cts: &EncryptedAnswer) -> u64 {
+        cts.len() as u64 + 2 * self.golden.answers.len() as u64
     }
 }
 

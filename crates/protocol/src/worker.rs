@@ -1,10 +1,11 @@
 //! The worker client of Π_hit (Fig 5) and adversarial worker behaviours.
 
 use dragoon_contract::HitMessage;
-use dragoon_core::task::Answer;
-use dragoon_core::workload::{draw_answer, AnswerModel, Workload};
+use dragoon_core::task::{Answer, EncryptedAnswer};
+use dragoon_core::workload::{draw_answer, AnswerModel, GroundTruth, Workload};
 use dragoon_crypto::commitment::{Commitment, CommitmentKey};
-use dragoon_crypto::elgamal::EncryptionKey;
+use dragoon_crypto::elgamal::{EncryptionKey, PlaintextRange};
+use dragoon_crypto::precomp::ProofCache;
 use dragoon_ledger::Address;
 use rand::Rng;
 
@@ -25,6 +26,23 @@ pub enum WorkerBehavior {
     /// Reveals ciphertexts that do not open the commitment (malformed
     /// reveal; rejected on-chain, so equivalent to `⊥`).
     BadReveal,
+}
+
+/// Everything a commit proof-job computes: the drawn answer, its
+/// ciphertexts, the blinding key and the resulting commitment. Produced
+/// off the hot path by [`Worker::prepare_commit`] (pure — safe to run on
+/// a proving worker thread) and installed into the session by
+/// [`Worker::install_commit`] when the job's latency elapses.
+#[derive(Clone, Debug)]
+pub struct CommitArtifacts {
+    /// The plaintext answer (None for copy-paste replays).
+    pub answer: Option<Answer>,
+    /// The encrypted answer (None for copy-paste replays).
+    pub ciphertexts: Option<EncryptedAnswer>,
+    /// The commitment blinding key (None for copy-paste replays).
+    pub key: Option<CommitmentKey>,
+    /// The commitment to submit.
+    pub commitment: Commitment,
 }
 
 /// The worker client: holds the answer, blinding key and ciphertexts
@@ -64,56 +82,111 @@ impl Worker {
         observed: &[Commitment],
         rng: &mut R,
     ) -> Option<HitMessage> {
-        match &self.behavior {
+        let copied = match &self.behavior {
+            WorkerBehavior::CopyPaste => Some(*observed.first()?),
+            _ => None,
+        };
+        let artifacts = Self::prepare_commit(
+            &self.behavior,
+            &workload.truth,
+            workload.spec.range,
+            ek,
+            copied,
+            None,
+            rng,
+        )?;
+        Some(self.install_commit(artifacts))
+    }
+
+    /// The compute half of the commit: draws the answer, encrypts it and
+    /// commits — everything the proving service runs off the hot path.
+    /// Pure in the session state (`&self`-free), so it can execute on a
+    /// worker thread while the agent object stays on the sim thread.
+    ///
+    /// `copied` is the commitment a copy-paste attacker decided to
+    /// replay at enqueue time (None aborts the copy). `cache` enables
+    /// the keyed fixed-base table for the requester's encryption key.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare_commit<R: Rng + ?Sized>(
+        behavior: &WorkerBehavior,
+        truth: &GroundTruth,
+        range: PlaintextRange,
+        ek: &EncryptionKey,
+        copied: Option<Commitment>,
+        cache: Option<&ProofCache>,
+        rng: &mut R,
+    ) -> Option<CommitArtifacts> {
+        match behavior {
             WorkerBehavior::CopyPaste => {
                 // Replay an observed commitment verbatim.
-                let copied = *observed.first()?;
-                self.commitment = Some(copied);
-                Some(HitMessage::Commit { commitment: copied })
+                let commitment = copied?;
+                Some(CommitArtifacts {
+                    answer: None,
+                    ciphertexts: None,
+                    key: None,
+                    commitment,
+                })
             }
             WorkerBehavior::Honest(_)
             | WorkerBehavior::Fixed(_)
             | WorkerBehavior::CommitNoReveal
             | WorkerBehavior::BadReveal => {
-                let answer = match &self.behavior {
-                    WorkerBehavior::Honest(m) => {
-                        draw_answer(m, &workload.truth, &workload.spec.range, rng)
-                    }
+                let answer = match behavior {
+                    WorkerBehavior::Honest(m) => draw_answer(m, truth, &range, rng),
                     WorkerBehavior::Fixed(a) => a.clone(),
                     // Non-revealers still commit to something plausible.
-                    _ => draw_answer(
-                        &AnswerModel::RandomBot,
-                        &workload.truth,
-                        &workload.spec.range,
-                        rng,
-                    ),
+                    _ => draw_answer(&AnswerModel::RandomBot, truth, &range, rng),
                 };
-                let cts = answer.encrypt(ek, rng);
+                let cts = answer.encrypt_cached(ek, rng, cache);
                 let key = CommitmentKey::random(rng);
-                let comm = Commitment::commit(&cts.encode(), &key);
-                self.answer = Some(answer);
-                self.ciphertexts = Some(cts);
-                self.key = Some(key);
-                self.commitment = Some(comm);
-                Some(HitMessage::Commit { commitment: comm })
+                let commitment = Commitment::commit(&cts.encode(), &key);
+                Some(CommitArtifacts {
+                    answer: Some(answer),
+                    ciphertexts: Some(cts),
+                    key: Some(key),
+                    commitment,
+                })
             }
         }
     }
 
+    /// The install half of the commit: stores the artifacts in the
+    /// session and returns the message to submit.
+    pub fn install_commit(&mut self, artifacts: CommitArtifacts) -> HitMessage {
+        let commitment = artifacts.commitment;
+        self.answer = artifacts.answer;
+        self.ciphertexts = artifacts.ciphertexts;
+        self.key = artifacts.key;
+        self.commitment = Some(commitment);
+        HitMessage::Commit { commitment }
+    }
+
     /// Phase 2-b: produce the reveal message (if this behaviour reveals).
     pub fn reveal_msg<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<HitMessage> {
-        match &self.behavior {
+        Self::reveal_msg_with(&self.behavior, self.ciphertexts.as_ref(), self.key, rng)
+    }
+
+    /// The static form of [`Self::reveal_msg`]: everything the reveal
+    /// reads, passed by value/reference so a proof job can capture clones
+    /// and run off-thread.
+    pub fn reveal_msg_with<R: Rng + ?Sized>(
+        behavior: &WorkerBehavior,
+        ciphertexts: Option<&EncryptedAnswer>,
+        key: Option<CommitmentKey>,
+        rng: &mut R,
+    ) -> Option<HitMessage> {
+        match behavior {
             WorkerBehavior::CommitNoReveal | WorkerBehavior::CopyPaste => None,
             WorkerBehavior::BadReveal => {
                 // Open with a wrong key.
                 Some(HitMessage::Reveal {
-                    ciphertexts: self.ciphertexts.clone()?,
+                    ciphertexts: ciphertexts.cloned()?,
                     key: CommitmentKey::random(rng),
                 })
             }
             WorkerBehavior::Honest(_) | WorkerBehavior::Fixed(_) => Some(HitMessage::Reveal {
-                ciphertexts: self.ciphertexts.clone()?,
-                key: self.key?,
+                ciphertexts: ciphertexts.cloned()?,
+                key: key?,
             }),
         }
     }
@@ -126,6 +199,16 @@ impl Worker {
     /// The commitment this worker submitted.
     pub fn commitment(&self) -> Option<&Commitment> {
         self.commitment.as_ref()
+    }
+
+    /// The stored ciphertexts (what a reveal job needs to capture).
+    pub fn ciphertexts(&self) -> Option<&EncryptedAnswer> {
+        self.ciphertexts.as_ref()
+    }
+
+    /// The stored blinding key (what a reveal job needs to capture).
+    pub fn commit_key(&self) -> Option<CommitmentKey> {
+        self.key
     }
 }
 

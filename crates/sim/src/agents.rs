@@ -21,8 +21,13 @@ pub struct RequesterAgent {
     pub published_block: Option<u64>,
     /// Phase-3 sequencing state (mirrors the single-task driver).
     pub golden_sent: bool,
-    /// Whether rejection transactions have been submitted.
+    /// Whether the evaluation proof job has been *enqueued* (rejections
+    /// decided; they enter the mempool when the job's latency elapses).
     pub verdicts_sent: bool,
+    /// Whether the evaluation job's output has been released back into
+    /// the sim — the gate `Finalize` waits on, so a slow evaluation
+    /// proof delays finalization instead of racing it.
+    pub verdicts_landed: bool,
     /// Workers this agent has challenged.
     pub reject_targets: Vec<Address>,
     /// Whether `Finalize` has been submitted.
@@ -53,6 +58,7 @@ impl RequesterAgent {
             published_block: None,
             golden_sent: false,
             verdicts_sent: false,
+            verdicts_landed: false,
             reject_targets: Vec::new(),
             finalize_sent: false,
             cancel_sent: false,

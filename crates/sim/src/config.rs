@@ -5,7 +5,7 @@ use dragoon_contract::{PhaseWindows, SettlementMode};
 use dragoon_core::workload::AnswerModel;
 use dragoon_econ::EconConfig;
 use dragoon_net::NetConfig;
-use dragoon_protocol::WorkerBehavior;
+use dragoon_protocol::{ProvingConfig, WorkerBehavior};
 
 /// Which mempool scheduler the market runs under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +93,15 @@ pub struct MarketConfig {
     /// longest-chain fork choice. `None` (default) = single-node, all
     /// existing scenarios byte-identical.
     pub net: Option<NetConfig>,
+    /// The asynchronous proving pipeline (`dragoon_protocol::proving`):
+    /// disabled (default) runs every proof job inline at zero latency;
+    /// enabled computes jobs on a scoped worker pool and releases each
+    /// output `cost · ticks_per_kilocost / 1000` simulated ticks after
+    /// it was requested. Committed chain state is bit-identical across
+    /// `DRAGOON_THREADS` either way (per-job RNG streams); enabling the
+    /// service with zero latency reproduces the disabled run exactly
+    /// (`tests/proving_equivalence.rs`).
+    pub proving: ProvingConfig,
 }
 
 impl Default for MarketConfig {
@@ -134,6 +143,7 @@ impl Default for MarketConfig {
             exec_threads: 0,
             econ: EconConfig::default(),
             net: None,
+            proving: ProvingConfig::default(),
         }
     }
 }

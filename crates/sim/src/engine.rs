@@ -35,13 +35,18 @@ use dragoon_core::task::EncryptedAnswer;
 use dragoon_core::workload::generate_workload;
 use dragoon_crypto::commitment::Commitment;
 use dragoon_crypto::elgamal::PlaintextRange;
+use dragoon_crypto::precomp::{CacheStats, ProofCache};
 use dragoon_econ::{EconEngine, JoinDecision};
 use dragoon_ledger::Address;
 use dragoon_net::NetSim;
-use dragoon_protocol::{ContentStore, Requester, Verdict, Worker, WorkerBehavior};
+use dragoon_protocol::{
+    CommitArtifacts, ContentStore, JobKey, ProofJob, ProofPhase, ProvingService, Requester,
+    Verdict, Worker, WorkerBehavior,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A read-only snapshot of one live instance, taken between blocks so
 /// agent reactions don't fight the chain borrow.
@@ -59,11 +64,36 @@ struct HitSnapshot {
     settled_workers: BTreeSet<Address>,
 }
 
+/// What one proof job hands back to the engine when its modeled latency
+/// elapses. Every agent-step submission — including zero-cost control
+/// messages — flows through one of these, so the mempool admission
+/// order is a function of `(ready_tick, enqueue_seq)` alone and is
+/// identical whether the proving service is enabled or not.
+enum JobOutput {
+    /// A commit proof finished: install the artifacts into the worker's
+    /// session and submit the commit message.
+    Commit {
+        wi: usize,
+        artifacts: CommitArtifacts,
+    },
+    /// A reveal opening finished (`None` for non-revealing behaviours).
+    Reveal { wi: usize, msg: Option<HitMessage> },
+    /// An evaluation finished: the requester's verdict per revealed
+    /// worker, decided and proven off the hot path.
+    Verdicts {
+        agent: usize,
+        verdicts: Vec<(Address, Verdict)>,
+        cartel: bool,
+    },
+    /// A zero-cost control message (cancel, golden, reject flush,
+    /// finalize) routed through the queue purely for ordering.
+    Direct { sender: Address, msg: HitMessage },
+}
+
 /// The marketplace engine. Build with [`MarketSim::new`], run with
 /// [`MarketSim::run`].
 pub struct MarketSim {
     config: MarketConfig,
-    rng: StdRng,
     chain: Chain<HitRegistry>,
     requesters: Vec<RequesterAgent>,
     workers: Vec<WorkerAgent>,
@@ -93,6 +123,22 @@ pub struct MarketSim {
     /// Next churn-arrival sequence number (continues the initial pool's
     /// address derivation).
     next_worker_index: u64,
+    /// The proving pipeline: every agent-step submission flows through
+    /// it as a keyed job (inline at zero latency when disabled).
+    proving: ProvingService<JobOutput>,
+    /// The keyed proof cache (fixed-base tables per encryption key),
+    /// shared with the proving workers and — via
+    /// [`MarketSim::new_with_cache`] — across runs.
+    cache: Arc<ProofCache>,
+    /// Cache counters at construction, so a shared cache reports per-run
+    /// deltas instead of lifetime totals.
+    cache_base: CacheStats,
+    /// Commitments that became visible this round, appended to
+    /// `observed` only after the round's jobs are built: an observing
+    /// copy-paste attacker replays *prior rounds'* commitments, which
+    /// keeps the observation set identical whether this round's commit
+    /// proofs are computed inline or released later by the async pool.
+    observed_buffer: Vec<(HitId, Commitment)>,
 }
 
 /// Deterministic weighted behaviour assignment by pool position — the
@@ -114,8 +160,17 @@ fn behavior_for(mix: &BehaviorMix, index: u64) -> WorkerBehavior {
 }
 
 impl MarketSim {
-    /// Sets up the chain, registry and agent pools from a config.
+    /// Sets up the chain, registry and agent pools from a config, with a
+    /// fresh (cold) proof cache.
     pub fn new(config: MarketConfig) -> Self {
+        Self::new_with_cache(config, Arc::new(ProofCache::new()))
+    }
+
+    /// Like [`MarketSim::new`], but sharing an existing proof cache — a
+    /// second run over the same requester keys starts prewarmed (the
+    /// cold-vs-prewarmed bench differential). Cache stats reported for
+    /// the run are deltas from the handed-in cache's counters.
+    pub fn new_with_cache(config: MarketConfig, cache: Arc<ProofCache>) -> Self {
         assert!(config.hits > 0, "a market needs at least one HIT");
         assert!(config.workers > 0, "a market needs workers");
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -218,9 +273,10 @@ impl MarketSim {
             // the run loop can hand it to the gossip layer.
             chain.set_record_block_txs(true);
         }
+        let proving = ProvingService::new(config.seed, threads, config.proving);
+        let cache_base = cache.stats();
         Self {
             config,
-            rng,
             chain,
             requesters,
             workers,
@@ -240,6 +296,10 @@ impl MarketSim {
             econ,
             net,
             next_worker_index,
+            proving,
+            cache,
+            cache_base,
+            observed_buffer: Vec::new(),
         }
     }
 
@@ -314,6 +374,10 @@ impl MarketSim {
         if let Some(net) = &mut self.net {
             net.drain();
         }
+        // Whatever the proving queue still holds was overtaken by the
+        // deadline backstops (its HIT settled ⊥ without the proof) —
+        // count it dropped.
+        self.proving.finish();
         let report = self.build_report();
         (report, self.chain, self.net)
     }
@@ -400,8 +464,19 @@ impl MarketSim {
     }
 
     /// Lets workers and requesters react to every live instance.
+    ///
+    /// Order matters for determinism: (1) proof jobs from earlier
+    /// rounds whose latency has elapsed release first, (2) the drives
+    /// enqueue this round's jobs, (3) the batch computes, (4) zero-
+    /// latency outputs release, (5) this round's commitments join the
+    /// observation set, (6) everything released this round enters the
+    /// mempool in release order. With the service disabled every job is
+    /// zero-latency, so steps 1 and 4 collapse into the classic
+    /// synchronous round — byte-identical reports.
     fn agent_step(&mut self) {
         let round = self.chain.round();
+        let mut submissions: Vec<(Address, RegistryMessage)> = Vec::new();
+        self.process_ready(round, &mut submissions);
         let snapshots = self.snapshots();
         // Reputation-ordered worker selection: one ranking per block
         // (scores only move at harvest), shared by every commit-phase
@@ -419,20 +494,120 @@ impl MarketSim {
                 e.rank(&mut candidates, round);
                 candidates.into_iter().map(|(i, _)| i).collect()
             });
-        let mut submissions: Vec<(Address, RegistryMessage)> = Vec::new();
+        let mut jobs: Vec<ProofJob<JobOutput>> = Vec::new();
         for snap in &snapshots {
             match snap.phase {
-                Phase::Commit => {
-                    self.drive_commit(snap, round, ranked.as_deref(), &mut submissions)
-                }
-                Phase::Reveal => self.drive_reveal(snap, &mut submissions),
-                Phase::Evaluate => self.drive_evaluate(snap, round, &mut submissions),
+                Phase::Commit => self.drive_commit(snap, round, ranked.as_deref(), &mut jobs),
+                Phase::Reveal => self.drive_reveal(snap, &mut jobs),
+                Phase::Evaluate => self.drive_evaluate(snap, round, &mut jobs),
                 Phase::Setup | Phase::Closed => {}
             }
+        }
+        self.proving.submit_batch(round, jobs);
+        self.process_ready(round, &mut submissions);
+        // This round's commitments become observable next round.
+        for (id, commitment) in std::mem::take(&mut self.observed_buffer) {
+            self.observed.entry(id).or_default().push(commitment);
         }
         for (sender, msg) in submissions {
             self.submit_tx(sender, msg);
         }
+    }
+
+    /// Releases every proof job whose modeled latency has elapsed and
+    /// turns its output into agent bookkeeping plus mempool submissions.
+    /// Outputs whose session or HIT was overtaken by a deadline backstop
+    /// are discarded as stale.
+    fn process_ready(&mut self, round: u64, submissions: &mut Vec<(Address, RegistryMessage)>) {
+        for (key, output) in self.proving.drain_ready(round) {
+            let id: HitId = key.instance;
+            match output {
+                JobOutput::Commit { wi, artifacts } => {
+                    let w = &mut self.workers[wi];
+                    let Some(session) = w.sessions.get_mut(&id) else {
+                        // Commit window closed / HIT settled before the
+                        // proof landed; the slot was already reclaimed.
+                        self.proving.stats_mut().stale += 1;
+                        continue;
+                    };
+                    let msg = session.install_commit(artifacts);
+                    if let HitMessage::Commit { commitment } = &msg {
+                        self.observed_buffer.push((id, *commitment));
+                    }
+                    submissions.push((w.addr, RegistryMessage::Hit { id, msg }));
+                }
+                JobOutput::Reveal { wi, msg } => {
+                    if self.settled_hits.contains(&id) {
+                        self.proving.stats_mut().stale += 1;
+                        continue;
+                    }
+                    if let Some(msg) = msg {
+                        submissions.push((self.workers[wi].addr, RegistryMessage::Hit { id, msg }));
+                    }
+                }
+                JobOutput::Verdicts {
+                    agent,
+                    verdicts,
+                    cartel,
+                } => {
+                    if self.settled_hits.contains(&id) {
+                        self.proving.stats_mut().stale += 1;
+                        continue;
+                    }
+                    let a = &mut self.requesters[agent];
+                    for (worker, verdict) in verdicts {
+                        match verdict {
+                            Verdict::Accept { .. } => a.collected += 1,
+                            Verdict::RejectOutOfRange { msg }
+                            | Verdict::RejectLowQuality { msg, .. } => {
+                                a.reject_targets.push(worker);
+                                if cartel {
+                                    a.pending_rejects.push(msg);
+                                } else {
+                                    submissions.push((a.addr, RegistryMessage::Hit { id, msg }));
+                                }
+                            }
+                        }
+                    }
+                    if cartel {
+                        // The withhold decision lands with the verdicts:
+                        // only now is the rejectable count known.
+                        let rejectable = a.pending_rejects.len();
+                        if let Some(e) = &mut self.econ {
+                            if e.withholds_golden(&a.addr, rejectable) {
+                                a.golden_withheld = true;
+                                a.golden_sent = true;
+                                a.verdicts_sent = true;
+                            }
+                        }
+                    }
+                    a.verdicts_landed = true;
+                }
+                JobOutput::Direct { sender, msg } => {
+                    submissions.push((sender, RegistryMessage::Hit { id, msg }));
+                }
+            }
+        }
+    }
+
+    /// A zero-cost control job: carries an already-built message through
+    /// the queue so its mempool position is decided by the same
+    /// `(ready_tick, seq)` order as every proof.
+    fn control_job(
+        sender: Address,
+        id: HitId,
+        msg: HitMessage,
+        jobs: &mut Vec<ProofJob<JobOutput>>,
+    ) {
+        jobs.push(ProofJob {
+            key: JobKey {
+                agent: sender,
+                instance: id,
+                phase: ProofPhase::Control,
+            },
+            cost: 0,
+            run: Box::new(move |_rng: &mut StdRng| JobOutput::Direct { sender, msg }),
+        });
     }
 
     /// Commit phase: eligible workers race for slots; the requester
@@ -445,19 +620,13 @@ impl MarketSim {
         snap: &HitSnapshot,
         round: u64,
         ranked: Option<&[usize]>,
-        submissions: &mut Vec<(Address, RegistryMessage)>,
+        jobs: &mut Vec<ProofJob<JobOutput>>,
     ) {
         let agent = &mut self.requesters[snap.agent];
         if let Some(deadline) = snap.commit_deadline {
             if round >= deadline && snap.committed.len() < snap.k && !agent.cancel_sent {
                 agent.cancel_sent = true;
-                submissions.push((
-                    agent.addr,
-                    RegistryMessage::Hit {
-                        id: snap.id,
-                        msg: HitMessage::Cancel,
-                    },
-                ));
+                Self::control_job(agent.addr, snap.id, HitMessage::Cancel, jobs);
                 return;
             }
         }
@@ -468,7 +637,7 @@ impl MarketSim {
         }
         let ek = agent.client.public_key();
         // Disjoint field borrows: the workload stays borrowed from
-        // `requesters` while `workers`, `rng` etc. are mutated below.
+        // `requesters` while `workers` etc. are mutated below.
         let workload = &self.requesters[snap.agent].workload;
         let observed = self.observed.entry(snap.id).or_default();
         let reward = if snap.k > 0 {
@@ -509,26 +678,56 @@ impl MarketSim {
             }
             let w = &mut self.workers[wi];
             let behavior = policy_behavior.unwrap_or_else(|| w.behavior.clone());
-            let mut session = Worker::new(w.addr, behavior);
-            let Some(msg) = session.commit_msg(workload, &ek, observed, &mut self.rng) else {
-                continue; // e.g. a copier with nothing to copy yet
+            // The copy decision happens at enqueue time, against
+            // commitments observed in *prior* rounds.
+            let copied = match &behavior {
+                WorkerBehavior::CopyPaste => match observed.first() {
+                    Some(c) => Some(*c),
+                    None => continue, // a copier with nothing to copy yet
+                },
+                _ => None,
             };
-            if let HitMessage::Commit { commitment } = &msg {
-                observed.push(*commitment);
-            }
+            // The slot is claimed now — the session exists and counts
+            // against capacity — while the answer draw / encryption /
+            // commitment run as a proof job.
             joined.push(wi);
-            w.sessions.insert(snap.id, session);
+            w.sessions
+                .insert(snap.id, Worker::new(w.addr, behavior.clone()));
             w.live_sessions += 1;
-            submissions.push((w.addr, RegistryMessage::Hit { id: snap.id, msg }));
+            let truth = workload.truth.clone();
+            let range = workload.spec.range;
+            let cache = Arc::clone(&self.cache);
+            // Modeled cost: two group ops per encrypted item plus the
+            // commitment itself.
+            let cost = 2 * truth.0.len() as u64 + 2;
+            jobs.push(ProofJob {
+                key: JobKey {
+                    agent: w.addr,
+                    instance: snap.id,
+                    phase: ProofPhase::Commit,
+                },
+                cost,
+                run: Box::new(move |rng: &mut StdRng| JobOutput::Commit {
+                    wi,
+                    artifacts: Worker::prepare_commit(
+                        &behavior,
+                        &truth,
+                        range,
+                        &ek,
+                        copied,
+                        Some(&cache),
+                        rng,
+                    )
+                    .expect("commit inputs decided at enqueue"),
+                }),
+            });
         }
     }
 
-    /// Reveal phase: accepted sessions open their commitments.
-    fn drive_reveal(
-        &mut self,
-        snap: &HitSnapshot,
-        submissions: &mut Vec<(Address, RegistryMessage)>,
-    ) {
+    /// Reveal phase: accepted sessions open their commitments. Opening
+    /// a commitment is free (no proving), so reveal jobs carry cost 0
+    /// and always release in the round they were enqueued.
+    fn drive_reveal(&mut self, snap: &HitSnapshot, jobs: &mut Vec<ProofJob<JobOutput>>) {
         for wi in self.joined.get(&snap.id).cloned().unwrap_or_default() {
             let w = &mut self.workers[wi];
             // A departed worker never reveals: its commitment settles as
@@ -543,9 +742,21 @@ impl MarketSim {
                 continue;
             };
             w.revealed.push(snap.id);
-            if let Some(msg) = session.reveal_msg(&mut self.rng) {
-                submissions.push((w.addr, RegistryMessage::Hit { id: snap.id, msg }));
-            }
+            let behavior = session.behavior.clone();
+            let cts = session.ciphertexts().cloned();
+            let key = session.commit_key();
+            jobs.push(ProofJob {
+                key: JobKey {
+                    agent: w.addr,
+                    instance: snap.id,
+                    phase: ProofPhase::Reveal,
+                },
+                cost: 0,
+                run: Box::new(move |rng: &mut StdRng| JobOutput::Reveal {
+                    wi,
+                    msg: Worker::reveal_msg_with(&behavior, cts.as_ref(), key, rng),
+                }),
+            });
         }
     }
 
@@ -557,39 +768,26 @@ impl MarketSim {
         &mut self,
         snap: &HitSnapshot,
         round: u64,
-        submissions: &mut Vec<(Address, RegistryMessage)>,
+        jobs: &mut Vec<ProofJob<JobOutput>>,
     ) {
         let is_cartel = self
             .econ
             .as_ref()
             .is_some_and(|e| e.is_cartel(&self.requesters[snap.agent].addr));
         if is_cartel {
-            self.drive_evaluate_cartel(snap, round, submissions);
+            self.drive_evaluate_cartel(snap, round, jobs);
             return;
         }
         let agent = &mut self.requesters[snap.agent];
         if !agent.golden_sent {
             agent.golden_sent = true;
-            submissions.push((
-                agent.addr,
-                RegistryMessage::Hit {
-                    id: snap.id,
-                    msg: agent.client.golden_msg(),
-                },
-            ));
+            Self::control_job(agent.addr, snap.id, agent.client.golden_msg(), jobs);
         } else if !agent.verdicts_sent && snap.golden_open {
             agent.verdicts_sent = true;
-            for (worker, cts) in &snap.revealed {
-                match agent.client.evaluate(*worker, cts, &mut self.rng) {
-                    Verdict::Accept { .. } => agent.collected += 1,
-                    Verdict::RejectOutOfRange { msg } | Verdict::RejectLowQuality { msg, .. } => {
-                        agent.reject_targets.push(*worker);
-                        submissions.push((agent.addr, RegistryMessage::Hit { id: snap.id, msg }));
-                    }
-                }
-            }
+            Self::evaluate_job(snap, agent.addr, agent.client.evaluator(), false, jobs);
         } else if !agent.finalize_sent
             && agent.verdicts_sent
+            && agent.verdicts_landed
             && agent
                 .reject_targets
                 .iter()
@@ -597,14 +795,47 @@ impl MarketSim {
             && snap.evaluate_deadline.is_some_and(|d| round >= d)
         {
             agent.finalize_sent = true;
-            submissions.push((
-                agent.addr,
-                RegistryMessage::Hit {
-                    id: snap.id,
-                    msg: HitMessage::Finalize,
-                },
-            ));
+            Self::control_job(agent.addr, snap.id, HitMessage::Finalize, jobs);
         }
+    }
+
+    /// Enqueues the per-HIT evaluation job: decrypting every revealed
+    /// submission and proving each rejection. Cost scales with what is
+    /// actually evaluated, so a slow (high-latency) evaluation delays
+    /// the rejections — and through the `verdicts_landed` gate the
+    /// finalize — into later blocks.
+    fn evaluate_job(
+        snap: &HitSnapshot,
+        addr: Address,
+        evaluator: dragoon_protocol::Evaluator,
+        cartel: bool,
+        jobs: &mut Vec<ProofJob<JobOutput>>,
+    ) {
+        let revealed = snap.revealed.clone();
+        let cost = revealed
+            .iter()
+            .map(|(_, cts)| evaluator.evaluation_cost(cts))
+            .sum();
+        let agent = snap.agent;
+        jobs.push(ProofJob {
+            key: JobKey {
+                agent: addr,
+                instance: snap.id,
+                phase: ProofPhase::Evaluate,
+            },
+            cost,
+            run: Box::new(move |rng: &mut StdRng| {
+                let verdicts = revealed
+                    .iter()
+                    .map(|(w, cts)| (*w, evaluator.evaluate(*w, cts, rng)))
+                    .collect();
+                JobOutput::Verdicts {
+                    agent,
+                    verdicts,
+                    cartel,
+                }
+            }),
+        });
     }
 
     /// The golden-withholding cartel's evaluate phase: every verdict is
@@ -619,57 +850,35 @@ impl MarketSim {
         &mut self,
         snap: &HitSnapshot,
         round: u64,
-        submissions: &mut Vec<(Address, RegistryMessage)>,
+        jobs: &mut Vec<ProofJob<JobOutput>>,
     ) {
         let agent = &mut self.requesters[snap.agent];
         if !agent.verdicts_ready {
             agent.verdicts_ready = true;
-            for (worker, cts) in &snap.revealed {
-                match agent.client.evaluate(*worker, cts, &mut self.rng) {
-                    Verdict::Accept { .. } => agent.collected += 1,
-                    Verdict::RejectOutOfRange { msg } | Verdict::RejectLowQuality { msg, .. } => {
-                        agent.reject_targets.push(*worker);
-                        agent.pending_rejects.push(msg);
-                    }
-                }
-            }
-            let rejectable = agent.pending_rejects.len();
-            if let Some(e) = &mut self.econ {
-                if e.withholds_golden(&agent.addr, rejectable) {
-                    agent.golden_withheld = true;
-                    agent.golden_sent = true;
-                    agent.verdicts_sent = true;
-                }
-            }
+            // The off-chain evaluation runs as a proof job; the withhold
+            // decision is made when its verdicts land (`process_ready`).
+            Self::evaluate_job(snap, agent.addr, agent.client.evaluator(), true, jobs);
+        }
+        if !agent.verdicts_landed {
+            // Verdicts still proving — nothing further to sequence yet.
+            return;
         }
         if agent.golden_withheld {
             // Nothing rejectable: settle through the deadline backstop
             // (the explicit finalize just lands it a round earlier).
             if !agent.finalize_sent && snap.evaluate_deadline.is_some_and(|d| round >= d) {
                 agent.finalize_sent = true;
-                submissions.push((
-                    agent.addr,
-                    RegistryMessage::Hit {
-                        id: snap.id,
-                        msg: HitMessage::Finalize,
-                    },
-                ));
+                Self::control_job(agent.addr, snap.id, HitMessage::Finalize, jobs);
             }
             return;
         }
         if !agent.golden_sent {
             agent.golden_sent = true;
-            submissions.push((
-                agent.addr,
-                RegistryMessage::Hit {
-                    id: snap.id,
-                    msg: agent.client.golden_msg(),
-                },
-            ));
+            Self::control_job(agent.addr, snap.id, agent.client.golden_msg(), jobs);
         } else if !agent.verdicts_sent && snap.golden_open {
             agent.verdicts_sent = true;
             for msg in std::mem::take(&mut agent.pending_rejects) {
-                submissions.push((agent.addr, RegistryMessage::Hit { id: snap.id, msg }));
+                Self::control_job(agent.addr, snap.id, msg, jobs);
             }
         } else if !agent.finalize_sent
             && agent.verdicts_sent
@@ -680,13 +889,7 @@ impl MarketSim {
             && snap.evaluate_deadline.is_some_and(|d| round >= d)
         {
             agent.finalize_sent = true;
-            submissions.push((
-                agent.addr,
-                RegistryMessage::Hit {
-                    id: snap.id,
-                    msg: HitMessage::Finalize,
-                },
-            ));
+            Self::control_job(agent.addr, snap.id, HitMessage::Finalize, jobs);
         }
     }
 
@@ -872,6 +1075,12 @@ impl MarketSim {
         };
         let hits_cancelled = self.cancelled_hits.len();
         let hits_settled = self.settled_hits.len() - hits_cancelled;
+        // Cache counters as deltas from construction time, so a run on
+        // a shared (prewarmed) cache reports its own hits and misses.
+        let mut proving = *self.proving.stats();
+        let cache_now = self.cache.stats();
+        proving.cache_hits = cache_now.hits - self.cache_base.hits;
+        proving.cache_misses = cache_now.misses - self.cache_base.misses;
         MarketReport {
             seed: self.config.seed,
             settlement: self.config.settlement,
@@ -905,6 +1114,7 @@ impl MarketSim {
             parallel: self.chain.parallel_stats(),
             econ: self.econ.as_ref().map(|e| e.report(self.chain.round())),
             net: self.net.as_ref().map(NetSim::report),
+            proving,
             outcomes,
             block_stats: self.block_stats.clone(),
         }

@@ -28,6 +28,7 @@ pub mod metrics;
 pub mod seed;
 
 pub use config::{BehaviorMix, MarketConfig, MarketPolicy};
+pub use dragoon_protocol::{ProvingConfig, ProvingStats};
 pub use engine::{run_market, MarketSim};
 pub use metrics::{BlockStat, HitOutcome, MarketReport};
 pub use seed::{seed_from_args_or, seed_from_env_or};

@@ -6,6 +6,7 @@ use dragoon_chain::{Gas, ParallelStats};
 use dragoon_contract::{BatchStats, HitId, SettlementMode};
 use dragoon_econ::EconReport;
 use dragoon_net::NetReport;
+use dragoon_protocol::ProvingStats;
 
 /// One produced block's footprint.
 #[derive(Clone, Copy, Debug)]
@@ -110,6 +111,13 @@ pub struct MarketReport {
     /// emitted via [`MarketReport::net_json`], kept out of
     /// [`MarketReport::to_json`] so pre-net golden outputs stay stable.
     pub net: Option<NetReport>,
+    /// The proving-service counters (job/queue/latency/cache). Every
+    /// serialized field is thread-count independent (the service's
+    /// per-job RNG streams and modeled latency don't see the pool
+    /// width) — emitted via [`MarketReport::proving_json`], kept out of
+    /// [`MarketReport::to_json`] so pre-proving golden outputs stay
+    /// stable.
+    pub proving: ProvingStats,
     /// Per-HIT outcomes, in id order.
     pub outcomes: Vec<HitOutcome>,
     /// Per-block footprints.
@@ -230,6 +238,14 @@ impl MarketReport {
             .map_or_else(|| "null".into(), NetReport::to_json)
     }
 
+    /// The proving-service counters as one JSON object. Thread-count
+    /// independent (the worker-pool width is deliberately excluded) —
+    /// safe to golden-gate in CI and to assert byte-equal across
+    /// `DRAGOON_THREADS` (`tests/proving_equivalence.rs`).
+    pub fn proving_json(&self) -> String {
+        self.proving.to_json()
+    }
+
     /// A human-oriented multi-line summary for examples and logs.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -269,6 +285,21 @@ impl MarketReport {
         }
         if let Some(econ) = &self.econ {
             out.push_str(&econ.summary());
+        }
+        if self.proving.jobs > 0 {
+            out.push_str(&format!(
+                "prove:  {} jobs ({} released, {} stale, {} dropped), \
+                 queue peak {}, latency max {} ticks, \
+                 cache {} hits / {} misses\n",
+                self.proving.jobs,
+                self.proving.completed,
+                self.proving.stale,
+                self.proving.dropped,
+                self.proving.queue_peak,
+                self.proving.latency_max,
+                self.proving.cache_hits,
+                self.proving.cache_misses,
+            ));
         }
         if let Some(net) = &self.net {
             out.push_str(&net.summary());

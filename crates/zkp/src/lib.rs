@@ -21,6 +21,7 @@
 //! assumed.
 
 pub mod circuits;
+pub mod crs;
 pub mod gadgets;
 pub mod groth16;
 pub mod jubjub;
@@ -28,5 +29,6 @@ pub mod ntt;
 pub mod r1cs;
 
 pub use circuits::{poqoea_circuit, vpke_circuit, PoqoeaInstance, VpkeInstance};
+pub use crs::{shape_digest, CrsCache, CrsCacheStats};
 pub use groth16::{prove, setup, verify, Proof, ProvingKey, SnarkError, VerifyingKey};
 pub use r1cs::{ConstraintSystem, LinearCombination, Variable};

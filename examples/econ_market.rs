@@ -55,5 +55,6 @@ fn main() {
     print!("{}", report.summary());
     println!("\nJSON: {}", report.to_json());
     println!("ECON: {}", report.econ_json());
+    println!("PROVING: {}", report.proving_json());
     println!("scheduler JSON: {}", report.scheduler_json());
 }

@@ -83,4 +83,6 @@ fn main() {
     println!("\n== Parallel-executor scheduler stats (40-HIT market, seed {seed:#x}) ==\n");
     let report = run_market(market);
     println!("{}", report.scheduler_json());
+    println!("\n== Proving-service stats (same run) ==\n");
+    println!("{}", report.proving_json());
 }

@@ -27,5 +27,6 @@ fn main() {
     let report = run_market(config);
     print!("{}", report.summary());
     println!("\nJSON: {}", report.to_json());
+    println!("PROVING: {}", report.proving_json());
     println!("scheduler JSON: {}", report.scheduler_json());
 }

@@ -1,0 +1,167 @@
+//! Proving-pipeline equivalence: the differential suite for the async
+//! proving service (`dragoon_protocol::proving`).
+//!
+//! The service's contract mirrors the parallel executor's: routing
+//! agent proving through the keyed job queue and scoped worker pool
+//! must leave committed chain state — and therefore the whole-market
+//! report JSON — **bit-identical** to the inline serial path at zero
+//! latency, and bit-identical to itself for every thread count at any
+//! latency. These tests pin that property across:
+//!
+//! * sync (service disabled) vs async at zero modeled latency,
+//! * nonzero modeled latency at 1, 2 and 8 executor/prover threads
+//!   (report *and* proving counters must match — the counters are
+//!   thread-independent by construction), plus the env-driven default
+//!   thread budget CI sweeps via `DRAGOON_THREADS=1/4/8`,
+//! * straggler handling: with latency pushing proofs past phase
+//!   deadlines, every HIT still settles (⊥ for the missing workers),
+//!   escrow drains exactly into rewards + refunds, and
+//! * stats bookkeeping: `jobs = completed + dropped`, stale releases
+//!   bounded by completions, cache counters populated.
+
+use dragoon_sim::{run_market, MarketConfig, MarketSim, ProvingConfig};
+
+/// The shared scenario: a mid-sized market with the default behaviour
+/// mix (noisy workers, a random bot, a commit-no-reveal ghost), batched
+/// settlement and gas-capped blocks. `exec_threads` stays 0 so the
+/// resolved thread budget follows `DRAGOON_THREADS` — the CI matrix
+/// varies it; in-process tests override it explicitly.
+fn base(seed: u64) -> MarketConfig {
+    MarketConfig {
+        hits: 30,
+        spawn_per_block: 6,
+        workers: 28,
+        worker_capacity: 4,
+        seed,
+        ..MarketConfig::default()
+    }
+}
+
+fn with_proving(config: MarketConfig, ticks_per_kilocost: u64) -> MarketConfig {
+    MarketConfig {
+        proving: ProvingConfig {
+            enabled: true,
+            ticks_per_kilocost,
+        },
+        ..config
+    }
+}
+
+/// Async proving at zero modeled latency is the sync pipeline: same
+/// jobs, same keyed RNG streams, same release tick — only the compute
+/// happens on the pool. The market must not be able to tell.
+#[test]
+fn async_at_zero_latency_equals_sync() {
+    let sync = run_market(base(0xa51));
+    let async_run = run_market(with_proving(base(0xa51), 0));
+    assert_eq!(
+        sync.to_json(),
+        async_run.to_json(),
+        "async proving at zero latency must be invisible to the market"
+    );
+    assert!(async_run.proving.jobs > 0, "the pipeline must carry jobs");
+    assert_eq!(
+        async_run.proving.latency_max, 0,
+        "zero ticks_per_kilocost means zero release latency"
+    );
+    // The sync path runs the same unified job queue inline.
+    assert_eq!(sync.proving.jobs, async_run.proving.jobs);
+}
+
+/// The determinism witness at nonzero latency: the report JSON *and*
+/// the proving counters are byte-identical for every thread count.
+/// `ticks_per_kilocost = 300` puts commit proofs (cost `2·N + 2`) at
+/// ~4 ticks and evaluation proofs at 2–3, deep enough to reorder
+/// releases across rounds and trip phase deadlines.
+#[test]
+fn reports_identical_across_thread_counts_at_nonzero_latency() {
+    let run_at = |threads: usize| {
+        run_market(MarketConfig {
+            exec_threads: threads,
+            ..with_proving(base(0xbee), 300)
+        })
+    };
+    let serial = run_at(1);
+    assert!(
+        serial.proving.latency_max > 0,
+        "the scenario must exercise real release latency"
+    );
+    for threads in [2, 8] {
+        let parallel = run_at(threads);
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "market reports must be identical at {threads} prover threads"
+        );
+        assert_eq!(
+            serial.proving_json(),
+            parallel.proving_json(),
+            "proving counters must be thread-independent at {threads} threads"
+        );
+    }
+    // The env-driven budget (CI sweeps DRAGOON_THREADS=1/4/8) resolves
+    // through the same code path and must land on the same bytes.
+    let env_run = run_market(with_proving(base(0xbee), 300));
+    assert_eq!(serial.to_json(), env_run.to_json());
+    assert_eq!(serial.proving_json(), env_run.proving_json());
+}
+
+/// Stragglers: latency heavy enough that some proofs release after
+/// their phase window closed. The deadline backstop settles those
+/// sessions `⊥`, the engine discards the late outputs as stale, and
+/// the ledger still conserves every escrowed coin.
+#[test]
+fn nonzero_latency_settles_bottom_and_conserves_escrow() {
+    let config = with_proving(base(0x1a7e), 900);
+    let budget = config.budget;
+    let (report, chain) = MarketSim::new(config).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0, "the horizon must drain");
+    assert!(report.proving.latency_max >= 4, "proofs must actually lag");
+    // ⊥ settlements happened: slots whose reveal (or commit) never made
+    // it before the deadline.
+    let no_reveals: usize = report.outcomes.iter().map(|o| o.no_reveal).sum();
+    assert!(no_reveals > 0, "latency must strand some reveals as ⊥");
+    // Conservation: every settled instance drained its escrow, and the
+    // frozen budgets split exactly into rewards + refunds.
+    for (id, hit) in chain.contract().hits() {
+        assert!(hit.is_settled(), "hit #{id} left open");
+        let escrow = chain.contract().hit_address(id).unwrap();
+        assert_eq!(
+            chain.ledger.balance(&escrow),
+            0,
+            "hit #{id} stranded coins in escrow"
+        );
+    }
+    assert_eq!(
+        report.rewards_paid + report.refunds,
+        budget * report.hits_published as u128,
+        "budgets must split exactly into rewards + refunds"
+    );
+}
+
+/// Counter bookkeeping holds under latency: every job is either
+/// released or dropped at the end of the run, stale releases are a
+/// subset of completions, the queue peak is visible, and the keyed
+/// proof cache absorbed the commit-path encryptions.
+#[test]
+fn proving_stats_account_for_every_job() {
+    let report = run_market(with_proving(base(0x57a7), 400));
+    let p = &report.proving;
+    assert!(p.jobs > 0);
+    assert_eq!(
+        p.jobs,
+        p.completed + p.dropped,
+        "every job is released or dropped: {p:?}"
+    );
+    assert!(p.stale <= p.completed, "stale releases are completions");
+    assert!(p.queue_peak > 0, "latency must queue outputs across ticks");
+    assert_eq!(
+        p.latency_hist.iter().sum::<u64>(),
+        p.completed,
+        "the latency histogram buckets exactly the released jobs"
+    );
+    assert!(
+        p.cache_hits + p.cache_misses > 0,
+        "commit proving must touch the keyed proof cache"
+    );
+}

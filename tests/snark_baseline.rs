@@ -1,11 +1,13 @@
 //! End-to-end tests of the generic zk-proof baseline: Groth16 over the
 //! VPKE statement, exactly the pipeline Tables I & II measure — run at
-//! reduced key width so the suite stays fast.
+//! reduced key width so the suite stays fast. Trusted setup routes
+//! through the process-wide CRS cache, so the four tests that share the
+//! TEST_BITS circuit shape pay for setup once.
 
 use dragoon_crypto::Fr;
 use dragoon_zkp::circuits::{vpke_circuit_with_bits, VpkeInstance};
 use dragoon_zkp::jubjub::{jub_decrypt_point, JubPoint};
-use dragoon_zkp::{groth16, ConstraintSystem};
+use dragoon_zkp::{crs, groth16, ConstraintSystem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,7 +55,7 @@ fn snark_proves_honest_decryption() {
     let mut rng = StdRng::seed_from_u64(1);
     let (f, _sk) = fixture(&mut rng, 1);
     f.cs.is_satisfied().unwrap();
-    let pk = groth16::setup(&f.cs, &mut rng).unwrap();
+    let pk = crs::shared_cache().get_or_setup(&f.cs, &mut rng).unwrap();
     let proof = groth16::prove(&pk, &f.cs, &mut rng).unwrap();
     assert!(groth16::verify(&pk.vk, &proof, &f.publics).unwrap());
 }
@@ -62,7 +64,7 @@ fn snark_proves_honest_decryption() {
 fn snark_rejects_wrong_statement() {
     let mut rng = StdRng::seed_from_u64(2);
     let (f, _sk) = fixture(&mut rng, 1);
-    let pk = groth16::setup(&f.cs, &mut rng).unwrap();
+    let pk = crs::shared_cache().get_or_setup(&f.cs, &mut rng).unwrap();
     let proof = groth16::prove(&pk, &f.cs, &mut rng).unwrap();
     // Tamper with the claimed message point in the public inputs.
     let mut bad_publics = f.publics.clone();
@@ -82,7 +84,7 @@ fn snark_witness_for_false_claim_unsatisfiable() {
     };
     let cs = vpke_circuit_with_bits(&lying_instance, &sk, TEST_BITS);
     assert!(cs.is_satisfied().is_err(), "no witness for a false claim");
-    let pk = groth16::setup(&cs, &mut rng).unwrap();
+    let pk = crs::shared_cache().get_or_setup(&cs, &mut rng).unwrap();
     assert!(groth16::prove(&pk, &cs, &mut rng).is_err());
 }
 
@@ -91,7 +93,7 @@ fn proof_not_transferable_across_instances() {
     let mut rng = StdRng::seed_from_u64(4);
     let (f1, _) = fixture(&mut rng, 1);
     let (f2, _) = fixture(&mut rng, 0);
-    let pk = groth16::setup(&f1.cs, &mut rng).unwrap();
+    let pk = crs::shared_cache().get_or_setup(&f1.cs, &mut rng).unwrap();
     let proof = groth16::prove(&pk, &f1.cs, &mut rng).unwrap();
     assert!(groth16::verify(&pk.vk, &proof, &f1.publics).unwrap());
     // The same proof against the other instance's publics fails.
