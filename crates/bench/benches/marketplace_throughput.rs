@@ -9,7 +9,7 @@
 //! DRAGOON_SEED=7 cargo bench -p dragoon-bench --bench marketplace_throughput
 //! ```
 
-use dragoon_bench::{fmt_duration, time_once};
+use dragoon_bench::{fmt_duration, peak_rss_kb, time_once};
 use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
 use dragoon_crypto::precomp::ProofCache;
 use dragoon_crypto::vpke;
@@ -148,6 +148,72 @@ fn market_scale_10k(seed: u64) {
         report.blocks,
         wall.as_millis(),
         txs as f64 / wall.as_secs_f64(),
+    );
+}
+
+/// **Million-HIT scale** — the tier the sharded registry and the
+/// persistent block store exist for. Minimal tasks (2 questions, 1
+/// gold, K = 2), uncapped blocks and a wide spawn curve, so the
+/// measurement stresses instance count: one registry holding a million
+/// concurrent-lifecycle HITs, every one settled, under a peak-memory
+/// ceiling. The HIT count scales through `DRAGOON_SCALE_HITS` (CI
+/// smokes it at 20k; unset = the full million) and the ceiling through
+/// `DRAGOON_MEM_CEILING_MB`. Reports blocks/sec, tx/sec and `VmHWM`.
+fn market_scale_1m(seed: u64) {
+    let hits: usize = std::env::var("DRAGOON_SCALE_HITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let ceiling_mb: u64 = std::env::var("DRAGOON_MEM_CEILING_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24_576);
+    println!("\n== {hits}-HIT market scale (sharded registry) ==");
+    let config = MarketConfig {
+        hits,
+        spawn_per_block: (hits / 500).clamp(25, 2_500),
+        workers: (hits / 20).clamp(500, 50_000),
+        worker_capacity: 8,
+        questions: 2,
+        golds: 1,
+        k: 2,
+        theta: 1,
+        overbook: 0,
+        block_gas_limit: None,
+        max_blocks: 20_000,
+        seed,
+        ..MarketConfig::default()
+    };
+    let (wall, report) = time_once(|| run_market(config.clone()));
+    assert_eq!(report.hits_unfinished, 0, "the scale run must drain");
+    assert_eq!(report.hits_published, hits);
+    let txs: usize = report.block_stats.iter().map(|b| b.txs).sum();
+    let blocks_per_sec = report.blocks as f64 / wall.as_secs_f64();
+    let tx_per_sec = txs as f64 / wall.as_secs_f64();
+    let peak_mb = peak_rss_kb() / 1024;
+    println!(
+        "{} of {hits} HITs settled ({} cancelled) in {} blocks, {txs} txs, \
+         {blocks_per_sec:.1} blocks/sec, {tx_per_sec:.0} tx/sec, wall {}",
+        report.hits_settled,
+        report.hits_cancelled,
+        report.blocks,
+        fmt_duration(wall),
+    );
+    println!("peak memory {peak_mb} MB (ceiling {ceiling_mb} MB)");
+    assert!(
+        peak_mb < ceiling_mb,
+        "{hits}-HIT run peaked at {peak_mb} MB, over the {ceiling_mb} MB ceiling"
+    );
+    println!(
+        "JSON: {{\"bench\":\"market_scale_1m\",\"hits\":{hits},\
+         \"hits_settled\":{},\"hits_cancelled\":{},\"blocks\":{},\"txs\":{txs},\
+         \"blocks_per_sec\":{blocks_per_sec:.1},\"tx_per_sec\":{tx_per_sec:.0},\
+         \"peak_rss_mb\":{peak_mb},\"mem_ceiling_mb\":{ceiling_mb},\
+         \"wall_ms\":{}}}",
+        report.hits_settled,
+        report.hits_cancelled,
+        report.blocks,
+        wall.as_millis(),
     );
 }
 
@@ -546,6 +612,18 @@ fn batch_speedup(seed: u64) {
 fn main() {
     let seed = seed_from_env_or(0xd1a6_0002);
     println!("seed: {seed:#x}\n");
+    // CI (and anyone measuring one tier) can run a single bench by
+    // name: `DRAGOON_BENCH_ONLY=market_scale_1m DRAGOON_SCALE_HITS=20000
+    // cargo bench -p dragoon-bench --bench marketplace_throughput`.
+    if let Ok(only) = std::env::var("DRAGOON_BENCH_ONLY") {
+        match only.as_str() {
+            "market_scale_1m" => market_scale_1m(seed),
+            "market_scale_10k" => market_scale_10k(seed),
+            "market_throughput" => market_throughput(seed),
+            other => panic!("unknown DRAGOON_BENCH_ONLY tier: {other}"),
+        }
+        return;
+    }
     market_throughput(seed);
     checkpoint_speedup(seed);
     parallel_exec_speedup(seed);
@@ -554,5 +632,6 @@ fn main() {
     net_overhead(seed);
     cold_vs_prewarmed(seed);
     market_scale_10k(seed);
+    market_scale_1m(seed);
     batch_speedup(seed);
 }

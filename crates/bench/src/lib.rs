@@ -40,3 +40,23 @@ pub fn fmt_duration(d: Duration) -> String {
         format!("{:.1} s", us as f64 / 1_000_000.0)
     }
 }
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable — the
+/// scale-tier benches report and gate on it so a memory regression at
+/// million-HIT scale fails loudly instead of silently swapping.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}

@@ -234,7 +234,7 @@ pub struct Chain<S: StateMachine> {
     pub(crate) mempool: Vec<PendingTx<S::Msg>>,
     pub(crate) blocks: Vec<Block>,
     pub(crate) events: Vec<(u64, S::Event)>,
-    next_seq: u64,
+    pub(crate) next_seq: u64,
     deploy_gas: Gas,
     pub(crate) block_gas_limit: Option<Gas>,
     /// `Some` switches atomicity back to whole-state clone checkpointing
@@ -509,6 +509,28 @@ impl<S: StateMachine> Chain<S> {
     /// Convenience: advance with honest FIFO scheduling.
     pub fn advance_round_fifo(&mut self) -> &Block {
         self.advance_round(&mut crate::mempool::FifoPolicy)
+    }
+
+    /// Replays one persisted block: the recorded *landed* transactions of
+    /// a round, in receipt order. Mirrors `advance_round` minus
+    /// scheduling and the gas cap — both already happened when the block
+    /// was produced, so every recorded transaction executes
+    /// unconditionally and lands in the same order. Used by crash
+    /// recovery ([`crate::store`]) to rebuild committed state from the
+    /// block log; serial replay is bit-identical to the parallel
+    /// production run by the same equivalence the replica layer pins.
+    pub(crate) fn replay_block(&mut self, txs: Vec<PendingTx<S::Msg>>) -> &Block {
+        self.round += 1;
+        self.clock_tick();
+        let mut receipts = Vec::with_capacity(txs.len());
+        for tx in txs {
+            receipts.push(self.execute_tx(tx));
+        }
+        self.blocks.push(Block {
+            round: self.round,
+            receipts,
+        });
+        self.blocks.last().expect("just pushed")
     }
 
     /// Opens a per-transaction checkpoint: journal transactions on the

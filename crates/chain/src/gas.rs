@@ -185,9 +185,15 @@ impl GasMeter {
         Self::default()
     }
 
-    /// Charges `amount` gas under a label.
+    /// Charges `amount` gas under a label. The accumulator is checked:
+    /// on the million-HIT path a silent wrap would corrupt every block
+    /// total downstream, so exhaustion of the `u64` gas space is a loud
+    /// panic, never a wrap.
     pub fn charge(&mut self, label: &'static str, amount: Gas) {
-        self.used += amount;
+        self.used = self
+            .used
+            .checked_add(amount)
+            .expect("transaction gas accumulator overflowed u64");
         self.breakdown.push((label, amount));
     }
 

@@ -32,6 +32,7 @@ pub mod gas;
 pub mod mempool;
 pub mod parallel;
 pub mod replica;
+pub mod store;
 
 pub use chain::{
     Block, BlockObservation, Chain, ChainMessage, ExecEnv, Receipt, StateMachine, TxStatus,
@@ -44,3 +45,4 @@ pub use mempool::{
 };
 pub use parallel::{resolve_threads, AccessSet, IdReserver, ParallelStateMachine, ParallelStats};
 pub use replica::{BlockUndo, CaptureStateMachine};
+pub use store::{BlockStore, Persist, Reader, StoreError};

@@ -205,14 +205,19 @@ impl IdReserver {
         }
     }
 
-    /// Claims the next speculative id.
+    /// Claims the next speculative id. Checked: at million-HIT scale the
+    /// id counter is the one value every instance address derives from,
+    /// so exhausting the `u64` id space must panic rather than wrap into
+    /// already-assigned ids.
     pub fn reserve(&mut self) -> u64 {
         if let Some(id) = self.assigned.pop_front() {
-            self.next = self.next.max(id + 1);
+            self.next = self
+                .next
+                .max(id.checked_add(1).expect("instance id space exhausted"));
             return id;
         }
         let id = self.next;
-        self.next += 1;
+        self.next = id.checked_add(1).expect("instance id space exhausted");
         id
     }
 

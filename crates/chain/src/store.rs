@@ -1,0 +1,924 @@
+//! Durable chain state: an append-only on-disk block store with
+//! periodic full-state snapshots, and bit-identical crash recovery.
+//!
+//! The simulator historically lived and died inside one process: every
+//! block, receipt and contract instance existed only in memory, which
+//! caps a market at whatever one process lifetime can settle. This
+//! module backs a [`Chain`] with two artifacts in a store directory:
+//!
+//! * **`blocks.log`** — one framed record per produced block, holding
+//!   the block's *executed transactions* (sender, seq, message), in
+//!   receipt order. Transactions, not receipts: replaying them through
+//!   the serial executor regenerates receipts, events, ledger and
+//!   contract state bit-identically (the same property the
+//!   `dragoon-net` convergence differential proves for replicas fed by
+//!   the sequencer's block feed).
+//! * **`snapshot-<round>.bin`** — a periodic full encoding of the chain
+//!   image (round, sequence counter, contract, ledger, blocks, events)
+//!   so recovery replays only the block tail after the newest valid
+//!   snapshot instead of the whole history.
+//!
+//! Every frame and snapshot carries a checksum. Recovery
+//! ([`Chain::recover_from`]) walks the newest snapshot plus the log
+//! tail; a torn final record — a crash mid-append — is **detected and
+//! discarded**, never half-applied: the recovered chain lands exactly
+//! on the last fully persisted block. Corrupt snapshots fall back to
+//! the next older one, down to genesis.
+//!
+//! Serialization is the hand-rolled [`Persist`] codec (the vendored
+//! serde compat is derive-only): deterministic byte layout, so two
+//! identical chain states — live and recovered, or produced at
+//! different `DRAGOON_THREADS` — encode to identical bytes. That byte
+//! string is the crash-recovery differential's witness.
+
+use crate::chain::{Block, Chain, Receipt, StateMachine, TxStatus};
+use crate::gas::Gas;
+use crate::mempool::PendingTx;
+use dragoon_ledger::{Address, Ledger, LedgerEvent};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Errors from the persistence layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// Stored bytes failed structural validation (bad tag, short
+    /// payload, checksum mismatch in a position recovery cannot skip).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt(e) => write!(f, "corrupt store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+fn corrupt(what: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(what.into())
+}
+
+// ---------------------------------------------------------------------
+// The Persist codec
+// ---------------------------------------------------------------------
+
+/// A byte cursor for decoding [`Persist`] values.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor over `buf`, starting at the first byte.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "short read: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes a fixed-size byte array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+}
+
+/// Deterministic binary serialization for durable chain state.
+///
+/// The contract: `put` followed by `get` round-trips the value, and two
+/// equal values produce identical bytes (collections are emitted in a
+/// canonical order). Defined here — the lowest crate that sees chain,
+/// ledger and (via downstream impls) contract state — so every layer
+/// implements it for its own types without orphan-rule contortions.
+pub trait Persist: Sized {
+    /// Appends this value's canonical encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the cursor.
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError>;
+}
+
+macro_rules! persist_int {
+    ($($t:ty),*) => {$(
+        impl Persist for $t {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+                Ok(<$t>::from_le_bytes(r.array()?))
+            }
+        }
+    )*};
+}
+
+persist_int!(u8, u32, u64, u128);
+
+impl Persist for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match u8::get(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+}
+
+impl Persist for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        usize::try_from(u64::get(r)?).map_err(|_| corrupt("usize overflow"))
+    }
+}
+
+macro_rules! persist_array {
+    ($($n:literal),*) => {$(
+        impl Persist for [u8; $n] {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(self);
+            }
+            fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+                r.array()
+            }
+        }
+    )*};
+}
+
+persist_array!(20, 32, 64, 128);
+
+impl Persist for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.len().put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let len = usize::get(r)?;
+        String::from_utf8(r.take(len)?.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match u8::get(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::get(r)?)),
+            b => Err(corrupt(format!("bad option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.len().put(out);
+        for v in self {
+            v.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let len = usize::get(r)?;
+        // Guard against absurd lengths from corrupt bytes before
+        // reserving memory: each element needs at least one byte.
+        if len > r.remaining() {
+            return Err(corrupt(format!("vec length {len} exceeds payload")));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::get(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok((A::get(r)?, B::get(r)?))
+    }
+}
+
+impl Persist for Address {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Address(r.array()?))
+    }
+}
+
+impl Persist for LedgerEvent {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            LedgerEvent::Minted { account, amount } => {
+                out.push(0);
+                account.put(out);
+                amount.put(out);
+            }
+            LedgerEvent::Frozen {
+                contract,
+                party,
+                amount,
+            } => {
+                out.push(1);
+                contract.put(out);
+                party.put(out);
+                amount.put(out);
+            }
+            LedgerEvent::NoFund { party, amount } => {
+                out.push(2);
+                party.put(out);
+                amount.put(out);
+            }
+            LedgerEvent::Paid {
+                contract,
+                party,
+                amount,
+            } => {
+                out.push(3);
+                contract.put(out);
+                party.put(out);
+                amount.put(out);
+            }
+            LedgerEvent::Transferred { from, to, amount } => {
+                out.push(4);
+                from.put(out);
+                to.put(out);
+                amount.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(match u8::get(r)? {
+            0 => LedgerEvent::Minted {
+                account: Address::get(r)?,
+                amount: u128::get(r)?,
+            },
+            1 => LedgerEvent::Frozen {
+                contract: Address::get(r)?,
+                party: Address::get(r)?,
+                amount: u128::get(r)?,
+            },
+            2 => LedgerEvent::NoFund {
+                party: Address::get(r)?,
+                amount: u128::get(r)?,
+            },
+            3 => LedgerEvent::Paid {
+                contract: Address::get(r)?,
+                party: Address::get(r)?,
+                amount: u128::get(r)?,
+            },
+            4 => LedgerEvent::Transferred {
+                from: Address::get(r)?,
+                to: Address::get(r)?,
+                amount: u128::get(r)?,
+            },
+            t => return Err(corrupt(format!("bad ledger event tag {t}"))),
+        })
+    }
+}
+
+impl Persist for Ledger {
+    /// Balances serialize address-sorted (the internal map is hashed, so
+    /// canonical order is what makes equal ledgers byte-equal).
+    fn put(&self, out: &mut Vec<u8>) {
+        self.accounts_sorted().put(out);
+        self.events().to_vec().put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let balances: Vec<(Address, u128)> = Vec::get(r)?;
+        let events: Vec<LedgerEvent> = Vec::get(r)?;
+        Ok(Ledger::from_parts(balances, events))
+    }
+}
+
+/// Re-interns a decoded label into the `&'static str` receipts carry.
+/// Every label the system charges under is in the table; an unknown one
+/// (a future label decoded by an older binary's table) is leaked once —
+/// labels are a tiny closed set, so this never accumulates.
+fn intern_label(label: String) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "publish",
+        "commit",
+        "reveal",
+        "golden",
+        "outrange",
+        "evaluate",
+        "finalize",
+        "cancel",
+        "intrinsic",
+        "log",
+        "sstore",
+        "sload",
+        "create",
+        "freeze",
+        "pay",
+        "keccak",
+        "ec_add",
+        "ec_mul",
+        "overhead",
+    ];
+    for k in KNOWN {
+        if *k == label {
+            return k;
+        }
+    }
+    Box::leak(label.into_boxed_str())
+}
+
+impl Persist for TxStatus {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            TxStatus::Ok => out.push(0),
+            TxStatus::Reverted(msg) => {
+                out.push(1);
+                msg.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match u8::get(r)? {
+            0 => Ok(TxStatus::Ok),
+            1 => Ok(TxStatus::Reverted(String::get(r)?)),
+            t => Err(corrupt(format!("bad tx status tag {t}"))),
+        }
+    }
+}
+
+impl Persist for Receipt {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.seq.put(out);
+        self.sender.put(out);
+        self.label.to_string().put(out);
+        self.round.put(out);
+        self.gas_used.put(out);
+        self.status.put(out);
+        self.gas_breakdown.len().put(out);
+        for (label, gas) in &self.gas_breakdown {
+            label.to_string().put(out);
+            gas.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let seq = u64::get(r)?;
+        let sender = Address::get(r)?;
+        let label = intern_label(String::get(r)?);
+        let round = u64::get(r)?;
+        let gas_used = Gas::get(r)?;
+        let status = TxStatus::get(r)?;
+        let n = usize::get(r)?;
+        let mut gas_breakdown = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let label = intern_label(String::get(r)?);
+            gas_breakdown.push((label, Gas::get(r)?));
+        }
+        Ok(Receipt {
+            seq,
+            sender,
+            label,
+            round,
+            gas_used,
+            status,
+            gas_breakdown,
+        })
+    }
+}
+
+impl Persist for Block {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.round.put(out);
+        self.receipts.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Block {
+            round: u64::get(r)?,
+            receipts: Vec::get(r)?,
+        })
+    }
+}
+
+impl<M: Persist> Persist for PendingTx<M> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.sender.put(out);
+        self.seq.put(out);
+        self.msg.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(PendingTx {
+            sender: Address::get(r)?,
+            seq: u64::get(r)?,
+            msg: M::get(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk layout
+// ---------------------------------------------------------------------
+
+/// FNV-1a, the frame checksum. Not cryptographic — it guards against
+/// torn writes and bit rot, not adversaries (the store directory is the
+/// node's own trusted disk).
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+const LOG_FILE: &str = "blocks.log";
+const SNAPSHOT_PREFIX: &str = "snapshot-";
+const SNAPSHOT_SUFFIX: &str = ".bin";
+
+fn snapshot_path(dir: &Path, round: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{round:020}{SNAPSHOT_SUFFIX}"))
+}
+
+/// The writing half of the persistence layer: an open append handle on
+/// `blocks.log` plus the snapshot cadence counter.
+pub struct BlockStore {
+    dir: PathBuf,
+    log: File,
+    /// Write a full snapshot every this many persisted blocks
+    /// (`0` = never snapshot; recovery replays the whole log).
+    snapshot_every: u64,
+    blocks_since_snapshot: u64,
+}
+
+impl fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockStore")
+            .field("dir", &self.dir)
+            .field("snapshot_every", &self.snapshot_every)
+            .finish()
+    }
+}
+
+impl BlockStore {
+    /// Creates (or wipes) a store directory for a fresh run: a new empty
+    /// `blocks.log`, any previous run's snapshots removed.
+    pub fn create(dir: impl AsRef<Path>, snapshot_every: u64) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if name.starts_with(SNAPSHOT_PREFIX) || name == LOG_FILE {
+                    fs::remove_file(&path)?;
+                }
+            }
+        }
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(LOG_FILE))?;
+        Ok(Self {
+            dir,
+            log,
+            snapshot_every,
+            blocks_since_snapshot: 0,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one framed record (`len ‖ checksum ‖ payload`) and
+    /// flushes, so a crash can tear at most the final frame.
+    fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(
+            &u32::try_from(payload.len())
+                .map_err(|_| StoreError::Io("block record exceeds u32 length".into()))?
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.log.write_all(&frame)?;
+        self.log.flush()?;
+        Ok(())
+    }
+
+    /// Whether the cadence calls for a snapshot after this block.
+    fn snapshot_due(&mut self) -> bool {
+        if self.snapshot_every == 0 {
+            return false;
+        }
+        self.blocks_since_snapshot += 1;
+        if self.blocks_since_snapshot >= self.snapshot_every {
+            self.blocks_since_snapshot = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Writes a checksummed full-state snapshot for `round`, atomically
+    /// (write to a temp name, then rename).
+    fn write_snapshot(&self, round: u64, payload: &[u8]) -> Result<(), StoreError> {
+        let final_path = snapshot_path(&self.dir, round);
+        let tmp_path = final_path.with_extension("tmp");
+        let mut bytes = Vec::with_capacity(4 + payload.len());
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        fs::write(&tmp_path, &bytes)?;
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+}
+
+/// The newest snapshot in `dir` whose checksum validates, as raw state
+/// image bytes. Corrupt snapshots fall back to the next older one.
+fn latest_snapshot(dir: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+    let mut rounds: Vec<u64> = Vec::new();
+    if !dir.exists() {
+        return Ok(None);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(round) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|n| n.strip_suffix(SNAPSHOT_SUFFIX))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            rounds.push(round);
+        }
+    }
+    rounds.sort_unstable();
+    for round in rounds.into_iter().rev() {
+        let bytes = fs::read(snapshot_path(dir, round))?;
+        if bytes.len() < 4 {
+            continue;
+        }
+        let stored = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let payload = &bytes[4..];
+        if checksum(payload) == stored {
+            return Ok(Some(payload.to_vec()));
+        }
+        // Corrupt snapshot: fall through to the next older one.
+    }
+    Ok(None)
+}
+
+/// One decoded block record from `blocks.log`.
+struct BlockRecord<M> {
+    round: u64,
+    next_seq: u64,
+    txs: Vec<PendingTx<M>>,
+}
+
+/// Reads every intact block record. A torn or corrupt tail — short
+/// frame header, truncated payload, checksum mismatch — ends the scan:
+/// everything before it is returned, the tail is discarded.
+fn read_log<M: Persist>(dir: &Path) -> Result<Vec<BlockRecord<M>>, StoreError> {
+    let path = dir.join(LOG_FILE);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let mut buf = Vec::new();
+    File::open(&path)?.read_to_end(&mut buf)?;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]) as usize;
+        let stored = u32::from_le_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
+        let body_start = pos + 8;
+        if buf.len() - body_start < len {
+            break; // torn final frame: discard
+        }
+        let payload = &buf[body_start..body_start + len];
+        if checksum(payload) != stored {
+            break; // corrupt tail: discard from here
+        }
+        let mut r = Reader::new(payload);
+        let round = u64::get(&mut r)?;
+        let next_seq = u64::get(&mut r)?;
+        let txs: Vec<PendingTx<M>> = Vec::get(&mut r)?;
+        if !r.is_empty() {
+            return Err(corrupt(format!(
+                "block record for round {round} has trailing bytes"
+            )));
+        }
+        records.push(BlockRecord {
+            round,
+            next_seq,
+            txs,
+        });
+        pos = body_start + len;
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------
+// Chain persistence + recovery
+// ---------------------------------------------------------------------
+
+impl<S> Chain<S>
+where
+    S: StateMachine + Persist,
+    S::Msg: Persist,
+    S::Event: Persist,
+{
+    /// The canonical byte image of this chain's committed state: round,
+    /// sequence counter, contract, ledger, blocks and events. Two chains
+    /// with equal committed state produce identical images — the
+    /// crash-recovery differential compares exactly these bytes. The
+    /// mempool is deliberately excluded: pending transactions are
+    /// volatile by definition (a real node loses its mempool in a crash
+    /// and recovers it from the network).
+    pub fn state_image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.round.put(&mut out);
+        self.next_seq.put(&mut out);
+        self.contract.put(&mut out);
+        self.ledger.put(&mut out);
+        self.blocks.put(&mut out);
+        self.events.put(&mut out);
+        out
+    }
+
+    /// Overwrites this chain's committed state from a snapshot image
+    /// produced by [`Chain::state_image`]. Configuration (gas schedule,
+    /// contract address, thread budget, block gas limit) is *not* in the
+    /// image — the caller provides it by constructing `self` exactly as
+    /// the live run's genesis did.
+    fn restore_image(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut r = Reader::new(bytes);
+        self.round = u64::get(&mut r)?;
+        self.next_seq = u64::get(&mut r)?;
+        self.contract = S::get(&mut r)?;
+        self.ledger = Ledger::get(&mut r)?;
+        self.blocks = Vec::get(&mut r)?;
+        self.events = Vec::get(&mut r)?;
+        if !r.is_empty() {
+            return Err(corrupt("snapshot image has trailing bytes"));
+        }
+        Ok(())
+    }
+
+    /// Persists the most recently produced block: appends its executed
+    /// transactions to `blocks.log` and, at the configured cadence,
+    /// writes a full-state snapshot. Call once after every
+    /// `advance_round*`; requires [`Chain::set_record_block_txs`] to be
+    /// on so the block's landed transactions are available.
+    pub fn persist_block(&mut self, store: &mut BlockStore) -> Result<(), StoreError> {
+        debug_assert!(
+            self.record_block_txs,
+            "persistence needs record_block_txs enabled before the round runs"
+        );
+        let mut payload = Vec::new();
+        self.round.put(&mut payload);
+        self.next_seq.put(&mut payload);
+        self.last_block_txs.put(&mut payload);
+        store.append(&payload)?;
+        if store.snapshot_due() {
+            store.write_snapshot(self.round, &self.state_image())?;
+        }
+        Ok(())
+    }
+
+    /// Recovers a chain from a store directory: loads the newest valid
+    /// snapshot (if any), then replays the block-log tail through the
+    /// serial executor. `genesis` must be constructed exactly as the
+    /// live run's chain was before its first block (same deploy, same
+    /// genesis mints, same configuration) — the same contract every
+    /// `dragoon-net` replica starts from.
+    ///
+    /// The recovered chain is bit-identical (per [`Chain::state_image`])
+    /// to the live chain at its last fully persisted block: replay runs
+    /// the exact landed transaction sequence through the same journaled
+    /// execution path, which the equivalence suites pin to the parallel
+    /// production path at every thread count. A torn final record is
+    /// discarded, not half-applied.
+    pub fn recover_from(dir: impl AsRef<Path>, genesis: Self) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let mut chain = genesis;
+        debug_assert!(
+            chain.clone_checkpoint.is_none(),
+            "recovery replays through the journal path"
+        );
+        if let Some(image) = latest_snapshot(dir)? {
+            chain.restore_image(&image)?;
+        }
+        for record in read_log::<S::Msg>(dir)? {
+            if record.round <= chain.round {
+                continue; // covered by the snapshot
+            }
+            if record.round != chain.round + 1 {
+                return Err(corrupt(format!(
+                    "block log gap: have round {}, next record is {}",
+                    chain.round, record.round
+                )));
+            }
+            chain.replay_block(record.txs);
+            chain.next_seq = record.next_seq;
+        }
+        Ok(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut out = Vec::new();
+        42u64.put(&mut out);
+        7usize.put(&mut out);
+        true.put(&mut out);
+        Some(9u32).put(&mut out);
+        Option::<u32>::None.put(&mut out);
+        vec![1u8, 2, 3].put(&mut out);
+        "hello".to_string().put(&mut out);
+        Address::from_byte(3).put(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(u64::get(&mut r).unwrap(), 42);
+        assert_eq!(usize::get(&mut r).unwrap(), 7);
+        assert!(bool::get(&mut r).unwrap());
+        assert_eq!(Option::<u32>::get(&mut r).unwrap(), Some(9));
+        assert_eq!(Option::<u32>::get(&mut r).unwrap(), None);
+        assert_eq!(Vec::<u8>::get(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(String::get(&mut r).unwrap(), "hello");
+        assert_eq!(Address::get(&mut r).unwrap(), Address::from_byte(3));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_reads_and_bad_tags_are_errors_not_panics() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(u64::get(&mut r).is_err());
+        let mut r = Reader::new(&[9]);
+        assert!(bool::get(&mut r).is_err());
+        let mut r = Reader::new(&[7]);
+        assert!(Option::<u64>::get(&mut r).is_err());
+        // A corrupt vec length larger than the payload must not allocate.
+        let mut bytes = Vec::new();
+        u64::MAX.put(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        assert!(Vec::<u8>::get(&mut r).is_err());
+    }
+
+    #[test]
+    fn receipt_round_trip_interns_labels() {
+        let receipt = Receipt {
+            seq: 7,
+            sender: Address::from_byte(1),
+            label: "commit",
+            round: 3,
+            gas_used: 21_240,
+            status: TxStatus::Reverted("boom".into()),
+            gas_breakdown: vec![("intrinsic", 21_240), ("sload", 800)],
+        };
+        let mut out = Vec::new();
+        receipt.put(&mut out);
+        let decoded = Receipt::get(&mut Reader::new(&out)).unwrap();
+        assert_eq!(decoded, receipt);
+        // Known labels come back from the intern table (same static for
+        // repeated decodes — no per-decode leak).
+        let again = Receipt::get(&mut Reader::new(&out)).unwrap();
+        assert!(std::ptr::eq(decoded.label.as_ptr(), again.label.as_ptr()));
+    }
+
+    #[test]
+    fn ledger_image_is_canonical_and_round_trips() {
+        let mut a = Ledger::new();
+        let mut b = Ledger::new();
+        // Insert in different orders; HashMap iteration would differ.
+        for i in 0..50u8 {
+            a.mint(Address::from_byte(i), u128::from(i) + 1);
+        }
+        for i in (0..50u8).rev() {
+            b.mint(Address::from_byte(i), u128::from(i) + 1);
+        }
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.put(&mut ba);
+        b.put(&mut bb);
+        // Events differ in order (they reflect mint order) but balances
+        // serialize sorted: check balance section by decoding instead.
+        let da = Ledger::get(&mut Reader::new(&ba)).unwrap();
+        assert_eq!(da, a);
+        let db = Ledger::get(&mut Reader::new(&bb)).unwrap();
+        assert_eq!(db, b);
+        assert_eq!(
+            da.accounts_sorted(),
+            db.accounts_sorted(),
+            "canonical balance order"
+        );
+    }
+
+    #[test]
+    fn checksum_differs_on_flip() {
+        let payload = b"round 7 payload";
+        let c = checksum(payload);
+        let mut flipped = payload.to_vec();
+        flipped[3] ^= 0x40;
+        assert_ne!(c, checksum(&flipped));
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let dir = std::env::temp_dir().join(format!("dragoon-store-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = BlockStore::create(&dir, 0).unwrap();
+        // Two good frames...
+        for round in 1u64..=2 {
+            let mut payload = Vec::new();
+            round.put(&mut payload);
+            0u64.put(&mut payload);
+            Vec::<PendingTx<u64Msg>>::new().put(&mut payload);
+            store.append(&payload).unwrap();
+        }
+        // ...then a torn third: append, then truncate mid-payload.
+        let mut payload = Vec::new();
+        3u64.put(&mut payload);
+        0u64.put(&mut payload);
+        Vec::<PendingTx<u64Msg>>::new().put(&mut payload);
+        store.append(&payload).unwrap();
+        let log_path = dir.join(LOG_FILE);
+        let full = fs::read(&log_path).unwrap();
+        let torn = &full[..full.len() - 5];
+        fs::write(&log_path, torn).unwrap();
+        let records = read_log::<u64Msg>(&dir).unwrap();
+        assert_eq!(records.len(), 2, "torn frame discarded");
+        assert_eq!(records.last().unwrap().round, 2);
+        // Corrupting a byte inside the second frame's payload discards
+        // it (and everything after): only the first frame survives.
+        // Frames are 8 header + 24 payload bytes here, so frame 2's
+        // payload starts at byte 40.
+        let mut corrupted = fs::read(&log_path).unwrap();
+        corrupted[42] ^= 0xff;
+        fs::write(&log_path, &corrupted).unwrap();
+        assert_eq!(read_log::<u64Msg>(&dir).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A trivial Persist message for framing tests.
+    #[allow(non_camel_case_types)]
+    #[derive(Clone, Debug, PartialEq)]
+    struct u64Msg(u64);
+
+    impl Persist for u64Msg {
+        fn put(&self, out: &mut Vec<u8>) {
+            self.0.put(out);
+        }
+        fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+            Ok(u64Msg(u64::get(r)?))
+        }
+    }
+}

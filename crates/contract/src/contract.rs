@@ -1237,6 +1237,160 @@ impl StateMachine for HitContract {
 // Re-exported for convenience in tests and the protocol crate.
 pub use crate::msg::HitMessage as Message;
 
+// -- durable state ------------------------------------------------------
+//
+// The snapshot codec for one HIT instance. Lives here (not in
+// `crate::persist`) because it reaches private fields. The journal is
+// *not* persisted: snapshots are taken between transactions, when every
+// journal is empty — a recovered instance starts with a fresh one.
+
+use crate::persist::{
+    get_answer, get_commitment, get_dproof, get_golden, get_seq, get_statement, put_answer,
+    put_commitment, put_dproof, put_golden, put_statement,
+};
+use dragoon_chain::store::{Persist, Reader, StoreError};
+
+impl Persist for WorkerRecord {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_commitment(&self.commitment, out);
+        match &self.revealed {
+            None => out.push(0),
+            Some(answer) => {
+                out.push(1);
+                put_answer(answer, out);
+            }
+        }
+        self.item_digests.put(out);
+        self.settlement.put(out);
+        self.pending.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            commitment: get_commitment(r)?,
+            revealed: match u8::get(r)? {
+                0 => None,
+                1 => Some(get_answer(r)?),
+                t => {
+                    return Err(StoreError::Corrupt(format!("bad reveal tag {t}")));
+                }
+            },
+            item_digests: Vec::get(r)?,
+            settlement: Option::get(r)?,
+            pending: bool::get(r)?,
+        })
+    }
+}
+
+impl Persist for PendingKind {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            PendingKind::OutRange { index } => {
+                out.push(0);
+                index.put(out);
+            }
+            PendingKind::LowQuality { chi } => {
+                out.push(1);
+                chi.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(match u8::get(r)? {
+            0 => PendingKind::OutRange {
+                index: usize::get(r)?,
+            },
+            1 => PendingKind::LowQuality { chi: u64::get(r)? },
+            t => return Err(StoreError::Corrupt(format!("bad pending kind tag {t}"))),
+        })
+    }
+}
+
+impl Persist for PendingVerdict {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.worker.put(out);
+        self.kind.put(out);
+        self.items.len().put(out);
+        for (statement, proof) in &self.items {
+            put_statement(statement, out);
+            put_dproof(proof, out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            worker: Address::get(r)?,
+            kind: PendingKind::get(r)?,
+            items: get_seq(r, |r| Ok((get_statement(r)?, get_dproof(r)?)))?,
+        })
+    }
+}
+
+impl Persist for HitContract {
+    fn put(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            !self.journal.recording(),
+            "instance snapshots are taken between transactions"
+        );
+        self.phase.put(out);
+        self.windows.put(out);
+        self.requester.put(out);
+        self.params.put(out);
+        self.workers.len().put(out);
+        for (addr, record) in &self.workers {
+            addr.put(out);
+            record.put(out);
+        }
+        self.commit_order.put(out);
+        self.seen_commitments.len().put(out);
+        for c in &self.seen_commitments {
+            put_commitment(c, out);
+        }
+        match &self.golden {
+            None => out.push(0),
+            Some(golden) => {
+                out.push(1);
+                put_golden(golden, out);
+            }
+        }
+        self.commit_deadline.put(out);
+        self.reveal_deadline.put(out);
+        self.evaluate_deadline.put(out);
+        self.settled.put(out);
+        self.defer_verification.put(out);
+        self.pending_verdicts.put(out);
+        self.batch_stats.put(out);
+        self.receipts.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            phase: Phase::get(r)?,
+            windows: PhaseWindows::get(r)?,
+            requester: Option::get(r)?,
+            params: Option::get(r)?,
+            workers: get_seq(r, |r| Ok((Address::get(r)?, WorkerRecord::get(r)?)))?
+                .into_iter()
+                .collect(),
+            commit_order: Vec::get(r)?,
+            seen_commitments: get_seq(r, get_commitment)?,
+            golden: match u8::get(r)? {
+                0 => None,
+                1 => Some(get_golden(r)?),
+                t => {
+                    return Err(StoreError::Corrupt(format!("bad golden tag {t}")));
+                }
+            },
+            commit_deadline: Option::get(r)?,
+            reveal_deadline: Option::get(r)?,
+            evaluate_deadline: Option::get(r)?,
+            settled: bool::get(r)?,
+            defer_verification: bool::get(r)?,
+            pending_verdicts: Vec::get(r)?,
+            batch_stats: BatchStats::get(r)?,
+            receipts: Vec::get(r)?,
+            journal: StateJournal::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

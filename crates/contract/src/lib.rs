@@ -11,6 +11,7 @@
 
 pub mod contract;
 pub mod msg;
+mod persist;
 pub mod registry;
 
 pub use contract::{
@@ -19,6 +20,6 @@ pub use contract::{
 };
 pub use msg::{HitMessage, LedgerAccess, PublishParams};
 pub use registry::{
-    HitId, HitRegistry, RegistryCapture, RegistryError, RegistryEvent, RegistryMessage,
+    HitId, HitRef, HitRegistry, RegistryCapture, RegistryError, RegistryEvent, RegistryMessage,
     RegistryShard, SettlementMode, REGISTRY_CODE_LEN,
 };

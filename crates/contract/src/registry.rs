@@ -29,6 +29,7 @@
 use crate::contract::{BatchStats, HitContract, HitError, HitEvent, PendingVerdict};
 use crate::msg::{HitMessage, PublishParams};
 use crate::PhaseWindows;
+use dragoon_chain::store::{Persist, Reader, StoreError};
 use dragoon_chain::{
     resolve_threads, AccessSet, CalldataStats, CaptureStateMachine, ChainMessage, ExecEnv,
     Journaled, ParallelStateMachine, StateJournal, StateMachine,
@@ -37,6 +38,8 @@ use dragoon_crypto::vpke::{self, DecryptionProof, DecryptionStatement};
 use dragoon_ledger::Address;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{RwLock, RwLockReadGuard};
 
 /// Identifier of a HIT instance within a registry.
 pub type HitId = u64;
@@ -150,6 +153,167 @@ struct HitInstance {
     hit: HitContract,
 }
 
+/// Number of independently-locked instance shards. A power of two so the
+/// shard of an id is a mask; 16 keeps per-shard maps at ~62k instances
+/// even at the million-HIT tier while staying cheap to snapshot-encode
+/// in parallel.
+const SHARD_COUNT: usize = 16;
+
+fn shard_of(id: HitId) -> usize {
+    (id as usize) & (SHARD_COUNT - 1)
+}
+
+/// The registry's instance map, split into [`SHARD_COUNT`]
+/// independently-locked shards keyed by instance id. Ids are assigned
+/// sequentially, so consecutive instances land on distinct shards and
+/// the per-shard `BTreeMap`s stay balanced.
+///
+/// Locking discipline: every mutating path holds `&mut self` and goes
+/// through [`RwLock::get_mut`] — no lock is ever *contended* there, so
+/// serial execution pays nothing. Shared-reference reads
+/// ([`ShardedHits::get`], [`ShardedHits::with`]) take a read lock on one
+/// shard, which is what lets snapshot encoding fan shards out across
+/// threads while the registry sits between transactions.
+struct ShardedHits {
+    shards: Vec<RwLock<BTreeMap<HitId, HitInstance>>>,
+}
+
+impl ShardedHits {
+    fn new() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    fn read_shard(&self, id: HitId) -> RwLockReadGuard<'_, BTreeMap<HitId, HitInstance>> {
+        self.shards[shard_of(id)]
+            .read()
+            .expect("shard lock poisoned")
+    }
+
+    /// A read-locked handle on instance `id`'s contract state.
+    fn get(&self, id: HitId) -> Option<HitRef<'_>> {
+        let guard = self.read_shard(id);
+        if guard.contains_key(&id) {
+            Some(HitRef { guard, id })
+        } else {
+            None
+        }
+    }
+
+    /// Runs `f` on instance `id` under its shard's read lock.
+    fn with<R>(&self, id: HitId, f: impl FnOnce(&HitInstance) -> R) -> Option<R> {
+        self.read_shard(id).get(&id).map(f)
+    }
+
+    /// Lock-free exclusive access (`&mut self` proves no reader exists).
+    fn inst_mut(&mut self, id: HitId) -> Option<&mut HitInstance> {
+        self.shards[shard_of(id)]
+            .get_mut()
+            .expect("shard lock poisoned")
+            .get_mut(&id)
+    }
+
+    fn insert(&mut self, id: HitId, inst: HitInstance) {
+        self.shards[shard_of(id)]
+            .get_mut()
+            .expect("shard lock poisoned")
+            .insert(id, inst);
+    }
+
+    fn remove(&mut self, id: HitId) {
+        self.shards[shard_of(id)]
+            .get_mut()
+            .expect("shard lock poisoned")
+            .remove(&id);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.read().expect("shard lock poisoned").is_empty())
+    }
+
+    /// All instance ids, ascending.
+    fn ids(&self) -> Vec<HitId> {
+        let mut ids: Vec<HitId> = Vec::new();
+        for s in &self.shards {
+            ids.extend(s.read().expect("shard lock poisoned").keys().copied());
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Visits every instance, shard by shard (not id order — use only
+    /// for order-independent aggregation).
+    fn for_each(&self, mut f: impl FnMut(HitId, &HitInstance)) {
+        for s in &self.shards {
+            for (id, inst) in s.read().expect("shard lock poisoned").iter() {
+                f(*id, inst);
+            }
+        }
+    }
+}
+
+impl Clone for ShardedHits {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().expect("shard lock poisoned").clone()))
+                .collect(),
+        }
+    }
+}
+
+impl PartialEq for ShardedHits {
+    fn eq(&self, other: &Self) -> bool {
+        self.shards.iter().zip(&other.shards).all(|(a, b)| {
+            *a.read().expect("shard lock poisoned") == *b.read().expect("shard lock poisoned")
+        })
+    }
+}
+
+impl fmt::Debug for ShardedHits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedHits")
+            .field("shards", &SHARD_COUNT)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A read-locked reference to one hosted instance's contract state, as
+/// returned by [`HitRegistry::hit`]. Dereferences to [`HitContract`];
+/// the underlying shard stays read-locked (shared, re-entrant for
+/// readers) for the borrow's lifetime.
+pub struct HitRef<'a> {
+    guard: RwLockReadGuard<'a, BTreeMap<HitId, HitInstance>>,
+    id: HitId,
+}
+
+impl Deref for HitRef<'_> {
+    type Target = HitContract;
+
+    fn deref(&self) -> &HitContract {
+        &self
+            .guard
+            .get(&self.id)
+            .expect("presence checked on construction")
+            .hit
+    }
+}
+
 /// One undo record of the registry's transaction journal. Granularity is
 /// **per instance**: a transaction that evaluates HIT #7 journals (at
 /// most) HIT #7's own undo state — HIT #8 and the other thousands of
@@ -176,7 +340,8 @@ enum RegistryUndo {
 #[derive(Clone, Debug)]
 pub struct HitRegistry {
     mode: SettlementMode,
-    hits: BTreeMap<HitId, HitInstance>,
+    /// Hosted instances, sharded by id (see [`ShardedHits`]).
+    hits: ShardedHits,
     /// Unsettled instance ids — block ticks are O(live), not O(ever
     /// created); swept lazily at each clock tick.
     live: BTreeSet<HitId>,
@@ -214,7 +379,7 @@ impl Journaled for HitRegistry {
         for undo in self.journal.drain_commit() {
             if let RegistryUndo::Opened(id) = undo {
                 self.hits
-                    .get_mut(&id)
+                    .inst_mut(id)
                     .expect("opened instance exists")
                     .hit
                     .commit_tx();
@@ -227,12 +392,12 @@ impl Journaled for HitRegistry {
             match undo {
                 RegistryUndo::Opened(id) => self
                     .hits
-                    .get_mut(&id)
+                    .inst_mut(id)
                     .expect("opened instance exists")
                     .hit
                     .rollback_tx(),
                 RegistryUndo::Created(id) => {
-                    self.hits.remove(&id);
+                    self.hits.remove(id);
                     self.live.remove(&id);
                     self.next_id -= 1;
                 }
@@ -286,7 +451,7 @@ impl HitRegistry {
                 RegistryUndo::Opened(id) => CaptureEntry::Opened(
                     id,
                     self.hits
-                        .get_mut(&id)
+                        .inst_mut(id)
                         .expect("opened instance exists")
                         .hit
                         .commit_tx_captured(),
@@ -305,13 +470,13 @@ impl HitRegistry {
         for entry in capture.0.into_iter().rev() {
             match entry {
                 CaptureEntry::Created(id) => {
-                    self.hits.remove(&id);
+                    self.hits.remove(id);
                     self.live.remove(&id);
                     self.next_id -= 1;
                 }
                 CaptureEntry::Opened(id, snapshot) => self
                     .hits
-                    .get_mut(&id)
+                    .inst_mut(id)
                     .expect("captured instance exists")
                     .hit
                     .revert_capture(snapshot),
@@ -337,7 +502,7 @@ impl HitRegistry {
     pub fn new(mode: SettlementMode) -> Self {
         Self {
             mode,
-            hits: BTreeMap::new(),
+            hits: ShardedHits::new(),
             live: BTreeSet::new(),
             next_id: 0,
             batch_stats: BatchStats::default(),
@@ -369,33 +534,44 @@ impl HitRegistry {
         self.hits.is_empty()
     }
 
-    /// Read-only access to an instance's contract state.
-    pub fn hit(&self, id: HitId) -> Option<&HitContract> {
-        self.hits.get(&id).map(|i| &i.hit)
+    /// Read-only access to an instance's contract state. The returned
+    /// handle read-locks the instance's shard (shared with other
+    /// readers) for its lifetime and dereferences to [`HitContract`].
+    pub fn hit(&self, id: HitId) -> Option<HitRef<'_>> {
+        self.hits.get(id)
     }
 
     /// An instance's derived contract address (its escrow account).
     pub fn hit_address(&self, id: HitId) -> Option<Address> {
-        self.hits.get(&id).map(|i| i.addr)
+        self.hits.with(id, |i| i.addr)
     }
 
-    /// Iterates `(id, contract)` over all instances in id order.
-    pub fn hits(&self) -> impl Iterator<Item = (HitId, &HitContract)> {
-        self.hits.iter().map(|(id, i)| (*id, &i.hit))
+    /// All instance ids, ascending.
+    pub fn hit_ids(&self) -> Vec<HitId> {
+        self.hits.ids()
     }
 
-    /// Ids of instances that have not settled yet.
+    /// Ids of instances that have not settled yet, ascending.
     pub fn live_hits(&self) -> Vec<HitId> {
-        self.hits
-            .iter()
-            .filter(|(_, i)| !i.hit.is_settled())
-            .map(|(id, _)| *id)
-            .collect()
+        let mut ids = Vec::new();
+        self.hits.for_each(|id, inst| {
+            if !inst.hit.is_settled() {
+                ids.push(id);
+            }
+        });
+        ids.sort_unstable();
+        ids
     }
 
     /// Number of settled (closed or cancelled) instances.
     pub fn settled_count(&self) -> usize {
-        self.hits.values().filter(|i| i.hit.is_settled()).count()
+        let mut count = 0;
+        self.hits.for_each(|_, inst| {
+            if inst.hit.is_settled() {
+                count += 1;
+            }
+        });
+        count
     }
 
     /// Batched-settlement counters: the registry's own per-block
@@ -404,9 +580,8 @@ impl HitRegistry {
     /// verdicts within one block).
     pub fn batch_stats(&self) -> BatchStats {
         let mut total = self.batch_stats;
-        for inst in self.hits.values() {
-            total.absorb(&inst.hit.batch_stats());
-        }
+        self.hits
+            .for_each(|_, inst| total.absorb(&inst.hit.batch_stats()));
         total
     }
 }
@@ -425,7 +600,10 @@ impl StateMachine for HitRegistry {
         match msg {
             RegistryMessage::Create { windows, params } => {
                 let id = self.next_id;
-                let addr = Address::contract_address(&env.contract, id + 1);
+                // The id space is checked: at million-HIT scale a wrapped
+                // counter would silently alias instance 0's escrow.
+                let next = id.checked_add(1).expect("instance id space exhausted");
+                let addr = Address::contract_address(&env.contract, next);
                 let mut hit = HitContract::new(windows);
                 if self.mode == SettlementMode::Batched {
                     hit = hit.with_deferred_verification();
@@ -446,7 +624,7 @@ impl StateMachine for HitRegistry {
                     },
                     64,
                 );
-                self.next_id += 1;
+                self.next_id = next;
                 self.hits.insert(id, HitInstance { addr, hit });
                 self.live.insert(id);
                 self.journal.record(RegistryUndo::Created(id));
@@ -455,7 +633,7 @@ impl StateMachine for HitRegistry {
             RegistryMessage::Hit { id, msg } => {
                 let inst = self
                     .hits
-                    .get_mut(&id)
+                    .inst_mut(id)
                     .ok_or(RegistryError::UnknownHit(id))?;
                 // Routing lookup.
                 env.gas.charge("sload", env.schedule.sload);
@@ -493,7 +671,7 @@ impl StateMachine for HitRegistry {
         // up front, so mutations from *any* phase below are recorded.
         if self.journal.recording() {
             for &id in &live {
-                let inst = self.hits.get_mut(&id).expect("live instance exists");
+                let inst = self.hits.inst_mut(id).expect("live instance exists");
                 if inst.hit.is_settled() {
                     continue;
                 }
@@ -503,7 +681,7 @@ impl StateMachine for HitRegistry {
         }
         let mut drained: Vec<(HitId, Vec<PendingVerdict>)> = Vec::new();
         for &id in &live {
-            let inst = self.hits.get_mut(&id).expect("live instance exists");
+            let inst = self.hits.inst_mut(id).expect("live instance exists");
             if inst.hit.is_settled() {
                 continue;
             }
@@ -538,7 +716,7 @@ impl StateMachine for HitRegistry {
                 self.batch_stats.record(total as u64);
             }
             for ((id, pending), verdicts) in drained.into_iter().zip(results) {
-                let inst = self.hits.get_mut(&id).expect("drained from this map");
+                let inst = self.hits.inst_mut(id).expect("drained from this map");
                 let hit = &mut inst.hit;
                 env.scoped(
                     inst.addr,
@@ -550,7 +728,7 @@ impl StateMachine for HitRegistry {
         // Phase 2: tick every live instance's phase deadlines (their own
         // resolve_pending is a no-op now that the queues are drained).
         for &id in &live {
-            let inst = self.hits.get_mut(&id).expect("live instance exists");
+            let inst = self.hits.inst_mut(id).expect("live instance exists");
             if inst.hit.is_settled() {
                 continue;
             }
@@ -569,14 +747,23 @@ impl StateMachine for HitRegistry {
                 .live
                 .iter()
                 .copied()
-                .filter(|id| self.hits[id].hit.is_settled())
+                .filter(|&id| {
+                    self.hits
+                        .with(id, |inst| inst.hit.is_settled())
+                        .expect("live instance exists")
+                })
                 .collect();
             for id in settled {
                 self.live.remove(&id);
                 self.journal.record(RegistryUndo::Settled(id));
             }
         } else {
-            self.live.retain(|id| !self.hits[id].hit.is_settled());
+            let hits = &self.hits;
+            self.live.retain(|&id| {
+                !hits
+                    .with(id, |inst| inst.hit.is_settled())
+                    .expect("live instance exists")
+            });
         }
     }
 }
@@ -642,11 +829,13 @@ impl ParallelStateMachine for HitRegistry {
                     .writes_accounts([escrow])
             }
             RegistryMessage::Hit { id, msg } => {
-                if let Some(inst) = self.hits.get(id) {
+                if let Some(access_set) = self.hits.with(*id, |inst| {
                     let access = msg.access_set(inst.addr, &inst.hit);
                     AccessSet::instance(*id)
                         .reads_accounts(access.reads)
                         .writes_accounts(access.writes)
+                }) {
+                    access_set
                 } else if reserver.is_reserved(*id) {
                     // Routed to an instance another message of this batch
                     // speculatively creates: group with the creation. The
@@ -666,7 +855,7 @@ impl ParallelStateMachine for HitRegistry {
     }
 
     fn shard_snapshot(&self, key: u64) -> Option<RegistryShard> {
-        self.hits.get(&key).map(|inst| RegistryShard {
+        self.hits.with(key, |inst| RegistryShard {
             id: key,
             addr: inst.addr,
             mode: self.mode,
@@ -698,7 +887,9 @@ impl ParallelStateMachine for HitRegistry {
         if shard.created {
             // Speculative creation committed: register the instance
             // exactly as the serial `Create` arm does.
-            self.next_id = self.next_id.max(key + 1);
+            self.next_id = self
+                .next_id
+                .max(key.checked_add(1).expect("instance id space exhausted"));
             self.live.insert(key);
         }
         self.hits.insert(key, inst);
@@ -797,6 +988,206 @@ impl ParallelStateMachine for HitRegistry {
     }
 }
 
+// -- durable state ------------------------------------------------------
+
+impl Persist for SettlementMode {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SettlementMode::PerProof => 0,
+            SettlementMode::Batched => 1,
+        });
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match u8::get(r)? {
+            0 => Ok(SettlementMode::PerProof),
+            1 => Ok(SettlementMode::Batched),
+            t => Err(StoreError::Corrupt(format!("bad settlement mode tag {t}"))),
+        }
+    }
+}
+
+impl Persist for HitInstance {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.addr.put(out);
+        self.hit.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            addr: Address::get(r)?,
+            hit: HitContract::get(r)?,
+        })
+    }
+}
+
+/// Above this many instances, shards encode on scoped threads.
+const PARALLEL_ENCODE_THRESHOLD: usize = 4_096;
+
+impl Persist for ShardedHits {
+    /// Shards encode independently and concatenate in shard order —
+    /// deterministic, and large registries encode their shards on scoped
+    /// threads (each thread read-locks only its own shard).
+    fn put(&self, out: &mut Vec<u8>) {
+        (SHARD_COUNT as u64).put(out);
+        let encode_shard = |shard: &RwLock<BTreeMap<HitId, HitInstance>>| {
+            let mut buf = Vec::new();
+            let guard = shard.read().expect("shard lock poisoned");
+            guard.len().put(&mut buf);
+            for (id, inst) in guard.iter() {
+                id.put(&mut buf);
+                inst.put(&mut buf);
+            }
+            buf
+        };
+        let chunks: Vec<Vec<u8>> = if self.len() >= PARALLEL_ENCODE_THRESHOLD {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || encode_shard(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard encoder panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards.iter().map(encode_shard).collect()
+        };
+        for chunk in &chunks {
+            out.extend_from_slice(chunk);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let shard_count = u64::get(r)?;
+        if shard_count != SHARD_COUNT as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot has {shard_count} shards, this build uses {SHARD_COUNT}"
+            )));
+        }
+        let mut hits = ShardedHits::new();
+        for shard in 0..SHARD_COUNT {
+            let len = usize::get(r)?;
+            if len > r.remaining() {
+                return Err(StoreError::Corrupt(format!(
+                    "shard {shard} length {len} exceeds payload"
+                )));
+            }
+            for _ in 0..len {
+                let id = HitId::get(r)?;
+                if shard_of(id) != shard {
+                    return Err(StoreError::Corrupt(format!(
+                        "instance {id} stored in shard {shard}"
+                    )));
+                }
+                hits.insert(id, HitInstance::get(r)?);
+            }
+        }
+        Ok(hits)
+    }
+}
+
+impl Persist for HitRegistry {
+    /// Observable contract state only: the journal is transient (empty
+    /// between transactions, which is when snapshots are taken) and
+    /// `verify_threads` is a local performance knob — both are exactly
+    /// what [`PartialEq`] ignores.
+    fn put(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            !self.journal.recording(),
+            "registry snapshots are taken between transactions"
+        );
+        self.mode.put(out);
+        self.hits.put(out);
+        self.live.iter().copied().collect::<Vec<HitId>>().put(out);
+        self.next_id.put(out);
+        self.batch_stats.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let mode = SettlementMode::get(r)?;
+        let hits = <ShardedHits as Persist>::get(r)?;
+        let live: Vec<HitId> = Vec::get(r)?;
+        let next_id = HitId::get(r)?;
+        let batch_stats = BatchStats::get(r)?;
+        Ok(Self {
+            mode,
+            hits,
+            live: live.into_iter().collect(),
+            next_id,
+            batch_stats,
+            journal: StateJournal::new(),
+            verify_threads: 0,
+        })
+    }
+}
+
+impl Persist for RegistryMessage {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            RegistryMessage::Create { windows, params } => {
+                out.push(0);
+                windows.put(out);
+                params.put(out);
+            }
+            RegistryMessage::Hit { id, msg } => {
+                out.push(1);
+                id.put(out);
+                msg.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(match u8::get(r)? {
+            0 => RegistryMessage::Create {
+                windows: PhaseWindows::get(r)?,
+                params: PublishParams::get(r)?,
+            },
+            1 => RegistryMessage::Hit {
+                id: HitId::get(r)?,
+                msg: HitMessage::get(r)?,
+            },
+            t => {
+                return Err(StoreError::Corrupt(format!("bad registry message tag {t}")));
+            }
+        })
+    }
+}
+
+impl Persist for RegistryEvent {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            RegistryEvent::Created {
+                id,
+                addr,
+                requester,
+            } => {
+                out.push(0);
+                id.put(out);
+                addr.put(out);
+                requester.put(out);
+            }
+            RegistryEvent::Hit { id, event } => {
+                out.push(1);
+                id.put(out);
+                event.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(match u8::get(r)? {
+            0 => RegistryEvent::Created {
+                id: HitId::get(r)?,
+                addr: Address::get(r)?,
+                requester: Address::get(r)?,
+            },
+            1 => RegistryEvent::Hit {
+                id: HitId::get(r)?,
+                event: HitEvent::get(r)?,
+            },
+            t => return Err(StoreError::Corrupt(format!("bad registry event tag {t}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -878,7 +1269,7 @@ mod tests {
             );
         }
         m.chain.advance_round_fifo();
-        let ids: Vec<HitId> = m.chain.contract().hits().map(|(id, _)| id).collect();
+        let ids: Vec<HitId> = m.chain.contract().hit_ids();
         assert_eq!(ids.len(), count);
         ids
     }

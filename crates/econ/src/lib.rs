@@ -394,6 +394,7 @@ impl EconEngine {
         EconReport {
             rep_tracked: self.reputation.tracked(),
             rep_receipts: self.reputation.observed(),
+            rep_decay_violations: self.reputation.decay_violations(),
             rep_mean,
             rep_min,
             rep_max,

@@ -13,6 +13,9 @@ pub struct EconReport {
     pub rep_tracked: usize,
     /// Settlement receipts absorbed by the book.
     pub rep_receipts: u64,
+    /// Backwards-clock reputation reads (a score read at a round before
+    /// the entry was last updated). Always 0 on a healthy run.
+    pub rep_decay_violations: u64,
     /// Mean decayed score at the end of the run.
     pub rep_mean: f64,
     /// Minimum decayed score.
@@ -80,6 +83,11 @@ impl EconReport {
         s.push('{');
         push_kv(&mut s, "rep_tracked", &self.rep_tracked.to_string());
         push_kv(&mut s, "rep_receipts", &self.rep_receipts.to_string());
+        push_kv(
+            &mut s,
+            "rep_decay_violations",
+            &self.rep_decay_violations.to_string(),
+        );
         push_kv(&mut s, "rep_mean", &format!("{:.3}", self.rep_mean));
         push_kv(&mut s, "rep_min", &format!("{:.3}", self.rep_min));
         push_kv(&mut s, "rep_max", &format!("{:.3}", self.rep_max));

@@ -71,6 +71,12 @@ pub struct ReputationBook {
     scores: BTreeMap<Address, RepEntry>,
     /// Receipts absorbed (for reporting).
     observed: u64,
+    /// Reads at a round earlier than the entry's `as_of` — the round
+    /// clock is monotone, so this can never happen on a healthy run.
+    /// Debug builds assert it; release builds count it here (a `Cell`
+    /// because scoring is a read path) instead of silently treating the
+    /// backwards read as `dt = 0`. Always 0.
+    decay_violations: std::cell::Cell<u64>,
 }
 
 impl ReputationBook {
@@ -80,6 +86,7 @@ impl ReputationBook {
             params,
             scores: BTreeMap::new(),
             observed: 0,
+            decay_violations: std::cell::Cell::new(0),
         }
     }
 
@@ -90,8 +97,24 @@ impl ReputationBook {
 
     /// Brings `entry` current to `round` under lazy decay.
     fn decayed(&self, entry: &RepEntry, round: u64) -> f64 {
-        let dt = round.saturating_sub(entry.as_of);
+        debug_assert!(
+            round >= entry.as_of,
+            "reputation read at round {round} before the entry's as_of {}",
+            entry.as_of
+        );
+        let dt = match round.checked_sub(entry.as_of) {
+            Some(dt) => dt,
+            None => {
+                self.decay_violations.set(self.decay_violations.get() + 1);
+                0
+            }
+        };
         entry.score * self.params.decay.powi(dt.min(i32::MAX as u64) as i32)
+    }
+
+    /// Backwards-clock reads observed so far (see `decay_violations`).
+    pub fn decay_violations(&self) -> u64 {
+        self.decay_violations.get()
     }
 
     /// The decayed score of `worker` at `round` (0 for unknown workers —

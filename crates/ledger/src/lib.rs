@@ -260,6 +260,33 @@ impl Ledger {
         self.events.push(event);
     }
 
+    /// The full balance table in deterministic (address-sorted) order —
+    /// the canonical form state snapshots serialize. The internal map is
+    /// hashed, so iteration order is not stable across processes; the
+    /// sort is what makes a snapshot byte-identical to the one a
+    /// recovered replica would write.
+    pub fn accounts_sorted(&self) -> Vec<(Address, Amount)> {
+        let mut accounts: Vec<(Address, Amount)> =
+            self.balances.iter().map(|(a, v)| (*a, *v)).collect();
+        accounts.sort_unstable_by_key(|(a, _)| *a);
+        accounts
+    }
+
+    /// Rebuilds a ledger from snapshot parts: the balance table and the
+    /// transparent event log. The journal and touch tracking start idle —
+    /// exactly the state of a live ledger between transactions, which is
+    /// the only point snapshots are ever taken.
+    pub fn from_parts(
+        balances: impl IntoIterator<Item = (Address, Amount)>,
+        events: Vec<LedgerEvent>,
+    ) -> Self {
+        Self {
+            balances: balances.into_iter().collect(),
+            events,
+            ..Self::default()
+        }
+    }
+
     /// Provisions `amount` new coins to `account` (genesis/testing).
     pub fn mint(&mut self, account: Address, amount: Amount) {
         self.record_balance(account);

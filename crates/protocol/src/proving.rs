@@ -121,6 +121,12 @@ pub struct ProvingStats {
     pub cache_hits: u64,
     /// Proof-cache misses (table builds) attributable to this run.
     pub cache_misses: u64,
+    /// Release-before-enqueue clock violations: a drained output whose
+    /// release tick preceded its enqueue tick. The tick clock is
+    /// monotone, so this can never happen on a healthy run; debug
+    /// builds assert it, release builds count offenders here (instead
+    /// of silently clamping the latency to 0). Always 0.
+    pub latency_violations: u64,
     /// Worker threads the pool used. **Thread-dependent — excluded from
     /// the JSON witness.**
     pub threads: u64,
@@ -133,7 +139,8 @@ impl ProvingStats {
             concat!(
                 "{{\"jobs\":{},\"completed\":{},\"dropped\":{},\"stale\":{},",
                 "\"queue_peak\":{},\"latency_hist\":[{},{},{},{},{}],",
-                "\"latency_max\":{},\"cache_hits\":{},\"cache_misses\":{}}}"
+                "\"latency_max\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"latency_violations\":{}}}"
             ),
             self.jobs,
             self.completed,
@@ -148,6 +155,7 @@ impl ProvingStats {
             self.latency_max,
             self.cache_hits,
             self.cache_misses,
+            self.latency_violations,
         )
     }
 
@@ -350,8 +358,18 @@ impl<T: Send> ProvingService<T> {
         ready.sort_by_key(|q| (q.ready_tick, q.seq));
         self.stats.completed += ready.len() as u64;
         for q in &ready {
-            self.stats
-                .record_latency(tick.saturating_sub(q.enqueue_tick));
+            // The tick clock is monotone: an output can only drain at
+            // or after the tick it was enqueued. Count (don't clamp) a
+            // violation so a broken clock shows up in the stats.
+            debug_assert!(
+                tick >= q.enqueue_tick,
+                "job released at tick {tick} before its enqueue at {}",
+                q.enqueue_tick
+            );
+            match tick.checked_sub(q.enqueue_tick) {
+                Some(latency) => self.stats.record_latency(latency),
+                None => self.stats.latency_violations += 1,
+            }
         }
         ready.into_iter().map(|q| (q.key, q.output)).collect()
     }

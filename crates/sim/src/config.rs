@@ -102,6 +102,34 @@ pub struct MarketConfig {
     /// service with zero latency reproduces the disabled run exactly
     /// (`tests/proving_equivalence.rs`).
     pub proving: ProvingConfig,
+    /// Durable chain state (`dragoon_chain::store`): every produced
+    /// block's executed transactions append to an on-disk log, with full
+    /// state snapshots at a configurable cadence, so a crashed run can
+    /// be recovered bit-identically from snapshot + block tail. `None`
+    /// (default) = in-memory only, all existing scenarios byte-identical.
+    pub persist: Option<PersistConfig>,
+}
+
+/// Configuration of the on-disk block store.
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// Directory holding `blocks.log` and `snapshot-*.bin`. Created (and
+    /// any previous run's artifacts cleared) at market construction.
+    pub dir: std::path::PathBuf,
+    /// Write a full-state snapshot every this many blocks (`0` = never;
+    /// recovery then replays the whole log from genesis).
+    pub snapshot_every: u64,
+}
+
+impl PersistConfig {
+    /// A store in `dir` with the default snapshot cadence (every 64
+    /// blocks).
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: 64,
+        }
+    }
 }
 
 impl Default for MarketConfig {
@@ -144,6 +172,7 @@ impl Default for MarketConfig {
             econ: EconConfig::default(),
             net: None,
             proving: ProvingConfig::default(),
+            persist: None,
         }
     }
 }

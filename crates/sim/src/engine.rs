@@ -24,9 +24,11 @@ use crate::agents::{RequesterAgent, WorkerAgent};
 use crate::config::{BehaviorMix, MarketConfig, MarketPolicy};
 use crate::metrics::{BlockStat, HitOutcome, MarketReport};
 use dragoon_chain::mempool::PendingTx;
+use dragoon_chain::store::{BlockStore, StoreError};
 use dragoon_chain::{
     resolve_threads, Chain, FifoPolicy, FrontRunPolicy, GasSchedule, ReorderPolicy, ReversePolicy,
 };
+use dragoon_contract::SettlementMode;
 use dragoon_contract::{
     HitEvent, HitId, HitMessage, HitRegistry, Phase, RegistryEvent, RegistryMessage, RejectReason,
     Settlement, REGISTRY_CODE_LEN,
@@ -110,6 +112,9 @@ pub struct MarketSim {
     settled_block: BTreeMap<HitId, u64>,
     cancelled_hits: BTreeSet<HitId>,
     block_stats: Vec<BlockStat>,
+    /// Settle-before-publish clock violations (see
+    /// [`MarketReport::latency_violations`]).
+    latency_violations: usize,
     events_seen: usize,
     rewards_paid: u128,
     workers_paid: usize,
@@ -139,6 +144,10 @@ pub struct MarketSim {
     /// keeps the observation set identical whether this round's commit
     /// proofs are computed inline or released later by the async pool.
     observed_buffer: Vec<(HitId, Commitment)>,
+    /// The on-disk block store (`None` when `config.persist` is unset):
+    /// every produced block's executed transaction list appends to the
+    /// log, with full state snapshots on the configured cadence.
+    store: Option<BlockStore>,
 }
 
 /// Deterministic weighted behaviour assignment by pool position — the
@@ -159,6 +168,63 @@ fn behavior_for(mix: &BehaviorMix, index: u64) -> WorkerBehavior {
         .expect("ticket < total_weight")
 }
 
+/// The per-requester mint: the scenario budget, or the dynamic-pricing
+/// ceiling when the econ controller can push publish-time budgets above
+/// it.
+fn publish_headroom(config: &MarketConfig) -> u128 {
+    config
+        .econ
+        .enabled
+        .then(|| config.econ.pricing.map(|p| p.max))
+        .flatten()
+        .unwrap_or(config.budget)
+        .max(config.budget)
+}
+
+/// The genesis every chain of a run starts from: the registry
+/// deployment plus the requester mints. The canonical chain, every
+/// network replica, and crash recovery ([`recover_market_chain`]) all
+/// build the same genesis, so replaying the same blocks lands on
+/// bit-identical state.
+fn genesis_chain(
+    settlement: SettlementMode,
+    threads: usize,
+    hits: u64,
+    headroom: u128,
+) -> Chain<HitRegistry> {
+    let mut chain = Chain::deploy(
+        HitRegistry::new(settlement).with_verify_threads(threads),
+        REGISTRY_CODE_LEN,
+        GasSchedule::istanbul(),
+    );
+    for i in 0..hits {
+        chain
+            .ledger
+            .mint(Address::from_seed(0xd1a6_0000 + i), headroom);
+    }
+    chain
+}
+
+/// Recovers the chain of a persisted run from its block store: the
+/// genesis this config deploys, restored from the newest valid
+/// snapshot, with the block-log tail replayed on top. The result is
+/// bit-identical ([`Chain::state_image`]) to the chain the live run
+/// held after its last persisted block — the crash-recovery
+/// differential in `tests/crash_recovery.rs` pins this byte for byte.
+pub fn recover_market_chain(config: &MarketConfig) -> Result<Chain<HitRegistry>, StoreError> {
+    let persist = config
+        .persist
+        .as_ref()
+        .expect("recover_market_chain needs config.persist");
+    let genesis = genesis_chain(
+        config.settlement,
+        resolve_threads(config.exec_threads),
+        config.hits as u64,
+        publish_headroom(config),
+    );
+    Chain::recover_from(&persist.dir, genesis)
+}
+
 impl MarketSim {
     /// Sets up the chain, registry and agent pools from a config, with a
     /// fresh (cold) proof cache.
@@ -177,12 +243,9 @@ impl MarketSim {
         // One resolved thread budget drives both the parallel block
         // executor and block-boundary settlement verification.
         let threads = resolve_threads(config.exec_threads);
-        let mut chain = Chain::deploy(
-            HitRegistry::new(config.settlement).with_verify_threads(threads),
-            REGISTRY_CODE_LEN,
-            GasSchedule::istanbul(),
-        )
-        .with_exec_threads(threads);
+        let headroom = publish_headroom(&config);
+        let mut chain = genesis_chain(config.settlement, threads, config.hits as u64, headroom)
+            .with_exec_threads(threads);
         if let Some(limit) = config.block_gas_limit {
             chain = chain.with_block_gas_limit(limit);
         }
@@ -201,18 +264,10 @@ impl MarketSim {
                 config.block_gas_limit,
             )
         });
-        // With dynamic pricing the publish-time budget can exceed the
-        // scenario default; mint requesters up to the price ceiling.
-        let publish_headroom = econ
-            .as_ref()
-            .and_then(|e| e.config().pricing.map(|p| p.max))
-            .unwrap_or(config.budget)
-            .max(config.budget);
         let mut store = ContentStore::new();
         let mut requesters = Vec::with_capacity(config.hits);
         for i in 0..config.hits as u64 {
             let addr = Address::from_seed(0xd1a6_0000 + i);
-            chain.ledger.mint(addr, publish_headroom);
             let theta = econ.as_mut().map_or(config.theta, |e| {
                 e.register_requester(i as usize, addr);
                 e.theta_for(i as usize, config.golds, config.theta)
@@ -255,22 +310,18 @@ impl MarketSim {
             let settlement = config.settlement;
             let hits = config.hits as u64;
             NetSim::new(net_cfg, config.seed ^ 0x6e65_7477_6f72_6b00, move || {
-                let mut replica = Chain::deploy(
-                    HitRegistry::new(settlement).with_verify_threads(threads),
-                    REGISTRY_CODE_LEN,
-                    GasSchedule::istanbul(),
-                );
-                for i in 0..hits {
-                    replica
-                        .ledger
-                        .mint(Address::from_seed(0xd1a6_0000 + i), publish_headroom);
-                }
-                replica
+                genesis_chain(settlement, threads, hits, headroom)
             })
         });
-        if net.is_some() {
+        // The block store wipes any previous run's artifacts in the
+        // directory and opens a fresh append handle.
+        let block_store = config.persist.as_ref().map(|p| {
+            BlockStore::create(&p.dir, p.snapshot_every).expect("block store dir must be writable")
+        });
+        if net.is_some() || block_store.is_some() {
             // Record each produced block's executed transaction list so
-            // the run loop can hand it to the gossip layer.
+            // the run loop can hand it to the gossip layer and/or the
+            // block store.
             chain.set_record_block_txs(true);
         }
         let proving = ProvingService::new(config.seed, threads, config.proving);
@@ -289,6 +340,7 @@ impl MarketSim {
             settled_block: BTreeMap::new(),
             cancelled_hits: BTreeSet::new(),
             block_stats: Vec::new(),
+            latency_violations: 0,
             events_seen: 0,
             rewards_paid: 0,
             workers_paid: 0,
@@ -300,6 +352,7 @@ impl MarketSim {
             cache,
             cache_base,
             observed_buffer: Vec::new(),
+            store: block_store,
         }
     }
 
@@ -361,6 +414,16 @@ impl MarketSim {
             // clone-checkpoint baseline. Reports are identical either
             // way (tests/parallel_equivalence.rs).
             self.chain.advance_round_parallel(policy);
+            // Durability boundary: the produced block's executed
+            // transaction list appends to the on-disk log (and a full
+            // state snapshot lands on the configured cadence) before
+            // the market reacts to it — a crash after this point loses
+            // nothing.
+            if let Some(store) = &mut self.store {
+                self.chain
+                    .persist_block(store)
+                    .expect("block store append must succeed");
+            }
             // One network tick per market round: the produced block's
             // executed transaction list fans out to the replicas.
             if let Some(net) = &mut self.net {
@@ -986,7 +1049,20 @@ impl MarketSim {
                         self.settled_block.get(&id),
                         self.requesters[agent].published_block,
                     ) {
-                        latencies.push(settled.saturating_sub(published));
+                        // A HIT cannot settle before it was published;
+                        // a violation means the block clock went
+                        // backwards. Count it instead of clamping the
+                        // latency to 0, which would silently skew the
+                        // pricing controller's input.
+                        debug_assert!(
+                            settled >= published,
+                            "hit #{id} settled at block {settled} before publish at {published}"
+                        );
+                        if let Some(latency) = settled.checked_sub(published) {
+                            latencies.push(latency);
+                        } else {
+                            self.latency_violations += 1;
+                        }
                     }
                 }
             }
@@ -1110,6 +1186,7 @@ impl MarketSim {
             workers_rejected,
             refunds: self.refunds,
             reverted_txs: self.block_stats.iter().map(|b| b.reverted).sum(),
+            latency_violations: self.latency_violations,
             batch: registry.batch_stats(),
             parallel: self.chain.parallel_stats(),
             econ: self.econ.as_ref().map(|e| e.report(self.chain.round())),

@@ -27,8 +27,8 @@ pub mod engine;
 pub mod metrics;
 pub mod seed;
 
-pub use config::{BehaviorMix, MarketConfig, MarketPolicy};
+pub use config::{BehaviorMix, MarketConfig, MarketPolicy, PersistConfig};
 pub use dragoon_protocol::{ProvingConfig, ProvingStats};
-pub use engine::{run_market, MarketSim};
+pub use engine::{recover_market_chain, run_market, MarketSim};
 pub use metrics::{BlockStat, HitOutcome, MarketReport};
 pub use seed::{seed_from_args_or, seed_from_env_or};

@@ -91,6 +91,12 @@ pub struct MarketReport {
     pub refunds: u128,
     /// Reverted transactions over the whole run.
     pub reverted_txs: usize,
+    /// Settle-before-publish clock violations. The settlement block of
+    /// a HIT can never precede its publish block; debug builds assert
+    /// this, release builds count offenders here (instead of silently
+    /// clamping the latency to 0) so a broken clock is visible in the
+    /// report. Always 0 on a healthy run.
+    pub latency_violations: usize,
     /// Batched-settlement counters (all zero in per-proof mode).
     pub batch: BatchStats,
     /// Parallel-executor counters (groups, selective retries, fallbacks,
@@ -190,6 +196,11 @@ impl MarketReport {
         );
         push_kv(&mut s, "refunds", &self.refunds.to_string());
         push_kv(&mut s, "reverted_txs", &self.reverted_txs.to_string());
+        push_kv(
+            &mut s,
+            "latency_violations",
+            &self.latency_violations.to_string(),
+        );
         push_kv(&mut s, "batch_dispatches", &self.batch.batches.to_string());
         push_kv(&mut s, "batch_items", &self.batch.items.to_string());
         s.push_str(&format!("\"batch_largest\":{}", self.batch.largest));

@@ -217,7 +217,8 @@ proptest! {
         // destroy them.
         prop_assert_eq!(chain.ledger.total_supply(), minted);
         // No stranded escrow: every instance settled and drained.
-        for (id, hit) in chain.contract().hits() {
+        for id in chain.contract().hit_ids() {
+            let hit = chain.contract().hit(id).expect("listed instance exists");
             prop_assert!(hit.is_settled(), "hit #{} left open", id);
             let escrow = chain.contract().hit_address(id).unwrap();
             prop_assert_eq!(

@@ -1,0 +1,180 @@
+//! Crash-recovery differential tests for the persistent block store
+//! (`dragoon_chain::store`).
+//!
+//! A persisted market run appends every produced block's executed
+//! transaction list to `blocks.log` and writes full state snapshots on
+//! a cadence. These tests pin the store's contract: **recovery from
+//! newest-snapshot + block-log tail is bit-identical to the live run**
+//! — the whole committed state image (registry shards, ledger,
+//! receipts, events) byte for byte — at 1, 4 and 8 executor threads,
+//! with snapshots, without snapshots (whole-log replay from genesis),
+//! and with a torn final record (discarded, never half-applied).
+
+use dragoon_sim::{recover_market_chain, MarketConfig, MarketSim, PersistConfig};
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+/// A unique scratch directory per test so parallel test binaries (and
+/// reruns) never collide; wiped at the end of each test body.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dragoon-crash-{}-{name}", std::process::id()))
+}
+
+/// A small but structurally complete market: overbooked commit races,
+/// gas-capped blocks, batched settlement, the default adversarial
+/// behaviour mix.
+fn base(seed: u64, dir: PathBuf, snapshot_every: u64) -> MarketConfig {
+    MarketConfig {
+        hits: 12,
+        spawn_per_block: 3,
+        workers: 14,
+        seed,
+        persist: Some(PersistConfig {
+            dir,
+            snapshot_every,
+        }),
+        ..MarketConfig::default()
+    }
+}
+
+/// Runs the market with persistence on, recovers from the store and
+/// returns `(live_image, recovered_image, live_round)`.
+fn run_and_recover(config: MarketConfig) -> (Vec<u8>, Vec<u8>, u64) {
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0, "the scenario must drain");
+    let recovered = recover_market_chain(&config).expect("recovery must succeed");
+    (chain.state_image(), recovered.state_image(), chain.round())
+}
+
+/// The headline differential: replay from latest snapshot + block tail
+/// lands on the exact bytes of the live run's committed state, for the
+/// serial executor and two parallel widths. The recovered image is also
+/// identical *across* thread counts — recovery composes with the
+/// parallel-equivalence guarantee.
+#[test]
+fn recovery_is_bit_identical_across_thread_counts() {
+    let mut images = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let dir = scratch(&format!("threads{threads}"));
+        let config = MarketConfig {
+            exec_threads: threads,
+            ..base(0xc4a5, dir.clone(), 8)
+        };
+        let (live, recovered, _) = run_and_recover(config);
+        assert_eq!(
+            live, recovered,
+            "recovered state must be byte-identical at {threads} threads"
+        );
+        images.push(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(images[0], images[1], "1 vs 4 threads");
+    assert_eq!(images[0], images[2], "1 vs 8 threads");
+}
+
+/// The env-driven thread budget (CI sweeps `DRAGOON_THREADS=1/4`)
+/// resolves through the same path and must also recover exactly.
+#[test]
+fn recovery_is_bit_identical_under_env_thread_budget() {
+    let dir = scratch("env");
+    let (live, recovered, _) = run_and_recover(base(0xc4a5, dir.clone(), 8));
+    assert_eq!(live, recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With the snapshot cadence off the whole log replays from genesis —
+/// the longest possible recovery path — and still lands on the bytes.
+#[test]
+fn recovery_without_snapshots_replays_the_whole_log() {
+    let dir = scratch("nosnap");
+    let (live, recovered, _) = run_and_recover(base(0x1095, dir.clone(), 0));
+    assert_eq!(live, recovered);
+    let snapshots = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("snapshot-")
+        })
+        .count();
+    assert_eq!(snapshots, 0, "cadence 0 must write no snapshots");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tight cadence leaves several snapshots on disk; recovery must pick
+/// the newest and replay only the short tail behind it.
+#[test]
+fn recovery_uses_the_newest_snapshot() {
+    let dir = scratch("dense");
+    let (live, recovered, live_round) = run_and_recover(base(0xdeed, dir.clone(), 4));
+    assert_eq!(live, recovered);
+    let snapshots: Vec<String> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("snapshot-"))
+        .collect();
+    assert!(
+        snapshots.len() as u64 >= live_round / 4,
+        "cadence 4 over {live_round} blocks must leave snapshots: {snapshots:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn write: a crash mid-append leaves a truncated final record. The
+/// log scan must detect and discard it — recovery comes up one block
+/// behind the live run, never with a half-applied block.
+#[test]
+fn torn_final_record_is_discarded_not_half_applied() {
+    let dir = scratch("torn");
+    // No snapshots, so every recovered byte comes from the log replay
+    // and the final round is a pure function of intact records.
+    let config = base(0x70a9, dir.clone(), 0);
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0);
+    let log = dir.join("blocks.log");
+    let intact_len = std::fs::metadata(&log).expect("log exists").len();
+    // Tear the final record: cut into its payload (every record is
+    // 8 header bytes + a payload much larger than 5).
+    OpenOptions::new()
+        .write(true)
+        .open(&log)
+        .expect("log opens")
+        .set_len(intact_len - 5)
+        .expect("truncate");
+    let recovered = recover_market_chain(&config).expect("a torn tail must not fail recovery");
+    assert_eq!(
+        recovered.round(),
+        chain.round() - 1,
+        "exactly the torn final block is lost"
+    );
+    assert_eq!(
+        recovered.blocks().len(),
+        chain.blocks().len() - 1,
+        "no half-applied block may appear"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bit rot: a flipped byte inside the final record trips its checksum;
+/// the record (and only that record) is discarded.
+#[test]
+fn corrupt_final_record_is_discarded_by_checksum() {
+    let dir = scratch("bitrot");
+    let config = base(0xb17, dir.clone(), 0);
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0);
+    let log = dir.join("blocks.log");
+    let mut bytes = std::fs::read(&log).expect("log reads");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&log, &bytes).expect("log rewrites");
+    let recovered = recover_market_chain(&config).expect("bit rot must not fail recovery");
+    assert_eq!(
+        recovered.round(),
+        chain.round() - 1,
+        "exactly the corrupt final block is lost"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -123,7 +123,8 @@ fn nonzero_latency_settles_bottom_and_conserves_escrow() {
     assert!(no_reveals > 0, "latency must strand some reveals as ⊥");
     // Conservation: every settled instance drained its escrow, and the
     // frozen budgets split exactly into rewards + refunds.
-    for (id, hit) in chain.contract().hits() {
+    for id in chain.contract().hit_ids() {
+        let hit = chain.contract().hit(id).expect("listed instance exists");
         assert!(hit.is_settled(), "hit #{id} left open");
         let escrow = chain.contract().hit_address(id).unwrap();
         assert_eq!(
