@@ -14,7 +14,9 @@ use dragoon_crypto::elgamal::{KeyPair, PlaintextRange};
 use dragoon_crypto::precomp::ProofCache;
 use dragoon_crypto::vpke;
 use dragoon_net::{NetConfig, RelaySpec};
-use dragoon_sim::{run_market, seed_from_env_or, MarketConfig, MarketSim, ProvingConfig};
+use dragoon_sim::{
+    run_market, seed_from_env_or, MarketConfig, MarketSim, PersistConfig, ProvingConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -204,17 +206,190 @@ fn market_scale_1m(seed: u64) {
         peak_mb < ceiling_mb,
         "{hits}-HIT run peaked at {peak_mb} MB, over the {ceiling_mb} MB ceiling"
     );
+    // The persisted tiers: the same run under the synchronous
+    // full-snapshot store (the PR-8 durability path) and under the
+    // pipelined lifecycle. The snapshot cadence adapts to the measured
+    // block count so both paths publish a handful of artifacts whatever
+    // `DRAGOON_SCALE_HITS` is set to.
+    let cadence = (report.blocks / 8).max(4);
+    let sync_dir = bench_store_dir("1m-sync");
+    let (sync_wall, sync) = time_once(|| {
+        run_market(MarketConfig {
+            persist: Some(PersistConfig {
+                snapshot_every: cadence,
+                ..PersistConfig::new(sync_dir.clone())
+            }),
+            ..config.clone()
+        })
+    });
+    let pipe_dir = bench_store_dir("1m-pipe");
+    let (pipe_wall, piped) = time_once(|| {
+        run_market(MarketConfig {
+            persist: Some(PersistConfig {
+                snapshot_every: cadence,
+                ..PersistConfig::pipelined(pipe_dir.clone())
+            }),
+            ..config.clone()
+        })
+    });
+    assert_eq!(
+        report.to_json(),
+        sync.to_json(),
+        "synchronous persistence must not change the market"
+    );
+    assert_eq!(
+        report.to_json(),
+        piped.to_json(),
+        "the pipelined lifecycle must not change the market"
+    );
+    let sync_stats = sync.persist.expect("sync store stats");
+    let pipe_stats = piped.persist.expect("pipelined store stats");
+    let sync_bps = sync.blocks as f64 / sync_wall.as_secs_f64();
+    let pipe_bps = piped.blocks as f64 / pipe_wall.as_secs_f64();
+    println!(
+        "persisted sync      {sync_bps:.1} blocks/sec, {} full snapshots, \
+         {}k snapshot bytes, wall {}",
+        sync_stats.full_snapshots,
+        sync_stats.snapshot_bytes_written / 1_000,
+        fmt_duration(sync_wall),
+    );
+    println!(
+        "persisted pipelined {pipe_bps:.1} blocks/sec, {} full + {} delta snapshots, \
+         {}k snapshot bytes ({} dirty units), wall {}",
+        pipe_stats.full_snapshots,
+        pipe_stats.delta_snapshots,
+        pipe_stats.snapshot_bytes_written / 1_000,
+        pipe_stats.dirty_units_encoded,
+        fmt_duration(pipe_wall),
+    );
+    // Incremental snapshots must scale with the dirty working set, not
+    // the instance population: the delta-publishing store writes
+    // strictly fewer snapshot bytes than one that re-encodes every
+    // instance at each cadence point.
+    assert!(
+        pipe_stats.delta_snapshots > 0,
+        "cadence must publish deltas"
+    );
+    assert!(
+        pipe_stats.snapshot_bytes_written < sync_stats.snapshot_bytes_written,
+        "dirty-shard deltas ({} bytes) must undercut full snapshots ({} bytes)",
+        pipe_stats.snapshot_bytes_written,
+        sync_stats.snapshot_bytes_written,
+    );
+    // Compaction bound: the log left on disk is the post-artifact tail,
+    // a strict subset of everything appended over the run.
+    let pipe_log_len = std::fs::metadata(pipe_dir.join("blocks.log"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    assert!(
+        pipe_stats.compactions > 0 && pipe_log_len < pipe_stats.log_bytes_written,
+        "compaction must bound the log: {pipe_log_len} of {} bytes left",
+        pipe_stats.log_bytes_written,
+    );
+    let _ = std::fs::remove_dir_all(&sync_dir);
+    let _ = std::fs::remove_dir_all(&pipe_dir);
     println!(
         "JSON: {{\"bench\":\"market_scale_1m\",\"hits\":{hits},\
          \"hits_settled\":{},\"hits_cancelled\":{},\"blocks\":{},\"txs\":{txs},\
          \"blocks_per_sec\":{blocks_per_sec:.1},\"tx_per_sec\":{tx_per_sec:.0},\
          \"peak_rss_mb\":{peak_mb},\"mem_ceiling_mb\":{ceiling_mb},\
-         \"wall_ms\":{}}}",
+         \"wall_ms\":{},\
+         \"sync_blocks_per_sec\":{sync_bps:.1},\"pipelined_blocks_per_sec\":{pipe_bps:.1},\
+         \"sync_snapshot_bytes\":{},\"pipelined_snapshot_bytes\":{},\
+         \"pipelined_log_bytes_left\":{pipe_log_len},\
+         \"sync_persist\":{},\"pipelined_persist\":{}}}",
         report.hits_settled,
         report.hits_cancelled,
         report.blocks,
         wall.as_millis(),
+        sync_stats.snapshot_bytes_written,
+        pipe_stats.snapshot_bytes_written,
+        sync.persist_json(),
+        piped.persist_json(),
     );
+}
+
+/// A scratch store directory under the system temp dir, wiped before
+/// use so a rerun never recovers into a previous run's artifacts.
+fn bench_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dragoon-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// **Pipelined vs synchronous persistence** — the same seeded market
+/// under the PR-8 store (synchronous writes, full snapshots, flush per
+/// append) and under the pipelined block lifecycle (background writer,
+/// dirty-shard incremental snapshots, log compaction, overlapped
+/// settlement verification). Reports are asserted byte-identical — the
+/// pipeline is a pure performance change — so the wall-clock ratio is
+/// the price the synchronous durability path was charging the round
+/// loop.
+fn pipeline_speedup(seed: u64) {
+    for hits in [1_000usize, 10_000] {
+        println!("\n== pipelined vs synchronous persistence ({hits} HITs) ==");
+        let cadence = if hits >= 10_000 { 64 } else { 16 };
+        let run = |persist: PersistConfig| {
+            let config = MarketConfig {
+                persist: Some(persist),
+                ..scale_config(hits, seed, false)
+            };
+            time_once(|| run_market(config.clone()))
+        };
+        let sync_dir = bench_store_dir(&format!("sync{hits}"));
+        let (sync_wall, sync) = run(PersistConfig {
+            snapshot_every: cadence,
+            ..PersistConfig::new(sync_dir.clone())
+        });
+        let pipe_dir = bench_store_dir(&format!("pipe{hits}"));
+        let (pipe_wall, piped) = run(PersistConfig {
+            snapshot_every: cadence,
+            ..PersistConfig::pipelined(pipe_dir.clone())
+        });
+        assert_eq!(
+            sync.to_json(),
+            piped.to_json(),
+            "pipelined and synchronous persistence must produce identical reports"
+        );
+        let sync_stats = sync.persist.expect("sync run reports store stats");
+        let pipe_stats = piped.persist.expect("pipelined run reports store stats");
+        assert!(
+            pipe_stats.delta_snapshots > 0,
+            "the pipelined run must publish deltas: {pipe_stats:?}"
+        );
+        let speedup = sync_wall.as_secs_f64() / pipe_wall.as_secs_f64();
+        println!(
+            "sync       {} HITs settled in {} blocks, wall {} ({}k snapshot bytes)",
+            sync.hits_settled,
+            sync.blocks,
+            fmt_duration(sync_wall),
+            sync_stats.snapshot_bytes_written / 1_000,
+        );
+        println!(
+            "pipelined  {} HITs settled in {} blocks, wall {} ({}k snapshot bytes, \
+             {} deltas, {} dirty units, overlap {}/{})",
+            piped.hits_settled,
+            piped.blocks,
+            fmt_duration(pipe_wall),
+            pipe_stats.snapshot_bytes_written / 1_000,
+            pipe_stats.delta_snapshots,
+            pipe_stats.dirty_units_encoded,
+            pipe_stats.overlap_hits,
+            pipe_stats.overlap_hits + pipe_stats.overlap_misses,
+        );
+        println!("pipeline_speedup {speedup:.2}x (identical reports — differential holds)");
+        println!(
+            "JSON: {{\"bench\":\"pipeline_speedup\",\"hits\":{hits},\
+             \"sync_ms\":{},\"pipelined_ms\":{},\"pipeline_speedup\":{speedup:.2},\
+             \"sync_persist\":{},\"pipelined_persist\":{}}}",
+            sync_wall.as_millis(),
+            pipe_wall.as_millis(),
+            sync.persist_json(),
+            piped.persist_json(),
+        );
+        let _ = std::fs::remove_dir_all(&sync_dir);
+        let _ = std::fs::remove_dir_all(&pipe_dir);
+    }
 }
 
 /// A parallel-execution scale config: per-proof settlement, so VPKE and
@@ -620,12 +795,14 @@ fn main() {
             "market_scale_1m" => market_scale_1m(seed),
             "market_scale_10k" => market_scale_10k(seed),
             "market_throughput" => market_throughput(seed),
+            "pipeline_speedup" => pipeline_speedup(seed),
             other => panic!("unknown DRAGOON_BENCH_ONLY tier: {other}"),
         }
         return;
     }
     market_throughput(seed);
     checkpoint_speedup(seed);
+    pipeline_speedup(seed);
     parallel_exec_speedup(seed);
     spawn_heavy_speedup(seed);
     econ_overhead(seed);

@@ -347,6 +347,14 @@ impl<S: StateMachine> Chain<S> {
         &self.contract
     }
 
+    /// Mutable access to the hosted contract state — for out-of-band
+    /// machinery like kicking off overlapped verification, not for
+    /// state changes (those go through transactions so the journal,
+    /// replay and equivalence paths all see them).
+    pub fn contract_mut(&mut self) -> &mut S {
+        &mut self.contract
+    }
+
     /// The current round number.
     pub fn round(&self) -> u64 {
         self.round

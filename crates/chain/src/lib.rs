@@ -45,4 +45,4 @@ pub use mempool::{
 };
 pub use parallel::{resolve_threads, AccessSet, IdReserver, ParallelStateMachine, ParallelStats};
 pub use replica::{BlockUndo, CaptureStateMachine};
-pub use store::{BlockStore, Persist, Reader, StoreError};
+pub use store::{BlockStore, Persist, PersistDelta, PersistStats, Reader, StoreError};

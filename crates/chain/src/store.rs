@@ -1,10 +1,11 @@
 //! Durable chain state: an append-only on-disk block store with
-//! periodic full-state snapshots, and bit-identical crash recovery.
+//! periodic snapshots (full or incremental), an optional background
+//! writer thread, and bit-identical crash recovery.
 //!
 //! The simulator historically lived and died inside one process: every
 //! block, receipt and contract instance existed only in memory, which
 //! caps a market at whatever one process lifetime can settle. This
-//! module backs a [`Chain`] with two artifacts in a store directory:
+//! module backs a [`Chain`] with three artifacts in a store directory:
 //!
 //! * **`blocks.log`** — one framed record per produced block, holding
 //!   the block's *executed transactions* (sender, seq, message), in
@@ -17,19 +18,60 @@
 //!   image (round, sequence counter, contract, ledger, blocks, events)
 //!   so recovery replays only the block tail after the newest valid
 //!   snapshot instead of the whole history.
+//! * **`delta-<round>.bin`** — with [`BlockStore::with_incremental`],
+//!   most cadence points write an *incremental* snapshot instead: only
+//!   the state written since the previous artifact (dirty registry
+//!   instances with tombstones, dirty ledger entries, the block/event
+//!   suffixes), chained on the artifact's round via the
+//!   [`PersistDelta`] trait. Every [`REBASE_EVERY`]-th snapshot is a
+//!   full rebase, bounding the chain recovery must compose. Encode cost
+//!   is O(touched state), not O(all instances).
 //!
-//! Every frame and snapshot carries a checksum. Recovery
-//! ([`Chain::recover_from`]) walks the newest snapshot plus the log
-//! tail; a torn final record — a crash mid-append — is **detected and
-//! discarded**, never half-applied: the recovered chain lands exactly
-//! on the last fully persisted block. Corrupt snapshots fall back to
-//! the next older one, down to genesis.
+//! # Pipelining
+//!
+//! [`BlockStore::with_background_writer`] moves every disk operation to
+//! a dedicated writer thread behind a bounded (double-buffered)
+//! channel: the round loop hands off the encoded frame or snapshot and
+//! continues into the next round while the writer appends, checksums
+//! and publishes. Command order is FIFO, so the on-disk artifact
+//! sequence is identical to the synchronous path; [`BlockStore::drain`]
+//! is the barrier that waits for the queue to empty (call it before
+//! reading the store's files, e.g. prior to an in-process
+//! [`Chain::recover_from`]). Dropping the store drains implicitly.
+//!
+//! # Durability guarantee
+//!
+//! Log appends are buffered and flushed to the OS every
+//! [`BlockStore::with_flush_every`] records (default: every record), so
+//! an application crash can tear at most the unflushed tail of
+//! `blocks.log`; the torn frame is detected and discarded on recovery.
+//! Snapshot publishes are stronger: the bytes are written to a temp
+//! file, `sync_all`-ed to the device, then atomically renamed — a
+//! machine crash leaves either the previous artifact set or the new
+//! one, never a half-written snapshot under its final name. With
+//! [`BlockStore::with_compaction`], `blocks.log` is truncated after
+//! each successful snapshot publish (every record it held is ≤ the
+//! snapshot round), so a long-lived market's log stays bounded by one
+//! snapshot interval; the tradeoff is that recovery then depends on the
+//! snapshot/delta chain back to the newest full snapshot — corrupt
+//! middle links can no longer fall back to replaying the whole log.
+//!
+//! Recovery ([`Chain::recover_from`]) restores the newest valid full
+//! snapshot, composes any newer deltas in round order (stopping at the
+//! first broken link), then replays the block-log tail; a torn final
+//! record — a crash mid-append — is **detected and discarded**, never
+//! half-applied: the recovered chain lands exactly on the last fully
+//! persisted block. Corrupt full snapshots fall back to the next older
+//! one, down to genesis.
 //!
 //! Serialization is the hand-rolled [`Persist`] codec (the vendored
 //! serde compat is derive-only): deterministic byte layout, so two
 //! identical chain states — live and recovered, or produced at
 //! different `DRAGOON_THREADS` — encode to identical bytes. That byte
-//! string is the crash-recovery differential's witness.
+//! string is the crash-recovery differential's witness. (Delta *bytes*
+//! may differ across thread counts — the serial and parallel executors
+//! over-approximate the dirty set differently — but the recovered
+//! image they compose to is identical.)
 
 use crate::chain::{Block, Chain, Receipt, StateMachine, TxStatus};
 use crate::gas::Gas;
@@ -37,8 +79,10 @@ use crate::mempool::PendingTx;
 use dragoon_ledger::{Address, Ledger, LedgerEvent};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::io::{BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
 
 /// Errors from the persistence layer.
 #[derive(Debug)]
@@ -461,6 +505,130 @@ impl<M: Persist> Persist for PendingTx<M> {
 }
 
 // ---------------------------------------------------------------------
+// Incremental encoding
+// ---------------------------------------------------------------------
+
+/// Incremental serialization on top of [`Persist`]: a type that tracks
+/// which parts of itself were written since the last [`mark_clean`]
+/// (`PersistDelta::mark_clean`) can encode just that working set, and
+/// apply such a delta over its previous state to reproduce the current
+/// one. The defaults degrade every method to the full encoding, so a
+/// plain `Persist` type opts in with an empty impl.
+///
+/// The contract: after `mark_clean`, a later `put_delta` followed by
+/// `apply_delta` on the marked state must land on a state whose full
+/// [`Persist::put`] encoding is identical to the live one. Delta
+/// *bytes* need not be deterministic across executor thread counts
+/// (dirty sets may be over-approximated differently); the composed
+/// state must be.
+pub trait PersistDelta: Persist {
+    /// Appends the canonical encoding of everything written since the
+    /// last [`PersistDelta::mark_clean`].
+    fn put_delta(&self, out: &mut Vec<u8>) {
+        self.put(out);
+    }
+
+    /// Applies one delta (as produced by [`PersistDelta::put_delta`])
+    /// over the current state.
+    fn apply_delta(&mut self, r: &mut Reader<'_>) -> Result<(), StoreError> {
+        *self = Self::get(r)?;
+        Ok(())
+    }
+
+    /// Resets the dirty baseline: the next [`PersistDelta::put_delta`]
+    /// covers only writes after this call.
+    fn mark_clean(&mut self) {}
+
+    /// Size of the current working set (dirty entries a delta would
+    /// encode) — telemetry for the snapshot-cost-scales-with-dirty
+    /// acceptance check.
+    fn dirty_units(&self) -> usize {
+        0
+    }
+}
+
+impl PersistDelta for Ledger {
+    fn put_delta(&self, out: &mut Vec<u8>) {
+        self.delta_entries().put(out);
+        self.delta_events().to_vec().put(out);
+    }
+
+    fn apply_delta(&mut self, r: &mut Reader<'_>) -> Result<(), StoreError> {
+        let entries: Vec<(Address, Option<u128>)> = Vec::get(r)?;
+        for (account, entry) in entries {
+            self.merge_entry(account, entry);
+        }
+        let events: Vec<LedgerEvent> = Vec::get(r)?;
+        self.append_events(&events);
+        Ok(())
+    }
+
+    fn mark_clean(&mut self) {
+        self.mark_delta_clean();
+    }
+
+    fn dirty_units(&self) -> usize {
+        self.dirty_len()
+    }
+}
+
+/// Counters describing what the persistence layer wrote — the PERSIST
+/// stats line of a market run. Log/snapshot byte counts are computed on
+/// the enqueueing side, so they are identical whether the background
+/// writer is on or off; delta byte counts may differ across executor
+/// thread counts (see [`PersistDelta`]), so keep this out of
+/// cross-thread equivalence assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Block records appended to `blocks.log`.
+    pub blocks_appended: u64,
+    /// Frame bytes appended to the log (header + payload).
+    pub log_bytes_written: u64,
+    /// Log bytes dropped by compaction truncations.
+    pub log_bytes_truncated: u64,
+    /// Compaction truncations performed.
+    pub compactions: u64,
+    /// Full snapshots published.
+    pub full_snapshots: u64,
+    /// Incremental (delta) snapshots published.
+    pub delta_snapshots: u64,
+    /// Snapshot bytes published (checksum + payload, full and delta).
+    pub snapshot_bytes_written: u64,
+    /// Dirty units (registry instances + ledger entries) encoded across
+    /// all delta snapshots.
+    pub dirty_units_encoded: u64,
+    /// Settlement batches whose overlapped verification was joined and
+    /// matched the drained pending set (precomputed verdicts used).
+    pub overlap_hits: u64,
+    /// Overlapped verifications that missed (layout changed between
+    /// handoff and join; verdicts recomputed inline).
+    pub overlap_misses: u64,
+}
+
+impl PersistStats {
+    /// One compact JSON object, for the `PERSIST:` stats line.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"blocks_appended\":{},\"log_bytes_written\":{},\
+             \"log_bytes_truncated\":{},\"compactions\":{},\
+             \"full_snapshots\":{},\"delta_snapshots\":{},\
+             \"snapshot_bytes_written\":{},\"dirty_units_encoded\":{},\
+             \"overlap_hits\":{},\"overlap_misses\":{}}}",
+            self.blocks_appended,
+            self.log_bytes_written,
+            self.log_bytes_truncated,
+            self.compactions,
+            self.full_snapshots,
+            self.delta_snapshots,
+            self.snapshot_bytes_written,
+            self.dirty_units_encoded,
+            self.overlap_hits,
+            self.overlap_misses,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
 // On-disk layout
 // ---------------------------------------------------------------------
 
@@ -478,21 +646,186 @@ fn checksum(bytes: &[u8]) -> u32 {
 
 const LOG_FILE: &str = "blocks.log";
 const SNAPSHOT_PREFIX: &str = "snapshot-";
+const DELTA_PREFIX: &str = "delta-";
 const SNAPSHOT_SUFFIX: &str = ".bin";
+
+/// Every this many snapshots, an incremental store writes a full rebase
+/// instead of a delta, bounding the chain recovery must compose.
+const REBASE_EVERY: u64 = 16;
 
 fn snapshot_path(dir: &Path, round: u64) -> PathBuf {
     dir.join(format!("{SNAPSHOT_PREFIX}{round:020}{SNAPSHOT_SUFFIX}"))
 }
 
-/// The writing half of the persistence layer: an open append handle on
-/// `blocks.log` plus the snapshot cadence counter.
+fn delta_path(dir: &Path, round: u64) -> PathBuf {
+    dir.join(format!("{DELTA_PREFIX}{round:020}{SNAPSHOT_SUFFIX}"))
+}
+
+/// The disk half of the store: the buffered log handle plus the flush
+/// cadence. Owned by the caller's thread (synchronous mode) or moved
+/// into the background writer thread (pipelined mode) — either way,
+/// every byte goes through the same code, so the two modes produce
+/// identical files.
+struct LogWriter {
+    dir: PathBuf,
+    log: BufWriter<File>,
+    /// Flush the log buffer to the OS every this many appends (`0` =
+    /// only at snapshots and drains — the widest torn-tail window).
+    flush_every: u64,
+    appends_since_flush: u64,
+}
+
+impl LogWriter {
+    fn append_frame(&mut self, frame: &[u8]) -> Result<(), StoreError> {
+        self.log.write_all(frame)?;
+        self.appends_since_flush += 1;
+        if self.flush_every > 0 && self.appends_since_flush >= self.flush_every {
+            self.log.flush()?;
+            self.appends_since_flush = 0;
+        }
+        Ok(())
+    }
+
+    /// Publishes one snapshot artifact atomically and durably: temp
+    /// file, `sync_all`, rename. With `compact`, truncates `blocks.log`
+    /// afterwards (every record it holds is covered by the artifact),
+    /// and `prune_below` deletes artifacts older than a full rebase.
+    fn publish(
+        &mut self,
+        tmp: &Path,
+        dest: &Path,
+        bytes: &[u8],
+        compact: bool,
+        prune_below: Option<u64>,
+    ) -> Result<(), StoreError> {
+        let mut f = File::create(tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(tmp, dest)?;
+        if compact {
+            self.log.flush()?;
+            self.appends_since_flush = 0;
+            self.log.get_mut().set_len(0)?;
+        }
+        if let Some(round) = prune_below {
+            self.prune_artifacts(round)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes snapshot/delta artifacts for rounds below `round` — safe
+    /// once a full snapshot at `round` is durable, since recovery never
+    /// reaches past the newest valid full snapshot.
+    fn prune_artifacts(&self, round: u64) -> Result<(), StoreError> {
+        for (r, path) in artifact_files(&self.dir)? {
+            if r < round {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_all(&mut self) -> Result<(), StoreError> {
+        self.log.flush()?;
+        self.appends_since_flush = 0;
+        Ok(())
+    }
+}
+
+/// Every snapshot/delta artifact in `dir` as `(round, path)` pairs.
+fn artifact_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let round = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .or_else(|| name.strip_prefix(DELTA_PREFIX))
+            .and_then(|n| n.strip_suffix(SNAPSHOT_SUFFIX))
+            .and_then(|n| n.parse::<u64>().ok());
+        if let Some(round) = round {
+            out.push((round, path));
+        }
+    }
+    Ok(out)
+}
+
+/// One unit of work handed to the background writer.
+enum WriterCmd {
+    /// Append a pre-framed log record.
+    Frame(Vec<u8>),
+    /// Publish a snapshot artifact (full or delta).
+    Publish {
+        tmp: PathBuf,
+        dest: PathBuf,
+        bytes: Vec<u8>,
+        compact: bool,
+        prune_below: Option<u64>,
+    },
+    /// Flush everything and acknowledge — the drain barrier.
+    Drain(SyncSender<()>),
+}
+
+fn writer_loop(mut log: LogWriter, rx: Receiver<WriterCmd>) -> Result<(), StoreError> {
+    for cmd in rx {
+        match cmd {
+            WriterCmd::Frame(frame) => log.append_frame(&frame)?,
+            WriterCmd::Publish {
+                tmp,
+                dest,
+                bytes,
+                compact,
+                prune_below,
+            } => log.publish(&tmp, &dest, &bytes, compact, prune_below)?,
+            WriterCmd::Drain(ack) => {
+                log.flush_all()?;
+                let _ = ack.send(());
+            }
+        }
+    }
+    // Sender dropped: final flush before the thread exits.
+    log.flush_all()
+}
+
+/// Where writes go: inline on the caller's thread, or over a bounded
+/// channel to the dedicated writer thread.
+enum Writer {
+    Inline(LogWriter),
+    Background {
+        tx: SyncSender<WriterCmd>,
+        handle: Option<JoinHandle<Result<(), StoreError>>>,
+    },
+}
+
+/// The writing half of the persistence layer: the snapshot cadence and
+/// incremental/compaction policy, stats counters, and the log writer
+/// (inline or behind the background channel).
 pub struct BlockStore {
     dir: PathBuf,
-    log: File,
-    /// Write a full snapshot every this many persisted blocks
-    /// (`0` = never snapshot; recovery replays the whole log).
+    /// Write a snapshot every this many persisted blocks (`0` = never
+    /// snapshot; recovery replays the whole log).
     snapshot_every: u64,
     blocks_since_snapshot: u64,
+    /// Incremental snapshots: cadence points write deltas chained on the
+    /// previous artifact, with a full rebase every [`REBASE_EVERY`]-th.
+    incremental: bool,
+    /// Truncate `blocks.log` after each successful snapshot publish.
+    compact_log: bool,
+    flush_every: u64,
+    /// Round of the newest published artifact — the base the next delta
+    /// chains on. `None` until the first full snapshot.
+    prev_artifact: Option<u64>,
+    deltas_since_full: u64,
+    /// Chain event-log length at the last snapshot (the chain-side
+    /// suffix mark for delta images).
+    events_mark: usize,
+    /// Frame bytes appended since the last compaction truncate.
+    log_bytes_pending: u64,
+    stats: PersistStats,
+    writer: Writer,
 }
 
 impl fmt::Debug for BlockStore {
@@ -500,20 +833,31 @@ impl fmt::Debug for BlockStore {
         f.debug_struct("BlockStore")
             .field("dir", &self.dir)
             .field("snapshot_every", &self.snapshot_every)
+            .field("incremental", &self.incremental)
+            .field("compact_log", &self.compact_log)
+            .field(
+                "background",
+                &matches!(self.writer, Writer::Background { .. }),
+            )
             .finish()
     }
 }
 
 impl BlockStore {
     /// Creates (or wipes) a store directory for a fresh run: a new empty
-    /// `blocks.log`, any previous run's snapshots removed.
+    /// `blocks.log`, any previous run's snapshots and deltas removed.
+    /// Defaults: synchronous writes, flush on every append, full
+    /// snapshots, no compaction — exactly the pre-pipeline behaviour.
     pub fn create(dir: impl AsRef<Path>, snapshot_every: u64) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         for entry in fs::read_dir(&dir)? {
             let path = entry?.path();
             if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if name.starts_with(SNAPSHOT_PREFIX) || name == LOG_FILE {
+                if name.starts_with(SNAPSHOT_PREFIX)
+                    || name.starts_with(DELTA_PREFIX)
+                    || name == LOG_FILE
+                {
                     fs::remove_file(&path)?;
                 }
             }
@@ -523,11 +867,78 @@ impl BlockStore {
             .append(true)
             .open(dir.join(LOG_FILE))?;
         Ok(Self {
-            dir,
-            log,
+            dir: dir.clone(),
             snapshot_every,
             blocks_since_snapshot: 0,
+            incremental: false,
+            compact_log: false,
+            flush_every: 1,
+            prev_artifact: None,
+            deltas_since_full: 0,
+            events_mark: 0,
+            log_bytes_pending: 0,
+            stats: PersistStats::default(),
+            writer: Writer::Inline(LogWriter {
+                dir,
+                log: BufWriter::new(log),
+                flush_every: 1,
+                appends_since_flush: 0,
+            }),
         })
+    }
+
+    /// Flush the log buffer to the OS every `n` appends (`0` = only at
+    /// snapshots and drains). The default of 1 keeps the torn-tail
+    /// window at a single record; larger values trade that window for
+    /// fewer syscalls. See the module docs for the guarantee.
+    pub fn with_flush_every(mut self, n: u64) -> Self {
+        self.flush_every = n;
+        if let Writer::Inline(w) = &mut self.writer {
+            w.flush_every = n;
+        }
+        self
+    }
+
+    /// Enables incremental (delta) snapshots at cadence points, with a
+    /// full rebase every [`REBASE_EVERY`]-th snapshot.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Enables log compaction: `blocks.log` is truncated after each
+    /// successful snapshot publish, bounding it by one snapshot
+    /// interval. See the module docs for the recovery tradeoff.
+    pub fn with_compaction(mut self, on: bool) -> Self {
+        self.compact_log = on;
+        self
+    }
+
+    /// Moves all disk writes to a dedicated background thread behind a
+    /// bounded double-buffered channel. FIFO handoff keeps the on-disk
+    /// artifact sequence identical to the synchronous path;
+    /// [`BlockStore::drain`] is the completion barrier.
+    pub fn with_background_writer(mut self, on: bool) -> Self {
+        if !on {
+            return self;
+        }
+        let placeholder = Writer::Background {
+            tx: std::sync::mpsc::sync_channel(0).0,
+            handle: None,
+        };
+        if let Writer::Inline(mut w) = std::mem::replace(&mut self.writer, placeholder) {
+            w.flush_every = self.flush_every;
+            let (tx, rx) = std::sync::mpsc::sync_channel(2);
+            let handle = std::thread::Builder::new()
+                .name("dragoon-block-writer".into())
+                .spawn(move || writer_loop(w, rx))
+                .expect("spawn block-writer thread");
+            self.writer = Writer::Background {
+                tx,
+                handle: Some(handle),
+            };
+        }
+        self
     }
 
     /// The store directory.
@@ -535,8 +946,75 @@ impl BlockStore {
         &self.dir
     }
 
-    /// Appends one framed record (`len ‖ checksum ‖ payload`) and
-    /// flushes, so a crash can tear at most the final frame.
+    /// Counters describing what was written so far. With the background
+    /// writer, counts reflect enqueued work (the byte math happens on
+    /// the enqueueing side); call [`BlockStore::drain`] first if the
+    /// numbers must describe durable state.
+    pub fn stats(&self) -> PersistStats {
+        self.stats
+    }
+
+    /// Bumps the overlapped-verification counters (they live here so the
+    /// PERSIST stats line covers the whole pipeline).
+    pub fn record_overlap(&mut self, hits: u64, misses: u64) {
+        self.stats.overlap_hits += hits;
+        self.stats.overlap_misses += misses;
+    }
+
+    /// Hands one unit of work to the writer (inline: runs it now).
+    fn dispatch(&mut self, cmd: WriterCmd) -> Result<(), StoreError> {
+        match &mut self.writer {
+            Writer::Inline(w) => match cmd {
+                WriterCmd::Frame(frame) => w.append_frame(&frame),
+                WriterCmd::Publish {
+                    tmp,
+                    dest,
+                    bytes,
+                    compact,
+                    prune_below,
+                } => w.publish(&tmp, &dest, &bytes, compact, prune_below),
+                WriterCmd::Drain(ack) => {
+                    w.flush_all()?;
+                    let _ = ack.send(());
+                    Ok(())
+                }
+            },
+            Writer::Background { tx, handle } => {
+                if tx.send(cmd).is_err() {
+                    // The writer died on an earlier command: join the
+                    // thread to surface its error.
+                    return Err(match handle.take().map(JoinHandle::join) {
+                        Some(Ok(Err(e))) => e,
+                        Some(Err(_)) => StoreError::Io("block writer panicked".into()),
+                        _ => StoreError::Io("block writer exited".into()),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The drain barrier: blocks until every handed-off append and
+    /// snapshot publish has hit the filesystem and the log buffer is
+    /// flushed. For the synchronous writer this is just the flush. Call
+    /// before reading the store's files — e.g. prior to an in-process
+    /// [`Chain::recover_from`] — and at run end.
+    pub fn drain(&mut self) -> Result<(), StoreError> {
+        let (ack_tx, ack_rx) = std::sync::mpsc::sync_channel(1);
+        self.dispatch(WriterCmd::Drain(ack_tx))?;
+        if let Writer::Background { handle, .. } = &mut self.writer {
+            if ack_rx.recv().is_err() {
+                return Err(match handle.take().map(JoinHandle::join) {
+                    Some(Ok(Err(e))) => e,
+                    Some(Err(_)) => StoreError::Io("block writer panicked".into()),
+                    _ => StoreError::Io("block writer exited".into()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one framed record (`len ‖ checksum ‖ payload`).
     fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(
@@ -546,9 +1024,10 @@ impl BlockStore {
         );
         frame.extend_from_slice(&checksum(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.log.write_all(&frame)?;
-        self.log.flush()?;
-        Ok(())
+        self.stats.blocks_appended += 1;
+        self.stats.log_bytes_written += frame.len() as u64;
+        self.log_bytes_pending += frame.len() as u64;
+        self.dispatch(WriterCmd::Frame(frame))
     }
 
     /// Whether the cadence calls for a snapshot after this block.
@@ -565,23 +1044,94 @@ impl BlockStore {
         }
     }
 
-    /// Writes a checksummed full-state snapshot for `round`, atomically
-    /// (write to a temp name, then rename).
-    fn write_snapshot(&self, round: u64, payload: &[u8]) -> Result<(), StoreError> {
-        let final_path = snapshot_path(&self.dir, round);
-        let tmp_path = final_path.with_extension("tmp");
+    /// The round the next snapshot should delta against, or `None` when
+    /// a full snapshot is due (incremental off, no base yet, or rebase).
+    fn delta_base(&self) -> Option<u64> {
+        if !self.incremental || self.deltas_since_full + 1 >= REBASE_EVERY {
+            return None;
+        }
+        self.prev_artifact
+    }
+
+    /// The chain event-log length at the last snapshot.
+    fn chain_events_mark(&self) -> usize {
+        self.events_mark
+    }
+
+    fn set_chain_events_mark(&mut self, mark: usize) {
+        self.events_mark = mark;
+    }
+
+    /// Publishes one snapshot artifact (checksummed, atomic, durable)
+    /// and runs the compaction/prune policy.
+    fn publish_artifact(
+        &mut self,
+        round: u64,
+        payload: &[u8],
+        full: bool,
+    ) -> Result<(), StoreError> {
+        let dest = if full {
+            snapshot_path(&self.dir, round)
+        } else {
+            delta_path(&self.dir, round)
+        };
+        let tmp = dest.with_extension("tmp");
         let mut bytes = Vec::with_capacity(4 + payload.len());
         bytes.extend_from_slice(&checksum(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
-        fs::write(&tmp_path, &bytes)?;
-        fs::rename(&tmp_path, &final_path)?;
-        Ok(())
+        self.stats.snapshot_bytes_written += bytes.len() as u64;
+        if full {
+            self.stats.full_snapshots += 1;
+            self.deltas_since_full = 0;
+        } else {
+            self.stats.delta_snapshots += 1;
+            self.deltas_since_full += 1;
+        }
+        if self.compact_log {
+            self.stats.compactions += 1;
+            self.stats.log_bytes_truncated += self.log_bytes_pending;
+            self.log_bytes_pending = 0;
+        }
+        // Old artifacts are pruned only once a *full* rebase is durable
+        // (a delta still needs its base chain), and only under the
+        // compaction policy — without it the store keeps full history.
+        let prune_below = (full && self.compact_log).then_some(round);
+        self.prev_artifact = Some(round);
+        self.dispatch(WriterCmd::Publish {
+            tmp,
+            dest,
+            bytes,
+            compact: self.compact_log,
+            prune_below,
+        })
     }
 }
 
-/// The newest snapshot in `dir` whose checksum validates, as raw state
-/// image bytes. Corrupt snapshots fall back to the next older one.
-fn latest_snapshot(dir: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+impl Drop for BlockStore {
+    /// Best-effort implicit drain: flush the synchronous writer, or
+    /// close the channel and join the background thread so every
+    /// handed-off write lands before the store disappears.
+    fn drop(&mut self) {
+        match &mut self.writer {
+            Writer::Inline(w) => {
+                let _ = w.flush_all();
+            }
+            Writer::Background { tx, handle } => {
+                // Replace the sender with a dead one so the writer's
+                // receive loop ends, then join it.
+                *tx = std::sync::mpsc::sync_channel(0).0;
+                if let Some(h) = handle.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+/// The newest full snapshot in `dir` whose checksum validates, as
+/// `(round, state image bytes)`. Corrupt snapshots fall back to the
+/// next older one.
+fn latest_snapshot(dir: &Path) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
     let mut rounds: Vec<u64> = Vec::new();
     if !dir.exists() {
         return Ok(None);
@@ -601,18 +1151,59 @@ fn latest_snapshot(dir: &Path) -> Result<Option<Vec<u8>>, StoreError> {
     }
     rounds.sort_unstable();
     for round in rounds.into_iter().rev() {
-        let bytes = fs::read(snapshot_path(dir, round))?;
-        if bytes.len() < 4 {
-            continue;
-        }
-        let stored = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-        let payload = &bytes[4..];
-        if checksum(payload) == stored {
-            return Ok(Some(payload.to_vec()));
+        if let Some(payload) = read_checksummed(&snapshot_path(dir, round))? {
+            return Ok(Some((round, payload)));
         }
         // Corrupt snapshot: fall through to the next older one.
     }
     Ok(None)
+}
+
+/// Reads one checksummed artifact file; `None` if the checksum does not
+/// validate (the file is torn or bit-rotted).
+fn read_checksummed(path: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 4 {
+        return Ok(None);
+    }
+    let stored = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let payload = &bytes[4..];
+    if checksum(payload) == stored {
+        Ok(Some(payload.to_vec()))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Every checksum-valid delta artifact in `dir`, ascending by round.
+/// Invalid files are skipped — composition stops at the first missing
+/// link anyway.
+fn read_deltas(dir: &Path) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+    let mut rounds: Vec<u64> = Vec::new();
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(round) = name
+            .strip_prefix(DELTA_PREFIX)
+            .and_then(|n| n.strip_suffix(SNAPSHOT_SUFFIX))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            rounds.push(round);
+        }
+    }
+    rounds.sort_unstable();
+    let mut out = Vec::with_capacity(rounds.len());
+    for round in rounds {
+        if let Some(payload) = read_checksummed(&delta_path(dir, round))? {
+            out.push((round, payload));
+        }
+    }
+    Ok(out)
 }
 
 /// One decoded block record from `blocks.log`.
@@ -670,7 +1261,7 @@ fn read_log<M: Persist>(dir: &Path) -> Result<Vec<BlockRecord<M>>, StoreError> {
 
 impl<S> Chain<S>
 where
-    S: StateMachine + Persist,
+    S: StateMachine + PersistDelta,
     S::Msg: Persist,
     S::Event: Persist,
 {
@@ -711,11 +1302,69 @@ where
         Ok(())
     }
 
+    /// The incremental counterpart of [`Chain::state_image`]: only what
+    /// was written since the previous artifact (dirty contract and
+    /// ledger working sets, the block and event suffixes), chained on
+    /// `base_round`. Applying it over the state the base artifact
+    /// decodes to reproduces the full image bit-identically.
+    fn delta_image(&self, base_round: u64, events_mark: usize) -> Vec<u8> {
+        debug_assert_eq!(
+            self.blocks.len() as u64,
+            self.round,
+            "one block per round is the invariant the block suffix relies on"
+        );
+        let mut out = Vec::new();
+        self.round.put(&mut out);
+        self.next_seq.put(&mut out);
+        base_round.put(&mut out);
+        self.contract.put_delta(&mut out);
+        self.ledger.put_delta(&mut out);
+        self.blocks[usize::try_from(base_round)
+            .unwrap_or(usize::MAX)
+            .min(self.blocks.len())..]
+            .to_vec()
+            .put(&mut out);
+        self.events[events_mark.min(self.events.len())..]
+            .to_vec()
+            .put(&mut out);
+        out
+    }
+
+    /// Applies one delta image over the current state. Validates the
+    /// chain link (`expect_base`) before mutating anything, so a broken
+    /// link leaves the composed state untouched. Returns the round the
+    /// delta lands on.
+    fn apply_delta_image(&mut self, bytes: &[u8], expect_base: u64) -> Result<u64, StoreError> {
+        let mut r = Reader::new(bytes);
+        let round = u64::get(&mut r)?;
+        let next_seq = u64::get(&mut r)?;
+        let base = u64::get(&mut r)?;
+        if base != expect_base {
+            return Err(corrupt(format!(
+                "delta for round {round} chains on {base}, composed state is at {expect_base}"
+            )));
+        }
+        self.contract.apply_delta(&mut r)?;
+        self.ledger.apply_delta(&mut r)?;
+        let blocks: Vec<Block> = Vec::get(&mut r)?;
+        self.blocks.extend(blocks);
+        let events: Vec<(u64, S::Event)> = Vec::get(&mut r)?;
+        self.events.extend(events);
+        if !r.is_empty() {
+            return Err(corrupt("delta image has trailing bytes"));
+        }
+        self.round = round;
+        self.next_seq = next_seq;
+        Ok(round)
+    }
+
     /// Persists the most recently produced block: appends its executed
     /// transactions to `blocks.log` and, at the configured cadence,
-    /// writes a full-state snapshot. Call once after every
-    /// `advance_round*`; requires [`Chain::set_record_block_txs`] to be
-    /// on so the block's landed transactions are available.
+    /// publishes a snapshot — full, or (with
+    /// [`BlockStore::with_incremental`]) a delta against the previous
+    /// artifact. Call once after every `advance_round*`; requires
+    /// [`Chain::set_record_block_txs`] to be on so the block's landed
+    /// transactions are available.
     pub fn persist_block(&mut self, store: &mut BlockStore) -> Result<(), StoreError> {
         debug_assert!(
             self.record_block_txs,
@@ -727,15 +1376,31 @@ where
         self.last_block_txs.put(&mut payload);
         store.append(&payload)?;
         if store.snapshot_due() {
-            store.write_snapshot(self.round, &self.state_image())?;
+            match store.delta_base() {
+                Some(base) => {
+                    store.stats.dirty_units_encoded +=
+                        (self.contract.dirty_units() + self.ledger.dirty_units()) as u64;
+                    let image = self.delta_image(base, store.chain_events_mark());
+                    store.publish_artifact(self.round, &image, false)?;
+                }
+                None => {
+                    store.publish_artifact(self.round, &self.state_image(), true)?;
+                }
+            }
+            // Reset the dirty baseline: the next delta covers only what
+            // this snapshot did not.
+            self.contract.mark_clean();
+            self.ledger.mark_clean();
+            store.set_chain_events_mark(self.events.len());
         }
         Ok(())
     }
 
     /// Recovers a chain from a store directory: loads the newest valid
-    /// snapshot (if any), then replays the block-log tail through the
-    /// serial executor. `genesis` must be constructed exactly as the
-    /// live run's chain was before its first block (same deploy, same
+    /// full snapshot (if any), composes any newer delta artifacts in
+    /// round order, then replays the block-log tail through the serial
+    /// executor. `genesis` must be constructed exactly as the live
+    /// run's chain was before its first block (same deploy, same
     /// genesis mints, same configuration) — the same contract every
     /// `dragoon-net` replica starts from.
     ///
@@ -744,7 +1409,10 @@ where
     /// the exact landed transaction sequence through the same journaled
     /// execution path, which the equivalence suites pin to the parallel
     /// production path at every thread count. A torn final record is
-    /// discarded, not half-applied.
+    /// discarded, not half-applied; a corrupt or missing delta ends the
+    /// composition at the last intact link (the log tail covers the
+    /// rest when compaction is off — see the module docs for the
+    /// compaction tradeoff).
     pub fn recover_from(dir: impl AsRef<Path>, genesis: Self) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
         let mut chain = genesis;
@@ -752,12 +1420,27 @@ where
             chain.clone_checkpoint.is_none(),
             "recovery replays through the journal path"
         );
-        if let Some(image) = latest_snapshot(dir)? {
+        let mut composed = 0u64;
+        if let Some((round, image)) = latest_snapshot(dir)? {
             chain.restore_image(&image)?;
+            composed = round;
+        }
+        for (round, bytes) in read_deltas(dir)? {
+            if round <= composed {
+                continue; // covered by the full snapshot or an earlier delta
+            }
+            match chain.apply_delta_image(&bytes, composed) {
+                Ok(landed) => composed = landed,
+                // Broken chain link (e.g. the delta's base was itself
+                // corrupt and skipped): stop composing, fall back to
+                // log replay from here.
+                Err(StoreError::Corrupt(_)) => break,
+                Err(e) => return Err(e),
+            }
         }
         for record in read_log::<S::Msg>(dir)? {
             if record.round <= chain.round {
-                continue; // covered by the snapshot
+                continue; // covered by the snapshot/delta chain
             }
             if record.round != chain.round + 1 {
                 return Err(corrupt(format!(

@@ -1033,6 +1033,17 @@ impl HitContract {
         std::mem::take(&mut self.pending_verdicts)
     }
 
+    /// The queued verdicts' VPKE items, flattened in queue order, without
+    /// draining (or journaling) anything — the overlapped-verification
+    /// path reads these to start the batch early, then checks at the
+    /// block boundary that the drained queue still matches.
+    pub(crate) fn peek_pending_items(&self) -> Vec<(DecryptionStatement, DecryptionProof)> {
+        self.pending_verdicts
+            .iter()
+            .flat_map(|v| v.items.iter().copied())
+            .collect()
+    }
+
     /// Applies drained verdicts given the verification result of each of
     /// their items (`results` aligned with the verdicts' items,
     /// flattened in order).

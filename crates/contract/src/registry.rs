@@ -29,7 +29,7 @@
 use crate::contract::{BatchStats, HitContract, HitError, HitEvent, PendingVerdict};
 use crate::msg::{HitMessage, PublishParams};
 use crate::PhaseWindows;
-use dragoon_chain::store::{Persist, Reader, StoreError};
+use dragoon_chain::store::{Persist, PersistDelta, Reader, StoreError};
 use dragoon_chain::{
     resolve_threads, AccessSet, CalldataStats, CaptureStateMachine, ChainMessage, ExecEnv,
     Journaled, ParallelStateMachine, StateJournal, StateMachine,
@@ -176,6 +176,14 @@ fn shard_of(id: HitId) -> usize {
 /// threads while the registry sits between transactions.
 struct ShardedHits {
     shards: Vec<RwLock<BTreeMap<HitId, HitInstance>>>,
+    /// Instance ids handed out mutably (or inserted/removed) since the
+    /// last [`ShardedHits::mark_clean`] — the working set an incremental
+    /// snapshot encodes. An over-approximation: `inst_mut` marks even
+    /// when the caller only reads, and the serial vs. parallel executors
+    /// over-approximate differently (rollbacks mark too), so delta
+    /// *bytes* are not thread-count-deterministic — the composed state
+    /// is. Transient bookkeeping: excluded from equality and encoding.
+    dirty: BTreeSet<HitId>,
 }
 
 impl ShardedHits {
@@ -184,6 +192,7 @@ impl ShardedHits {
             shards: (0..SHARD_COUNT)
                 .map(|_| RwLock::new(BTreeMap::new()))
                 .collect(),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -210,6 +219,7 @@ impl ShardedHits {
 
     /// Lock-free exclusive access (`&mut self` proves no reader exists).
     fn inst_mut(&mut self, id: HitId) -> Option<&mut HitInstance> {
+        self.dirty.insert(id);
         self.shards[shard_of(id)]
             .get_mut()
             .expect("shard lock poisoned")
@@ -217,6 +227,7 @@ impl ShardedHits {
     }
 
     fn insert(&mut self, id: HitId, inst: HitInstance) {
+        self.dirty.insert(id);
         self.shards[shard_of(id)]
             .get_mut()
             .expect("shard lock poisoned")
@@ -224,10 +235,29 @@ impl ShardedHits {
     }
 
     fn remove(&mut self, id: HitId) {
+        self.dirty.insert(id);
         self.shards[shard_of(id)]
             .get_mut()
             .expect("shard lock poisoned")
             .remove(&id);
+    }
+
+    /// The dirty working set as `(id, instance-or-tombstone)` pairs,
+    /// ascending by id — what an incremental snapshot encodes. `None`
+    /// means the instance no longer exists (removed since the mark).
+    fn delta_instances(&self) -> Vec<(HitId, Option<HitInstance>)> {
+        self.dirty
+            .iter()
+            .map(|&id| (id, self.read_shard(id).get(&id).cloned()))
+            .collect()
+    }
+
+    fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    fn mark_clean(&mut self) {
+        self.dirty.clear();
     }
 
     fn len(&self) -> usize {
@@ -272,6 +302,7 @@ impl Clone for ShardedHits {
                 .iter()
                 .map(|s| RwLock::new(s.read().expect("shard lock poisoned").clone()))
                 .collect(),
+            dirty: self.dirty.clone(),
         }
     }
 }
@@ -336,6 +367,48 @@ enum RegistryUndo {
     Stats(BatchStats),
 }
 
+/// An in-flight overlapped settlement verification: the pending-verdict
+/// layout it was started from (per live instance, flattened VPKE items)
+/// and the thread computing the chunk verdicts.
+struct OverlapJob {
+    expected: Vec<(HitId, Vec<(DecryptionStatement, DecryptionProof)>)>,
+    handle: std::thread::JoinHandle<Vec<Vec<bool>>>,
+}
+
+/// Overlapped-verification bookkeeping. Local machinery, like the
+/// journal: excluded from equality, encoding, and clones (a cloned
+/// registry — replica, checkpoint — starts with no job in flight).
+#[derive(Default)]
+struct OverlapState {
+    pending: Option<OverlapJob>,
+    /// Joins whose pending set matched the drained one (precomputed
+    /// verdicts used).
+    hits: u64,
+    /// Joins whose layout changed between handoff and the block
+    /// boundary (verdicts recomputed inline).
+    misses: u64,
+}
+
+impl Clone for OverlapState {
+    fn clone(&self) -> Self {
+        Self {
+            pending: None,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+impl fmt::Debug for OverlapState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OverlapState")
+            .field("pending", &self.pending.is_some())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
 /// The marketplace registry contract.
 #[derive(Clone, Debug)]
 pub struct HitRegistry {
@@ -353,6 +426,9 @@ pub struct HitRegistry {
     /// Thread budget for block-boundary settlement verification
     /// (`0` = resolve from `DRAGOON_THREADS` / available parallelism).
     verify_threads: usize,
+    /// In-flight overlapped verification (see
+    /// [`HitRegistry::begin_overlap_verify`]).
+    overlap: OverlapState,
 }
 
 impl PartialEq for HitRegistry {
@@ -508,6 +584,7 @@ impl HitRegistry {
             batch_stats: BatchStats::default(),
             journal: StateJournal::new(),
             verify_threads: 0,
+            overlap: OverlapState::default(),
         }
     }
 
@@ -583,6 +660,105 @@ impl HitRegistry {
         self.hits
             .for_each(|_, inst| total.absorb(&inst.hit.batch_stats()));
         total
+    }
+
+    /// Kicks off block N's settlement verification on a background
+    /// thread so it overlaps round N+1's agent-step generation and
+    /// proving. Snapshots every live instance's queued verdict items
+    /// (without draining — the queues stay journal-consistent) and
+    /// starts the same `par_batch_verify_chunks_with` fan-out the next
+    /// clock tick would run. The tick joins the job and uses the
+    /// precomputed verdicts only if the drained queues still match the
+    /// snapshot exactly (the guarantee the round structure provides:
+    /// between the end of round N and round N+1's boundary, only the
+    /// mempool fills); any mismatch falls back to inline verification,
+    /// so committed state is byte-identical either way — verdicts are
+    /// pure functions of (statement, proof).
+    ///
+    /// No-op when a job is already in flight, when nothing is queued,
+    /// or in per-proof mode (queues are always empty there). Replicas
+    /// and recovery never call this, so replay takes the inline path.
+    pub fn begin_overlap_verify(&mut self) {
+        if self.overlap.pending.is_some() {
+            return;
+        }
+        let mut expected: Vec<(HitId, Vec<(DecryptionStatement, DecryptionProof)>)> = Vec::new();
+        for &id in &self.live {
+            let items = self
+                .hits
+                .with(id, |inst| {
+                    if inst.hit.is_settled() {
+                        Vec::new()
+                    } else {
+                        inst.hit.peek_pending_items()
+                    }
+                })
+                .unwrap_or_default();
+            if !items.is_empty() {
+                expected.push((id, items));
+            }
+        }
+        if expected.is_empty() {
+            return;
+        }
+        let threads = resolve_threads(self.verify_threads);
+        let chunks: Vec<Vec<(DecryptionStatement, DecryptionProof)>> =
+            expected.iter().map(|(_, items)| items.clone()).collect();
+        let handle = std::thread::Builder::new()
+            .name("dragoon-overlap-verify".into())
+            .spawn(move || {
+                let chunk_refs: Vec<&[(DecryptionStatement, DecryptionProof)]> =
+                    chunks.iter().map(Vec::as_slice).collect();
+                vpke::par_batch_verify_chunks_with(&chunk_refs, threads)
+            })
+            .expect("spawn overlap-verify thread");
+        self.overlap.pending = Some(OverlapJob { expected, handle });
+    }
+
+    /// Joins (and discards) any in-flight overlapped verification — the
+    /// run-end barrier, so no verifier thread outlives the registry's
+    /// useful life.
+    pub fn join_overlap(&mut self) {
+        if let Some(job) = self.overlap.pending.take() {
+            let _ = job.handle.join();
+        }
+    }
+
+    /// Overlapped-verification counters: `(hits, misses)` — joins whose
+    /// precomputed verdicts were used vs. recomputed inline.
+    pub fn overlap_stats(&self) -> (u64, u64) {
+        (self.overlap.hits, self.overlap.misses)
+    }
+
+    /// Joins the in-flight overlap job (if any) and returns its chunk
+    /// verdicts when the drained pending set matches the layout the job
+    /// was started from; `None` (recompute inline) otherwise.
+    fn take_overlap_results(
+        &mut self,
+        drained: &[(HitId, Vec<PendingVerdict>)],
+    ) -> Option<Vec<Vec<bool>>> {
+        let job = self.overlap.pending.take()?;
+        let verdicts = job.handle.join().expect("overlap verifier panicked");
+        let matches = job.expected.len() == drained.len()
+            && job.expected.iter().zip(drained).all(
+                |((expect_id, expect_items), (id, pending))| {
+                    expect_id == id
+                        && pending.iter().map(|v| v.items.len()).sum::<usize>()
+                            == expect_items.len()
+                        && pending
+                            .iter()
+                            .flat_map(|v| v.items.iter())
+                            .zip(expect_items)
+                            .all(|(a, b)| a == b)
+                },
+            );
+        if matches {
+            self.overlap.hits += 1;
+            Some(verdicts)
+        } else {
+            self.overlap.misses += 1;
+            None
+        }
     }
 }
 
@@ -690,26 +866,36 @@ impl StateMachine for HitRegistry {
                 drained.push((id, pending));
             }
         }
+        // Join any overlapped verification started after the previous
+        // block — outside the emptiness guard, so a stale job can never
+        // linger (an empty drain against a non-empty snapshot is a
+        // mismatch and the job is discarded).
+        let precomputed = self.take_overlap_results(&drained);
         // Guard on drained verdicts, not items: a verdict whose proof
         // has zero VPKE items (all mismatches publicly visible) is
         // vacuously valid and must still be applied.
         if !drained.is_empty() {
-            let chunks: Vec<Vec<(DecryptionStatement, DecryptionProof)>> = drained
+            let total: usize = drained
                 .iter()
-                .map(|(_, pending)| {
-                    pending
-                        .iter()
-                        .flat_map(|v| v.items.iter().copied())
-                        .collect()
-                })
-                .collect();
-            let total: usize = chunks.iter().map(Vec::len).sum();
-            let chunk_refs: Vec<&[(DecryptionStatement, DecryptionProof)]> =
-                chunks.iter().map(Vec::as_slice).collect();
-            let results = vpke::par_batch_verify_chunks_with(
-                &chunk_refs,
-                resolve_threads(self.verify_threads),
-            );
+                .map(|(_, pending)| pending.iter().map(|v| v.items.len()).sum::<usize>())
+                .sum();
+            let results = precomputed.unwrap_or_else(|| {
+                let chunks: Vec<Vec<(DecryptionStatement, DecryptionProof)>> = drained
+                    .iter()
+                    .map(|(_, pending)| {
+                        pending
+                            .iter()
+                            .flat_map(|v| v.items.iter().copied())
+                            .collect()
+                    })
+                    .collect();
+                let chunk_refs: Vec<&[(DecryptionStatement, DecryptionProof)]> =
+                    chunks.iter().map(Vec::as_slice).collect();
+                vpke::par_batch_verify_chunks_with(
+                    &chunk_refs,
+                    resolve_threads(self.verify_threads),
+                )
+            });
             if total > 0 {
                 let prior = self.batch_stats;
                 self.journal.record(RegistryUndo::Stats(prior));
@@ -1082,6 +1268,9 @@ impl Persist for ShardedHits {
                 hits.insert(id, HitInstance::get(r)?);
             }
         }
+        // Decoding is not mutation: a freshly restored registry starts
+        // with a clean working set.
+        hits.mark_clean();
         Ok(hits)
     }
 }
@@ -1116,7 +1305,50 @@ impl Persist for HitRegistry {
             batch_stats,
             journal: StateJournal::new(),
             verify_threads: 0,
+            overlap: OverlapState::default(),
         })
+    }
+}
+
+impl PersistDelta for HitRegistry {
+    /// The instance working set (with tombstones) plus the small scalar
+    /// state. The live set is encoded in full — it is bare ids, pennies
+    /// next to the instances — so a delta needs no set-difference
+    /// encoding to compose it.
+    fn put_delta(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            !self.journal.recording(),
+            "registry snapshots are taken between transactions"
+        );
+        self.hits.delta_instances().put(out);
+        self.live.iter().copied().collect::<Vec<HitId>>().put(out);
+        self.next_id.put(out);
+        self.batch_stats.put(out);
+    }
+
+    fn apply_delta(&mut self, r: &mut Reader<'_>) -> Result<(), StoreError> {
+        let instances: Vec<(HitId, Option<HitInstance>)> = Vec::get(r)?;
+        for (id, inst) in instances {
+            match inst {
+                Some(inst) => self.hits.insert(id, inst),
+                None => self.hits.remove(id),
+            }
+        }
+        // Applying a delta is restoration, not mutation.
+        self.hits.mark_clean();
+        let live: Vec<HitId> = Vec::get(r)?;
+        self.live = live.into_iter().collect();
+        self.next_id = HitId::get(r)?;
+        self.batch_stats = BatchStats::get(r)?;
+        Ok(())
+    }
+
+    fn mark_clean(&mut self) {
+        self.hits.mark_clean();
+    }
+
+    fn dirty_units(&self) -> usize {
+        self.hits.dirty_len()
     }
 }
 

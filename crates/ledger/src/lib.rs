@@ -148,6 +148,14 @@ pub struct Ledger {
     /// Accumulated successful freeze debits per delta account, summed at
     /// merge against the canonical base entry.
     debits: std::collections::BTreeMap<Address, Amount>,
+    /// Accounts whose balance entry was written since the last
+    /// [`Ledger::mark_delta_clean`] — the working set an incremental
+    /// snapshot encodes instead of the whole balance table. Tracked on
+    /// the canonical ledger; shadows carry (and discard) their own.
+    dirty: std::collections::BTreeSet<Address>,
+    /// Length of `events` at the last [`Ledger::mark_delta_clean`]; the
+    /// suffix past it is the event delta since the previous snapshot.
+    events_mark: usize,
 }
 
 impl PartialEq for Ledger {
@@ -213,14 +221,17 @@ impl Ledger {
     /// Applies one undo record (shared by rollback and capture-revert).
     fn apply_undo(&mut self, undo: LedgerUndo) {
         match undo {
-            LedgerUndo::Balance { account, prior } => match prior {
-                Some(amount) => {
-                    self.balances.insert(account, amount);
+            LedgerUndo::Balance { account, prior } => {
+                self.dirty.insert(account);
+                match prior {
+                    Some(amount) => {
+                        self.balances.insert(account, amount);
+                    }
+                    None => {
+                        self.balances.remove(&account);
+                    }
                 }
-                None => {
-                    self.balances.remove(&account);
-                }
-            },
+            }
             LedgerUndo::Event => {
                 self.events.pop();
             }
@@ -247,6 +258,7 @@ impl Ledger {
     /// Journals the prior value of `account`'s balance entry without
     /// recording any touch (the caller records the appropriate class).
     fn journal_balance(&mut self, account: Address) {
+        self.dirty.insert(account);
         let balances = &self.balances;
         self.journal.record_with(|| LedgerUndo::Balance {
             account,
@@ -339,6 +351,8 @@ impl Ledger {
             touches: TouchSet::tracking(),
             delta_accounts: delta_accounts.into_iter().collect(),
             debits: std::collections::BTreeMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            events_mark: 0,
         }
     }
 
@@ -359,6 +373,7 @@ impl Ledger {
     /// validation proved the sum fits the base entry. Bypasses journal
     /// and events, like [`Ledger::merge_entry`].
     pub fn apply_debit(&mut self, account: Address, delta: Amount) {
+        self.dirty.insert(account);
         let entry = self
             .balances
             .get_mut(&account)
@@ -387,6 +402,7 @@ impl Ledger {
     /// one that never existed). Bypasses journal and events — merging
     /// happens between transactions, after conflict validation.
     pub fn merge_entry(&mut self, account: Address, entry: Option<Amount>) {
+        self.dirty.insert(account);
         match entry {
             Some(v) => {
                 self.balances.insert(account, v);
@@ -402,6 +418,39 @@ impl Ledger {
     /// committed log is identical to serial execution's).
     pub fn append_events(&mut self, events: &[LedgerEvent]) {
         self.events.extend_from_slice(events);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental-snapshot support (dirty-entry tracking)
+    // ------------------------------------------------------------------
+
+    /// The balance entries written since the last
+    /// [`Ledger::mark_delta_clean`], address-sorted, with `None` marking
+    /// entries that no longer exist (tombstones). Replaying these over
+    /// the previous snapshot's balance table reproduces the current one.
+    pub fn delta_entries(&self) -> Vec<(Address, Option<Amount>)> {
+        self.dirty
+            .iter()
+            .map(|a| (*a, self.balances.get(a).copied()))
+            .collect()
+    }
+
+    /// The events appended since the last [`Ledger::mark_delta_clean`].
+    pub fn delta_events(&self) -> &[LedgerEvent] {
+        &self.events[self.events_mark..]
+    }
+
+    /// Number of dirty balance entries (the delta's working-set size).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Resets the delta baseline: clears the dirty set and marks the
+    /// current event-log length. Call after encoding a snapshot (full or
+    /// incremental) so the next delta covers only what changes after it.
+    pub fn mark_delta_clean(&mut self) {
+        self.dirty.clear();
+        self.events_mark = self.events.len();
     }
 
     /// **FreezeCoins**: contract `contract` freezes `amount` from `party`.
@@ -818,6 +867,39 @@ mod tests {
         s.rollback_tx();
         assert_eq!(s.debit_total(&addr(1)), None);
         assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn delta_entries_track_the_working_set_with_tombstones() {
+        let mut l = Ledger::new();
+        l.mint(addr(1), 100);
+        l.mint(addr(2), 50);
+        l.mark_delta_clean();
+        assert!(l.delta_entries().is_empty());
+        assert!(l.delta_events().is_empty());
+        l.transfer(addr(1), addr(3), 10).unwrap();
+        let delta = l.delta_entries();
+        assert_eq!(delta, vec![(addr(1), Some(90)), (addr(3), Some(10))]);
+        assert_eq!(l.delta_events().len(), 1);
+        // Replaying the delta over the pre-delta table reproduces the
+        // current one.
+        let mut base = Ledger::from_parts([(addr(1), 100), (addr(2), 50)], Vec::new());
+        for (a, e) in delta {
+            base.merge_entry(a, e);
+        }
+        assert_eq!(base.accounts_sorted(), l.accounts_sorted());
+        // A rolled-back transaction still dirties what it touched, and an
+        // entry created-then-undone shows up as a tombstone.
+        l.mark_delta_clean();
+        l.begin_tx();
+        l.transfer(addr(2), addr(4), 5).unwrap();
+        l.rollback_tx();
+        assert_eq!(
+            l.delta_entries(),
+            vec![(addr(2), Some(50)), (addr(4), None)],
+            "rollback leaves the touched set dirty; the vanished entry is a tombstone"
+        );
+        assert!(l.delta_events().is_empty(), "the event undo popped it");
     }
 
     #[test]

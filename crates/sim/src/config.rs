@@ -113,21 +113,60 @@ pub struct MarketConfig {
 /// Configuration of the on-disk block store.
 #[derive(Clone, Debug)]
 pub struct PersistConfig {
-    /// Directory holding `blocks.log` and `snapshot-*.bin`. Created (and
-    /// any previous run's artifacts cleared) at market construction.
+    /// Directory holding `blocks.log`, `snapshot-*.bin` and
+    /// `delta-*.bin`. Created (and any previous run's artifacts cleared)
+    /// at market construction.
     pub dir: std::path::PathBuf,
-    /// Write a full-state snapshot every this many blocks (`0` = never;
+    /// Write a state snapshot every this many blocks (`0` = never;
     /// recovery then replays the whole log from genesis).
     pub snapshot_every: u64,
+    /// Snapshots at the cadence are incremental (dirty working set
+    /// against the previous artifact, periodic full rebases) instead of
+    /// full encodes. Recovery composes base + deltas bit-identically.
+    pub incremental: bool,
+    /// Truncate `blocks.log` after each successful snapshot publish so
+    /// the log stays bounded by one snapshot interval.
+    pub compact_log: bool,
+    /// Flush the log to the OS every this many appends (`0` = only at
+    /// snapshots and drains). 1 (default) keeps the torn-tail window at
+    /// a single record.
+    pub flush_every: u64,
+    /// Move disk writes to a dedicated writer thread behind a bounded
+    /// channel; the round loop hands off frames and keeps executing.
+    pub background_writer: bool,
+    /// Overlap block N's batched settlement verification with round
+    /// N+1's agent-step generation and proving (batched settlement
+    /// only; committed state stays byte-identical).
+    pub overlap_verify: bool,
 }
 
 impl PersistConfig {
     /// A store in `dir` with the default snapshot cadence (every 64
-    /// blocks).
+    /// blocks) and the synchronous, full-snapshot PR-8 behaviour: no
+    /// pipelining, flush on every append.
     pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             snapshot_every: 64,
+            incremental: false,
+            compact_log: false,
+            flush_every: 1,
+            background_writer: false,
+            overlap_verify: false,
+        }
+    }
+
+    /// The fully pipelined lifecycle: background writer, incremental
+    /// snapshots, log compaction and overlapped settlement verification,
+    /// with a relaxed (8-append) flush cadence.
+    pub fn pipelined(dir: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            incremental: true,
+            compact_log: true,
+            flush_every: 8,
+            background_writer: true,
+            overlap_verify: true,
+            ..Self::new(dir)
         }
     }
 }

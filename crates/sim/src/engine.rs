@@ -316,7 +316,12 @@ impl MarketSim {
         // The block store wipes any previous run's artifacts in the
         // directory and opens a fresh append handle.
         let block_store = config.persist.as_ref().map(|p| {
-            BlockStore::create(&p.dir, p.snapshot_every).expect("block store dir must be writable")
+            BlockStore::create(&p.dir, p.snapshot_every)
+                .expect("block store dir must be writable")
+                .with_flush_every(p.flush_every)
+                .with_incremental(p.incremental)
+                .with_compaction(p.compact_log)
+                .with_background_writer(p.background_writer)
         });
         if net.is_some() || block_store.is_some() {
             // Record each produced block's executed transaction list so
@@ -430,6 +435,31 @@ impl MarketSim {
                 net.broadcast_block(self.chain.last_block_txs().to_vec());
             }
             self.harvest();
+            // Pipeline stage 3: kick block N's batched settlement
+            // verification onto a background thread, so it overlaps
+            // round N+1's agent-step generation and proving. The next
+            // clock tick joins it before the first settlement verdict
+            // is read; between here and there only the mempool fills,
+            // so the pending set cannot change and the precomputed
+            // verdicts apply (registry misses fall back inline).
+            if self
+                .config
+                .persist
+                .as_ref()
+                .is_some_and(|p| p.overlap_verify)
+            {
+                self.chain.contract_mut().begin_overlap_verify();
+            }
+        }
+        // Run-end barriers, in pipeline order: no verifier thread
+        // outlives the run, and every handed-off block frame and
+        // snapshot is on disk before the report is built (crash
+        // recovery reads these files).
+        self.chain.contract_mut().join_overlap();
+        if let Some(store) = &mut self.store {
+            let (hits, misses) = self.chain.contract().overlap_stats();
+            store.record_overlap(hits, misses);
+            store.drain().expect("block store drain must succeed");
         }
         // The market is done producing; let the network converge
         // (queued deliveries land, partitions heal on schedule, forks
@@ -1192,6 +1222,7 @@ impl MarketSim {
             econ: self.econ.as_ref().map(|e| e.report(self.chain.round())),
             net: self.net.as_ref().map(NetSim::report),
             proving,
+            persist: self.store.as_ref().map(BlockStore::stats),
             outcomes,
             block_stats: self.block_stats.clone(),
         }

@@ -2,7 +2,7 @@
 //! aggregate [`MarketReport`] with hand-rolled JSON output (the compat
 //! serde is derive-only, so structured output is written directly).
 
-use dragoon_chain::{Gas, ParallelStats};
+use dragoon_chain::{Gas, ParallelStats, PersistStats};
 use dragoon_contract::{BatchStats, HitId, SettlementMode};
 use dragoon_econ::EconReport;
 use dragoon_net::NetReport;
@@ -124,6 +124,15 @@ pub struct MarketReport {
     /// [`MarketReport::to_json`] so pre-proving golden outputs stay
     /// stable.
     pub proving: ProvingStats,
+    /// The persistence-layer counters (`None` when the run kept no
+    /// block store). Log and snapshot *cadence* counters are
+    /// deterministic, but incremental-snapshot byte counts may differ
+    /// across executor thread counts (the serial and parallel executors
+    /// over-approximate the dirty working set differently) — emitted
+    /// via [`MarketReport::persist_json`], kept out of
+    /// [`MarketReport::to_json`] so that JSON stays the cross-thread
+    /// equivalence witness.
+    pub persist: Option<PersistStats>,
     /// Per-HIT outcomes, in id order.
     pub outcomes: Vec<HitOutcome>,
     /// Per-block footprints.
@@ -257,6 +266,17 @@ impl MarketReport {
         self.proving.to_json()
     }
 
+    /// The persistence-layer counters as one JSON object (`null` when
+    /// the run kept no block store). Deterministic at a fixed thread
+    /// count and fixed pipeline config; golden-gate only with
+    /// `exec_threads` pinned (delta byte counts track the executor's
+    /// dirty-set over-approximation).
+    pub fn persist_json(&self) -> String {
+        self.persist
+            .as_ref()
+            .map_or_else(|| "null".into(), PersistStats::to_json)
+    }
+
     /// A human-oriented multi-line summary for examples and logs.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -315,6 +335,23 @@ impl MarketReport {
         if let Some(net) = &self.net {
             out.push_str(&net.summary());
             out.push('\n');
+        }
+        if let Some(persist) = &self.persist {
+            out.push_str(&format!(
+                "store:  {} blocks logged ({}k bytes, {}k compacted away in {} truncations), \
+                 {} full + {} delta snapshots ({}k bytes, {} dirty units), \
+                 overlap {} hits / {} misses\n",
+                persist.blocks_appended,
+                persist.log_bytes_written / 1_000,
+                persist.log_bytes_truncated / 1_000,
+                persist.compactions,
+                persist.full_snapshots,
+                persist.delta_snapshots,
+                persist.snapshot_bytes_written / 1_000,
+                persist.dirty_units_encoded,
+                persist.overlap_hits,
+                persist.overlap_misses,
+            ));
         }
         let p = &self.parallel;
         if p.parallel_txs + p.serial_txs > 0 {

@@ -1,5 +1,7 @@
 //! The marketplace engine end to end: hundreds of concurrent HITs over
-//! one gas-capped chain with batched settlement verification.
+//! one gas-capped chain with batched settlement verification, persisted
+//! through the pipelined block store (background writer, incremental
+//! snapshots, log compaction, overlapped settlement verification).
 //!
 //! ```sh
 //! cargo run --release --example marketplace            # default seed
@@ -7,10 +9,12 @@
 //! DRAGOON_SEED=0xfeed cargo run --release --example marketplace
 //! ```
 
-use dragoon_sim::{run_market, seed_from_args_or, MarketConfig};
+use dragoon_sim::{run_market, seed_from_args_or, MarketConfig, PersistConfig};
 
 fn main() {
     let seed = seed_from_args_or(0xd1a6_0001);
+    let store_dir =
+        std::env::temp_dir().join(format!("dragoon-marketplace-{}", std::process::id()));
     let config = MarketConfig {
         hits: 250,
         spawn_per_block: 10,
@@ -18,6 +22,15 @@ fn main() {
         worker_capacity: 5,
         seed,
         max_blocks: 900,
+        // The market report is byte-identical at every thread count, but
+        // the store's delta byte counts follow the executor's dirty-set
+        // over-approximation — the PERSIST line is only golden with the
+        // executor pinned serial.
+        exec_threads: 1,
+        persist: Some(PersistConfig {
+            snapshot_every: 8,
+            ..PersistConfig::pipelined(store_dir.clone())
+        }),
         ..MarketConfig::default()
     };
     println!(
@@ -28,5 +41,7 @@ fn main() {
     print!("{}", report.summary());
     println!("\nJSON: {}", report.to_json());
     println!("PROVING: {}", report.proving_json());
+    println!("PERSIST: {}", report.persist_json());
     println!("scheduler JSON: {}", report.scheduler_json());
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -30,8 +30,8 @@ fn base(seed: u64, dir: PathBuf, snapshot_every: u64) -> MarketConfig {
         workers: 14,
         seed,
         persist: Some(PersistConfig {
-            dir,
             snapshot_every,
+            ..PersistConfig::new(dir)
         }),
         ..MarketConfig::default()
     }
@@ -175,6 +175,209 @@ fn corrupt_final_record_is_discarded_by_checksum() {
         recovered.round(),
         chain.round() - 1,
         "exactly the corrupt final block is lost"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined lifecycle: background writer, incremental snapshots, log
+// compaction and overlapped settlement verification all on at once.
+// ---------------------------------------------------------------------------
+
+/// The full pipeline (`PersistConfig::pipelined`) with a given snapshot
+/// cadence.
+fn pipelined(seed: u64, dir: PathBuf, snapshot_every: u64) -> MarketConfig {
+    MarketConfig {
+        hits: 12,
+        spawn_per_block: 3,
+        workers: 14,
+        seed,
+        persist: Some(PersistConfig {
+            snapshot_every,
+            ..PersistConfig::pipelined(dir)
+        }),
+        ..MarketConfig::default()
+    }
+}
+
+/// The round of the newest `delta-*.bin` artifact in a store dir.
+fn newest_delta(dir: &PathBuf) -> Option<(u64, PathBuf)> {
+    std::fs::read_dir(dir)
+        .expect("store dir exists")
+        .map(|e| e.unwrap().path())
+        .filter_map(|p| {
+            let name = p.file_name()?.to_str()?.to_owned();
+            let round = name
+                .strip_prefix("delta-")?
+                .strip_suffix(".bin")?
+                .parse::<u64>()
+                .ok()?;
+            Some((round, p))
+        })
+        .max_by_key(|(round, _)| *round)
+}
+
+/// The headline pipelined differential: with the background writer,
+/// incremental snapshots, compaction and overlapped verification all
+/// enabled, recovery composes base + deltas + log tail to the exact
+/// bytes of the live run — and the recovered image is identical across
+/// executor thread counts.
+#[test]
+fn pipelined_recovery_is_bit_identical_across_thread_counts() {
+    let mut images = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = scratch(&format!("pipe-threads{threads}"));
+        let config = MarketConfig {
+            exec_threads: threads,
+            ..pipelined(0xc4a5, dir.clone(), 8)
+        };
+        let (live, recovered, _) = run_and_recover(config);
+        assert_eq!(
+            live, recovered,
+            "pipelined recovery must be byte-identical at {threads} threads"
+        );
+        images.push(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(images[0], images[1], "pipelined: 1 vs 4 threads");
+}
+
+/// Kill between handoff and append: the round loop hands a frame to the
+/// background writer and the process dies before (or mid-) append. After
+/// the drain the on-disk state is identical to the synchronous writer's,
+/// so the emulation is a torn final record under the pipelined config —
+/// snapshots off so the log carries the whole history. Recovery comes up
+/// exactly one block behind, never with a half-applied block.
+#[test]
+fn pipelined_torn_tail_recovers_to_previous_block() {
+    let dir = scratch("pipe-torn");
+    let config = pipelined(0x70a9, dir.clone(), 0);
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0);
+    let log = dir.join("blocks.log");
+    let intact_len = std::fs::metadata(&log).expect("log exists").len();
+    OpenOptions::new()
+        .write(true)
+        .open(&log)
+        .expect("log opens")
+        .set_len(intact_len - 5)
+        .expect("truncate");
+    let recovered = recover_market_chain(&config).expect("a torn tail must not fail recovery");
+    assert_eq!(
+        recovered.round(),
+        chain.round() - 1,
+        "exactly the torn final block is lost"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash mid-incremental-snapshot, before the atomic rename: the store
+/// is left with a stale `.tmp` file and no new artifact, and (without
+/// compaction) the log still carries every record — recovery ignores the
+/// tmp file and replays to the exact live bytes. Emulated by demoting
+/// the newest published delta back to its pre-rename tmp name.
+#[test]
+fn pipelined_crash_before_delta_rename_recovers_exactly() {
+    let dir = scratch("pipe-tmpdelta");
+    let config = MarketConfig {
+        persist: Some(PersistConfig {
+            snapshot_every: 4,
+            compact_log: false, // keep the whole log: deltas are redundant
+            ..PersistConfig::pipelined(dir.clone())
+        }),
+        ..pipelined(0x1d3a, dir.clone(), 4)
+    };
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0);
+    let (_, path) = newest_delta(&dir).expect("cadence 4 + incremental must leave deltas");
+    std::fs::rename(&path, path.with_extension("tmp")).expect("demote to tmp");
+    let recovered = recover_market_chain(&config).expect("a stale tmp must not fail recovery");
+    assert_eq!(
+        chain.state_image(),
+        recovered.state_image(),
+        "recovery must compose the surviving artifacts + log to the live bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bit rot inside a published delta trips its checksum; composition
+/// stops at the last good artifact and the (uncompacted) log replays the
+/// rest — still bit-identical. A truncated delta (torn artifact write)
+/// degrades the same way.
+#[test]
+fn pipelined_corrupt_delta_degrades_to_log_replay() {
+    let dir = scratch("pipe-baddelta");
+    let config = MarketConfig {
+        persist: Some(PersistConfig {
+            snapshot_every: 4,
+            compact_log: false,
+            ..PersistConfig::pipelined(dir.clone())
+        }),
+        ..pipelined(0xde17a, dir.clone(), 4)
+    };
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0);
+    let (_, path) = newest_delta(&dir).expect("cadence 4 + incremental must leave deltas");
+    // Flip a payload byte: checksum mismatch.
+    let mut bytes = std::fs::read(&path).expect("delta reads");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("delta rewrites");
+    let recovered = recover_market_chain(&config).expect("a corrupt delta must not fail recovery");
+    assert_eq!(
+        chain.state_image(),
+        recovered.state_image(),
+        "bit rot in a delta must degrade to log replay, not corrupt state"
+    );
+    // Torn artifact: same file cut in half.
+    bytes.truncate(bytes.len() / 2);
+    std::fs::write(&path, &bytes).expect("delta rewrites");
+    let recovered = recover_market_chain(&config).expect("a torn delta must not fail recovery");
+    assert_eq!(
+        chain.state_image(),
+        recovered.state_image(),
+        "a torn delta must degrade to log replay, not corrupt state"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Post-compaction recovery: with `compact_log` on the log is truncated
+/// at every artifact publish, so recovery leans on the artifact chain
+/// (full base + deltas) plus only the short post-artifact tail — and
+/// still lands on the live bytes. The log stays bounded by one snapshot
+/// interval and old artifacts are pruned at each full rebase.
+#[test]
+fn pipelined_post_compaction_recovery_is_bit_identical() {
+    let dir = scratch("pipe-compact");
+    let config = pipelined(0xc03a, dir.clone(), 4);
+    let (report, chain) = MarketSim::new(config.clone()).run_keeping_chain();
+    assert_eq!(report.hits_unfinished, 0);
+    let stats = report
+        .persist
+        .expect("persisted run must report store stats");
+    assert!(stats.compactions > 0, "cadence 4 must compact: {stats:?}");
+    assert!(
+        stats.log_bytes_truncated > 0,
+        "compaction must reclaim log bytes: {stats:?}"
+    );
+    let log_len = std::fs::metadata(dir.join("blocks.log"))
+        .expect("log exists")
+        .len();
+    assert!(
+        log_len < stats.log_bytes_written,
+        "the compacted log ({log_len} bytes) must be a strict subset of \
+         everything written ({} bytes)",
+        stats.log_bytes_written
+    );
+    assert!(
+        stats.delta_snapshots > 0,
+        "incremental cadence must publish deltas: {stats:?}"
+    );
+    let recovered = recover_market_chain(&config).expect("recovery must succeed");
+    assert_eq!(
+        chain.state_image(),
+        recovered.state_image(),
+        "post-compaction recovery must be byte-identical"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

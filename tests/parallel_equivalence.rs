@@ -995,3 +995,65 @@ fn market_report_per_proof_front_run_identical() {
     assert_eq!(serial.to_json(), parallel.to_json());
     assert!(serial.reverted_txs > 0, "overbooking must cause reverts");
 }
+
+/// The pipelined block lifecycle is a pure performance change: the same
+/// seeded market with persistence fully pipelined (background writer,
+/// incremental snapshots, log compaction, overlapped settlement
+/// verification) must produce byte-identical report JSON to the
+/// synchronous full-snapshot store — and to no persistence at all — at
+/// serial and parallel widths.
+#[test]
+fn market_report_identical_with_pipelined_persistence() {
+    let scratch = |tag: &str| {
+        std::env::temp_dir().join(format!("dragoon-pipeeq-{}-{tag}", std::process::id()))
+    };
+    let base = MarketConfig {
+        hits: 24,
+        spawn_per_block: 6,
+        workers: 25,
+        worker_capacity: 4,
+        seed: 0x10a2,
+        exec_threads: 1,
+        ..MarketConfig::default()
+    };
+    let in_memory = run_market(base.clone());
+    for threads in [1usize, 4] {
+        let sync_dir = scratch(&format!("sync{threads}"));
+        let pipe_dir = scratch(&format!("pipe{threads}"));
+        let sync = run_market(MarketConfig {
+            exec_threads: threads,
+            persist: Some(dragoon_sim::PersistConfig {
+                snapshot_every: 4,
+                ..dragoon_sim::PersistConfig::new(sync_dir.clone())
+            }),
+            ..base.clone()
+        });
+        let piped = run_market(MarketConfig {
+            exec_threads: threads,
+            persist: Some(dragoon_sim::PersistConfig {
+                snapshot_every: 4,
+                ..dragoon_sim::PersistConfig::pipelined(pipe_dir.clone())
+            }),
+            ..base.clone()
+        });
+        assert_eq!(
+            sync.to_json(),
+            piped.to_json(),
+            "pipelining must not change the report at {threads} threads"
+        );
+        assert_eq!(
+            in_memory.to_json(),
+            piped.to_json(),
+            "persistence must not change the report at {threads} threads"
+        );
+        let stats = piped
+            .persist
+            .expect("pipelined run must report store stats");
+        assert!(
+            stats.delta_snapshots > 0 && stats.compactions > 0,
+            "the pipelined store must actually exercise the pipeline: {stats:?}"
+        );
+        let _ = std::fs::remove_dir_all(&sync_dir);
+        let _ = std::fs::remove_dir_all(&pipe_dir);
+    }
+}
