@@ -47,14 +47,17 @@ fn market_throughput(seed: u64) {
             report.gas_per_block_mean / 1_000.0,
             fmt_duration(wall),
         );
-        println!(
-            "JSON: {{\"bench\":\"market_throughput\",\"mode\":\"{label}\",\
-             \"hits_settled\":{},\"blocks\":{},\"hits_per_1k_blocks\":{per_1k:.1},\
-             \"wall_ms\":{},\"report\":{}}}",
-            report.hits_settled,
-            report.blocks,
-            wall.as_millis(),
-            report.to_json(),
+        dragoon_trace::emit_summary(
+            "JSON",
+            format!(
+                "{{\"bench\":\"market_throughput\",\"mode\":\"{label}\",\
+                 \"hits_settled\":{},\"blocks\":{},\"hits_per_1k_blocks\":{per_1k:.1},\
+                 \"wall_ms\":{},\"report\":{}}}",
+                report.hits_settled,
+                report.blocks,
+                wall.as_millis(),
+                report.to_json(),
+            ),
         );
     }
 }
@@ -114,11 +117,14 @@ fn checkpoint_speedup(seed: u64) {
     );
     let speedup = clone_wall.as_secs_f64() / journal_wall.as_secs_f64();
     println!("speedup {speedup:.2}x (identical reports — differential holds)");
-    println!(
-        "JSON: {{\"bench\":\"checkpoint_speedup\",\"hits\":1000,\
-         \"journal_ms\":{},\"clone_ms\":{},\"speedup\":{speedup:.2}}}",
-        journal_wall.as_millis(),
-        clone_wall.as_millis(),
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"checkpoint_speedup\",\"hits\":1000,\
+             \"journal_ms\":{},\"clone_ms\":{},\"speedup\":{speedup:.2}}}",
+            journal_wall.as_millis(),
+            clone_wall.as_millis(),
+        ),
     );
 }
 
@@ -142,14 +148,17 @@ fn market_scale_10k(seed: u64) {
         fmt_duration(wall),
     );
     assert_eq!(report.hits_unfinished, 0, "10k-HIT run must drain");
-    println!(
-        "JSON: {{\"bench\":\"market_scale_10k\",\"hits_settled\":{},\
-         \"blocks\":{},\"hits_per_1k_blocks\":{per_1k:.1},\"txs\":{txs},\
-         \"wall_ms\":{},\"tx_per_sec\":{:.0}}}",
-        report.hits_settled,
-        report.blocks,
-        wall.as_millis(),
-        txs as f64 / wall.as_secs_f64(),
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"market_scale_10k\",\"hits_settled\":{},\
+             \"blocks\":{},\"hits_per_1k_blocks\":{per_1k:.1},\"txs\":{txs},\
+             \"wall_ms\":{},\"tx_per_sec\":{:.0}}}",
+            report.hits_settled,
+            report.blocks,
+            wall.as_millis(),
+            txs as f64 / wall.as_secs_f64(),
+        ),
     );
 }
 
@@ -288,24 +297,27 @@ fn market_scale_1m(seed: u64) {
     );
     let _ = std::fs::remove_dir_all(&sync_dir);
     let _ = std::fs::remove_dir_all(&pipe_dir);
-    println!(
-        "JSON: {{\"bench\":\"market_scale_1m\",\"hits\":{hits},\
-         \"hits_settled\":{},\"hits_cancelled\":{},\"blocks\":{},\"txs\":{txs},\
-         \"blocks_per_sec\":{blocks_per_sec:.1},\"tx_per_sec\":{tx_per_sec:.0},\
-         \"peak_rss_mb\":{peak_mb},\"mem_ceiling_mb\":{ceiling_mb},\
-         \"wall_ms\":{},\
-         \"sync_blocks_per_sec\":{sync_bps:.1},\"pipelined_blocks_per_sec\":{pipe_bps:.1},\
-         \"sync_snapshot_bytes\":{},\"pipelined_snapshot_bytes\":{},\
-         \"pipelined_log_bytes_left\":{pipe_log_len},\
-         \"sync_persist\":{},\"pipelined_persist\":{}}}",
-        report.hits_settled,
-        report.hits_cancelled,
-        report.blocks,
-        wall.as_millis(),
-        sync_stats.snapshot_bytes_written,
-        pipe_stats.snapshot_bytes_written,
-        sync.persist_json(),
-        piped.persist_json(),
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"market_scale_1m\",\"hits\":{hits},\
+             \"hits_settled\":{},\"hits_cancelled\":{},\"blocks\":{},\"txs\":{txs},\
+             \"blocks_per_sec\":{blocks_per_sec:.1},\"tx_per_sec\":{tx_per_sec:.0},\
+             \"peak_rss_mb\":{peak_mb},\"mem_ceiling_mb\":{ceiling_mb},\
+             \"wall_ms\":{},\
+             \"sync_blocks_per_sec\":{sync_bps:.1},\"pipelined_blocks_per_sec\":{pipe_bps:.1},\
+             \"sync_snapshot_bytes\":{},\"pipelined_snapshot_bytes\":{},\
+             \"pipelined_log_bytes_left\":{pipe_log_len},\
+             \"sync_persist\":{},\"pipelined_persist\":{}}}",
+            report.hits_settled,
+            report.hits_cancelled,
+            report.blocks,
+            wall.as_millis(),
+            sync_stats.snapshot_bytes_written,
+            pipe_stats.snapshot_bytes_written,
+            sync.persist_json(),
+            piped.persist_json(),
+        ),
     );
 }
 
@@ -378,14 +390,17 @@ fn pipeline_speedup(seed: u64) {
             pipe_stats.overlap_hits + pipe_stats.overlap_misses,
         );
         println!("pipeline_speedup {speedup:.2}x (identical reports — differential holds)");
-        println!(
-            "JSON: {{\"bench\":\"pipeline_speedup\",\"hits\":{hits},\
-             \"sync_ms\":{},\"pipelined_ms\":{},\"pipeline_speedup\":{speedup:.2},\
-             \"sync_persist\":{},\"pipelined_persist\":{}}}",
-            sync_wall.as_millis(),
-            pipe_wall.as_millis(),
-            sync.persist_json(),
-            piped.persist_json(),
+        dragoon_trace::emit_summary(
+            "JSON",
+            format!(
+                "{{\"bench\":\"pipeline_speedup\",\"hits\":{hits},\
+                 \"sync_ms\":{},\"pipelined_ms\":{},\"pipeline_speedup\":{speedup:.2},\
+                 \"sync_persist\":{},\"pipelined_persist\":{}}}",
+                sync_wall.as_millis(),
+                pipe_wall.as_millis(),
+                sync.persist_json(),
+                piped.persist_json(),
+            ),
         );
         let _ = std::fs::remove_dir_all(&sync_dir);
         let _ = std::fs::remove_dir_all(&pipe_dir);
@@ -441,13 +456,16 @@ fn parallel_exec_speedup(seed: u64) {
         println!(
             "speedup {speedup:.2}x at {threads} threads (identical reports — differential holds)"
         );
-        println!(
-            "JSON: {{\"bench\":\"parallel_exec_speedup\",\"hits\":{hits},\
-             \"threads\":{threads},\"serial_ms\":{},\"parallel_ms\":{},\
-             \"speedup\":{speedup:.2},\"scheduler\":{}}}",
-            serial_wall.as_millis(),
-            parallel_wall.as_millis(),
-            parallel.scheduler_json(),
+        dragoon_trace::emit_summary(
+            "JSON",
+            format!(
+                "{{\"bench\":\"parallel_exec_speedup\",\"hits\":{hits},\
+                 \"threads\":{threads},\"serial_ms\":{},\"parallel_ms\":{},\
+                 \"speedup\":{speedup:.2},\"scheduler\":{}}}",
+                serial_wall.as_millis(),
+                parallel_wall.as_millis(),
+                parallel.scheduler_json(),
+            ),
         );
     }
 }
@@ -518,15 +536,18 @@ fn spawn_heavy_speedup(seed: u64) {
         create_share * 100.0,
         spawn_share * 100.0,
     );
-    println!(
-        "JSON: {{\"bench\":\"spawn_heavy_speedup\",\"hits\":{hits},\
-         \"threads\":{threads},\"create_share\":{create_share:.3},\
-         \"spawn_phase_create_share\":{spawn_share:.3},\
-         \"serial_ms\":{},\"parallel_ms\":{},\"speedup\":{speedup:.2},\
-         \"scheduler\":{}}}",
-        serial_wall.as_millis(),
-        parallel_wall.as_millis(),
-        parallel.scheduler_json(),
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"spawn_heavy_speedup\",\"hits\":{hits},\
+             \"threads\":{threads},\"create_share\":{create_share:.3},\
+             \"spawn_phase_create_share\":{spawn_share:.3},\
+             \"serial_ms\":{},\"parallel_ms\":{},\"speedup\":{speedup:.2},\
+             \"scheduler\":{}}}",
+            serial_wall.as_millis(),
+            parallel_wall.as_millis(),
+            parallel.scheduler_json(),
+        ),
     );
 }
 
@@ -575,14 +596,81 @@ fn econ_overhead(seed: u64) {
         "overhead {:+.1}% (identical reports — observe-only differential holds)",
         overhead * 100.0
     );
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"econ_overhead\",\"hits\":1000,\
+             \"econ_off_ms\":{},\"econ_on_ms\":{},\"overhead_pct\":{:.2},\
+             \"econ\":{}}}",
+            off_wall.as_millis(),
+            on_wall.as_millis(),
+            overhead * 100.0,
+            on.econ_json(),
+        ),
+    );
+}
+
+/// **Tracing overhead** — the same 1 000-HIT market with `dragoon-trace`
+/// fully off and with both layers live (deterministic events captured in
+/// memory, wall-clock spans recorded per thread). Tracing observes the
+/// pipeline and never steers it, so the reports are asserted
+/// byte-identical and the wall-clock delta prices exactly the
+/// instrumentation — the acceptance bar is <5% at 1k HITs.
+fn trace_overhead(seed: u64) {
+    println!("\n== tracing overhead (1 000 HITs, both layers live) ==");
+    let config = scale_config(1_000, seed, false);
+    // Best-of-two walls per mode, same rationale as `econ_overhead`.
+    let (off_a, off) = time_once(|| run_market(config.clone()));
+    let (off_b, _) = time_once(|| run_market(config.clone()));
+    let off_wall = off_a.min(off_b);
+    let capture = dragoon_trace::start_full_capture();
+    let (on_a, on) = time_once(|| run_market(config.clone()));
+    let (on_b, _) = time_once(|| run_market(config.clone()));
+    let on_wall = on_a.min(on_b);
+    let events = capture.finish();
+    assert_eq!(
+        off.to_json(),
+        on.to_json(),
+        "tracing must not change the market"
+    );
+    assert!(
+        !events.is_empty(),
+        "a traced run must record deterministic events"
+    );
+    let overhead = on_wall.as_secs_f64() / off_wall.as_secs_f64() - 1.0;
     println!(
-        "JSON: {{\"bench\":\"econ_overhead\",\"hits\":1000,\
-         \"econ_off_ms\":{},\"econ_on_ms\":{},\"overhead_pct\":{:.2},\
-         \"econ\":{}}}",
-        off_wall.as_millis(),
-        on_wall.as_millis(),
-        overhead * 100.0,
-        on.econ_json(),
+        "trace_off {} HITs settled in {} blocks, wall {}",
+        off.hits_settled,
+        off.blocks,
+        fmt_duration(off_wall),
+    );
+    println!(
+        "trace_on  {} HITs settled in {} blocks, wall {} ({} events over 2 runs)",
+        on.hits_settled,
+        on.blocks,
+        fmt_duration(on_wall),
+        events.len(),
+    );
+    println!(
+        "trace_overhead {:+.1}% (identical reports — tracing is invisible to the chain)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "tracing overhead {:.2}% exceeds the 5% acceptance bar",
+        overhead * 100.0
+    );
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"trace_overhead\",\"hits\":1000,\
+             \"trace_off_ms\":{},\"trace_on_ms\":{},\"trace_overhead\":{:.2},\
+             \"events\":{}}}",
+            off_wall.as_millis(),
+            on_wall.as_millis(),
+            overhead * 100.0,
+            events.len(),
+        ),
     );
 }
 
@@ -664,18 +752,21 @@ fn net_overhead(seed: u64) {
         lossy_net.max_reorg_depth,
         fmt_duration(lossy_wall),
     );
-    println!(
-        "JSON: {{\"bench\":\"net_overhead\",\"hits\":1000,\"nodes\":4,\
-         \"single_node_ms\":{},\"four_node_ms\":{},\"overhead_pct\":{:.2},\
-         \"lossy_ms\":{},\"lossy_blocks_per_sec\":{blocks_per_sec:.1},\
-         \"lossy_reorgs\":{},\"lossy_max_reorg_depth\":{},\"net\":{}}}",
-        n1_wall.as_millis(),
-        n4_wall.as_millis(),
-        overhead * 100.0,
-        lossy_wall.as_millis(),
-        lossy_net.reorgs,
-        lossy_net.max_reorg_depth,
-        lossy_report.net_json(),
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"net_overhead\",\"hits\":1000,\"nodes\":4,\
+             \"single_node_ms\":{},\"four_node_ms\":{},\"overhead_pct\":{:.2},\
+             \"lossy_ms\":{},\"lossy_blocks_per_sec\":{blocks_per_sec:.1},\
+             \"lossy_reorgs\":{},\"lossy_max_reorg_depth\":{},\"net\":{}}}",
+            n1_wall.as_millis(),
+            n4_wall.as_millis(),
+            overhead * 100.0,
+            lossy_wall.as_millis(),
+            lossy_net.reorgs,
+            lossy_net.max_reorg_depth,
+            lossy_report.net_json(),
+        ),
     );
 }
 
@@ -731,13 +822,16 @@ fn cold_vs_prewarmed(seed: u64) {
         "speedup {speedup:.2}x, hit rate {:.1}% (identical reports — cache is invisible to the chain)",
         hit_rate * 100.0
     );
-    println!(
-        "JSON: {{\"bench\":\"cold_vs_prewarmed\",\"hits\":1000,\
-         \"cold_ms\":{},\"prewarmed_ms\":{},\"speedup\":{speedup:.2},\
-         \"hit_rate\":{hit_rate:.3},\"proving\":{}}}",
-        cold_wall.as_millis(),
-        warm_wall.as_millis(),
-        warm.proving.to_json(),
+    dragoon_trace::emit_summary(
+        "JSON",
+        format!(
+            "{{\"bench\":\"cold_vs_prewarmed\",\"hits\":1000,\
+             \"cold_ms\":{},\"prewarmed_ms\":{},\"speedup\":{speedup:.2},\
+             \"hit_rate\":{hit_rate:.3},\"proving\":{}}}",
+            cold_wall.as_millis(),
+            warm_wall.as_millis(),
+            warm.proving.to_json(),
+        ),
     );
 }
 
@@ -775,11 +869,14 @@ fn batch_speedup(seed: u64) {
             fmt_duration(individual),
             fmt_duration(batched),
         );
-        println!(
-            "JSON: {{\"bench\":\"vpke_batch_speedup\",\"n\":{n},\
-             \"individual_us\":{},\"batched_us\":{},\"speedup\":{speedup:.3}}}",
-            individual.as_micros(),
-            batched.as_micros(),
+        dragoon_trace::emit_summary(
+            "JSON",
+            format!(
+                "{{\"bench\":\"vpke_batch_speedup\",\"n\":{n},\
+                 \"individual_us\":{},\"batched_us\":{},\"speedup\":{speedup:.3}}}",
+                individual.as_micros(),
+                batched.as_micros(),
+            ),
         );
     }
 }
@@ -796,6 +893,7 @@ fn main() {
             "market_scale_10k" => market_scale_10k(seed),
             "market_throughput" => market_throughput(seed),
             "pipeline_speedup" => pipeline_speedup(seed),
+            "trace_overhead" => trace_overhead(seed),
             other => panic!("unknown DRAGOON_BENCH_ONLY tier: {other}"),
         }
         return;
@@ -806,6 +904,7 @@ fn main() {
     parallel_exec_speedup(seed);
     spawn_heavy_speedup(seed);
     econ_overhead(seed);
+    trace_overhead(seed);
     net_overhead(seed);
     cold_vs_prewarmed(seed);
     market_scale_10k(seed);

@@ -326,6 +326,53 @@ pub struct ParallelStats {
     pub gas_prefix_commits: usize,
 }
 
+impl ParallelStats {
+    /// The scheduler's counters as one registry [`MetricSet`]
+    /// (`scheduler_*` names). The `scheduler_json` report line is a
+    /// thin view over this set.
+    pub fn metric_set(&self) -> dragoon_trace::MetricSet {
+        dragoon_trace::MetricSet::new("scheduler")
+            .counter(
+                "parallel_txs",
+                "scheduler_parallel_txs_total",
+                self.parallel_txs as u64,
+            )
+            .counter(
+                "serial_txs",
+                "scheduler_serial_txs_total",
+                self.serial_txs as u64,
+            )
+            .counter("batches", "scheduler_batches_total", self.batches as u64)
+            .counter("groups", "scheduler_groups_total", self.groups as u64)
+            .counter("barriers", "scheduler_barriers_total", self.barriers as u64)
+            .counter(
+                "selective_retries",
+                "scheduler_selective_retries_total",
+                self.selective_retries as u64,
+            )
+            .counter(
+                "create_retries",
+                "scheduler_create_retries_total",
+                self.create_retries as u64,
+            )
+            .counter(
+                "conflict_fallbacks",
+                "scheduler_conflict_fallbacks_total",
+                self.conflict_fallbacks as u64,
+            )
+            .counter(
+                "gas_fallbacks",
+                "scheduler_gas_fallbacks_total",
+                self.gas_fallbacks as u64,
+            )
+            .counter(
+                "gas_prefix_commits",
+                "scheduler_gas_prefix_commits_total",
+                self.gas_prefix_commits as u64,
+            )
+    }
+}
+
 /// Resolves a thread count: `explicit` if non-zero, else the
 /// `DRAGOON_THREADS` environment variable, else available parallelism.
 pub fn resolve_threads(explicit: usize) -> usize {

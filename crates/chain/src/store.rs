@@ -606,25 +606,62 @@ pub struct PersistStats {
 }
 
 impl PersistStats {
-    /// One compact JSON object, for the `PERSIST:` stats line.
+    /// The persistence counters as one registry [`MetricSet`]
+    /// (`persist_*` names).
+    pub fn metric_set(&self) -> dragoon_trace::MetricSet {
+        dragoon_trace::MetricSet::new("persist")
+            .counter(
+                "blocks_appended",
+                "persist_blocks_appended_total",
+                self.blocks_appended,
+            )
+            .counter(
+                "log_bytes_written",
+                "persist_log_bytes_written_total",
+                self.log_bytes_written,
+            )
+            .counter(
+                "log_bytes_truncated",
+                "persist_log_bytes_truncated_total",
+                self.log_bytes_truncated,
+            )
+            .counter("compactions", "persist_compactions_total", self.compactions)
+            .counter(
+                "full_snapshots",
+                "persist_full_snapshots_total",
+                self.full_snapshots,
+            )
+            .counter(
+                "delta_snapshots",
+                "persist_delta_snapshots_total",
+                self.delta_snapshots,
+            )
+            .counter(
+                "snapshot_bytes_written",
+                "persist_snapshot_bytes_written_total",
+                self.snapshot_bytes_written,
+            )
+            .counter(
+                "dirty_units_encoded",
+                "persist_dirty_units_encoded_total",
+                self.dirty_units_encoded,
+            )
+            .counter(
+                "overlap_hits",
+                "persist_overlap_hits_total",
+                self.overlap_hits,
+            )
+            .counter(
+                "overlap_misses",
+                "persist_overlap_misses_total",
+                self.overlap_misses,
+            )
+    }
+
+    /// One compact JSON object, for the `PERSIST:` stats line — a thin
+    /// view over [`PersistStats::metric_set`].
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"blocks_appended\":{},\"log_bytes_written\":{},\
-             \"log_bytes_truncated\":{},\"compactions\":{},\
-             \"full_snapshots\":{},\"delta_snapshots\":{},\
-             \"snapshot_bytes_written\":{},\"dirty_units_encoded\":{},\
-             \"overlap_hits\":{},\"overlap_misses\":{}}}",
-            self.blocks_appended,
-            self.log_bytes_written,
-            self.log_bytes_truncated,
-            self.compactions,
-            self.full_snapshots,
-            self.delta_snapshots,
-            self.snapshot_bytes_written,
-            self.dirty_units_encoded,
-            self.overlap_hits,
-            self.overlap_misses,
-        )
+        self.metric_set().to_json_object()
     }
 }
 
@@ -753,12 +790,15 @@ fn artifact_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
     Ok(out)
 }
 
-/// One unit of work handed to the background writer.
+/// One unit of work handed to the background writer. Each write
+/// carries the round it belongs to so the writer thread's wall-clock
+/// spans line up with the producing round in a Chrome trace.
 enum WriterCmd {
     /// Append a pre-framed log record.
-    Frame(Vec<u8>),
+    Frame { round: u64, bytes: Vec<u8> },
     /// Publish a snapshot artifact (full or delta).
     Publish {
+        round: u64,
         tmp: PathBuf,
         dest: PathBuf,
         bytes: Vec<u8>,
@@ -772,14 +812,23 @@ enum WriterCmd {
 fn writer_loop(mut log: LogWriter, rx: Receiver<WriterCmd>) -> Result<(), StoreError> {
     for cmd in rx {
         match cmd {
-            WriterCmd::Frame(frame) => log.append_frame(&frame)?,
+            WriterCmd::Frame { round, bytes } => {
+                let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Persist, round);
+                sp.arg("bytes", bytes.len() as u64);
+                log.append_frame(&bytes)?;
+            }
             WriterCmd::Publish {
+                round,
                 tmp,
                 dest,
                 bytes,
                 compact,
                 prune_below,
-            } => log.publish(&tmp, &dest, &bytes, compact, prune_below)?,
+            } => {
+                let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Snapshot, round);
+                sp.arg("bytes", bytes.len() as u64);
+                log.publish(&tmp, &dest, &bytes, compact, prune_below)?;
+            }
             WriterCmd::Drain(ack) => {
                 log.flush_all()?;
                 let _ = ack.send(());
@@ -965,13 +1014,14 @@ impl BlockStore {
     fn dispatch(&mut self, cmd: WriterCmd) -> Result<(), StoreError> {
         match &mut self.writer {
             Writer::Inline(w) => match cmd {
-                WriterCmd::Frame(frame) => w.append_frame(&frame),
+                WriterCmd::Frame { bytes, .. } => w.append_frame(&bytes),
                 WriterCmd::Publish {
                     tmp,
                     dest,
                     bytes,
                     compact,
                     prune_below,
+                    ..
                 } => w.publish(&tmp, &dest, &bytes, compact, prune_below),
                 WriterCmd::Drain(ack) => {
                     w.flush_all()?;
@@ -1015,7 +1065,7 @@ impl BlockStore {
     }
 
     /// Appends one framed record (`len ‖ checksum ‖ payload`).
-    fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+    fn append(&mut self, round: u64, payload: &[u8]) -> Result<(), StoreError> {
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(
             &u32::try_from(payload.len())
@@ -1027,7 +1077,10 @@ impl BlockStore {
         self.stats.blocks_appended += 1;
         self.stats.log_bytes_written += frame.len() as u64;
         self.log_bytes_pending += frame.len() as u64;
-        self.dispatch(WriterCmd::Frame(frame))
+        self.dispatch(WriterCmd::Frame {
+            round,
+            bytes: frame,
+        })
     }
 
     /// Whether the cadence calls for a snapshot after this block.
@@ -1098,6 +1151,7 @@ impl BlockStore {
         let prune_below = (full && self.compact_log).then_some(round);
         self.prev_artifact = Some(round);
         self.dispatch(WriterCmd::Publish {
+            round,
             tmp,
             dest,
             bytes,
@@ -1370,23 +1424,45 @@ where
             self.record_block_txs,
             "persistence needs record_block_txs enabled before the round runs"
         );
+        let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Persist, self.round);
         let mut payload = Vec::new();
         self.round.put(&mut payload);
         self.next_seq.put(&mut payload);
         self.last_block_txs.put(&mut payload);
-        store.append(&payload)?;
+        sp.arg("txs", self.last_block_txs.len() as u64);
+        store.append(self.round, &payload)?;
+        // The deterministic persist event records only the height: the
+        // append cadence is identical for the synchronous and the
+        // pipelined store, so the stream stays mode-independent.
+        dragoon_trace::event(
+            dragoon_trace::SpanKind::Persist,
+            self.round,
+            &[("height", self.round)],
+        );
+        drop(sp);
         if store.snapshot_due() {
+            let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Snapshot, self.round);
             match store.delta_base() {
                 Some(base) => {
                     store.stats.dirty_units_encoded +=
                         (self.contract.dirty_units() + self.ledger.dirty_units()) as u64;
                     let image = self.delta_image(base, store.chain_events_mark());
+                    sp.arg("bytes", image.len() as u64);
                     store.publish_artifact(self.round, &image, false)?;
                 }
                 None => {
-                    store.publish_artifact(self.round, &self.state_image(), true)?;
+                    let image = self.state_image();
+                    sp.arg("bytes", image.len() as u64);
+                    store.publish_artifact(self.round, &image, true)?;
                 }
             }
+            // Full-vs-delta is a store-mode detail, so the snapshot
+            // event carries the height only (see the persist event).
+            dragoon_trace::event(
+                dragoon_trace::SpanKind::Snapshot,
+                self.round,
+                &[("height", self.round)],
+            );
             // Reset the dirty baseline: the next delta covers only what
             // this snapshot did not.
             self.contract.mark_clean();
@@ -1565,14 +1641,14 @@ mod tests {
             round.put(&mut payload);
             0u64.put(&mut payload);
             Vec::<PendingTx<u64Msg>>::new().put(&mut payload);
-            store.append(&payload).unwrap();
+            store.append(round, &payload).unwrap();
         }
         // ...then a torn third: append, then truncate mid-payload.
         let mut payload = Vec::new();
         3u64.put(&mut payload);
         0u64.put(&mut payload);
         Vec::<PendingTx<u64Msg>>::new().put(&mut payload);
-        store.append(&payload).unwrap();
+        store.append(3, &payload).unwrap();
         let log_path = dir.join(LOG_FILE);
         let full = fs::read(&log_path).unwrap();
         let torn = &full[..full.len() - 5];

@@ -879,6 +879,18 @@ impl StateMachine for HitRegistry {
                 .iter()
                 .map(|(_, pending)| pending.iter().map(|v| v.items.len()).sum::<usize>())
                 .sum();
+            let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Verify, round);
+            sp.arg("instances", drained.len() as u64);
+            sp.arg("items", total as u64);
+            sp.arg("overlapped", u64::from(precomputed.is_some()));
+            // The drained verdict layout is deterministic; whether the
+            // overlapped thread supplied the results is not (it depends
+            // on the store mode), so only counts enter the event.
+            dragoon_trace::event(
+                dragoon_trace::SpanKind::Verify,
+                round,
+                &[("instances", drained.len() as u64), ("items", total as u64)],
+            );
             let results = precomputed.unwrap_or_else(|| {
                 let chunks: Vec<Vec<(DecryptionStatement, DecryptionProof)>> = drained
                     .iter()

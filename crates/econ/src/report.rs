@@ -66,86 +66,136 @@ pub struct EconReport {
     pub sybil_rejected: u64,
 }
 
-fn push_kv(s: &mut String, key: &str, value: &str) {
-    if !s.ends_with('{') {
-        s.push(',');
-    }
-    s.push('"');
-    s.push_str(key);
-    s.push_str("\":");
-    s.push_str(value);
-}
-
 impl EconReport {
-    /// Compact single-object JSON.
+    /// The econ counters as one registry [`dragoon_trace::MetricSet`]
+    /// (`econ_*` names); [`EconReport::to_json`] is a thin view over
+    /// this set, byte-identical to the historical serialization.
+    pub fn metric_set(&self) -> dragoon_trace::MetricSet {
+        dragoon_trace::MetricSet::new("econ")
+            .gauge(
+                "rep_tracked",
+                "econ_rep_tracked_workers",
+                self.rep_tracked as u64,
+            )
+            .counter("rep_receipts", "econ_rep_receipts_total", self.rep_receipts)
+            .counter(
+                "rep_decay_violations",
+                "econ_rep_decay_violations_total",
+                self.rep_decay_violations,
+            )
+            .gauge_f("rep_mean", "econ_rep_mean_score", self.rep_mean, 3)
+            .gauge_f("rep_min", "econ_rep_min_score", self.rep_min, 3)
+            .gauge_f("rep_max", "econ_rep_max_score", self.rep_max, 3)
+            .counter(
+                "gated_commits",
+                "econ_gated_commits_total",
+                self.gated_commits,
+            )
+            .counter(
+                "declined_commits",
+                "econ_declined_commits_total",
+                self.declined_commits,
+            )
+            .gauge(
+                "price_final",
+                "econ_price_final_coins",
+                self.price_final as i128,
+            )
+            .gauge(
+                "price_min_seen",
+                "econ_price_min_seen_coins",
+                self.price_min_seen as i128,
+            )
+            .gauge(
+                "price_max_seen",
+                "econ_price_max_seen_coins",
+                self.price_max_seen as i128,
+            )
+            .counter(
+                "price_adjustments",
+                "econ_price_adjustments_total",
+                self.price_adjustments,
+            )
+            .gauge_f(
+                "fill_rate_recent",
+                "econ_fill_rate_recent_ratio",
+                self.fill_rate_recent,
+                3,
+            )
+            .counter("hits_filled", "econ_hits_filled_total", self.hits_filled)
+            .counter(
+                "hits_unfilled",
+                "econ_hits_unfilled_total",
+                self.hits_unfilled,
+            )
+            .counter(
+                "workers_joined",
+                "econ_workers_joined_total",
+                self.workers_joined as u64,
+            )
+            .counter(
+                "workers_departed",
+                "econ_workers_departed_total",
+                self.workers_departed as u64,
+            )
+            .counter(
+                "goldens_withheld",
+                "econ_goldens_withheld_total",
+                self.goldens_withheld,
+            )
+            .counter(
+                "cartel_rejections",
+                "econ_cartel_rejections_total",
+                self.cartel_rejections,
+            )
+            .counter(
+                "cartel_refunds",
+                "econ_cartel_refunds_coins_total",
+                self.cartel_refunds as i128,
+            )
+            .counter(
+                "honest_refunds",
+                "econ_honest_refunds_coins_total",
+                self.honest_refunds as i128,
+            )
+            .counter(
+                "honest_paid",
+                "econ_honest_paid_coins_total",
+                self.honest_paid as i128,
+            )
+            .counter(
+                "honest_paid_count",
+                "econ_honest_paid_total",
+                self.honest_paid_count,
+            )
+            .counter(
+                "honest_rejected",
+                "econ_honest_rejected_total",
+                self.honest_rejected,
+            )
+            .counter(
+                "sybil_paid",
+                "econ_sybil_paid_coins_total",
+                self.sybil_paid as i128,
+            )
+            .counter(
+                "sybil_paid_count",
+                "econ_sybil_paid_total",
+                self.sybil_paid_count,
+            )
+            .counter(
+                "sybil_rejected",
+                "econ_sybil_rejected_total",
+                self.sybil_rejected,
+            )
+    }
+
+    /// One compact JSON object — a thin view over
+    /// [`EconReport::metric_set`], byte-identical to the historical
+    /// hand-rolled serialization (pinned by the unit test below and the
+    /// econ goldens).
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(640);
-        s.push('{');
-        push_kv(&mut s, "rep_tracked", &self.rep_tracked.to_string());
-        push_kv(&mut s, "rep_receipts", &self.rep_receipts.to_string());
-        push_kv(
-            &mut s,
-            "rep_decay_violations",
-            &self.rep_decay_violations.to_string(),
-        );
-        push_kv(&mut s, "rep_mean", &format!("{:.3}", self.rep_mean));
-        push_kv(&mut s, "rep_min", &format!("{:.3}", self.rep_min));
-        push_kv(&mut s, "rep_max", &format!("{:.3}", self.rep_max));
-        push_kv(&mut s, "gated_commits", &self.gated_commits.to_string());
-        push_kv(
-            &mut s,
-            "declined_commits",
-            &self.declined_commits.to_string(),
-        );
-        push_kv(&mut s, "price_final", &self.price_final.to_string());
-        push_kv(&mut s, "price_min_seen", &self.price_min_seen.to_string());
-        push_kv(&mut s, "price_max_seen", &self.price_max_seen.to_string());
-        push_kv(
-            &mut s,
-            "price_adjustments",
-            &self.price_adjustments.to_string(),
-        );
-        push_kv(
-            &mut s,
-            "fill_rate_recent",
-            &format!("{:.3}", self.fill_rate_recent),
-        );
-        push_kv(&mut s, "hits_filled", &self.hits_filled.to_string());
-        push_kv(&mut s, "hits_unfilled", &self.hits_unfilled.to_string());
-        push_kv(&mut s, "workers_joined", &self.workers_joined.to_string());
-        push_kv(
-            &mut s,
-            "workers_departed",
-            &self.workers_departed.to_string(),
-        );
-        push_kv(
-            &mut s,
-            "goldens_withheld",
-            &self.goldens_withheld.to_string(),
-        );
-        push_kv(
-            &mut s,
-            "cartel_rejections",
-            &self.cartel_rejections.to_string(),
-        );
-        push_kv(&mut s, "cartel_refunds", &self.cartel_refunds.to_string());
-        push_kv(&mut s, "honest_refunds", &self.honest_refunds.to_string());
-        push_kv(&mut s, "honest_paid", &self.honest_paid.to_string());
-        push_kv(
-            &mut s,
-            "honest_paid_count",
-            &self.honest_paid_count.to_string(),
-        );
-        push_kv(&mut s, "honest_rejected", &self.honest_rejected.to_string());
-        push_kv(&mut s, "sybil_paid", &self.sybil_paid.to_string());
-        push_kv(
-            &mut s,
-            "sybil_paid_count",
-            &self.sybil_paid_count.to_string(),
-        );
-        push_kv(&mut s, "sybil_rejected", &self.sybil_rejected.to_string());
-        s.push('}');
-        s
+        self.metric_set().to_json_object()
     }
 
     /// A human-oriented multi-line summary for examples and logs.

@@ -19,6 +19,9 @@
 //! * [`dragoon_sim`] — the concurrent multi-HIT marketplace engine.
 //! * [`dragoon_net`] — the deterministic multi-node network simulation:
 //!   gossip, link faults, partitions, forks and reorg-capable replicas.
+//! * [`dragoon_trace`] — unified observability: deterministic span/event
+//!   stream, metrics registry with Prometheus export, wall-clock phase
+//!   profiler with Chrome `trace_event` export.
 
 pub use dragoon_chain as chain;
 pub use dragoon_contract as contract;
@@ -29,4 +32,5 @@ pub use dragoon_ledger as ledger;
 pub use dragoon_net as net;
 pub use dragoon_protocol as protocol;
 pub use dragoon_sim as sim;
+pub use dragoon_trace as trace;
 pub use dragoon_zkp as zkp;

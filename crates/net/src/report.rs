@@ -40,30 +40,55 @@ pub struct NetReport {
 impl NetReport {
     /// Compact single-object JSON.
     pub fn to_json(&self) -> String {
-        let ticks: Vec<String> = self
-            .convergence_tick
-            .iter()
-            .map(ToString::to_string)
-            .collect();
-        format!(
-            "{{\"nodes\":{},\"ticks\":{},\"messages_sent\":{},\
-             \"messages_dropped\":{},\"duplicates_delivered\":{},\
-             \"forks_produced\":{},\"reorgs\":{},\"max_reorg_depth\":{},\
-             \"partition_windows\":{},\"drain_ticks\":{},\"converged\":{},\
-             \"convergence_tick\":[{}]}}",
-            self.nodes,
-            self.ticks,
-            self.messages_sent,
-            self.messages_dropped,
-            self.duplicates_delivered,
-            self.forks_produced,
-            self.reorgs,
-            self.max_reorg_depth,
-            self.partition_windows,
-            self.drain_ticks,
-            self.converged,
-            ticks.join(",")
-        )
+        self.metric_set().to_json_object()
+    }
+
+    /// The network counters as one registry [`dragoon_trace::MetricSet`]
+    /// (`net_*` names); [`NetReport::to_json`] is a thin view over this
+    /// set, byte-identical to the historical serialization.
+    pub fn metric_set(&self) -> dragoon_trace::MetricSet {
+        dragoon_trace::MetricSet::new("net")
+            .gauge("nodes", "net_nodes", self.nodes as u64)
+            .counter("ticks", "net_ticks_total", self.ticks)
+            .counter(
+                "messages_sent",
+                "net_messages_sent_total",
+                self.messages_sent,
+            )
+            .counter(
+                "messages_dropped",
+                "net_messages_dropped_total",
+                self.messages_dropped,
+            )
+            .counter(
+                "duplicates_delivered",
+                "net_duplicates_delivered_total",
+                self.duplicates_delivered,
+            )
+            .counter(
+                "forks_produced",
+                "net_forks_produced_total",
+                self.forks_produced,
+            )
+            .counter("reorgs", "net_reorgs_total", self.reorgs)
+            .gauge(
+                "max_reorg_depth",
+                "net_max_reorg_depth_blocks",
+                self.max_reorg_depth,
+            )
+            .gauge(
+                "partition_windows",
+                "net_partition_windows",
+                self.partition_windows as u64,
+            )
+            .counter("drain_ticks", "net_drain_ticks_total", self.drain_ticks)
+            .flag("converged", "net_converged", self.converged)
+            .per_index(
+                "convergence_tick",
+                "net_convergence_tick",
+                self.convergence_tick.clone(),
+                "node",
+            )
     }
 
     /// A human-oriented one-liner for example binaries.

@@ -160,6 +160,8 @@ impl<S: CaptureStateMachine> NetSim<S> {
     /// list, in receipt order): node 0 applies it directly, gossips it
     /// to every peer, and the network advances one tick.
     pub fn broadcast_block(&mut self, txs: Vec<PendingTx<S::Msg>>) {
+        let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Gossip, self.tick);
+        let sent_before = self.report.messages_sent;
         let height = self.canonical_height + 1;
         let block = NetBlock {
             id: block_id(height, 0, self.canonical_tip, &txs),
@@ -173,6 +175,16 @@ impl<S: CaptureStateMachine> NetSim<S> {
         for to in 1..self.nodes.len() {
             self.send(0, to, NetMsg::Block(block.clone()));
         }
+        let sent = self.report.messages_sent - sent_before;
+        sp.arg("height", height);
+        sp.arg("sent", sent);
+        // The gossip layer is seeded and single-threaded, so the send
+        // count is deterministic and safe for the golden stream.
+        dragoon_trace::event(
+            dragoon_trace::SpanKind::Gossip,
+            self.tick,
+            &[("height", height), ("sent", sent)],
+        );
         self.nodes[0].insert_block(block);
         let popped = self.nodes[0].try_advance();
         debug_assert_eq!(popped, 0, "the sequencer's replica never reorgs");
@@ -274,7 +286,14 @@ impl<S: CaptureStateMachine> NetSim<S> {
                     if let Some(missing) = self.nodes[to].missing_ancestor(id) {
                         self.send(to, from, NetMsg::BlockRequest { id: missing });
                     }
-                    self.nodes[to].try_advance();
+                    let popped = self.nodes[to].try_advance();
+                    if popped > 0 {
+                        dragoon_trace::event(
+                            dragoon_trace::SpanKind::Reorg,
+                            self.tick,
+                            &[("node", to as u64), ("depth", popped as u64)],
+                        );
+                    }
                 }
             }
             NetMsg::HeadAnnounce { head, .. } => {
@@ -325,6 +344,11 @@ impl<S: CaptureStateMachine> NetSim<S> {
         }
         let block = self.nodes[slot].produce(slot);
         self.report.forks_produced += 1;
+        dragoon_trace::event(
+            dragoon_trace::SpanKind::Fork,
+            self.tick,
+            &[("node", slot as u64), ("height", block.height)],
+        );
         for to in 0..self.nodes.len() {
             if to != slot {
                 self.send(slot, to, NetMsg::Block(block.clone()));

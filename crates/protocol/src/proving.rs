@@ -135,28 +135,37 @@ pub struct ProvingStats {
 impl ProvingStats {
     /// Serializes the thread-independent counters as a JSON object.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"jobs\":{},\"completed\":{},\"dropped\":{},\"stale\":{},",
-                "\"queue_peak\":{},\"latency_hist\":[{},{},{},{},{}],",
-                "\"latency_max\":{},\"cache_hits\":{},\"cache_misses\":{},",
-                "\"latency_violations\":{}}}"
-            ),
-            self.jobs,
-            self.completed,
-            self.dropped,
-            self.stale,
-            self.queue_peak,
-            self.latency_hist[0],
-            self.latency_hist[1],
-            self.latency_hist[2],
-            self.latency_hist[3],
-            self.latency_hist[4],
-            self.latency_max,
-            self.cache_hits,
-            self.cache_misses,
-            self.latency_violations,
-        )
+        self.metric_set().to_json_object()
+    }
+
+    /// The proving counters as one registry [`dragoon_trace::MetricSet`]
+    /// (`proving_*` names); [`ProvingStats::to_json`] is a thin view
+    /// over this set.
+    pub fn metric_set(&self) -> dragoon_trace::MetricSet {
+        dragoon_trace::MetricSet::new("proving")
+            .counter("jobs", "proving_jobs_total", self.jobs)
+            .counter("completed", "proving_completed_total", self.completed)
+            .counter("dropped", "proving_dropped_total", self.dropped)
+            .counter("stale", "proving_stale_total", self.stale)
+            .gauge("queue_peak", "proving_queue_peak_jobs", self.queue_peak)
+            .hist(
+                "latency_hist",
+                "proving_latency_ticks",
+                self.latency_hist.to_vec(),
+                &["0", "1", "3", "7", "+Inf"],
+            )
+            .gauge("latency_max", "proving_latency_max_ticks", self.latency_max)
+            .counter("cache_hits", "proving_cache_hits_total", self.cache_hits)
+            .counter(
+                "cache_misses",
+                "proving_cache_misses_total",
+                self.cache_misses,
+            )
+            .counter(
+                "latency_violations",
+                "proving_latency_violations_total",
+                self.latency_violations,
+            )
     }
 
     fn record_latency(&mut self, ticks: u64) {
@@ -257,6 +266,17 @@ impl<T: Send> ProvingService<T> {
         if jobs.is_empty() {
             return;
         }
+        let total_cost: u64 = jobs.iter().map(|j| j.cost).sum();
+        let mut sp = dragoon_trace::span(dragoon_trace::SpanKind::Prove, tick);
+        sp.arg("jobs", jobs.len() as u64);
+        sp.arg("cost", total_cost);
+        // The batch's job set (keys + costs) is deterministic, so this
+        // event is safe for the golden stream at any thread count.
+        dragoon_trace::event(
+            dragoon_trace::SpanKind::Prove,
+            tick,
+            &[("jobs", jobs.len() as u64), ("cost", total_cost)],
+        );
         self.stats.jobs += jobs.len() as u64;
         let latencies: Vec<u64> = jobs
             .iter()
@@ -356,6 +376,13 @@ impl<T: Send> ProvingService<T> {
             }
         }
         ready.sort_by_key(|q| (q.ready_tick, q.seq));
+        if !ready.is_empty() {
+            dragoon_trace::event(
+                dragoon_trace::SpanKind::Release,
+                tick,
+                &[("jobs", ready.len() as u64)],
+            );
+        }
         self.stats.completed += ready.len() as u64;
         for q in &ready {
             // The tick clock is monotone: an output can only drain at
@@ -368,7 +395,10 @@ impl<T: Send> ProvingService<T> {
             );
             match tick.checked_sub(q.enqueue_tick) {
                 Some(latency) => self.stats.record_latency(latency),
-                None => self.stats.latency_violations += 1,
+                None => {
+                    self.stats.latency_violations += 1;
+                    dragoon_trace::counter_inc("proving_latency_violations_total");
+                }
             }
         }
         ready.into_iter().map(|q| (q.key, q.output)).collect()

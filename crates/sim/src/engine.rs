@@ -418,7 +418,23 @@ impl MarketSim {
             // delegates to the serial path at one thread or under the
             // clone-checkpoint baseline. Reports are identical either
             // way (tests/parallel_equivalence.rs).
-            self.chain.advance_round_parallel(policy);
+            {
+                let _sp =
+                    dragoon_trace::span(dragoon_trace::SpanKind::Execute, self.chain.round() + 1);
+                self.chain.advance_round_parallel(policy);
+            }
+            if let Some(obs) = self.chain.last_observation() {
+                dragoon_trace::event(
+                    dragoon_trace::SpanKind::Execute,
+                    obs.round,
+                    &[
+                        ("height", obs.round),
+                        ("txs", obs.txs as u64),
+                        ("reverted", obs.reverted as u64),
+                        ("gas", obs.gas_used),
+                    ],
+                );
+            }
             // Durability boundary: the produced block's executed
             // transaction list appends to the on-disk log (and a full
             // state snapshot lands on the configured cadence) before
@@ -1092,6 +1108,7 @@ impl MarketSim {
                             latencies.push(latency);
                         } else {
                             self.latency_violations += 1;
+                            dragoon_trace::counter_inc("engine_latency_violations_total");
                         }
                     }
                 }

@@ -219,25 +219,10 @@ impl MarketReport {
 
     /// The parallel-executor counters as one JSON object — kept separate
     /// from [`MarketReport::to_json`] so scheduler telemetry never leaks
-    /// into the thread-count equivalence assertions.
+    /// into the thread-count equivalence assertions. A thin view over
+    /// [`ParallelStats::metric_set`].
     pub fn scheduler_json(&self) -> String {
-        let p = &self.parallel;
-        format!(
-            "{{\"parallel_txs\":{},\"serial_txs\":{},\"batches\":{},\
-             \"groups\":{},\"barriers\":{},\"selective_retries\":{},\
-             \"create_retries\":{},\"conflict_fallbacks\":{},\
-             \"gas_fallbacks\":{},\"gas_prefix_commits\":{}}}",
-            p.parallel_txs,
-            p.serial_txs,
-            p.batches,
-            p.groups,
-            p.barriers,
-            p.selective_retries,
-            p.create_retries,
-            p.conflict_fallbacks,
-            p.gas_fallbacks,
-            p.gas_prefix_commits,
-        )
+        self.parallel.metric_set().to_json_object()
     }
 
     /// The econ layer's report as one JSON object (`null` when the layer
@@ -275,6 +260,147 @@ impl MarketReport {
         self.persist
             .as_ref()
             .map_or_else(|| "null".into(), PersistStats::to_json)
+    }
+
+    /// The market-level scalars as one registry metric set
+    /// (`market_*` names).
+    fn market_metric_set(&self) -> dragoon_trace::MetricSet {
+        let mut set = dragoon_trace::MetricSet::new("market")
+            .gauge("seed", "market_seed", self.seed)
+            .counter("blocks", "market_blocks_total", self.blocks)
+            .counter(
+                "hits_published",
+                "market_hits_published_total",
+                self.hits_published as u64,
+            )
+            .counter(
+                "hits_settled",
+                "market_hits_settled_total",
+                self.hits_settled as u64,
+            )
+            .counter(
+                "hits_cancelled",
+                "market_hits_cancelled_total",
+                self.hits_cancelled as u64,
+            )
+            .gauge(
+                "hits_unfinished",
+                "market_hits_unfinished",
+                self.hits_unfinished as u64,
+            )
+            .counter("total_gas", "market_gas_used_total", self.total_gas)
+            .gauge_f(
+                "gas_per_block_mean",
+                "market_gas_per_block_mean",
+                self.gas_per_block_mean,
+                1,
+            )
+            .gauge(
+                "gas_per_block_max",
+                "market_gas_per_block_max",
+                self.gas_per_block_max,
+            );
+        if let Some(limit) = self.block_gas_limit {
+            set = set.gauge("block_gas_limit", "market_block_gas_limit", limit);
+        }
+        if let Some(util) = self.gas_utilization {
+            set = set.gauge_f("gas_utilization", "market_gas_utilization_ratio", util, 4);
+        }
+        set.gauge_f(
+            "latency_mean_blocks",
+            "market_latency_mean_blocks",
+            self.latency_mean_blocks,
+            2,
+        )
+        .gauge(
+            "latency_max_blocks",
+            "market_latency_max_blocks",
+            self.latency_max_blocks,
+        )
+        .counter(
+            "answers_collected",
+            "market_answers_collected_total",
+            self.answers_collected as u64,
+        )
+        .counter(
+            "rewards_paid",
+            "market_rewards_paid_coins_total",
+            self.rewards_paid as i128,
+        )
+        .counter(
+            "workers_paid",
+            "market_workers_paid_total",
+            self.workers_paid as u64,
+        )
+        .counter(
+            "workers_rejected",
+            "market_workers_rejected_total",
+            self.workers_rejected as u64,
+        )
+        .counter(
+            "refunds",
+            "market_refunds_coins_total",
+            self.refunds as i128,
+        )
+        .counter(
+            "reverted_txs",
+            "market_reverted_txs_total",
+            self.reverted_txs as u64,
+        )
+        .counter(
+            "latency_violations",
+            "market_latency_violations_total",
+            self.latency_violations as u64,
+        )
+        .counter(
+            "batch_dispatches",
+            "market_batch_dispatches_total",
+            self.batch.batches,
+        )
+        .counter("batch_items", "market_batch_items_total", self.batch.items)
+        .gauge(
+            "batch_largest",
+            "market_batch_largest_items",
+            self.batch.largest,
+        )
+    }
+
+    /// Every subsystem's metric set, in report order: market scalars,
+    /// then scheduler, proving, and the optional econ/net/persist
+    /// layers.
+    pub fn metric_sets(&self) -> Vec<dragoon_trace::MetricSet> {
+        let mut sets = vec![
+            self.market_metric_set(),
+            self.parallel.metric_set(),
+            self.proving.metric_set(),
+        ];
+        if let Some(econ) = &self.econ {
+            sets.push(econ.metric_set());
+        }
+        if let Some(net) = &self.net {
+            sets.push(net.metric_set());
+        }
+        if let Some(persist) = &self.persist {
+            sets.push(persist.metric_set());
+        }
+        sets
+    }
+
+    /// One walk over the whole metrics registry — every subsystem's
+    /// counters flattened under their `subsystem_name_unit` registry
+    /// names, plus the process-lifetime violation counters. Excluded
+    /// from [`MarketReport::to_json`]: the dump mixes thread-dependent
+    /// telemetry (scheduler, persist bytes) with the equivalence
+    /// witness fields, so it must never enter the golden assertions.
+    pub fn metrics_json(&self) -> String {
+        dragoon_trace::metrics::render_metrics_json(&self.metric_sets(), true)
+    }
+
+    /// The same registry walk in Prometheus text exposition format
+    /// (hand-rolled: `# TYPE` lines, cumulative histogram buckets,
+    /// per-index labels).
+    pub fn metrics_prometheus(&self) -> String {
+        dragoon_trace::metrics::render_prometheus(&self.metric_sets(), true)
     }
 
     /// A human-oriented multi-line summary for examples and logs.

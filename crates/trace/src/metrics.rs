@@ -1,0 +1,393 @@
+//! The metrics registry: typed metric sets built by the per-subsystem
+//! stats structs, rendered either as the legacy flat-JSON objects
+//! (byte-identical to the historical hand-rolled serialization, so
+//! goldens are unchanged) or as Prometheus text exposition — one
+//! registry walk instead of five ad-hoc `format!`s.
+//!
+//! Naming convention: every metric carries a registry name of the
+//! form `subsystem_name_unit` (e.g. `proving_queue_peak_jobs`,
+//! `persist_log_bytes_written_total`) next to its legacy JSON key.
+//! Counters end in `_total`; gauges name their unit; histograms
+//! render cumulative `_bucket{le=...}` lines per Prometheus
+//! convention.
+//!
+//! A separate always-on **process registry** ([`counter_inc`]) holds
+//! counters that must be observable even when no report is being
+//! assembled — the clamp-violation counters (engine latency, proving
+//! latency, econ reputation decay) route through it so a release
+//! build can see an invariant breach without debug asserts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// How a metric behaves over time (drives the Prometheus `# TYPE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn prom_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A metric's value, carrying enough formatting information to render
+/// the legacy JSON byte-identically.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Integer counter or gauge (covers u64/i64/u128 report fields).
+    Int(i128),
+    /// Float gauge with a fixed decimal precision (legacy `{:.p}`).
+    Float(f64, usize),
+    /// Boolean flag (JSON `true`/`false`, Prometheus `1`/`0`).
+    Flag(bool),
+    /// Fixed-bucket histogram counts plus upper-bound labels for the
+    /// Prometheus `le=` rendering (same length; last is `+Inf`).
+    Hist(Vec<u64>, &'static [&'static str]),
+    /// Per-index integer list (e.g. per-node convergence ticks);
+    /// rendered as a JSON array and as one labelled line per index.
+    PerIndex(Vec<i64>, &'static str),
+}
+
+impl MetricValue {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            MetricValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Float(v, prec) => {
+                let _ = write!(out, "{v:.prec$}");
+            }
+            MetricValue::Flag(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Hist(counts, _) => {
+                out.push('[');
+                for (i, c) in counts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{c}");
+                }
+                out.push(']');
+            }
+            MetricValue::PerIndex(values, _) => {
+                out.push('[');
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// One named metric: the legacy JSON key it serializes under, the
+/// `subsystem_name_unit` registry name, its kind, and its value.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    pub key: &'static str,
+    pub name: &'static str,
+    pub kind: MetricKind,
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metrics for one subsystem. Order is the
+/// serialization order — the legacy JSON view depends on it.
+#[derive(Clone, Debug, Default)]
+pub struct MetricSet {
+    pub subsystem: &'static str,
+    pub metrics: Vec<Metric>,
+}
+
+impl MetricSet {
+    pub fn new(subsystem: &'static str) -> Self {
+        MetricSet {
+            subsystem,
+            metrics: Vec::new(),
+        }
+    }
+
+    fn push(
+        mut self,
+        key: &'static str,
+        name: &'static str,
+        kind: MetricKind,
+        value: MetricValue,
+    ) -> Self {
+        self.metrics.push(Metric {
+            key,
+            name,
+            kind,
+            value,
+        });
+        self
+    }
+
+    /// A monotonically increasing integer (name should end `_total`).
+    pub fn counter(self, key: &'static str, name: &'static str, value: impl Into<i128>) -> Self {
+        self.push(
+            key,
+            name,
+            MetricKind::Counter,
+            MetricValue::Int(value.into()),
+        )
+    }
+
+    /// A point-in-time integer reading.
+    pub fn gauge(self, key: &'static str, name: &'static str, value: impl Into<i128>) -> Self {
+        self.push(key, name, MetricKind::Gauge, MetricValue::Int(value.into()))
+    }
+
+    /// A float gauge rendered with `precision` decimals in JSON.
+    pub fn gauge_f(
+        self,
+        key: &'static str,
+        name: &'static str,
+        value: f64,
+        precision: usize,
+    ) -> Self {
+        self.push(
+            key,
+            name,
+            MetricKind::Gauge,
+            MetricValue::Float(value, precision),
+        )
+    }
+
+    /// A boolean gauge.
+    pub fn flag(self, key: &'static str, name: &'static str, value: bool) -> Self {
+        self.push(key, name, MetricKind::Gauge, MetricValue::Flag(value))
+    }
+
+    /// A fixed-bucket histogram; `bounds` are the Prometheus `le=`
+    /// labels, one per bucket, last `+Inf`.
+    pub fn hist(
+        self,
+        key: &'static str,
+        name: &'static str,
+        counts: Vec<u64>,
+        bounds: &'static [&'static str],
+    ) -> Self {
+        debug_assert_eq!(counts.len(), bounds.len());
+        self.push(
+            key,
+            name,
+            MetricKind::Histogram,
+            MetricValue::Hist(counts, bounds),
+        )
+    }
+
+    /// A per-index gauge list labelled `{label="i"}` in Prometheus.
+    pub fn per_index(
+        self,
+        key: &'static str,
+        name: &'static str,
+        values: Vec<i64>,
+        label: &'static str,
+    ) -> Self {
+        self.push(
+            key,
+            name,
+            MetricKind::Gauge,
+            MetricValue::PerIndex(values, label),
+        )
+    }
+
+    /// The legacy flat-JSON view: `{"key":value,...}` in insertion
+    /// order, byte-identical to the historical hand-rolled
+    /// serialization of the stats struct that built this set.
+    pub fn to_json_object(&self) -> String {
+        let mut s = String::with_capacity(16 + self.metrics.len() * 24);
+        s.push('{');
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(m.key);
+            s.push_str("\":");
+            m.value.render_json(&mut s);
+        }
+        s.push('}');
+        s
+    }
+
+    fn render_prometheus(&self, out: &mut String) {
+        for m in &self.metrics {
+            let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind.prom_type());
+            match &m.value {
+                MetricValue::Int(v) => {
+                    let _ = writeln!(out, "{} {}", m.name, v);
+                }
+                MetricValue::Float(v, prec) => {
+                    let _ = writeln!(out, "{} {:.prec$}", m.name, v);
+                }
+                MetricValue::Flag(v) => {
+                    let _ = writeln!(out, "{} {}", m.name, u8::from(*v));
+                }
+                MetricValue::Hist(counts, bounds) => {
+                    let mut cumulative = 0u64;
+                    for (c, le) in counts.iter().zip(bounds.iter()) {
+                        cumulative += c;
+                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, le, cumulative);
+                    }
+                    let _ = writeln!(out, "{}_count {}", m.name, cumulative);
+                }
+                MetricValue::PerIndex(values, label) => {
+                    for (i, v) in values.iter().enumerate() {
+                        let _ = writeln!(out, "{}{{{}=\"{}\"}} {}", m.name, label, i, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One registry walk over every subsystem's set plus the process
+/// counters, as a flat JSON object keyed by registry name.
+pub fn render_metrics_json(sets: &[MetricSet], include_process: bool) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push('{');
+    let mut first = true;
+    for set in sets {
+        for m in &set.metrics {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('"');
+            s.push_str(m.name);
+            s.push_str("\":");
+            m.value.render_json(&mut s);
+        }
+    }
+    if include_process {
+        for (name, value) in registry_counters() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('"');
+            s.push_str(name);
+            s.push_str("\":");
+            let _ = write!(s, "{value}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// The same walk rendered as Prometheus text exposition format.
+pub fn render_prometheus(sets: &[MetricSet], include_process: bool) -> String {
+    let mut s = String::with_capacity(2048);
+    for set in sets {
+        set.render_prometheus(&mut s);
+    }
+    if include_process {
+        for (name, value) in registry_counters() {
+            let _ = writeln!(s, "# TYPE {name} counter");
+            let _ = writeln!(s, "{name} {value}");
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Always-on process registry
+// ---------------------------------------------------------------------
+
+fn process_registry() -> &'static Mutex<BTreeMap<&'static str, u64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
+/// Adds `delta` to a process-lifetime counter. Always on (not gated by
+/// the tracing flags): these carry rare-event counters — invariant
+/// violations — whose cost is paid only when the event fires.
+pub fn counter_add(name: &'static str, delta: u64) {
+    let mut reg = process_registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    *reg.entry(name).or_insert(0) += delta;
+}
+
+/// Increments a process-lifetime counter by one.
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// A sorted snapshot of the process-lifetime counters.
+pub fn registry_counters() -> Vec<(&'static str, u64)> {
+    process_registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_json_view_matches_hand_rolled_format() {
+        let set = MetricSet::new("demo")
+            .counter("jobs", "demo_jobs_total", 7u64)
+            .gauge_f("rate", "demo_rate_ratio", 0.5, 3)
+            .flag("converged", "demo_converged", true)
+            .hist(
+                "latency_hist",
+                "demo_latency_ticks",
+                vec![1, 2, 3],
+                &["0", "1", "+Inf"],
+            )
+            .per_index("per_node", "demo_per_node_tick", vec![4, -1], "node");
+        assert_eq!(
+            set.to_json_object(),
+            "{\"jobs\":7,\"rate\":0.500,\"converged\":true,\
+             \"latency_hist\":[1,2,3],\"per_node\":[4,-1]}"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let set = MetricSet::new("demo").hist(
+            "latency_hist",
+            "demo_latency_ticks",
+            vec![1, 2, 3],
+            &["0", "1", "+Inf"],
+        );
+        let text = render_prometheus(&[set], false);
+        assert!(text.contains("# TYPE demo_latency_ticks histogram"));
+        assert!(text.contains("demo_latency_ticks_bucket{le=\"0\"} 1"));
+        assert!(text.contains("demo_latency_ticks_bucket{le=\"1\"} 3"));
+        assert!(text.contains("demo_latency_ticks_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("demo_latency_ticks_count 6"));
+    }
+
+    #[test]
+    fn process_counters_accumulate() {
+        counter_add("trace_test_demo_total", 2);
+        counter_inc("trace_test_demo_total");
+        let snapshot = registry_counters();
+        let v = snapshot
+            .iter()
+            .find(|(k, _)| *k == "trace_test_demo_total")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(v >= 3);
+    }
+}

@@ -18,6 +18,7 @@ use dragoon_econ::{ChurnParams, EconConfig, PricingParams};
 use dragoon_sim::{run_market, seed_from_args_or, MarketConfig};
 
 fn main() {
+    dragoon_trace::init_from_env();
     let seed = seed_from_args_or(0xd1a6_0005);
     let config = MarketConfig {
         hits: 120,
@@ -53,8 +54,11 @@ fn main() {
     );
     let report = run_market(config);
     print!("{}", report.summary());
-    println!("\nJSON: {}", report.to_json());
-    println!("ECON: {}", report.econ_json());
-    println!("PROVING: {}", report.proving_json());
-    println!("scheduler JSON: {}", report.scheduler_json());
+    println!();
+    dragoon_trace::emit_summary("JSON", report.to_json());
+    dragoon_trace::emit_summary("ECON", report.econ_json());
+    dragoon_trace::emit_summary("PROVING", report.proving_json());
+    dragoon_trace::emit_summary("SCHEDULER", report.scheduler_json());
+    dragoon_trace::emit_summary("METRICS", report.metrics_json());
+    dragoon_trace::finish();
 }

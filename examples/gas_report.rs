@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 fn main() {
+    dragoon_trace::init_from_env();
     let seed = dragoon_sim::seed_from_args_or(1108);
     let mut rng = StdRng::seed_from_u64(seed);
     // Worst case (reject all) exercises every code path.
@@ -82,7 +83,8 @@ fn main() {
     };
     println!("\n== Parallel-executor scheduler stats (40-HIT market, seed {seed:#x}) ==\n");
     let report = run_market(market);
-    println!("{}", report.scheduler_json());
+    dragoon_trace::emit_summary("SCHEDULER", report.scheduler_json());
     println!("\n== Proving-service stats (same run) ==\n");
-    println!("{}", report.proving_json());
+    dragoon_trace::emit_summary("PROVING", report.proving_json());
+    dragoon_trace::finish();
 }

@@ -12,6 +12,7 @@
 use dragoon_sim::{run_market, seed_from_args_or, MarketConfig, PersistConfig};
 
 fn main() {
+    dragoon_trace::init_from_env();
     let seed = seed_from_args_or(0xd1a6_0001);
     let store_dir =
         std::env::temp_dir().join(format!("dragoon-marketplace-{}", std::process::id()));
@@ -39,9 +40,12 @@ fn main() {
     );
     let report = run_market(config);
     print!("{}", report.summary());
-    println!("\nJSON: {}", report.to_json());
-    println!("PROVING: {}", report.proving_json());
-    println!("PERSIST: {}", report.persist_json());
-    println!("scheduler JSON: {}", report.scheduler_json());
+    println!();
+    dragoon_trace::emit_summary("JSON", report.to_json());
+    dragoon_trace::emit_summary("PROVING", report.proving_json());
+    dragoon_trace::emit_summary("PERSIST", report.persist_json());
+    dragoon_trace::emit_summary("SCHEDULER", report.scheduler_json());
+    dragoon_trace::emit_summary("METRICS", report.metrics_json());
+    dragoon_trace::finish();
     let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -19,6 +19,7 @@ use dragoon_net::{NetConfig, PartitionWindow, RelaySpec};
 use dragoon_sim::{run_market, seed_from_args_or, MarketConfig};
 
 fn main() {
+    dragoon_trace::init_from_env();
     let seed = seed_from_args_or(0xd1a6_0006);
     let net = NetConfig {
         nodes: 4,
@@ -52,7 +53,10 @@ fn main() {
     );
     let report = run_market(config);
     print!("{}", report.summary());
-    println!("\nJSON: {}", report.to_json());
-    println!("NET: {}", report.net_json());
-    println!("scheduler JSON: {}", report.scheduler_json());
+    println!();
+    dragoon_trace::emit_summary("JSON", report.to_json());
+    dragoon_trace::emit_summary("NET", report.net_json());
+    dragoon_trace::emit_summary("SCHEDULER", report.scheduler_json());
+    dragoon_trace::emit_summary("METRICS", report.metrics_json());
+    dragoon_trace::finish();
 }
